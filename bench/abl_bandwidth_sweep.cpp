@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Ablation (§6 "use JAVMM for large VMs with fast networks"): does JAVMM's
+// advantage persist as the link gets faster? The paper argues yes, because
+// VM sizes and dirtying rates grow with the hardware; here we hold the
+// workload fixed and sweep the link from 1 to 10 Gbps, showing (a) where
+// plain pre-copy starts converging and (b) that JAVMM still cuts traffic
+// even when the time advantage narrows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Ablation: link-bandwidth sweep, derby workload ===\n\n");
+  const double gbps[] = {1.0, 2.5, 5.0, 10.0};
+
+  Table table({"link(Gbps)", "engine", "time(s)", "traffic(GiB)", "downtime(s)", "iters",
+               "verified"});
+  for (const double g : gbps) {
+    for (const bool assisted : {false, true}) {
+      RunOptions options;
+      options.lab.migration.link.bandwidth_bps = g * 1e9;
+      const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
+      table.Row()
+          .Cell(g, 1)
+          .Cell(EngineName(assisted))
+          .Cell(out.result.total_time.ToSecondsF(), 1)
+          .Cell(GiBOf(out.result.total_wire_bytes), 2)
+          .Cell(out.result.downtime.Total().ToSecondsF(), 2)
+          .Cell(static_cast<int64_t>(out.result.iteration_count()))
+          .Cell(out.result.verification.ok ? "yes" : "NO");
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nshape check: at 1 Gbps derby's ~340 MiB/s dirtying swamps the link and Xen\n"
+              "is forced into a long stop-and-copy; as bandwidth rises past the dirtying\n"
+              "rate, Xen converges and the completion-time gap narrows -- but JAVMM still\n"
+              "moves a fraction of the traffic (garbage is never worth shipping).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Ablation: JAVMM against the §2 related-work strategy space on the derby
+// workload -- non-live stop-and-copy, pre-copy (Xen), post-copy [18,19], and
+// application-assisted pre-copy (JAVMM). Reproduces the paper's qualitative
+// positioning: post-copy minimises downtime but "incurs performance
+// penalties" fetching pages from the source; stop-and-copy minimises traffic
+// but its downtime is the whole transfer; JAVMM gets near-post-copy downtime
+// with pre-copy's safety and the least traffic of the live strategies.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/migration/baselines.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Ablation: migration-strategy comparison, derby, 2 GiB VM ===\n\n");
+  Table table({"strategy", "time(s)", "traffic(GiB)", "downtime(s)", "degradation",
+               "verified"});
+
+  // Stop-and-copy.
+  {
+    LabConfig config;
+    config.seed = 9;
+    MigrationLab lab(Workloads::Get("derby"), config);
+    lab.Run(Duration::Seconds(120));
+    StopAndCopyEngine engine(&lab.guest(), config.migration);
+    const MigrationResult r = engine.Migrate();
+    table.Row()
+        .Cell("stop-and-copy")
+        .Cell(r.total_time.ToSecondsF(), 1)
+        .Cell(GiBOf(r.total_wire_bytes), 2)
+        .Cell(r.downtime.Total().ToSecondsF(), 2)
+        .Cell("none")
+        .Cell(r.verification.ok ? "yes" : "NO");
+  }
+
+  // Pre-copy (Xen) and JAVMM.
+  for (const bool assisted : {false, true}) {
+    RunOptions options;
+    options.seed = 9;
+    const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
+    table.Row()
+        .Cell(assisted ? "JAVMM" : "pre-copy (Xen)")
+        .Cell(out.result.total_time.ToSecondsF(), 1)
+        .Cell(GiBOf(out.result.total_wire_bytes), 2)
+        .Cell(out.result.downtime.Total().ToSecondsF(), 2)
+        .Cell("none")
+        .Cell(out.result.verification.ok ? "yes" : "NO");
+  }
+
+  // Post-copy.
+  {
+    LabConfig config;
+    config.seed = 9;
+    MigrationLab lab(Workloads::Get("derby"), config);
+    lab.Run(Duration::Seconds(120));
+    PostcopyEngine::Config pc;
+    pc.base = config.migration;
+    PostcopyEngine engine(&lab.guest(), pc);
+    const PostcopyResult r = engine.Migrate();
+    char degradation[96];
+    std::snprintf(degradation, sizeof(degradation), "%.1fs window, %lld faults, %.2fs stall",
+                  r.degradation_window.ToSecondsF(), static_cast<long long>(r.demand_faults),
+                  r.fault_stall.ToSecondsF());
+    table.Row()
+        .Cell("post-copy")
+        .Cell(r.common.total_time.ToSecondsF(), 1)
+        .Cell(GiBOf(r.common.total_wire_bytes), 2)
+        .Cell(r.common.downtime.Total().ToSecondsF(), 2)
+        .Cell(degradation)
+        .Cell(r.common.verification.ok ? "yes" : "NO");
+  }
+
+  table.Print(std::cout);
+  std::printf("\nshape check (paper §2): post-copy's downtime is minimal but it pays a\n"
+              "degradation window of demand faults; stop-and-copy's downtime IS the\n"
+              "transfer; vanilla pre-copy cannot converge under derby; JAVMM combines\n"
+              "sub-second downtime with the smallest traffic of the live strategies.\n");
+  return 0;
+}

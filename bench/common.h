@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Shared helpers for the experiment (bench) binaries. Each binary regenerates
+// one paper exhibit; see DESIGN.md §3 for the experiment index.
+
+#ifndef JAVMM_BENCH_COMMON_H_
+#define JAVMM_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/migration_lab.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace javmm {
+namespace bench {
+
+// One full experiment run at paper scale: warm the workload up, migrate,
+// keep running at the destination.
+struct RunOutput {
+  MigrationResult result;
+  TimeSeries throughput;
+  Duration observed_downtime = Duration::Zero();
+  int64_t young_at_migration = 0;
+  int64_t old_at_migration = 0;
+};
+
+struct RunOptions {
+  Duration warmup = Duration::Seconds(120);
+  Duration cooldown = Duration::Seconds(40);
+  uint64_t seed = 1;
+  LabConfig lab;
+};
+
+inline RunOutput RunMigrationExperiment(const WorkloadSpec& spec, bool assisted,
+                                        const RunOptions& options = {}) {
+  LabConfig config = options.lab;
+  config.seed = options.seed;
+  config.migration.application_assisted = assisted;
+  MigrationLab lab(spec, config);
+  lab.Run(options.warmup);
+  RunOutput out;
+  out.young_at_migration = lab.app().heap().young_committed_bytes();
+  out.old_at_migration = lab.app().heap().old_used_bytes();
+  const TimePoint migration_start = lab.clock().now();
+  out.result = lab.Migrate();
+  lab.Run(options.cooldown);
+  out.throughput = lab.analyzer().series();
+  out.observed_downtime = lab.analyzer().ObservedDowntime(migration_start, lab.clock().now());
+  if (!out.result.verification.ok) {
+    std::fprintf(stderr, "WARNING: verification failed for %s (%s): %s\n", spec.name.c_str(),
+                 assisted ? "JAVMM" : "Xen", out.result.verification.detail.c_str());
+  }
+  return out;
+}
+
+// Aggregates one metric over repeated seeds.
+struct MetricSummary {
+  Summary time_s;
+  Summary traffic_gib;
+  Summary downtime_s;
+  Summary cpu_s;
+
+  void Add(const MigrationResult& result) {
+    time_s.Add(result.total_time.ToSecondsF());
+    traffic_gib.Add(static_cast<double>(result.total_wire_bytes) / static_cast<double>(kGiB));
+    downtime_s.Add(result.downtime.Total().ToSecondsF());
+    cpu_s.Add(result.cpu_time.ToSecondsF());
+  }
+};
+
+inline std::string EngineName(bool assisted) { return assisted ? "JAVMM" : "Xen"; }
+
+inline double MiBOf(int64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+inline double GiBOf(int64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+inline double PagesToMiB(int64_t pages) { return MiBOf(pages * kPageSize); }
+
+inline double ReductionPct(double xen, double javmm) {
+  return xen > 0 ? (1.0 - javmm / xen) * 100.0 : 0.0;
+}
+
+}  // namespace bench
+}  // namespace javmm
+
+#endif  // JAVMM_BENCH_COMMON_H_

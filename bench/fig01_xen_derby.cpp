@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Figure 1: live migration of a 2 GB Xen VM running the Apache Derby database
+// workload over gigabit Ethernet. Per-iteration duration, transfer rate and
+// dirtying rate; the dirtying rate exceeds the transfer rate, so iterations
+// never shrink and the migration is forced into stop-and-copy after excessive
+// traffic (paper: 66 s, 7 GB total, ~8 s downtime).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;        // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 1: vanilla Xen migration of a 2 GiB derby VM ===\n");
+  std::printf("paper: no convergence; 66 s completion, 7 GB traffic, ~8 s downtime\n\n");
+
+  const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), /*assisted=*/false);
+  const MigrationResult& r = out.result;
+
+  Table table({"iter", "duration(s)", "sent(MiB)", "transfer(pages/s)", "dirtied(pages/s)",
+               "dirty-after(pages)"});
+  for (const IterationRecord& it : r.iterations) {
+    table.Row()
+        .Cell(static_cast<int64_t>(it.index))
+        .Cell(it.duration.ToSecondsF(), 2)
+        .Cell(PagesToMiB(it.pages_sent), 1)
+        .Cell(it.TransferRatePagesPerSec(), 0)
+        .Cell(it.DirtyRatePagesPerSec(), 0)
+        .Cell(it.dirty_pages_after);
+  }
+  table.Print(std::cout);
+
+  std::printf("\nTotal: %.1f s, %.2f GiB traffic, downtime %.2f s, %d iterations\n",
+              r.total_time.ToSecondsF(), GiBOf(r.total_wire_bytes),
+              r.downtime.Total().ToSecondsF(), r.iteration_count());
+  std::printf("Shape check (paper): dirtying rate stays >= transfer rate across live "
+              "iterations; traffic ~3.5x VM size; verified=%s\n",
+              r.verification.ok ? "yes" : "NO");
+  return r.verification.ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Figure 5: Java heap usage and GC behaviour of the nine SPECjvm2008
+// workloads in a 2 GB VM with a 1 GiB young-generation cap (§4.2):
+//   (a) average memory consumption, young vs old generation;
+//   (b) garbage vs live data per minor GC;
+//   (c) minor GC duration.
+// Paper anchors: 8 of 9 workloads are young-dominated (up to 98% of heap);
+// >97% of young memory is garbage for all but scimark; compiler has the
+// longest GCs; derby/compiler/xml/sunflow max out the 1 GiB young cap.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+namespace {
+
+struct Profile {
+  std::string name;
+  double young_mib_avg = 0;
+  double old_mib_avg = 0;
+  double garbage_mib = 0;
+  double live_mib = 0;
+  double gc_secs = 0;
+  int64_t gc_count = 0;
+};
+
+Profile ProfileWorkload(const WorkloadSpec& spec) {
+  LabConfig config;
+  config.seed = 42;
+  MigrationLab lab(spec, config);
+  // The paper profiles 10 minutes; sample consumption every 5 s.
+  Profile p;
+  p.name = spec.name;
+  const int kSamples = 120;
+  double young_sum = 0;
+  double old_sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    lab.Run(Duration::Seconds(5));
+    young_sum += MiBOf(lab.app().heap().young_committed_bytes());
+    old_sum += MiBOf(lab.app().heap().old_used_bytes());
+  }
+  p.young_mib_avg = young_sum / kSamples;
+  p.old_mib_avg = old_sum / kSamples;
+  const GcLog& log = lab.app().heap().gc_log();
+  double garbage = 0;
+  double live = 0;
+  for (const MinorGcResult& gc : log.minor) {
+    garbage += MiBOf(gc.garbage_bytes);
+    live += MiBOf(gc.live_bytes);
+  }
+  p.gc_count = log.minor_count();
+  if (p.gc_count > 0) {
+    p.garbage_mib = garbage / static_cast<double>(p.gc_count);
+    p.live_mib = live / static_cast<double>(p.gc_count);
+    p.gc_secs = log.MeanMinorDuration().ToSecondsF();
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: heap usage and GC behaviour, SPECjvm2008 in a 2 GiB VM ===\n");
+  std::printf("(10-minute runs, young generation capped at 1 GiB)\n\n");
+
+  std::vector<Profile> profiles;
+  for (const WorkloadSpec& spec : Workloads::All()) {
+    profiles.push_back(ProfileWorkload(spec));
+  }
+
+  std::printf("--- Fig 5(a): average memory consumption of the Java heap ---\n");
+  Table a({"workload", "young(MiB)", "old(MiB)", "young share", "bar(young)"});
+  for (const Profile& p : profiles) {
+    const double share = p.young_mib_avg / (p.young_mib_avg + p.old_mib_avg);
+    a.Row()
+        .Cell(p.name)
+        .Cell(p.young_mib_avg, 0)
+        .Cell(p.old_mib_avg, 0)
+        .Cell(share, 2)
+        .Cell(AsciiBar(p.young_mib_avg, 1536, 30));
+  }
+  a.Print(std::cout);
+  std::printf("shape check: all but scimark are young-dominated (paper: up to 98%%)\n\n");
+
+  std::printf("--- Fig 5(b): garbage vs live data in a minor GC ---\n");
+  Table b({"workload", "garbage(MiB)", "live(MiB)", "garbage frac", "minor GCs"});
+  for (const Profile& p : profiles) {
+    const double frac =
+        p.garbage_mib + p.live_mib > 0 ? p.garbage_mib / (p.garbage_mib + p.live_mib) : 0;
+    b.Row()
+        .Cell(p.name)
+        .Cell(p.garbage_mib, 0)
+        .Cell(p.live_mib, 1)
+        .Cell(frac, 3)
+        .Cell(p.gc_count);
+  }
+  b.Print(std::cout);
+  std::printf("shape check: >97%% garbage for all workloads except scimark (paper)\n\n");
+
+  std::printf("--- Fig 5(c): duration of a minor GC ---\n");
+  Table c({"workload", "mean GC(s)", "bar"});
+  for (const Profile& p : profiles) {
+    c.Row().Cell(p.name).Cell(p.gc_secs, 2).Cell(AsciiBar(p.gc_secs, 1.5, 30));
+  }
+  c.Print(std::cout);
+  std::printf("shape check: cat-1 workloads have the longest GCs (paper: compiler ~1.5 s, "
+              "derby ~0.9 s); collecting young garbage is faster than sending it over\n"
+              "a 1 Gbps link (e.g. 950 MiB of garbage: ~1 s GC vs >7 s transfer)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Figure 9: amount of memory processed per iteration when migrating the
+// compiler VM -- transferred vs skipped-already-dirtied vs skipped-young-gen.
+// Paper anchors: both engines skip ~500 MB of already-dirtied pages in the
+// first iteration; in the second iteration JAVMM sends only 64 MB while Xen
+// sends >200 MB; JAVMM's 4th-10th iterations each process <2 MB of dirty
+// memory.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+namespace {
+
+void PrintProcessed(const char* engine, const MigrationResult& r) {
+  std::printf("--- %s ---\n", engine);
+  Table table({"iter", "transferred(MiB)", "skipped-dirtied(MiB)", "skipped-younggen(MiB)"});
+  for (const IterationRecord& it : r.iterations) {
+    table.Row()
+        .Cell(static_cast<int64_t>(it.index))
+        .Cell(PagesToMiB(it.pages_sent), 1)
+        .Cell(PagesToMiB(it.pages_skipped_dirty), 1)
+        .Cell(PagesToMiB(it.pages_skipped_bitmap), 1);
+  }
+  table.Print(std::cout);
+  std::printf("totals: transferred %.2f GiB, skipped-dirtied %.2f GiB, "
+              "skipped-younggen %.2f GiB\n\n",
+              PagesToMiB(r.pages_sent) / 1024, PagesToMiB(r.pages_skipped_dirty) / 1024,
+              PagesToMiB(r.pages_skipped_bitmap) / 1024);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 9: memory processed per iteration, compiler (young cap 512 MiB) ===\n\n");
+  const WorkloadSpec spec = Workloads::WithYoungCap(Workloads::Get("compiler"), 512 * kMiB);
+  const RunOutput xen = RunMigrationExperiment(spec, /*assisted=*/false);
+  const RunOutput javmm_run = RunMigrationExperiment(spec, /*assisted=*/true);
+
+  PrintProcessed("Xen", xen.result);
+  PrintProcessed("JAVMM", javmm_run.result);
+
+  const auto& x2 = xen.result.iterations.size() > 1 ? xen.result.iterations[1] : IterationRecord{};
+  const auto& j2 =
+      javmm_run.result.iterations.size() > 1 ? javmm_run.result.iterations[1] : IterationRecord{};
+  std::printf("shape check (iteration 2): Xen transfers %.0f MiB vs JAVMM %.0f MiB "
+              "(paper: >200 MB vs 64 MB)\n",
+              PagesToMiB(x2.pages_sent), PagesToMiB(j2.pages_sent));
+  std::printf("shape check (iteration 1): both skip already-dirtied pages "
+              "(Xen %.0f MiB, JAVMM %.0f MiB; paper ~500 MB), and JAVMM additionally\n"
+              "skips the young generation every iteration.\n",
+              PagesToMiB(xen.result.iterations[0].pages_skipped_dirty),
+              PagesToMiB(javmm_run.result.iterations[0].pages_skipped_dirty +
+                         javmm_run.result.iterations[0].pages_skipped_bitmap));
+  return (xen.result.verification.ok && javmm_run.result.verification.ok) ? 0 : 1;
+}

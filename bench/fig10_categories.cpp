@@ -1,0 +1,122 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Table 2 + Figure 10: migration performance for the three workload-category
+// representatives (derby = cat 1, crypto = cat 2, scimark = cat 3), Xen vs
+// JAVMM, >= 3 runs each with 90% confidence intervals.
+// Paper anchors: JAVMM cuts derby's time by 82%, traffic by 84%, downtime by
+// 83%; crypto 69%/72%/73%; scimark is a wash on time/traffic and ~10% WORSE
+// on downtime (the enforced GC does not pay off for long-lived objects).
+// Also reports the §5.3 CPU-and-memory-overhead numbers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  constexpr int kSeeds = 3;
+  const std::vector<WorkloadSpec> specs = Workloads::CategoryRepresentatives();
+
+  std::printf("=== Table 2: experimental settings (observed when migrated) ===\n");
+  Table settings({"workload", "max young(MiB)", "young@migration(MiB)", "old@migration(MiB)"});
+  struct Agg {
+    MetricSummary xen;
+    MetricSummary javmm;
+    int64_t lkm_bitmap = 0;
+    int64_t lkm_cache = 0;
+    bool verified = true;
+  };
+  std::vector<Agg> aggs(specs.size());
+
+  for (size_t w = 0; w < specs.size(); ++w) {
+    Summary young;
+    Summary old_gen;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      for (const bool assisted : {false, true}) {
+        RunOptions options;
+        options.seed = static_cast<uint64_t>(seed);
+        const RunOutput out = RunMigrationExperiment(specs[w], assisted, options);
+        (assisted ? aggs[w].javmm : aggs[w].xen).Add(out.result);
+        aggs[w].verified = aggs[w].verified && out.result.verification.ok;
+        if (assisted) {
+          young.Add(MiBOf(out.young_at_migration));
+          old_gen.Add(MiBOf(out.old_at_migration));
+          aggs[w].lkm_bitmap = out.result.lkm_bitmap_bytes;
+          aggs[w].lkm_cache = std::max(aggs[w].lkm_cache, out.result.lkm_pfn_cache_bytes);
+        }
+      }
+    }
+    settings.Row()
+        .Cell(specs[w].name)
+        .Cell(MiBOf(specs[w].heap.young_max_bytes), 0)
+        .Cell(young.Mean(), 0)
+        .Cell(old_gen.Mean(), 0);
+  }
+  settings.Print(std::cout);
+  std::printf("(paper Table 2: derby 1024/1024/259, crypto 1024/456/18, "
+              "scimark 1024/128/486 MiB)\n\n");
+
+  std::printf("=== Figure 10(a): total migration time (mean ± 90%% CI over %d runs) ===\n",
+              kSeeds);
+  Table time_table({"workload", "Xen(s)", "JAVMM(s)", "reduction"});
+  for (size_t w = 0; w < specs.size(); ++w) {
+    time_table.Row()
+        .Cell(specs[w].name)
+        .Cell(aggs[w].xen.time_s.ToString())
+        .Cell(aggs[w].javmm.time_s.ToString())
+        .Cell(ReductionPct(aggs[w].xen.time_s.Mean(), aggs[w].javmm.time_s.Mean()), 0);
+  }
+  time_table.Print(std::cout);
+  std::printf("(paper: derby -82%%, crypto -69%%, scimark ~comparable)\n\n");
+
+  std::printf("=== Figure 10(b): total migration traffic ===\n");
+  Table traffic({"workload", "Xen(GiB)", "JAVMM(GiB)", "reduction"});
+  for (size_t w = 0; w < specs.size(); ++w) {
+    traffic.Row()
+        .Cell(specs[w].name)
+        .Cell(aggs[w].xen.traffic_gib.ToString())
+        .Cell(aggs[w].javmm.traffic_gib.ToString())
+        .Cell(ReductionPct(aggs[w].xen.traffic_gib.Mean(), aggs[w].javmm.traffic_gib.Mean()),
+              0);
+  }
+  traffic.Print(std::cout);
+  std::printf("(paper: derby -84%%, crypto -72%%, scimark -10%%; JAVMM sends less than the "
+              "VM size for derby & crypto)\n\n");
+
+  std::printf("=== Figure 10(c): workload downtime due to migration ===\n");
+  Table downtime({"workload", "Xen(s)", "JAVMM(s)", "change"});
+  for (size_t w = 0; w < specs.size(); ++w) {
+    downtime.Row()
+        .Cell(specs[w].name)
+        .Cell(aggs[w].xen.downtime_s.ToString())
+        .Cell(aggs[w].javmm.downtime_s.ToString())
+        .Cell(ReductionPct(aggs[w].xen.downtime_s.Mean(), aggs[w].javmm.downtime_s.Mean()),
+              0);
+  }
+  downtime.Print(std::cout);
+  std::printf("(paper: derby -83%%, crypto -73%%, scimark +10%% -- JAVMM slightly WORSE for\n"
+              " the long-lived-object workload, whose survivors must be sent in the last\n"
+              " iteration after a fruitless enforced GC)\n\n");
+
+  std::printf("=== §5.3 overheads ===\n");
+  Table overheads({"workload", "Xen CPU(s)", "JAVMM CPU(s)", "CPU reduction", "bitmap",
+                   "pfn cache(peak)"});
+  bool all_ok = true;
+  for (size_t w = 0; w < specs.size(); ++w) {
+    overheads.Row()
+        .Cell(specs[w].name)
+        .Cell(aggs[w].xen.cpu_s.ToString())
+        .Cell(aggs[w].javmm.cpu_s.ToString())
+        .Cell(ReductionPct(aggs[w].xen.cpu_s.Mean(), aggs[w].javmm.cpu_s.Mean()), 0)
+        .Cell(FormatBytes(aggs[w].lkm_bitmap))
+        .Cell(FormatBytes(aggs[w].lkm_cache));
+    all_ok = all_ok && aggs[w].verified;
+  }
+  overheads.Print(std::cout);
+  std::printf("(paper: up to 84%% less CPU; at most ~1 MB for bitmap + PFN cache)\n");
+  std::printf("all runs verified: %s\n", all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

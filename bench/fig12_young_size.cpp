@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Table 3 + Figure 12: impact of the young-generation size for Category-1
+// workloads (high allocation rate, short-lived objects): xml with a 1.5 GiB
+// young cap, derby with 1 GiB, compiler with 0.5 GiB -- all reach their caps
+// by migration time. Paper anchors: the larger the young generation, the
+// worse Xen gets (up to 13 s downtime at 1.5 GiB) and the better JAVMM gets
+// (-91%/-82%/-69% time; -93% traffic for xml; JAVMM downtime ~1.2 s flat).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main() {
+  constexpr int kSeeds = 3;
+  struct Case {
+    const char* workload;
+    int64_t young_cap;
+  };
+  const Case cases[] = {
+      {"xml", 1536 * kMiB}, {"derby", 1024 * kMiB}, {"compiler", 512 * kMiB}};
+
+  std::printf("=== Table 3: Category-1 settings (young cap = observed young) ===\n");
+  Table settings({"workload", "max young(MiB)", "young@migration(MiB)", "old@migration(MiB)",
+                  "share of VM"});
+
+  struct Agg {
+    MetricSummary xen;
+    MetricSummary javmm;
+    Summary javmm_downtime_parts[3];  // gc, last-iter, safepoint-wait.
+    bool verified = true;
+  };
+  std::vector<Agg> aggs(3);
+
+  for (size_t c = 0; c < 3; ++c) {
+    const WorkloadSpec spec =
+        Workloads::WithYoungCap(Workloads::Get(cases[c].workload), cases[c].young_cap);
+    Summary young;
+    Summary old_gen;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      for (const bool assisted : {false, true}) {
+        RunOptions options;
+        options.seed = static_cast<uint64_t>(seed);
+        const RunOutput out = RunMigrationExperiment(spec, assisted, options);
+        (assisted ? aggs[c].javmm : aggs[c].xen).Add(out.result);
+        aggs[c].verified = aggs[c].verified && out.result.verification.ok;
+        if (assisted) {
+          young.Add(MiBOf(out.young_at_migration));
+          old_gen.Add(MiBOf(out.old_at_migration));
+          aggs[c].javmm_downtime_parts[0].Add(out.result.downtime.enforced_gc.ToSecondsF());
+          aggs[c].javmm_downtime_parts[1].Add(
+              out.result.downtime.last_iter_transfer.ToSecondsF());
+          aggs[c].javmm_downtime_parts[2].Add(out.result.downtime.safepoint_wait.ToSecondsF());
+        }
+      }
+    }
+    settings.Row()
+        .Cell(cases[c].workload)
+        .Cell(MiBOf(cases[c].young_cap), 0)
+        .Cell(young.Mean(), 0)
+        .Cell(old_gen.Mean(), 0)
+        .Cell(young.Mean() / 2048, 2);
+  }
+  settings.Print(std::cout);
+  std::printf("(paper Table 3: xml 1536/28, derby 1024/259, compiler 512/86 MiB; "
+              "75%%/50%%/25%% of VM memory)\n\n");
+
+  const char* metric_names[] = {"Figure 12(a): total migration time (s)",
+                                "Figure 12(b): total migration traffic (GiB)",
+                                "Figure 12(c): workload downtime (s)"};
+  for (int m = 0; m < 3; ++m) {
+    std::printf("=== %s ===\n", metric_names[m]);
+    Table table({"workload(young)", "Xen", "JAVMM", "reduction"});
+    for (size_t c = 0; c < 3; ++c) {
+      const Summary& xs = m == 0   ? aggs[c].xen.time_s
+                          : m == 1 ? aggs[c].xen.traffic_gib
+                                   : aggs[c].xen.downtime_s;
+      const Summary& js = m == 0   ? aggs[c].javmm.time_s
+                          : m == 1 ? aggs[c].javmm.traffic_gib
+                                   : aggs[c].javmm.downtime_s;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s(%lld MiB)", cases[c].workload,
+                    static_cast<long long>(cases[c].young_cap / kMiB));
+      table.Row().Cell(label).Cell(xs.ToString()).Cell(js.ToString()).Cell(
+          ReductionPct(xs.Mean(), js.Mean()), 0);
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("JAVMM downtime composition (mean): ");
+  for (size_t c = 0; c < 3; ++c) {
+    std::printf("%s[gc %.2fs, last-iter %.2fs] ", cases[c].workload,
+                aggs[c].javmm_downtime_parts[0].Mean(), aggs[c].javmm_downtime_parts[1].Mean());
+  }
+  std::printf("\n");
+  std::printf("shape check (paper): Xen degrades with young size (xml worst, ~13 s "
+              "downtime); JAVMM improves with young size (time -91%%/-82%%/-69%%), with\n"
+              "downtime ~constant (~1.2 s) since it is GC + survivors, not young size.\n");
+  bool all_ok = true;
+  for (const Agg& agg : aggs) {
+    all_ok = all_ok && agg.verified;
+  }
+  std::printf("all runs verified: %s\n", all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

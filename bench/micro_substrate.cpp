@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Micro-benchmarks (google-benchmark) for the hot substrate operations the
+// migration path leans on: bitmap scans, dirty-log harvests, page-table
+// walks, VA-range-set algebra, and the PRNG. These are the operations whose
+// costs the paper's final-bitmap-update measurement (<300 us) bounds.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/guest/va_range_set.h"
+#include "src/mem/address_space.h"
+#include "src/mem/bitmap.h"
+#include "src/mem/dirty_log.h"
+#include "src/mem/physical_memory.h"
+
+namespace javmm {
+namespace {
+
+void BM_BitmapSetClear(benchmark::State& state) {
+  PageBitmap bm(524288);  // 2 GiB of 4 KiB pages.
+  int64_t i = 0;
+  for (auto _ : state) {
+    bm.Set(i);
+    bm.Clear(i);
+    i = (i + 977) % 524288;
+  }
+}
+BENCHMARK(BM_BitmapSetClear);
+
+void BM_BitmapCount(benchmark::State& state) {
+  PageBitmap bm(524288);
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    bm.Set(static_cast<int64_t>(rng.NextBounded(524288)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.Count());
+  }
+}
+BENCHMARK(BM_BitmapCount);
+
+void BM_BitmapCollectSetBits(benchmark::State& state) {
+  PageBitmap bm(524288);
+  Rng rng(2);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    bm.Set(static_cast<int64_t>(rng.NextBounded(524288)));
+  }
+  for (auto _ : state) {
+    std::vector<int64_t> out;
+    bm.CollectSetBits(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BitmapCollectSetBits)->Arg(1000)->Arg(50000)->Arg(500000);
+
+void BM_DirtyLogMarkHarvest(benchmark::State& state) {
+  DirtyLog log(524288);
+  Rng rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      log.Mark(static_cast<Pfn>(rng.NextBounded(524288)));
+    }
+    benchmark::DoNotOptimize(log.CollectAndClear());
+  }
+}
+BENCHMARK(BM_DirtyLogMarkHarvest);
+
+void BM_PageTableWalk(benchmark::State& state) {
+  GuestPhysicalMemory memory(2 * kGiB);
+  AddressSpace space(&memory);
+  const int64_t bytes = state.range(0) * kPageSize;
+  const VaRange region = space.ReserveVa(bytes);
+  CHECK(space.CommitRange(region.begin, bytes));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.page_table().WalkRange(region));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PageTableWalk)->Arg(256)->Arg(4096)->Arg(262144);
+
+void BM_AddressSpaceWrite(benchmark::State& state) {
+  GuestPhysicalMemory memory(256 * kMiB);
+  AddressSpace space(&memory);
+  const VaRange region = space.ReserveVa(64 * kMiB);
+  CHECK(space.CommitRange(region.begin, region.bytes()));
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    space.Write(region.begin + offset, 64 * kKiB);
+    offset = (offset + 64 * kKiB) % (32 * static_cast<uint64_t>(kMiB));
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * kKiB);
+}
+BENCHMARK(BM_AddressSpaceWrite);
+
+void BM_VaRangeSetAddSubtract(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    VaRangeSet set;
+    for (int i = 0; i < 200; ++i) {
+      const VirtAddr b = rng.NextBounded(1 << 20) * kPageSize;
+      const VirtAddr e = b + (1 + rng.NextBounded(64)) * kPageSize;
+      if (rng.Chance(0.7)) {
+        set.Add({b, e});
+      } else {
+        set.Subtract({b, e});
+      }
+    }
+    benchmark::DoNotOptimize(set.TotalBytes());
+  }
+}
+BENCHMARK(BM_VaRangeSetAddSubtract);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+}  // namespace javmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Example: letting the framework decide (§6 "make the framework
+// intelligent"). For each workload we warm up, consult the adaptive policy,
+// and migrate with whichever engine it recommends.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/migration_lab.h"
+#include "src/core/policy.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace javmm;  // NOLINT
+  std::printf("Adaptive engine selection across the SPECjvm2008 proxies\n\n");
+
+  Table table({"workload", "decision", "why", "downtime", "verified"});
+  bool all_ok = true;
+  for (const WorkloadSpec& spec : Workloads::All()) {
+    LabConfig config;
+    config.seed = 23;
+    MigrationLab lab(spec, config);
+    lab.Run(Duration::Seconds(90));
+    const PolicyDecision decision =
+        AdaptiveMigrationPolicy::Decide(lab.app().heap(), config.migration.link);
+    // Apply the decision to a fresh lab (the probe's clock has advanced; a
+    // production system would flip the engine flag in place).
+    LabConfig chosen = config;
+    chosen.migration.application_assisted = decision.use_assisted;
+    MigrationLab run(spec, chosen);
+    run.Run(Duration::Seconds(90));
+    const MigrationResult result = run.Migrate();
+    all_ok = all_ok && result.verification.ok;
+    table.Row()
+        .Cell(spec.name)
+        .Cell(decision.use_assisted ? "JAVMM" : "pre-copy")
+        .Cell(decision.reason.substr(0, 60))
+        .Cell(result.downtime.Total().ToString())
+        .Cell(result.verification.ok ? "yes" : "NO");
+  }
+  table.Print(std::cout);
+  std::printf("\nThe policy enables JAVMM for garbage-rich workloads and falls back to\n"
+              "plain pre-copy in the scimark regime the paper warns about.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Example: the framework beyond Java (§6) -- a memcached-like caching
+// application assists in its own migration by offering the cold half of its
+// cache as a skip-over area, purging it at suspension time and continuing
+// with a shrunken cache at the destination.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/liveness.h"
+#include "src/migration/engine.h"
+#include "src/stats/table.h"
+#include "src/workload/cache_application.h"
+#include "src/workload/os_process.h"
+
+namespace {
+
+javmm::MigrationResult RunOne(bool assisted) {
+  using namespace javmm;  // NOLINT
+  SimClock clock;
+  GuestPhysicalMemory memory(2 * kGiB);
+  GuestKernel kernel(&memory, &clock);
+  kernel.LoadLkm(LkmConfig{});
+
+  Rng rng(11);
+  OsBackgroundProcess os(&kernel, OsProcessConfig{}, rng.Fork());
+  CacheAppConfig cache_config;
+  cache_config.cache_bytes = 1 * kGiB;
+  cache_config.purge_fraction = 0.6;  // Offer the cold 60% for skipping.
+  cache_config.write_rate_bytes_per_sec = 24 * kMiB;
+  CacheApplication cache(&kernel, cache_config, rng.Fork());
+
+  clock.Advance(Duration::Seconds(60));  // Warm the cache.
+
+  MigrationConfig mig;
+  mig.application_assisted = assisted;
+  MigrationEngine engine(&kernel, mig);
+  RangeLivenessSource retained(&kernel, cache.pid());
+  retained.AddRange(cache.retained_range());
+  RangeLivenessSource os_live(&kernel, os.pid());
+  os_live.AddRange(os.resident_range());
+  engine.AddRequiredPfnSource(&retained);
+  engine.AddRequiredPfnSource(&os_live);
+  MigrationResult result = engine.Migrate();
+  clock.Advance(Duration::Seconds(10));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace javmm;  // NOLINT
+  std::printf("Cache-application migration (framework without a JVM, §6)\n");
+  std::printf("1 GiB cache in a 2 GiB VM; cold 60%% offered as skip-over area.\n\n");
+
+  const MigrationResult xen = RunOne(false);
+  const MigrationResult assisted = RunOne(true);
+
+  Table table({"engine", "time", "traffic", "downtime", "skipped as purgeable"});
+  for (const MigrationResult* r : {&xen, &assisted}) {
+    table.Row()
+        .Cell(r->assisted ? "assisted" : "plain")
+        .Cell(r->total_time.ToString())
+        .Cell(FormatBytes(r->total_wire_bytes))
+        .Cell(r->downtime.Total().ToString())
+        .Cell(FormatBytes(r->verification.pages_skipped_garbage * kPageSize));
+  }
+  table.Print(std::cout);
+  std::printf("\nverified: plain=%s assisted=%s (retained cache entries intact at the "
+              "destination;\nthe purged suffix is treated as empty and refills over time)\n",
+              xen.verification.ok ? "yes" : "NO", assisted.verification.ok ? "yes" : "NO");
+  return (xen.verification.ok && assisted.verification.ok) ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Example: JAVMM with a G1-style regionized collector (§6 future work) --
+// the young generation is a non-contiguous set of 4 MiB regions that the
+// agent reports as multiple skip-over ranges, keeps current through shrink
+// notices and incremental re-reports, and empties with an enforced
+// evacuation pause before stop-and-copy.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/liveness.h"
+#include "src/migration/engine.h"
+#include "src/stats/table.h"
+#include "src/workload/g1_application.h"
+#include "src/workload/os_process.h"
+
+int main() {
+  using namespace javmm;  // NOLINT
+  std::printf("JAVMM on a regionized (G1-style) collector\n\n");
+
+  SimClock clock;
+  GuestPhysicalMemory memory(2 * kGiB);
+  GuestKernel kernel(&memory, &clock);
+  kernel.LoadLkm(LkmConfig{});
+
+  Rng rng(5);
+  OsBackgroundProcess os(&kernel, OsProcessConfig{}, rng.Fork());
+  RegionHeapConfig heap;
+  heap.region_bytes = 4 * kMiB;
+  heap.total_regions = 384;
+  heap.max_young_regions = 256;
+  G1JavaApplication app(&kernel, Workloads::Get("derby"), heap, rng.Fork());
+
+  clock.Advance(Duration::Seconds(120));
+  std::printf("young generation before migration: %lld regions in %zu "
+              "non-contiguous VA ranges\n",
+              static_cast<long long>(app.heap().young_region_count()),
+              app.heap().YoungRanges().size());
+
+  MigrationConfig mig;
+  mig.application_assisted = true;
+  MigrationEngine engine(&kernel, mig);
+  G1LivenessSource live(&kernel, &app);
+  RangeLivenessSource os_live(&kernel, os.pid());
+  os_live.AddRange(os.resident_range());
+  engine.AddRequiredPfnSource(&live);
+  engine.AddRequiredPfnSource(&os_live);
+
+  const MigrationResult result = engine.Migrate();
+  clock.Advance(Duration::Seconds(20));
+
+  Table table({"metric", "value"});
+  table.Row().Cell("time").Cell(result.total_time.ToString());
+  table.Row().Cell("traffic").Cell(FormatBytes(result.total_wire_bytes));
+  table.Row().Cell("downtime").Cell(result.downtime.Total().ToString());
+  table.Row().Cell("young pages skipped").Cell(
+      FormatBytes(result.pages_skipped_bitmap * kPageSize));
+  table.Row().Cell("verified").Cell(result.verification.ok ? "yes" : "NO");
+  table.Print(std::cout);
+  std::printf("\nEvery region claim/release during the migration flowed through the\n"
+              "framework (shrink notices via the PFN cache, incremental re-reports,\n"
+              "survivor must-transfer ranges at the enforced evacuation).\n");
+  return result.verification.ok ? 0 : 1;
+}

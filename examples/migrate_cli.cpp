@@ -1,0 +1,260 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// `migrate_cli` -- the management-command analogue of the paper's "Xen
+// management command to invoke application-assisted live migration" (§3.3):
+// run any workload/engine/link combination from the command line and get the
+// three headline metrics, the downtime breakdown, optional per-iteration CSV,
+// and multi-seed summaries with 90% confidence intervals.
+//
+// Examples:
+//   migrate_cli --workload=derby --engine=javmm
+//   migrate_cli --workload=xml --engine=xen --young-mib=1536 --repeat=3
+//   migrate_cli --workload=crypto --engine=auto --bandwidth-gbps=2.5 --csv
+//   migrate_cli --workload=derby --engine=postcopy
+//   migrate_cli --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/migration_lab.h"
+#include "src/core/policy.h"
+#include "src/migration/baselines.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace {
+
+using namespace javmm;  // NOLINT
+
+struct CliOptions {
+  std::string workload = "derby";
+  std::string engine = "javmm";  // xen | javmm | auto | postcopy | stopcopy
+  uint64_t seed = 1;
+  int repeat = 1;
+  double bandwidth_gbps = 1.0;
+  int64_t vm_mib = 2048;
+  int64_t young_mib = 0;  // 0 = workload default.
+  double warmup_s = 120;
+  bool compress = false;
+  bool csv = false;
+  bool list = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: migrate_cli [options]\n"
+      "  --workload=NAME       one of the SPECjvm2008 proxies (--list)\n"
+      "  --engine=MODE         xen | javmm | auto | postcopy | stopcopy\n"
+      "  --seed=N              PRNG seed (default 1)\n"
+      "  --repeat=N            runs with seeds seed..seed+N-1, CI summary\n"
+      "  --bandwidth-gbps=G    migration link speed (default 1.0)\n"
+      "  --vm-mib=M            guest memory (default 2048)\n"
+      "  --young-mib=M         override the young-generation cap (-Xmn)\n"
+      "  --warmup-s=S          workload warmup before migrating (default 120)\n"
+      "  --compress            enable the compression extension\n"
+      "  --csv                 print per-iteration records as CSV\n"
+      "  --list                list workloads and exit\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--workload", &value)) {
+      options->workload = value;
+    } else if (ParseFlag(argv[i], "--engine", &value)) {
+      options->engine = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--repeat", &value)) {
+      options->repeat = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--bandwidth-gbps", &value)) {
+      options->bandwidth_gbps = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--vm-mib", &value)) {
+      options->vm_mib = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--young-mib", &value)) {
+      options->young_mib = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--warmup-s", &value)) {
+      options->warmup_s = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      options->compress = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options->csv = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      options->list = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintCsv(const MigrationResult& result) {
+  std::printf("iter,duration_s,pages_sent,wire_bytes,skipped_dirty,skipped_bitmap,"
+              "dirty_after\n");
+  for (const IterationRecord& it : result.iterations) {
+    std::printf("%d,%.4f,%lld,%lld,%lld,%lld,%lld\n", it.index, it.duration.ToSecondsF(),
+                static_cast<long long>(it.pages_sent), static_cast<long long>(it.wire_bytes),
+                static_cast<long long>(it.pages_skipped_dirty),
+                static_cast<long long>(it.pages_skipped_bitmap),
+                static_cast<long long>(it.dirty_pages_after));
+  }
+}
+
+int RunPrecopyStyle(const CliOptions& options) {
+  Summary time_s;
+  Summary traffic_gib;
+  Summary downtime_s;
+  MigrationResult last;
+  std::string engine_used = options.engine;
+  for (int run = 0; run < options.repeat; ++run) {
+    WorkloadSpec spec = Workloads::Get(options.workload);
+    if (options.young_mib > 0) {
+      spec = Workloads::WithYoungCap(spec, options.young_mib * kMiB);
+    }
+    LabConfig config;
+    config.vm_bytes = options.vm_mib * kMiB;
+    config.seed = options.seed + static_cast<uint64_t>(run);
+    config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
+    config.migration.compress_pages = options.compress;
+    bool assisted = options.engine == "javmm";
+    MigrationLab lab(spec, config);
+    lab.Run(Duration::SecondsF(options.warmup_s));
+    if (options.engine == "auto") {
+      const PolicyDecision decision = AdaptiveMigrationPolicy::Decide(
+          lab.app().heap(), config.migration.link);
+      assisted = decision.use_assisted;
+      engine_used = assisted ? "javmm (auto)" : "xen (auto)";
+      std::printf("policy: %s -> %s\n", decision.reason.c_str(),
+                  assisted ? "JAVMM" : "plain pre-copy");
+    }
+    MigrationConfig mig = config.migration;
+    mig.application_assisted = assisted;
+    MigrationEngine engine(&lab.guest(), mig);
+    MigrationResult result = engine.Migrate();
+    // Enrich the downtime breakdown with the JVM-side components (as
+    // MigrationLab::Migrate does when it drives the engine itself).
+    if (result.assisted && !result.fell_back_unassisted) {
+      const GcLog& gc_log = lab.app().heap().gc_log();
+      for (auto it = gc_log.minor.rbegin(); it != gc_log.minor.rend(); ++it) {
+        if (it->enforced && it->at >= result.started_at) {
+          result.downtime.enforced_gc = it->duration + it->full_gc_penalty;
+          break;
+        }
+      }
+      result.downtime.safepoint_wait = lab.app().last_safepoint_wait();
+    }
+    lab.Run(Duration::Seconds(20));
+    if (!result.verification.ok) {
+      std::fprintf(stderr, "VERIFICATION FAILED: %s\n", result.verification.detail.c_str());
+      return 1;
+    }
+    time_s.Add(result.total_time.ToSecondsF());
+    traffic_gib.Add(static_cast<double>(result.total_wire_bytes) / static_cast<double>(kGiB));
+    downtime_s.Add(result.downtime.Total().ToSecondsF());
+    last = result;
+  }
+
+  Table table({"metric", options.repeat > 1 ? "mean ± 90% CI" : "value"});
+  table.Row().Cell("engine").Cell(engine_used);
+  table.Row().Cell("completion time").Cell(time_s.ToString(1.0, " s"));
+  table.Row().Cell("network traffic").Cell(traffic_gib.ToString(1.0, " GiB"));
+  table.Row().Cell("downtime").Cell(downtime_s.ToString(1.0, " s"));
+  table.Row().Cell("iterations").Cell(static_cast<int64_t>(last.iteration_count()));
+  table.Row().Cell("verified").Cell("yes");
+  table.Print(std::cout);
+  if (last.assisted) {
+    std::printf("downtime breakdown: gc %s, final update %s, last iter %s, resume %s\n",
+                last.downtime.enforced_gc.ToString().c_str(),
+                last.downtime.final_bitmap_update.ToString().c_str(),
+                last.downtime.last_iter_transfer.ToString().c_str(),
+                last.downtime.resumption.ToString().c_str());
+  }
+  if (options.csv) {
+    PrintCsv(last);
+  }
+  return 0;
+}
+
+int RunBaseline(const CliOptions& options) {
+  WorkloadSpec spec = Workloads::Get(options.workload);
+  if (options.young_mib > 0) {
+    spec = Workloads::WithYoungCap(spec, options.young_mib * kMiB);
+  }
+  LabConfig config;
+  config.vm_bytes = options.vm_mib * kMiB;
+  config.seed = options.seed;
+  config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
+  MigrationLab lab(spec, config);
+  lab.Run(Duration::SecondsF(options.warmup_s));
+  Table table({"metric", "value"});
+  if (options.engine == "stopcopy") {
+    StopAndCopyEngine engine(&lab.guest(), config.migration);
+    const MigrationResult result = engine.Migrate();
+    table.Row().Cell("engine").Cell("stop-and-copy");
+    table.Row().Cell("completion time").Cell(result.total_time.ToString());
+    table.Row().Cell("network traffic").Cell(FormatBytes(result.total_wire_bytes));
+    table.Row().Cell("downtime").Cell(result.downtime.Total().ToString());
+    table.Row().Cell("verified").Cell(result.verification.ok ? "yes" : "NO");
+    table.Print(std::cout);
+    return result.verification.ok ? 0 : 1;
+  }
+  PostcopyEngine::Config pc;
+  pc.base = config.migration;
+  PostcopyEngine engine(&lab.guest(), pc);
+  const PostcopyResult result = engine.Migrate();
+  table.Row().Cell("engine").Cell("post-copy");
+  table.Row().Cell("completion time").Cell(result.common.total_time.ToString());
+  table.Row().Cell("network traffic").Cell(FormatBytes(result.common.total_wire_bytes));
+  table.Row().Cell("downtime").Cell(result.common.downtime.Total().ToString());
+  table.Row().Cell("degradation window").Cell(result.degradation_window.ToString());
+  table.Row().Cell("demand faults").Cell(result.demand_faults);
+  table.Row().Cell("fault stall").Cell(result.fault_stall.ToString());
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  if (options.list) {
+    Table table({"workload", "category", "description"});
+    for (const WorkloadSpec& spec : Workloads::All()) {
+      table.Row()
+          .Cell(spec.name)
+          .Cell(static_cast<int64_t>(spec.category))
+          .Cell(spec.description);
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+  if (options.repeat < 1 ||
+      (options.engine != "xen" && options.engine != "javmm" && options.engine != "auto" &&
+       options.engine != "postcopy" && options.engine != "stopcopy")) {
+    PrintUsage();
+    return 2;
+  }
+  if (options.engine == "postcopy" || options.engine == "stopcopy") {
+    return RunBaseline(options);
+  }
+  return RunPrecopyStyle(options);
+}

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Lightweight runtime-check macros in the spirit of glog/absl CHECK.
+//
+// CHECK(cond)        -- aborts with a diagnostic when `cond` is false; always on.
+// CHECK_EQ/NE/...    -- binary comparisons that print both operands on failure.
+// DCHECK(cond)       -- like CHECK in debug builds, compiled out in NDEBUG builds.
+// JAVMM_UNREACHABLE  -- marks a path the program must never take.
+
+#ifndef JAVMM_SRC_BASE_MACROS_H_
+#define JAVMM_SRC_BASE_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace javmm {
+
+// Internal helper that prints a failure message and aborts. Kept out-of-line so
+// the fast path of a passing check stays small.
+[[noreturn]] inline void CheckFailure(std::string_view file, int line, std::string_view expr,
+                                      const std::string& detail) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!detail.empty()) {
+    std::cerr << " (" << detail << ")";
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace javmm
+
+#define CHECK(cond)                                             \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::javmm::CheckFailure(__FILE__, __LINE__, #cond, "");     \
+    }                                                           \
+  } while (0)
+
+#define JAVMM_CHECK_OP_IMPL(lhs, rhs, op)                                        \
+  do {                                                                           \
+    auto&& javmm_lhs = (lhs);                                                    \
+    auto&& javmm_rhs = (rhs);                                                    \
+    if (!(javmm_lhs op javmm_rhs)) {                                             \
+      std::ostringstream javmm_oss;                                              \
+      javmm_oss << "lhs=" << javmm_lhs << " rhs=" << javmm_rhs;                  \
+      ::javmm::CheckFailure(__FILE__, __LINE__, #lhs " " #op " " #rhs,           \
+                            javmm_oss.str());                                    \
+    }                                                                            \
+  } while (0)
+
+#define CHECK_EQ(a, b) JAVMM_CHECK_OP_IMPL(a, b, ==)
+#define CHECK_NE(a, b) JAVMM_CHECK_OP_IMPL(a, b, !=)
+#define CHECK_LT(a, b) JAVMM_CHECK_OP_IMPL(a, b, <)
+#define CHECK_LE(a, b) JAVMM_CHECK_OP_IMPL(a, b, <=)
+#define CHECK_GT(a, b) JAVMM_CHECK_OP_IMPL(a, b, >)
+#define CHECK_GE(a, b) JAVMM_CHECK_OP_IMPL(a, b, >=)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#define JAVMM_UNREACHABLE(msg) ::javmm::CheckFailure(__FILE__, __LINE__, "unreachable", msg)
+
+#endif  // JAVMM_SRC_BASE_MACROS_H_

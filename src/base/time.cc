@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/base/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace javmm {
+
+Duration Duration::SecondsF(double s) {
+  return Duration(static_cast<int64_t>(std::llround(s * 1e9)));
+}
+
+Duration Duration::operator*(double k) const {
+  return Duration(static_cast<int64_t>(std::llround(static_cast<double>(nanos_) * k)));
+}
+
+std::string Duration::ToString() const {
+  char buf[48];
+  const int64_t abs_ns = nanos_ < 0 ? -nanos_ : nanos_;
+  if (abs_ns >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(nanos_) / 1e9);
+  } else if (abs_ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(nanos_) / 1e6);
+  } else if (abs_ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(nanos_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(nanos_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", static_cast<double>(nanos_) / 1e9);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ToString(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.ToString(); }
+
+}  // namespace javmm

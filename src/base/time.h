@@ -1,0 +1,106 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Simulated-time primitives.
+//
+// All simulated time in this project is carried by two strong types backed by a
+// signed 64-bit nanosecond tick count:
+//
+//   Duration  -- a span of simulated time (may be negative in arithmetic).
+//   TimePoint -- an instant on the simulation clock (epoch = simulation start).
+//
+// They are deliberately *not* std::chrono types: the simulation clock has no
+// relation to any wall clock, and a dedicated pair of types prevents simulated
+// and host time from ever mixing.
+
+#ifndef JAVMM_SRC_BASE_TIME_H_
+#define JAVMM_SRC_BASE_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace javmm {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000 * 1000); }
+  static constexpr Duration Seconds(int64_t n) { return Duration(n * 1000 * 1000 * 1000); }
+  static constexpr Duration Minutes(int64_t n) { return Seconds(n * 60); }
+  // Builds a duration from a floating-point second count, rounding to the
+  // nearest nanosecond. Handy when deriving transfer times from byte rates.
+  static Duration SecondsF(double s);
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(nanos_) / 1e9; }
+  constexpr double ToMillisF() const { return static_cast<double>(nanos_) / 1e6; }
+
+  constexpr bool IsZero() const { return nanos_ == 0; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(nanos_ + other.nanos_); }
+  constexpr Duration operator-(Duration other) const { return Duration(nanos_ - other.nanos_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(nanos_ * k); }
+  Duration operator*(double k) const;
+  constexpr Duration operator/(int64_t k) const { return Duration(nanos_ / k); }
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(nanos_) / static_cast<double>(other.nanos_);
+  }
+  Duration& operator+=(Duration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    nanos_ -= other.nanos_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // Renders e.g. "1.250s", "13.2ms", "250us", "40ns" -- unit chosen by size.
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t nanos) : nanos_(nanos) {}
+  int64_t nanos_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(int64_t n) { return TimePoint(n); }
+  static constexpr TimePoint Epoch() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(nanos_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(nanos_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::Nanos(nanos_ - other.nanos_);
+  }
+  TimePoint& operator+=(Duration d) {
+    nanos_ += d.nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t nanos) : nanos_(nanos) {}
+  int64_t nanos_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_BASE_TIME_H_

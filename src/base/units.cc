@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/base/units.h"
+
+#include <cstdio>
+
+namespace javmm {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[48];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB || bytes <= -kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB || bytes <= -kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB || bytes <= -kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ld B", static_cast<long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatRate(double bytes_per_second) {
+  char buf[48];
+  if (bytes_per_second >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", bytes_per_second / static_cast<double>(kGiB));
+  } else if (bytes_per_second >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB/s", bytes_per_second / static_cast<double>(kMiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB/s", bytes_per_second / static_cast<double>(kKiB));
+  }
+  return buf;
+}
+
+}  // namespace javmm

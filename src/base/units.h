@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Byte-size helpers shared across the project.
+//
+// Sizes are plain int64 byte counts; the helpers here only make construction
+// and printing readable (`2 * kGiB`, `FormatBytes(…) == "1.50 GiB"`).
+
+#ifndef JAVMM_SRC_BASE_UNITS_H_
+#define JAVMM_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace javmm {
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+// The guest page size. The whole system (dirty log, transfer bitmap, page
+// tables) assumes this single size, as does the paper (4 KB pages, one transfer
+// bit per page).
+inline constexpr int64_t kPageSize = 4 * kKiB;
+
+// Number of whole pages needed to hold `bytes` (rounds up).
+constexpr int64_t PagesForBytes(int64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+
+// Renders a byte count with a binary-unit suffix, e.g. "512.00 MiB".
+std::string FormatBytes(int64_t bytes);
+
+// Renders a byte rate, e.g. "118.9 MiB/s".
+std::string FormatRate(double bytes_per_second);
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_BASE_UNITS_H_

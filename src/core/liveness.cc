@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/core/liveness.h"
+
+namespace javmm {
+
+std::vector<Pfn> MappedPfnsInRange(AddressSpace& space, const VaRange& range) {
+  std::vector<Pfn> out;
+  if (range.empty()) {
+    return out;
+  }
+  const Vpn first = VpnOf(PageAlignDown(range.begin));
+  const Vpn last = VpnOf(PageAlignUp(range.end));
+  out.reserve(static_cast<size_t>(last - first));
+  for (Vpn vpn = first; vpn < last; ++vpn) {
+    const Pfn pfn = space.page_table().Lookup(vpn);
+    if (pfn != kInvalidPfn) {
+      out.push_back(pfn);
+    }
+  }
+  return out;
+}
+
+std::vector<Pfn> JavaLivenessSource::RequiredPfns(TimePoint pause_time) const {
+  AddressSpace& space = kernel_->address_space(app_->pid());
+  std::vector<Pfn> out;
+  for (const auto& chunk : app_->heap().LiveChunks(pause_time)) {
+    const VaRange range{chunk.addr, chunk.addr + static_cast<uint64_t>(chunk.bytes)};
+    for (Pfn pfn : MappedPfnsInRange(space, range)) {
+      out.push_back(pfn);
+    }
+  }
+  return out;
+}
+
+std::vector<Pfn> G1LivenessSource::RequiredPfns(TimePoint pause_time) const {
+  AddressSpace& space = kernel_->address_space(app_->pid());
+  std::vector<Pfn> out;
+  for (const auto& chunk : app_->heap().LiveChunks(pause_time)) {
+    const VaRange range{chunk.addr, chunk.addr + static_cast<uint64_t>(chunk.bytes)};
+    for (Pfn pfn : MappedPfnsInRange(space, range)) {
+      out.push_back(pfn);
+    }
+  }
+  return out;
+}
+
+std::vector<Pfn> RangeLivenessSource::RequiredPfns(TimePoint pause_time) const {
+  (void)pause_time;
+  AddressSpace& space = kernel_->address_space(pid_);
+  std::vector<Pfn> out;
+  for (const VaRange& range : ranges_) {
+    for (Pfn pfn : MappedPfnsInRange(space, range)) {
+      out.push_back(pfn);
+    }
+  }
+  return out;
+}
+
+}  // namespace javmm

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_CORE_LIVENESS_H_
+#define JAVMM_SRC_CORE_LIVENESS_H_
+
+#include <vector>
+
+#include "src/guest/guest_kernel.h"
+#include "src/migration/destination.h"
+#include "src/workload/g1_application.h"
+#include "src/workload/java_application.h"
+
+namespace javmm {
+
+// Maps a Java application's live chunks at pause time to the PFNs whose
+// contents must be intact at the destination. This feeds the verification
+// audit only -- the migration itself never sees object-level information.
+class JavaLivenessSource : public RequiredPfnSource {
+ public:
+  JavaLivenessSource(GuestKernel* kernel, const JavaApplication* app)
+      : kernel_(kernel), app_(app) {}
+
+  std::vector<Pfn> RequiredPfns(TimePoint pause_time) const override;
+
+ private:
+  GuestKernel* kernel_;
+  const JavaApplication* app_;
+};
+
+// Live chunks of a G1-style regionized heap (src/workload/g1_application.h).
+class G1LivenessSource : public RequiredPfnSource {
+ public:
+  G1LivenessSource(GuestKernel* kernel, const G1JavaApplication* app)
+      : kernel_(kernel), app_(app) {}
+
+  std::vector<Pfn> RequiredPfns(TimePoint pause_time) const override;
+
+ private:
+  GuestKernel* kernel_;
+  const G1JavaApplication* app_;
+};
+
+// Declares a fixed VA range of a process as required (e.g. the guest OS's
+// resident memory, or a cache application's retained entries).
+class RangeLivenessSource : public RequiredPfnSource {
+ public:
+  RangeLivenessSource(GuestKernel* kernel, AppId pid) : kernel_(kernel), pid_(pid) {}
+
+  void SetRanges(std::vector<VaRange> ranges) { ranges_ = std::move(ranges); }
+  void AddRange(const VaRange& range) { ranges_.push_back(range); }
+
+  std::vector<Pfn> RequiredPfns(TimePoint pause_time) const override;
+
+ private:
+  GuestKernel* kernel_;
+  AppId pid_;
+  std::vector<VaRange> ranges_;
+};
+
+// Shared helper: PFNs of all mapped pages overlapping `range` in `space`.
+std::vector<Pfn> MappedPfnsInRange(AddressSpace& space, const VaRange& range);
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_CORE_LIVENESS_H_

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Adaptive engine selection -- the §6 "make the framework intelligent"
+// extension.
+//
+// §6 identifies the regimes where JAVMM should be used with care: long minor
+// GCs, high object survival (scimark), and read-intensive workloads whose
+// pre-copy already converges. The policy estimates both engines' downtime
+// from live observables (GC log, heap sizes, link speed) and recommends
+// plain pre-copy whenever assistance would not pay.
+
+#ifndef JAVMM_SRC_CORE_POLICY_H_
+#define JAVMM_SRC_CORE_POLICY_H_
+
+#include <string>
+
+#include "src/jvm/generational_heap.h"
+#include "src/net/link.h"
+
+namespace javmm {
+
+struct PolicyDecision {
+  bool use_assisted = false;
+  // Model estimates backing the decision (seconds).
+  double estimated_assisted_downtime_s = 0;
+  double estimated_plain_downtime_s = 0;
+  double estimated_skippable_bytes = 0;
+  std::string reason;
+};
+
+class AdaptiveMigrationPolicy {
+ public:
+  // Decides from the heap's observed behaviour and the migration link.
+  // Requires at least one logged minor GC; with no history it conservatively
+  // recommends assistance only for a large committed young generation.
+  static PolicyDecision Decide(const GenerationalHeap& heap, const LinkConfig& link);
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_CORE_POLICY_H_

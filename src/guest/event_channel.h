@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_GUEST_EVENT_CHANNEL_H_
+#define JAVMM_SRC_GUEST_EVENT_CHANNEL_H_
+
+#include <functional>
+
+#include "src/guest/messages.h"
+
+namespace javmm {
+
+// The dedicated Xen event-channel port connecting the migration daemon (in
+// domain 0) with the LKM (in the guest), created when the guest VM is created
+// (§3.3.1). Delivery is an immediate upcall into the registered handler --
+// event channels are interrupt-like notifications, not queues.
+class EventChannel {
+ public:
+  using GuestHandler = std::function<void(DaemonToLkm)>;
+  using DaemonHandler = std::function<void(LkmToDaemon)>;
+
+  // Guest (LKM) side registers to receive daemon notifications.
+  void BindGuestHandler(GuestHandler handler) { guest_handler_ = std::move(handler); }
+
+  // Daemon side registers to receive LKM notifications.
+  void BindDaemonHandler(DaemonHandler handler) { daemon_handler_ = std::move(handler); }
+
+  // Daemon -> LKM. Silently dropped if no LKM is bound (e.g. the guest never
+  // loaded the module) -- the daemon must cope via timeouts, as in §6.
+  void NotifyGuest(DaemonToLkm msg) {
+    if (guest_handler_) {
+      guest_handler_(msg);
+    }
+  }
+
+  // LKM -> daemon.
+  void NotifyDaemon(LkmToDaemon msg) {
+    if (daemon_handler_) {
+      daemon_handler_(msg);
+    }
+  }
+
+  bool guest_bound() const { return static_cast<bool>(guest_handler_); }
+
+ private:
+  GuestHandler guest_handler_;
+  DaemonHandler daemon_handler_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_EVENT_CHANNEL_H_

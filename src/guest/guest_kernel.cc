@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/guest/guest_kernel.h"
+
+#include "src/base/macros.h"
+#include "src/guest/lkm.h"
+
+namespace javmm {
+
+GuestKernel::GuestKernel(GuestPhysicalMemory* memory, SimClock* clock)
+    : memory_(memory), clock_(clock) {
+  CHECK(memory != nullptr);
+  CHECK(clock != nullptr);
+}
+
+GuestKernel::~GuestKernel() = default;
+
+AppId GuestKernel::CreateProcess(std::string name) {
+  processes_.push_back(
+      ProcessRecord{std::move(name), std::make_unique<AddressSpace>(memory_)});
+  return static_cast<AppId>(processes_.size() - 1);
+}
+
+AddressSpace& GuestKernel::address_space(AppId pid) {
+  CHECK_GE(pid, 0);
+  CHECK_LT(pid, static_cast<AppId>(processes_.size()));
+  return *processes_[static_cast<size_t>(pid)].space;
+}
+
+const std::string& GuestKernel::process_name(AppId pid) const {
+  CHECK_GE(pid, 0);
+  CHECK_LT(pid, static_cast<AppId>(processes_.size()));
+  return processes_[static_cast<size_t>(pid)].name;
+}
+
+Lkm& GuestKernel::LoadLkm(const LkmConfig& config) {
+  CHECK(lkm_ == nullptr);
+  lkm_ = std::make_unique<Lkm>(this, config);
+  return *lkm_;
+}
+
+}  // namespace javmm

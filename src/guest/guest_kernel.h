@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_GUEST_GUEST_KERNEL_H_
+#define JAVMM_SRC_GUEST_GUEST_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guest/event_channel.h"
+#include "src/guest/netlink_bus.h"
+#include "src/mem/address_space.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/clock.h"
+
+namespace javmm {
+
+class Lkm;
+struct LkmConfig;
+
+// The guest operating system: process/address-space registry, the netlink
+// facility, the event-channel endpoint, and the VM's run/pause state.
+//
+// `PauseVm`/`ResumeVm` model the hypervisor suspending the guest's vCPUs for
+// the stop-and-copy phase: while paused, guest processes consume no CPU and
+// dirty no memory (their `RunFor` must check `vm_paused()`).
+class GuestKernel {
+ public:
+  GuestKernel(GuestPhysicalMemory* memory, SimClock* clock);
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+  ~GuestKernel();
+
+  // Creates a guest process with its own address space; returns its pid.
+  AppId CreateProcess(std::string name);
+  AddressSpace& address_space(AppId pid);
+  const std::string& process_name(AppId pid) const;
+
+  NetlinkBus& netlink() { return netlink_; }
+  EventChannel& event_channel() { return event_channel_; }
+  GuestPhysicalMemory& memory() { return *memory_; }
+  SimClock& clock() { return *clock_; }
+
+  // Loads the migration-assist LKM (idempotent not supported: load once).
+  Lkm& LoadLkm(const LkmConfig& config);
+  Lkm* lkm() { return lkm_.get(); }
+
+  void PauseVm() { vm_paused_ = true; }
+  void ResumeVm() { vm_paused_ = false; }
+  bool vm_paused() const { return vm_paused_; }
+
+ private:
+  struct ProcessRecord {
+    std::string name;
+    std::unique_ptr<AddressSpace> space;
+  };
+
+  GuestPhysicalMemory* memory_;
+  SimClock* clock_;
+  NetlinkBus netlink_;
+  EventChannel event_channel_;
+  std::vector<ProcessRecord> processes_;
+  std::unique_ptr<Lkm> lkm_;
+  bool vm_paused_ = false;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_GUEST_KERNEL_H_

@@ -1,0 +1,333 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/guest/lkm.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+#include "src/guest/guest_kernel.h"
+
+namespace javmm {
+
+Lkm::Lkm(GuestKernel* kernel, const LkmConfig& config)
+    : kernel_(kernel),
+      config_(config),
+      transfer_bitmap_(kernel->memory().frame_count(), /*initial=*/true),
+      compression_classes_(static_cast<size_t>(kernel->memory().frame_count()),
+                           static_cast<uint8_t>(CompressionClass::kNormal)) {
+  // Initialised with all bits set: by default every dirty page is transferred
+  // (§3.3.4). The event channel binding makes the LKM reachable by the daemon.
+  kernel_->event_channel().BindGuestHandler([this](DaemonToLkm msg) { OnDaemonMessage(msg); });
+}
+
+void Lkm::OnDaemonMessage(DaemonToLkm msg) {
+  switch (msg) {
+    case DaemonToLkm::kMigrationStarted:
+      HandleMigrationStarted();
+      return;
+    case DaemonToLkm::kEnteringLastIter:
+      HandleEnteringLastIter();
+      return;
+    case DaemonToLkm::kVmResumed:
+      HandleVmResumedOrAborted(/*resumed=*/true);
+      return;
+    case DaemonToLkm::kMigrationAborted:
+      HandleVmResumedOrAborted(/*resumed=*/false);
+      return;
+  }
+  JAVMM_UNREACHABLE("unknown daemon message");
+}
+
+void Lkm::HandleMigrationStarted() {
+  if (state_ != State::kInitialized) {
+    // A second migration while one is in flight is a daemon bug; a restart
+    // after abort goes through kInitialized.
+    ++protocol_violations_;
+    return;
+  }
+  apps_.clear();
+  transfer_bitmap_.SetAll();
+  final_update_duration_ = Duration::Zero();
+  revoked_pfns_.clear();
+  state_ = State::kMigrationStarted;
+  // First transfer-bitmap update: query running applications for skip-over
+  // areas. Cooperative apps respond re-entrantly (or shortly after) through
+  // ReportSkipOverAreas.
+  kernel_->netlink().Multicast(NetlinkMessage{NetlinkMessageType::kQuerySkipOverAreas});
+}
+
+void Lkm::ReportSkipOverAreas(AppId pid, const std::vector<VaRange>& areas) {
+  if (state_ != State::kMigrationStarted) {
+    ++protocol_violations_;
+    return;
+  }
+  AppRecord& rec = apps_[pid];
+  int64_t cache_ops = 0;
+  for (const VaRange& area : areas) {
+    const VaRange aligned = area.PageAlignedInterior();
+    if (aligned.empty()) {
+      continue;
+    }
+    rec.areas.Add(aligned);
+    ClearBitsForRange(pid, rec, aligned, &cache_ops);
+  }
+}
+
+void Lkm::NotifyAreaShrunk(AppId pid, const VaRange& left) {
+  if (config_.update_mode == BitmapUpdateMode::kFinalRewalk) {
+    // The alternative approach performs no updates between the first and the
+    // final one; shrink notices are not required and simply ignored.
+    return;
+  }
+  if (state_ != State::kMigrationStarted) {
+    // §3.3.4: areas must not shrink in the final-update window; a shrink
+    // notice outside migration is meaningless. Count and ignore.
+    ++protocol_violations_;
+    return;
+  }
+  auto it = apps_.find(pid);
+  if (it == apps_.end()) {
+    ++protocol_violations_;
+    return;
+  }
+  AppRecord& rec = it->second;
+  int64_t cache_ops = 0;
+  // Immediately set the transfer bits of the pages leaving the area so that
+  // later dirtying of those pages is migrated (correctness, §3.3.4). The PFN
+  // cache resolves pages whose frames were already reclaimed.
+  SetBitsForRange(rec, left, &cache_ops);
+  rec.areas.Subtract(left);
+}
+
+void Lkm::HandleEnteringLastIter() {
+  if (state_ != State::kMigrationStarted) {
+    ++protocol_violations_;
+    return;
+  }
+  state_ = State::kEnteringLastIter;
+  awaiting_ready_ = kernel_->netlink().SubscriberIds();
+  if (awaiting_ready_.empty()) {
+    // No assisting applications: nothing to prepare; proceed immediately.
+    FinalizeBitmapAndNotifyDaemon();
+    return;
+  }
+  straggler_timer_ = kernel_->clock().events().Schedule(
+      kernel_->clock().now() + config_.straggler_timeout, [this] { OnStragglerTimeout(); });
+  kernel_->netlink().Multicast(NetlinkMessage{NetlinkMessageType::kPrepareForSuspension});
+}
+
+void Lkm::NotifySuspensionReady(AppId pid, const SuspensionReadyInfo& info) {
+  if (state_ != State::kEnteringLastIter) {
+    ++protocol_violations_;
+    return;
+  }
+  auto it = std::find(awaiting_ready_.begin(), awaiting_ready_.end(), pid);
+  if (it == awaiting_ready_.end()) {
+    ++protocol_violations_;
+    return;
+  }
+  awaiting_ready_.erase(it);
+  AppRecord& rec = apps_[pid];
+  rec.ready = true;
+  rec.ready_info = info;
+  if (awaiting_ready_.empty()) {
+    FinalizeBitmapAndNotifyDaemon();
+  }
+}
+
+void Lkm::OnStragglerTimeout() {
+  straggler_timer_.reset();
+  CHECK_EQ(static_cast<int>(state_), static_cast<int>(State::kEnteringLastIter));
+  // Revoke the skip-over areas of every application that failed to respond:
+  // re-set the transfer bits of all pages it had cleared so its memory is
+  // migrated conventionally. This bounds migration delay (§6).
+  for (AppId pid : awaiting_ready_) {
+    auto it = apps_.find(pid);
+    if (it == apps_.end()) {
+      continue;
+    }
+    AppRecord& rec = it->second;
+    for (const auto& [vpn, pfn] : rec.pfn_cache) {
+      transfer_bitmap_.Set(pfn);
+      revoked_pfns_.push_back(pfn);
+    }
+    rec.pfn_cache.clear();
+    rec.areas.Clear();
+    ++stragglers_timed_out_;
+  }
+  awaiting_ready_.clear();
+  FinalizeBitmapAndNotifyDaemon();
+}
+
+void Lkm::FinalizeBitmapAndNotifyDaemon() {
+  if (straggler_timer_.has_value()) {
+    kernel_->clock().events().Cancel(*straggler_timer_);
+    straggler_timer_.reset();
+  }
+  // Final transfer-bitmap update (§3.3.4): reconcile each ready app's
+  // freshly-reported ranges with the remembered ones.
+  const int64_t walked_before = total_ptes_walked_;
+  int64_t cache_ops = 0;
+  for (auto& [pid, rec] : apps_) {
+    if (!rec.ready) {
+      continue;
+    }
+    VaRangeSet fresh;
+    for (const VaRange& area : rec.ready_info.skip_over_areas) {
+      fresh.Add(area.PageAlignedInterior());
+    }
+    if (config_.update_mode == BitmapUpdateMode::kFinalRewalk) {
+      RewalkAreasForApp(pid, rec, fresh, &cache_ops);
+    } else {
+      // Expanded space: pages joined the area since the first update; clear
+      // their (deferred) transfer bits now so the last iteration skips them.
+      for (const VaRange& piece : fresh.Minus(rec.areas)) {
+        ClearBitsForRange(pid, rec, piece, &cache_ops);
+      }
+      // Shrunk space: pages that left the area in the entering-last-iter
+      // window (e.g. regions released by the enforced evacuation itself).
+      // Their frames were deallocated, so content safety comes from the
+      // zeroing commit on reuse / the free-at-pause exemption -- no
+      // re-transfer needed, just re-enable the bits.
+      for (const VaRange& piece : rec.areas.Minus(fresh)) {
+        SetBitsForRange(rec, piece, &cache_ops);
+      }
+    }
+    rec.areas = fresh;
+    // Must-transfer ranges (JAVMM: the occupied From space) are treated as
+    // leaving the skip-over area: set their bits so the last iteration sends
+    // the live data. Outward page alignment keeps partial pages safe.
+    for (const VaRange& range : rec.ready_info.must_transfer) {
+      SetBitsForRange(rec, range, &cache_ops);
+    }
+  }
+  final_update_duration_ =
+      (config_.per_pte_walk_cost * (total_ptes_walked_ - walked_before) +
+       config_.per_cache_op_cost * cache_ops) /
+      static_cast<int64_t>(std::max(config_.final_update_threads, 1));
+  state_ = State::kSuspensionReady;
+  kernel_->event_channel().NotifyDaemon(LkmToDaemon::kSuspensionReady);
+}
+
+void Lkm::HandleVmResumedOrAborted(bool resumed) {
+  if (straggler_timer_.has_value()) {
+    kernel_->clock().events().Cancel(*straggler_timer_);
+    straggler_timer_.reset();
+  }
+  awaiting_ready_.clear();
+  apps_.clear();
+  transfer_bitmap_.SetAll();
+  state_ = State::kInitialized;
+  // On resume, tell applications to recover / treat skip-over areas as empty.
+  // On abort the VM keeps running at the source; applications still need the
+  // release notification to leave their prepared-for-suspension hold.
+  (void)resumed;
+  kernel_->netlink().Multicast(NetlinkMessage{NetlinkMessageType::kVmResumed});
+}
+
+void Lkm::AnnotateCompression(AppId pid, const VaRange& range, CompressionClass cls) {
+  int64_t walked = 0;
+  const std::vector<Pfn> pfns =
+      kernel_->address_space(pid).page_table().WalkRange(range, &walked);
+  total_ptes_walked_ += walked;
+  for (Pfn pfn : pfns) {
+    if (pfn != kInvalidPfn) {
+      compression_classes_[static_cast<size_t>(pfn)] = static_cast<uint8_t>(cls);
+    }
+  }
+}
+
+void Lkm::RewalkAreasForApp(AppId pid, AppRecord& rec, const VaRangeSet& fresh,
+                            int64_t* cache_ops) {
+  // §3.3.4 alternative approach: identify every page that joined or left the
+  // skip-over areas by walking the page tables of the whole fresh area set
+  // and comparing against the PFNs found in the first update. This also
+  // handles VPN remapping (case (2) of §3.3.4: p_old -> p_new): the old
+  // frame's bit is set, the new frame's bit is cleared.
+  std::unordered_map<Vpn, Pfn> new_cache;
+  for (const VaRange& range : fresh.Ranges()) {
+    int64_t walked = 0;
+    const std::vector<Pfn> pfns =
+        kernel_->address_space(pid).page_table().WalkRange(range, &walked);
+    total_ptes_walked_ += walked;
+    const Vpn base = VpnOf(range.PageAlignedInterior().begin);
+    for (size_t i = 0; i < pfns.size(); ++i) {
+      if (pfns[i] != kInvalidPfn) {
+        new_cache[base + i] = pfns[i];
+      }
+    }
+  }
+  // Pages that left the areas (or had their frame remapped): re-enable.
+  // Their re-enabling is deferred to this moment, so any interim dirtying
+  // was consumed-and-dropped by the daemon; flag them for re-transfer.
+  for (const auto& [vpn, old_pfn] : rec.pfn_cache) {
+    ++*cache_ops;
+    auto it = new_cache.find(vpn);
+    if (it == new_cache.end() || it->second != old_pfn) {
+      transfer_bitmap_.Set(old_pfn);
+      revoked_pfns_.push_back(old_pfn);
+    }
+  }
+  // Pages now inside the areas (including deferred expansion): skip them.
+  for (const auto& [vpn, pfn] : new_cache) {
+    ++*cache_ops;
+    transfer_bitmap_.Clear(pfn);
+  }
+  rec.pfn_cache = std::move(new_cache);
+}
+
+int64_t Lkm::ClearBitsForRange(AppId pid, AppRecord& rec, const VaRange& range,
+                               int64_t* cache_ops) {
+  int64_t walked = 0;
+  const std::vector<Pfn> pfns = kernel_->address_space(pid).page_table().WalkRange(range, &walked);
+  total_ptes_walked_ += walked;
+  const VaRange aligned = range.PageAlignedInterior();
+  int64_t cleared = 0;
+  for (size_t i = 0; i < pfns.size(); ++i) {
+    const Pfn pfn = pfns[i];
+    if (pfn == kInvalidPfn) {
+      continue;  // Non-present PTE (uncommitted page inside the range).
+    }
+    transfer_bitmap_.Clear(pfn);
+    rec.pfn_cache[VpnOf(aligned.begin) + i] = pfn;
+    ++*cache_ops;
+    ++cleared;
+  }
+  return cleared;
+}
+
+int64_t Lkm::SetBitsForRange(AppRecord& rec, const VaRange& range, int64_t* cache_ops,
+                             std::vector<Pfn>* revoked) {
+  if (range.empty()) {
+    return 0;
+  }
+  // Outward alignment: any page overlapping the leaving range must have its
+  // bit set so its contents are migrated.
+  const Vpn first = VpnOf(PageAlignDown(range.begin));
+  const Vpn last = VpnOf(PageAlignUp(range.end));  // One past the final page.
+  int64_t set = 0;
+  for (Vpn vpn = first; vpn < last; ++vpn) {
+    auto it = rec.pfn_cache.find(vpn);
+    ++*cache_ops;
+    if (it == rec.pfn_cache.end()) {
+      continue;  // Page was never skip-listed (e.g. boundary page).
+    }
+    transfer_bitmap_.Set(it->second);
+    if (revoked != nullptr) {
+      revoked->push_back(it->second);
+    }
+    rec.pfn_cache.erase(it);
+    ++set;
+  }
+  return set;
+}
+
+int64_t Lkm::pfn_cache_bytes() const {
+  int64_t entries = 0;
+  for (const auto& [pid, rec] : apps_) {
+    entries += static_cast<int64_t>(rec.pfn_cache.size());
+  }
+  return entries * 4;  // 4-byte entries, as sized in §3.3.4.
+}
+
+}  // namespace javmm

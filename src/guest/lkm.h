@@ -1,0 +1,206 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// The Loadable Kernel Module at the centre of the framework (§3.3).
+//
+// The LKM bridges the communication gap (event channel to the migration
+// daemon, netlink multicast to applications) and the semantic gap (VA->PFN
+// page-table walks), and owns the transfer bitmap that guides the daemon.
+// It transitions through the states of Figure 4 and implements the update
+// policy of §3.3.4:
+//
+//   * first update      -- on kMigrationStarted: query apps, clear transfer
+//                          bits of the pages inside each skip-over area,
+//                          populate the PFN cache.
+//   * shrink (anytime)  -- immediate: set transfer bits of the pages leaving
+//                          the area, using the PFN cache (page tables can no
+//                          longer resolve reclaimed pages).
+//   * expand (anytime)  -- deferred: nothing until the final update.
+//   * final update      -- on suspension-ready: diff freshly-reported areas
+//                          against remembered ranges; walk page tables for
+//                          expanded space (clear bits), consult the cache for
+//                          shrunk space (set bits), and set the bits of the
+//                          must-transfer ranges (JAVMM: the occupied From
+//                          space "leaving" the young generation).
+
+#ifndef JAVMM_SRC_GUEST_LKM_H_
+#define JAVMM_SRC_GUEST_LKM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/messages.h"
+#include "src/guest/va_range_set.h"
+#include "src/mem/bitmap.h"
+#include "src/sim/event_queue.h"
+
+namespace javmm {
+
+class GuestKernel;
+
+// How the LKM keeps the transfer bitmap consistent with skip-over areas that
+// change during migration (§3.3.4).
+enum class BitmapUpdateMode {
+  // The paper's implemented design: applications notify shrinks immediately
+  // (bits set via the PFN cache); expansions are deferred to the final
+  // update, which diffs the freshly-reported ranges against the remembered
+  // ones.
+  kIncremental,
+  // The paper's *alternative* approach (described but deferred): no shrink
+  // notifications required; the final update re-walks the page tables of
+  // every skip-over area and reconciles against the PFNs cached by the first
+  // update. Fewer runtime obligations for applications, but the full re-walk
+  // lands inside the suspension window, lengthening the final update. The
+  // daemon must then treat every ever-skipped page whose bit is set again as
+  // pending (our engine already does).
+  kFinalRewalk,
+};
+
+// Per-page compression hint -- the §6 "transfer bitmap can use multiple bits
+// per VM memory page to indicate the suitable compression methods" idea.
+// Applications annotate their memory; the daemon picks a compressor (or none)
+// per page instead of paying trial compression on incompressible data.
+enum class CompressionClass : uint8_t {
+  kNormal = 0,          // Unknown content: general-purpose compressor.
+  kIncompressible = 1,  // Encrypted/compressed payloads: send raw.
+  kHighlyCompressible = 2,  // Pointer-rich heap data, zero-heavy regions.
+};
+
+struct LkmConfig {
+  BitmapUpdateMode update_mode = BitmapUpdateMode::kIncremental;
+
+  // How long the LKM waits for all applications to report suspension-ready
+  // before proceeding without the stragglers (§6 "enhance for security"). A
+  // straggler's skip-over areas are revoked (bits re-set) so its memory is
+  // migrated conventionally.
+  // Sized above the slowest legitimate preparation (safepoint wait + enforced
+  // GC + a possible piggybacked full GC).
+  Duration straggler_timeout = Duration::Seconds(10);
+
+  // Cost model for the final bitmap update, reported to the daemon as part of
+  // downtime; the paper measures the final update at < 300 us.
+  Duration per_pte_walk_cost = Duration::Nanos(50);
+  Duration per_cache_op_cost = Duration::Nanos(20);
+
+  // Parallel final update (§3.3.4: "exploring its acceleration by using
+  // parallelism"): page-table walks and cache reconciliation partition
+  // cleanly across threads, so the modelled duration divides by this.
+  int final_update_threads = 1;
+};
+
+class Lkm {
+ public:
+  // LKM operating states (Figure 4). kResumed is transient: the LKM notifies
+  // applications and immediately returns to kInitialized.
+  enum class State {
+    kInitialized,
+    kMigrationStarted,
+    kEnteringLastIter,
+    kSuspensionReady,
+  };
+
+  Lkm(GuestKernel* kernel, const LkmConfig& config);
+  Lkm(const Lkm&) = delete;
+  Lkm& operator=(const Lkm&) = delete;
+
+  // ---- Event-channel receive path (migration daemon -> LKM). ----
+  void OnDaemonMessage(DaemonToLkm msg);
+
+  // ---- Application-facing API (/proc writes + netlink unicasts). ----
+
+  // Response to kQuerySkipOverAreas: the app's current skip-over areas.
+  // Performs the app's share of the first transfer-bitmap update.
+  void ReportSkipOverAreas(AppId pid, const std::vector<VaRange>& areas);
+
+  // A skip-over area shrank: `left` is the VA range that left the area.
+  // Applied immediately (correctness requires it, §3.3.4).
+  void NotifyAreaShrunk(AppId pid, const VaRange& left);
+
+  // Response to kPrepareForSuspension: the app finished its preparation (for
+  // JAVMM: the enforced minor GC completed and threads are held at the
+  // safepoint). Carries the areas' current ranges for the final update.
+  void NotifySuspensionReady(AppId pid, const SuspensionReadyInfo& info);
+
+  // Annotates the mapped interior pages of `range` with a compression class
+  // (multi-bit transfer-map extension, §6). Valid any time; hints persist
+  // across migrations until re-annotated.
+  void AnnotateCompression(AppId pid, const VaRange& range, CompressionClass cls);
+
+  // ---- Shared state read by the migration daemon. ----
+  const PageBitmap& transfer_bitmap() const { return transfer_bitmap_; }
+  const LkmConfig& config() const { return config_; }
+
+  // PFNs whose skip listing was *revoked* this migration (straggler timeout,
+  // §6): their contents were skipped on a promise the application never
+  // honoured, so the daemon must re-transfer them at stop-and-copy. Distinct
+  // from pages that legitimately left an area (whose reuse is covered by the
+  // zeroing commit + dirty log).
+  const std::vector<Pfn>& revoked_pfns() const { return revoked_pfns_; }
+  CompressionClass compression_class(Pfn pfn) const {
+    return static_cast<CompressionClass>(compression_classes_[static_cast<size_t>(pfn)]);
+  }
+  State state() const { return state_; }
+
+  // Duration of the most recent final bitmap update (downtime component).
+  Duration last_final_update_duration() const { return final_update_duration_; }
+
+  // ---- Introspection / overhead accounting (§5.3). ----
+  int64_t transfer_bitmap_bytes() const { return transfer_bitmap_.MemoryUsageBytes(); }
+  int64_t pfn_cache_bytes() const;  // 4 bytes/entry, as in the paper.
+  int64_t total_ptes_walked() const { return total_ptes_walked_; }
+  int64_t stragglers_timed_out() const { return stragglers_timed_out_; }
+  int64_t protocol_violations() const { return protocol_violations_; }
+
+ private:
+  struct AppRecord {
+    VaRangeSet areas;  // Remembered (page-aligned) skip-over ranges.
+    // PFN cache: pages whose transfer bits this app had cleared. Keyed by VPN
+    // so shrink notices resolve without page-table walks (§3.3.4).
+    std::unordered_map<Vpn, Pfn> pfn_cache;
+    bool ready = false;
+    SuspensionReadyInfo ready_info;
+  };
+
+  void HandleMigrationStarted();
+  void HandleEnteringLastIter();
+  void HandleVmResumedOrAborted(bool resumed);
+  void OnStragglerTimeout();
+  void FinalizeBitmapAndNotifyDaemon();
+
+  // kFinalRewalk final update for one app: re-walk every fresh skip-over
+  // range and reconcile the transfer bitmap against the first update's PFNs.
+  void RewalkAreasForApp(AppId pid, AppRecord& rec, const VaRangeSet& fresh,
+                         int64_t* cache_ops);
+
+  // Clears transfer bits for the mapped interior pages of `range` (walking
+  // `pid`'s page table) and caches the PFNs found. Returns pages cleared.
+  int64_t ClearBitsForRange(AppId pid, AppRecord& rec, const VaRange& range, int64_t* cache_ops);
+
+  // Sets transfer bits for all cached pages of `rec` overlapping `range`
+  // (outward-aligned) and drops them from the cache. Returns pages set.
+  // When `revoked` is non-null, the re-enabled PFNs are appended to it: the
+  // daemon must re-transfer them at stop-and-copy because their dirty-log
+  // records may have been consumed while they were skip-listed.
+  int64_t SetBitsForRange(AppRecord& rec, const VaRange& range, int64_t* cache_ops,
+                          std::vector<Pfn>* revoked = nullptr);
+
+  GuestKernel* kernel_;
+  LkmConfig config_;
+  State state_ = State::kInitialized;
+  PageBitmap transfer_bitmap_;
+  std::vector<uint8_t> compression_classes_;
+  std::map<AppId, AppRecord> apps_;  // Ordered => deterministic finalisation.
+  std::vector<AppId> awaiting_ready_;
+  std::optional<EventQueue::EventId> straggler_timer_;
+  Duration final_update_duration_ = Duration::Zero();
+  std::vector<Pfn> revoked_pfns_;
+  int64_t total_ptes_walked_ = 0;
+  int64_t stragglers_timed_out_ = 0;
+  int64_t protocol_violations_ = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_LKM_H_

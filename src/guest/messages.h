@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Message vocabulary of the application-assisted migration framework (Fig 4).
+//
+// Three channels exist in the paper's prototype:
+//   * Xen event channel: migration daemon <-> LKM (control notifications).
+//   * netlink multicast: LKM -> all subscribed applications.
+//   * /proc entry + netlink unicast: application -> LKM (skip-over areas,
+//     shrink notices, suspension-ready notices).
+//
+// We keep the same topology; payloads are typed structs rather than byte
+// buffers since nothing in the protocol depends on serialisation.
+
+#ifndef JAVMM_SRC_GUEST_MESSAGES_H_
+#define JAVMM_SRC_GUEST_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// Guest process identifier (the netlink peer).
+using AppId = int64_t;
+inline constexpr AppId kInvalidAppId = -1;
+
+// Migration daemon -> LKM, over the event channel.
+enum class DaemonToLkm {
+  kMigrationStarted,   // Daemon connected; begin first bitmap update.
+  kEnteringLastIter,   // Daemon wants to pause the VM; ask apps to prepare.
+  kVmResumed,          // Last iteration done; VM active at the destination.
+  kMigrationAborted,   // Migration failed/cancelled; revert to INITIALIZED.
+};
+
+// LKM -> migration daemon, over the event channel.
+enum class LkmToDaemon {
+  kSuspensionReady,  // Final bitmap update done; daemon may pause the VM.
+};
+
+// LKM -> applications, netlink multicast.
+enum class NetlinkMessageType {
+  kQuerySkipOverAreas,    // "skip-over areas?" -- reply via ReportSkipOverAreas.
+  kPrepareForSuspension,  // "prep. for suspension!" -- also re-queries areas.
+  kVmResumed,             // "VM resumed!" -- recover / consider areas empty.
+};
+
+struct NetlinkMessage {
+  NetlinkMessageType type;
+};
+
+// Application -> LKM payload accompanying the suspension-ready notice.
+//
+// `skip_over_areas` are the areas' *current* VA ranges (needed by the final
+// bitmap update, §3.3.4). `must_transfer` marks sub-ranges inside skip-over
+// areas whose contents must nevertheless reach the destination -- for JAVMM
+// this is the occupied From space holding the data that survived the enforced
+// GC (§4.3.2); the LKM treats these pages as "leaving" the skip-over area.
+struct SuspensionReadyInfo {
+  std::vector<VaRange> skip_over_areas;
+  std::vector<VaRange> must_transfer;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_MESSAGES_H_

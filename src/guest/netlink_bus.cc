@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/guest/netlink_bus.h"
+
+#include <vector>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+void NetlinkBus::Subscribe(AppId pid, NetlinkSubscriber* app) {
+  CHECK(app != nullptr);
+  const bool inserted = subscribers_.emplace(pid, app).second;
+  CHECK(inserted);
+}
+
+void NetlinkBus::Unsubscribe(AppId pid) { subscribers_.erase(pid); }
+
+void NetlinkBus::Multicast(const NetlinkMessage& msg) {
+  // Copy the targets first: a subscriber's handler may (un)subscribe others.
+  std::vector<NetlinkSubscriber*> targets;
+  targets.reserve(subscribers_.size());
+  for (const auto& [pid, app] : subscribers_) {
+    targets.push_back(app);
+  }
+  for (NetlinkSubscriber* app : targets) {
+    app->OnNetlinkMessage(msg);
+  }
+}
+
+std::vector<AppId> NetlinkBus::SubscriberIds() const {
+  std::vector<AppId> ids;
+  ids.reserve(subscribers_.size());
+  for (const auto& [pid, app] : subscribers_) {
+    ids.push_back(pid);
+  }
+  return ids;
+}
+
+}  // namespace javmm

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_GUEST_NETLINK_BUS_H_
+#define JAVMM_SRC_GUEST_NETLINK_BUS_H_
+
+#include <map>
+
+#include "src/guest/messages.h"
+
+namespace javmm {
+
+// Subscriber side of the LKM's netlink socket: an application that joined the
+// multicast group (§3.3.1).
+class NetlinkSubscriber {
+ public:
+  virtual ~NetlinkSubscriber() = default;
+
+  // Delivery of a multicast message from the LKM. Applications respond by
+  // calling back into the LKM (the /proc entry or a netlink unicast); a
+  // non-cooperative application may simply ignore the message.
+  virtual void OnNetlinkMessage(const NetlinkMessage& msg) = 0;
+};
+
+// The kernel-side netlink socket with one multicast group. The LKM multicasts
+// a message and every subscriber receives it; subscriber iteration order is
+// the subscription order, so runs are deterministic.
+class NetlinkBus {
+ public:
+  // Subscribes `app` under process id `pid`. One subscription per pid.
+  void Subscribe(AppId pid, NetlinkSubscriber* app);
+  void Unsubscribe(AppId pid);
+
+  // Multicasts `msg` to every subscriber. Subscribers may respond re-entrantly
+  // (call LKM methods) during delivery, or later in simulated time.
+  void Multicast(const NetlinkMessage& msg);
+
+  size_t subscriber_count() const { return subscribers_.size(); }
+  bool IsSubscribed(AppId pid) const { return subscribers_.count(pid) != 0; }
+
+  // Snapshot of current subscriber pids (ascending).
+  std::vector<AppId> SubscriberIds() const;
+
+ private:
+  std::map<AppId, NetlinkSubscriber*> subscribers_;  // Ordered => deterministic.
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_NETLINK_BUS_H_

@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/guest/va_range_set.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+void VaRangeSet::Add(const VaRange& r) {
+  if (r.empty()) {
+    return;
+  }
+  VirtAddr begin = r.begin;
+  VirtAddr end = r.end;
+  // Find the first range that could overlap or touch [begin, end).
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(begin, end);
+}
+
+void VaRangeSet::Subtract(const VaRange& r) {
+  if (r.empty()) {
+    return;
+  }
+  auto it = ranges_.upper_bound(r.begin);
+  if (it != ranges_.begin()) {
+    --it;
+  }
+  while (it != ranges_.end() && it->first < r.end) {
+    const VirtAddr b = it->first;
+    const VirtAddr e = it->second;
+    if (e <= r.begin) {
+      ++it;
+      continue;
+    }
+    it = ranges_.erase(it);
+    if (b < r.begin) {
+      ranges_.emplace(b, r.begin);
+    }
+    if (e > r.end) {
+      it = ranges_.emplace(r.end, e).first;
+      ++it;
+    }
+  }
+}
+
+bool VaRangeSet::Contains(VirtAddr va) const {
+  auto it = ranges_.upper_bound(va);
+  if (it == ranges_.begin()) {
+    return false;
+  }
+  --it;
+  return va < it->second;
+}
+
+int64_t VaRangeSet::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [b, e] : ranges_) {
+    total += static_cast<int64_t>(e - b);
+  }
+  return total;
+}
+
+std::vector<VaRange> VaRangeSet::Ranges() const {
+  std::vector<VaRange> out;
+  out.reserve(ranges_.size());
+  for (const auto& [b, e] : ranges_) {
+    out.push_back(VaRange{b, e});
+  }
+  return out;
+}
+
+std::vector<VaRange> VaRangeSet::IntersectionWith(const VaRange& r) const {
+  std::vector<VaRange> out;
+  if (r.empty()) {
+    return out;
+  }
+  auto it = ranges_.upper_bound(r.begin);
+  if (it != ranges_.begin()) {
+    --it;
+  }
+  for (; it != ranges_.end() && it->first < r.end; ++it) {
+    const VirtAddr b = std::max(it->first, r.begin);
+    const VirtAddr e = std::min(it->second, r.end);
+    if (b < e) {
+      out.push_back(VaRange{b, e});
+    }
+  }
+  return out;
+}
+
+std::vector<VaRange> VaRangeSet::ComplementWithin(const VaRange& r) const {
+  std::vector<VaRange> out;
+  if (r.empty()) {
+    return out;
+  }
+  VirtAddr cursor = r.begin;
+  for (const VaRange& hit : IntersectionWith(r)) {
+    if (hit.begin > cursor) {
+      out.push_back(VaRange{cursor, hit.begin});
+    }
+    cursor = hit.end;
+  }
+  if (cursor < r.end) {
+    out.push_back(VaRange{cursor, r.end});
+  }
+  return out;
+}
+
+std::vector<VaRange> VaRangeSet::Minus(const VaRangeSet& other) const {
+  std::vector<VaRange> out;
+  for (const auto& [b, e] : ranges_) {
+    for (const VaRange& piece : other.ComplementWithin(VaRange{b, e})) {
+      out.push_back(piece);
+    }
+  }
+  return out;
+}
+
+}  // namespace javmm

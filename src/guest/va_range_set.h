@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_GUEST_VA_RANGE_SET_H_
+#define JAVMM_SRC_GUEST_VA_RANGE_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// A set of guest-virtual addresses kept as sorted, coalesced, non-overlapping
+// half-open ranges. The LKM uses one per application to remember the VA
+// ranges of its skip-over areas (§3.3.4): shrink notices subtract from the
+// set; the final bitmap update diffs the freshly-reported ranges against it
+// to find expanded and shrunk space.
+class VaRangeSet {
+ public:
+  VaRangeSet() = default;
+
+  void Add(const VaRange& r);
+  void Subtract(const VaRange& r);
+  void Clear() { ranges_.clear(); }
+
+  bool Contains(VirtAddr va) const;
+  bool empty() const { return ranges_.empty(); }
+  int64_t TotalBytes() const;
+
+  // Current ranges in ascending order.
+  std::vector<VaRange> Ranges() const;
+
+  // Portions of `r` that are in / not in the set, in ascending order.
+  std::vector<VaRange> IntersectionWith(const VaRange& r) const;
+  std::vector<VaRange> ComplementWithin(const VaRange& r) const;
+
+  // Set-difference against another set, returned as ranges: *this \ other.
+  std::vector<VaRange> Minus(const VaRangeSet& other) const;
+
+ private:
+  // begin -> end; invariants: non-empty, non-overlapping, non-adjacent.
+  std::map<VirtAddr, VirtAddr> ranges_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_GUEST_VA_RANGE_SET_H_

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_JVM_GC_STATS_H_
+#define JAVMM_SRC_JVM_GC_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// Outcome of one minor (young-generation) collection; the unit behind
+// Fig 5(b) (garbage vs live) and Fig 5(c) (duration).
+struct MinorGcResult {
+  TimePoint at;
+  Duration duration = Duration::Zero();  // The minor collection itself.
+  // Extra pause when promotion failure escalated into a full GC; the
+  // application stalls for duration + full_gc_penalty in total.
+  Duration full_gc_penalty = Duration::Zero();
+  bool enforced = false;           // Requested by the TI agent for migration.
+  int64_t young_used_before = 0;   // Eden + From occupancy entering the GC.
+  int64_t live_bytes = 0;          // Survived (copied or promoted).
+  int64_t garbage_bytes = 0;       // Reclaimed.
+  int64_t promoted_bytes = 0;      // Moved to the old generation.
+  int64_t copied_to_survivor = 0;  // Moved Eden/From -> To.
+  int64_t young_committed_after = 0;
+  bool young_resized = false;
+  bool triggered_full_gc = false;  // Promotion failure escalated.
+};
+
+struct FullGcResult {
+  TimePoint at;
+  Duration duration = Duration::Zero();
+  int64_t old_used_before = 0;
+  int64_t old_live = 0;
+  int64_t old_garbage = 0;
+};
+
+// Running aggregates over a heap's lifetime, cheap enough to keep always-on.
+struct GcLog {
+  std::vector<MinorGcResult> minor;
+  std::vector<FullGcResult> full;
+
+  int64_t minor_count() const { return static_cast<int64_t>(minor.size()); }
+
+  double MeanMinorGarbageFraction() const {
+    double sum = 0;
+    int64_t n = 0;
+    for (const auto& gc : minor) {
+      if (gc.young_used_before > 0) {
+        sum += static_cast<double>(gc.garbage_bytes) / static_cast<double>(gc.young_used_before);
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+  Duration MeanMinorDuration() const {
+    if (minor.empty()) {
+      return Duration::Zero();
+    }
+    Duration total = Duration::Zero();
+    for (const auto& gc : minor) {
+      total += gc.duration;
+    }
+    return total / static_cast<int64_t>(minor.size());
+  }
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_JVM_GC_STATS_H_

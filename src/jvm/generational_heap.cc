@@ -1,0 +1,341 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/jvm/generational_heap.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace javmm {
+namespace {
+
+int64_t PageAlignDownBytes(int64_t bytes) { return bytes / kPageSize * kPageSize; }
+int64_t PageAlignUpBytes(int64_t bytes) { return PagesForBytes(bytes) * kPageSize; }
+
+}  // namespace
+
+GenerationalHeap::GenerationalHeap(AddressSpace* space, const HeapConfig& config)
+    : space_(space), config_(config) {
+  CHECK(space != nullptr);
+  CHECK_GE(config.young_min_bytes, 4 * kPageSize);
+  CHECK_LE(config.young_min_bytes, config.young_initial_bytes);
+  CHECK_LE(config.young_initial_bytes, config.young_max_bytes);
+  CHECK_GT(config.survivor_fraction, 0.0);
+  CHECK_LT(config.survivor_fraction, 0.5);
+  young_reserved_ = space_->ReserveVa(config.young_max_bytes);
+  old_reserved_ = space_->ReserveVa(config.old_max_bytes);
+  const int64_t initial = PageAlignUpBytes(config.young_initial_bytes);
+  CHECK(space_->CommitRange(young_reserved_.begin, initial));
+  young_committed_bytes_ = initial;
+  ComputeLayout(initial);
+}
+
+void GenerationalHeap::ComputeLayout(int64_t young) {
+  survivor_size_ = std::max<int64_t>(
+      kPageSize, PageAlignDownBytes(static_cast<int64_t>(static_cast<double>(young) *
+                                                         config_.survivor_fraction)));
+  eden_size_ = young - 2 * survivor_size_;
+  CHECK_GT(eden_size_, 0);
+  eden_base_ = young_reserved_.begin;
+  survivor_base_[0] = eden_base_ + static_cast<uint64_t>(eden_size_);
+  survivor_base_[1] = survivor_base_[0] + static_cast<uint64_t>(survivor_size_);
+}
+
+bool GenerationalHeap::TryAllocate(int64_t bytes, TimePoint death_time) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, eden_size_);
+  if (eden_used_ + bytes > eden_size_) {
+    return false;
+  }
+  const VirtAddr addr = eden_base_ + static_cast<uint64_t>(eden_used_);
+  space_->Write(addr, bytes);
+  eden_chunks_.push_back(Chunk{bytes, death_time, 0, addr});
+  eden_used_ += bytes;
+  allocated_since_gc_ += bytes;
+  total_allocated_bytes_ += bytes;
+  return true;
+}
+
+MinorGcResult GenerationalHeap::MinorGc(TimePoint now, bool enforced) {
+  MinorGcResult result;
+  result.at = now;
+  result.enforced = enforced;
+  result.young_used_before = young_used_bytes();
+
+  const int to = 1 - from_index_;
+  CHECK_EQ(survivor_used_[to], 0);
+  const VirtAddr to_base = survivor_base_[to];
+  int64_t to_used = 0;
+  std::vector<Chunk> to_chunks;
+  Duration full_gc_penalty = Duration::Zero();
+
+  auto copy_to_to = [&](Chunk chunk) -> bool {
+    if (to_used + chunk.bytes > survivor_size_) {
+      return false;
+    }
+    chunk.addr = to_base + static_cast<uint64_t>(to_used);
+    space_->Write(chunk.addr, chunk.bytes);
+    to_used += chunk.bytes;
+    result.copied_to_survivor += chunk.bytes;
+    to_chunks.push_back(chunk);
+    return true;
+  };
+
+  auto promote = [&](Chunk chunk) {
+    result.promoted_bytes += chunk.bytes;
+    if (!PromoteChunk(chunk, now, &result)) {
+      JAVMM_UNREACHABLE("old generation exhausted even after full GC");
+    }
+    if (result.triggered_full_gc && full_gc_penalty.IsZero() && !gc_log_.full.empty()) {
+      full_gc_penalty = gc_log_.full.back().duration;
+    }
+  };
+
+  // Eden: copy live data to To, or promote on survivor overflow.
+  for (Chunk& chunk : eden_chunks_) {
+    if (chunk.death_time <= now) {
+      continue;  // Garbage: reclaimed by doing nothing.
+    }
+    result.live_bytes += chunk.bytes;
+    chunk.age = 1;
+    if (!copy_to_to(chunk)) {
+      promote(chunk);
+    }
+  }
+  // From: promote tenured chunks, copy the rest to To.
+  for (Chunk& chunk : survivor_chunks_) {
+    if (chunk.death_time <= now) {
+      continue;
+    }
+    result.live_bytes += chunk.bytes;
+    chunk.age += 1;
+    if (chunk.age >= config_.tenure_threshold) {
+      promote(chunk);
+    } else if (!copy_to_to(chunk)) {
+      promote(chunk);
+    }
+  }
+
+  // Eden and the old From space are now empty; To becomes the new From.
+  eden_chunks_.clear();
+  eden_used_ = 0;
+  survivor_used_[from_index_] = 0;
+  survivor_chunks_ = std::move(to_chunks);
+  survivor_used_[to] = to_used;
+  from_index_ = to;
+
+  result.garbage_bytes = result.young_used_before - result.live_bytes;
+
+  // Duration model (HeapConfig): fixed + live copy cost + used-young scan
+  // cost, plus the full-GC pause if promotion failure escalated.
+  result.duration =
+      config_.minor_gc_fixed +
+      config_.minor_gc_per_live_mib * (static_cast<double>(result.live_bytes) /
+                                       static_cast<double>(kMiB)) +
+      config_.minor_gc_per_used_gib * (static_cast<double>(result.young_used_before) /
+                                       static_cast<double>(kGiB));
+  result.full_gc_penalty = full_gc_penalty;
+
+  // Adaptive young sizing, applied at GC end when only From holds data.
+  // Enforced (migration-time) collections never resize: they sample the
+  // allocation rate mid-cycle and would mis-shrink the heap right before
+  // stop-and-copy -- and HotSpot's size policy skips explicit GCs too.
+  const Duration since_last = now - last_gc_time_;
+  if (!enforced && since_last > Duration::Zero() && allocated_since_gc_ > 0) {
+    const double rate = static_cast<double>(allocated_since_gc_) / since_last.ToSecondsF();
+    const double eden_fraction = 1.0 - 2.0 * config_.survivor_fraction;
+    int64_t desired = static_cast<int64_t>(rate * config_.target_fill_interval.ToSecondsF() /
+                                           eden_fraction);
+    desired = std::clamp(desired, config_.young_min_bytes, config_.young_max_bytes);
+    // Near-cap demand rounds up to the cap: high-allocation workloads "quickly
+    // grow to the maximum size" (§4.2, Table 2 observes young == -Xmn).
+    if (static_cast<double>(desired) >= 0.85 * static_cast<double>(config_.young_max_bytes)) {
+      desired = config_.young_max_bytes;
+    }
+    desired = PageAlignUpBytes(desired);
+    int64_t new_young = young_committed_bytes_;
+    if (desired > young_committed_bytes_) {
+      new_young = std::min<int64_t>(
+          desired, static_cast<int64_t>(static_cast<double>(young_committed_bytes_) *
+                                        config_.grow_factor));
+      new_young = std::min(PageAlignUpBytes(new_young), config_.young_max_bytes);
+    } else if (config_.allow_shrink &&
+               static_cast<double>(desired) * config_.shrink_headroom <
+                   static_cast<double>(young_committed_bytes_)) {
+      new_young = std::max(desired, config_.young_min_bytes);
+      // Never shrink below what the surviving data needs.
+      const int64_t survivor_need = survivor_used_[from_index_];
+      const int64_t fit = PageAlignUpBytes(static_cast<int64_t>(
+          static_cast<double>(survivor_need) / config_.survivor_fraction + kPageSize));
+      new_young = std::min(std::max(new_young, fit), young_committed_bytes_);
+    }
+    if (new_young != young_committed_bytes_) {
+      ResizeYoung(new_young, now);
+      result.young_resized = true;
+    }
+  }
+  allocated_since_gc_ = 0;
+  last_gc_time_ = now;
+
+  result.young_committed_after = young_committed_bytes_;
+  gc_log_.minor.push_back(result);
+  return result;
+}
+
+void GenerationalHeap::ResizeYoung(int64_t new_young, TimePoint now) {
+  (void)now;
+  const int64_t old_young = young_committed_bytes_;
+  CHECK_NE(new_young, old_young);
+  CHECK_EQ(eden_used_, 0);  // Only legal at GC end.
+  if (new_young > old_young) {
+    CHECK(space_->CommitRange(young_reserved_.begin + static_cast<uint64_t>(old_young),
+                              new_young - old_young));
+  }
+  // Recompute boundaries and relocate the surviving From data into the new
+  // layout's Survivor0.
+  const std::vector<Chunk> survivors = std::move(survivor_chunks_);
+  const int64_t survivor_bytes = survivor_used_[from_index_];
+  survivor_used_[0] = survivor_used_[1] = 0;
+  survivor_chunks_.clear();
+  ComputeLayout(new_young);
+  CHECK_LE(survivor_bytes, survivor_size_);
+  from_index_ = 0;
+  int64_t top = 0;
+  for (Chunk chunk : survivors) {
+    chunk.addr = survivor_base_[0] + static_cast<uint64_t>(top);
+    space_->Write(chunk.addr, chunk.bytes);
+    top += chunk.bytes;
+    survivor_chunks_.push_back(chunk);
+  }
+  CHECK_EQ(top, survivor_bytes);
+  survivor_used_[0] = survivor_bytes;
+  young_committed_bytes_ = new_young;
+  if (new_young < old_young) {
+    const VaRange freed{young_reserved_.begin + static_cast<uint64_t>(new_young),
+                        young_reserved_.begin + static_cast<uint64_t>(old_young)};
+    space_->DecommitRange(freed.begin, freed.bytes());
+    if (resize_listener_ != nullptr) {
+      resize_listener_->OnYoungGenShrunk(freed);
+    }
+  }
+}
+
+void GenerationalHeap::SetBalloonedYoungCap(int64_t bytes) {
+  CHECK_GE(bytes, config_.young_min_bytes);
+  config_.young_max_bytes = PagesForBytes(bytes) * kPageSize;
+  // The adaptive policy clamps to the new cap at the next GC; nothing moves
+  // here (a resize is only legal with an empty eden).
+}
+
+bool GenerationalHeap::AllocateOld(int64_t bytes, TimePoint death_time) {
+  CHECK_GT(bytes, 0);
+  if (old_top_ + bytes > config_.old_max_bytes) {
+    return false;
+  }
+  EnsureOldCommitted(old_top_ + bytes);
+  const VirtAddr addr = old_reserved_.begin + static_cast<uint64_t>(old_top_);
+  space_->Write(addr, bytes);
+  old_top_ += bytes;
+  old_chunks_.push_back(Chunk{bytes, death_time, 0, addr});
+  total_allocated_bytes_ += bytes;
+  return true;
+}
+
+bool GenerationalHeap::PromoteChunk(Chunk chunk, TimePoint now, MinorGcResult* result) {
+  if (old_top_ + chunk.bytes > config_.old_max_bytes) {
+    FullGc(now);
+    result->triggered_full_gc = true;
+    if (old_top_ + chunk.bytes > config_.old_max_bytes) {
+      return false;
+    }
+  }
+  EnsureOldCommitted(old_top_ + chunk.bytes);
+  chunk.addr = old_reserved_.begin + static_cast<uint64_t>(old_top_);
+  space_->Write(chunk.addr, chunk.bytes);
+  old_top_ += chunk.bytes;
+  old_chunks_.push_back(chunk);
+  return true;
+}
+
+void GenerationalHeap::EnsureOldCommitted(int64_t needed_bytes) {
+  CHECK_LE(needed_bytes, config_.old_max_bytes);
+  while (old_committed_bytes_ < needed_bytes) {
+    const int64_t step =
+        std::min(config_.old_commit_step, config_.old_max_bytes - old_committed_bytes_);
+    CHECK(space_->CommitRange(old_reserved_.begin + static_cast<uint64_t>(old_committed_bytes_),
+                              step));
+    old_committed_bytes_ += step;
+  }
+}
+
+FullGcResult GenerationalHeap::FullGc(TimePoint now) {
+  FullGcResult result;
+  result.at = now;
+  result.old_used_before = old_top_;
+  std::vector<Chunk> live;
+  live.reserve(old_chunks_.size());
+  int64_t top = 0;
+  for (Chunk chunk : old_chunks_) {
+    if (chunk.death_time <= now) {
+      continue;
+    }
+    // Sliding compaction: objects already at their compacted position are
+    // left untouched (long-lived baseline data near the base never moves and
+    // is not re-dirtied); only objects that slide are rewritten.
+    const VirtAddr dst = old_reserved_.begin + static_cast<uint64_t>(top);
+    if (chunk.addr != dst) {
+      chunk.addr = dst;
+      space_->Write(chunk.addr, chunk.bytes);
+    }
+    top += chunk.bytes;
+    live.push_back(chunk);
+  }
+  old_chunks_ = std::move(live);
+  old_top_ = top;
+  result.old_live = top;
+  result.old_garbage = result.old_used_before - top;
+  result.duration = config_.full_gc_fixed +
+                    config_.full_gc_per_live_mib *
+                        (static_cast<double>(result.old_live) / static_cast<double>(kMiB));
+  gc_log_.full.push_back(result);
+  return result;
+}
+
+std::vector<GenerationalHeap::ChunkInfo> GenerationalHeap::LiveChunks(TimePoint now) const {
+  std::vector<ChunkInfo> out;
+  out.reserve(eden_chunks_.size() + survivor_chunks_.size() + old_chunks_.size());
+  for (const auto* chunks : {&eden_chunks_, &survivor_chunks_, &old_chunks_}) {
+    for (const Chunk& chunk : *chunks) {
+      if (chunk.death_time > now) {
+        out.push_back(ChunkInfo{chunk.addr, chunk.bytes, chunk.death_time});
+      }
+    }
+  }
+  return out;
+}
+
+void GenerationalHeap::CheckInvariants() const {
+  int64_t eden_sum = 0;
+  for (const Chunk& chunk : eden_chunks_) {
+    CHECK_GE(chunk.addr, eden_base_);
+    CHECK_LE(chunk.addr + static_cast<uint64_t>(chunk.bytes),
+             eden_base_ + static_cast<uint64_t>(eden_size_));
+    eden_sum += chunk.bytes;
+  }
+  CHECK_EQ(eden_sum, eden_used_);
+  const VaRange from = from_space_range();
+  int64_t from_sum = 0;
+  for (const Chunk& chunk : survivor_chunks_) {
+    CHECK_GE(chunk.addr, from.begin);
+    CHECK_LE(chunk.addr + static_cast<uint64_t>(chunk.bytes), from.end);
+    from_sum += chunk.bytes;
+  }
+  CHECK_EQ(from_sum, survivor_used_[from_index_]);
+  int64_t old_sum = 0;
+  for (const Chunk& chunk : old_chunks_) {
+    old_sum += chunk.bytes;
+  }
+  CHECK_EQ(old_sum, old_top_);
+  CHECK_EQ(eden_size_ + 2 * survivor_size_, young_committed_bytes_);
+}
+
+}  // namespace javmm

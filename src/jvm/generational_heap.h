@@ -1,0 +1,192 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// A HotSpot-like generational heap over simulated guest memory (§4.1).
+//
+// Layout within the reserved young-generation VA range:
+//
+//     [ Eden | Survivor0 | Survivor1 ]  -- committed prefix of the range
+//
+// One survivor space is "From" (may hold live data), the other "To" (empty
+// between collections); the roles swap at each minor GC. Objects are modelled
+// as *chunks*: cohorts of same-lifetime objects allocated together (see
+// DESIGN.md §4). All stores flow through the owning AddressSpace, so the
+// hypervisor dirty log observes exactly the write pattern the paper's
+// workloads generate: eden continuously re-dirtied at the allocation rate,
+// survivor/old pages dirtied by copying and promotion.
+
+#ifndef JAVMM_SRC_JVM_GENERATIONAL_HEAP_H_
+#define JAVMM_SRC_JVM_GENERATIONAL_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/base/time.h"
+#include "src/jvm/gc_stats.h"
+#include "src/jvm/heap_config.h"
+#include "src/mem/address_space.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+class GenerationalHeap {
+ public:
+  // Observer for heap-region changes the TI agent must see (§4.3.2: "memory
+  // pages may be freed from the Young generation at the end of a GC; we
+  // slightly modify HotSpot to notify when this happens").
+  class ResizeListener {
+   public:
+    virtual ~ResizeListener() = default;
+    virtual void OnYoungGenShrunk(const VaRange& freed) = 0;
+  };
+
+  GenerationalHeap(AddressSpace* space, const HeapConfig& config);
+  GenerationalHeap(const GenerationalHeap&) = delete;
+  GenerationalHeap& operator=(const GenerationalHeap&) = delete;
+
+  // Allocates a chunk of `bytes` whose objects die at `death_time`. Returns
+  // false when eden cannot hold the chunk: the caller must run MinorGc first.
+  bool TryAllocate(int64_t bytes, TimePoint death_time);
+
+  // Runs a minor collection at simulated instant `now`. `enforced` marks the
+  // migration-time GC requested through the TI agent (never ignored, §4.3.2).
+  MinorGcResult MinorGc(TimePoint now, bool enforced = false);
+
+  // Old-generation collection (compacting). Triggered on promotion failure.
+  FullGcResult FullGc(TimePoint now);
+
+  // Places long-lived startup data (database tables, caches, code metadata)
+  // directly in the old generation -- the workloads' "baseline" old data that
+  // exists before any promotion. Returns false if the old generation is full.
+  bool AllocateOld(int64_t bytes, TimePoint death_time);
+
+  // Application-Level Ballooning support (Salomie et al. [31], discussed in
+  // §2): caps the young generation at `bytes` from now on. Takes effect at
+  // the next minor GC (when survivor data can be relocated); pass the
+  // original -Xmn back to re-inflate after migration.
+  void SetBalloonedYoungCap(int64_t bytes);
+  int64_t young_cap() const { return config_.young_max_bytes; }
+
+  // Dirties `bytes` worth of pages spread across the occupied old generation;
+  // models the workload's long-lived-data mutation. `page_picker` supplies
+  // uniform [0,1) values used to pick target pages.
+  template <typename UniformFn>
+  void MutateOld(int64_t bytes, UniformFn&& page_picker) {
+    if (old_top_ == 0 || bytes <= 0) {
+      return;
+    }
+    const int64_t pages = PagesForBytes(bytes);
+    const int64_t occupied_pages = PagesForBytes(old_top_);
+    for (int64_t i = 0; i < pages; ++i) {
+      const int64_t page = static_cast<int64_t>(page_picker() * static_cast<double>(occupied_pages));
+      const VirtAddr va =
+          old_reserved_.begin + static_cast<uint64_t>(std::min(page, occupied_pages - 1) * kPageSize);
+      space_->Touch(va);
+    }
+  }
+
+  // ---- Region queries (TI agent, tests, verification). ----
+  VaRange young_reserved() const { return young_reserved_; }
+  VaRange young_committed() const {
+    return VaRange{young_reserved_.begin,
+                   young_reserved_.begin + static_cast<uint64_t>(young_committed_bytes_)};
+  }
+  VaRange eden_range() const { return VaRange{eden_base_, eden_base_ + static_cast<uint64_t>(eden_size_)}; }
+  VaRange from_space_range() const { return SurvivorRange(from_index_); }
+  VaRange to_space_range() const { return SurvivorRange(1 - from_index_); }
+  // Occupied prefix of From: the live data surviving the latest minor GC.
+  VaRange occupied_from_range() const {
+    const VaRange from = from_space_range();
+    return VaRange{from.begin, from.begin + static_cast<uint64_t>(survivor_used_[from_index_])};
+  }
+  VaRange occupied_old_range() const {
+    return VaRange{old_reserved_.begin, old_reserved_.begin + static_cast<uint64_t>(old_top_)};
+  }
+
+  int64_t young_committed_bytes() const { return young_committed_bytes_; }
+  int64_t young_used_bytes() const { return eden_used_ + survivor_used_[from_index_]; }
+  int64_t eden_free_bytes() const { return eden_size_ - eden_used_; }
+  int64_t old_used_bytes() const { return old_top_; }
+  int64_t old_committed_bytes() const { return old_committed_bytes_; }
+  int64_t total_allocated_bytes() const { return total_allocated_bytes_; }
+
+  const HeapConfig& config() const { return config_; }
+  const GcLog& gc_log() const { return gc_log_; }
+  void set_resize_listener(ResizeListener* listener) { resize_listener_ = listener; }
+
+  // Live chunks at `now` across all spaces; used by migration verification to
+  // assert every surviving object's pages reached the destination.
+  struct ChunkInfo {
+    VirtAddr addr;
+    int64_t bytes;
+    TimePoint death_time;
+  };
+  std::vector<ChunkInfo> LiveChunks(TimePoint now) const;
+
+  // Sanity invariants (used by tests): chunk placement within space bounds,
+  // top pointers consistent with chunk sums.
+  void CheckInvariants() const;
+
+ private:
+  struct Chunk {
+    int64_t bytes;
+    TimePoint death_time;
+    int32_t age;
+    VirtAddr addr;
+  };
+
+  VaRange SurvivorRange(int index) const {
+    const VirtAddr base = survivor_base_[index];
+    return VaRange{base, base + static_cast<uint64_t>(survivor_size_)};
+  }
+
+  // Recomputes eden/survivor boundaries for a committed young size `young`.
+  void ComputeLayout(int64_t young);
+
+  // Grows/shrinks the committed young generation to `new_young` at GC end
+  // (survivor data is relocated into the new layout). Returns bytes freed
+  // (positive when shrinking).
+  void ResizeYoung(int64_t new_young, TimePoint now);
+
+  // Places a chunk in the old generation (growing the committed old region);
+  // may trigger a full GC on exhaustion. Returns false if the old generation
+  // cannot hold the chunk even after a full GC.
+  bool PromoteChunk(Chunk chunk, TimePoint now, MinorGcResult* result);
+
+  void EnsureOldCommitted(int64_t needed_bytes);
+
+  AddressSpace* space_;
+  HeapConfig config_;
+
+  VaRange young_reserved_;
+  VaRange old_reserved_;
+
+  // Current layout (all byte counts page-aligned).
+  int64_t young_committed_bytes_ = 0;
+  int64_t eden_size_ = 0;
+  int64_t survivor_size_ = 0;
+  VirtAddr eden_base_ = 0;
+  VirtAddr survivor_base_[2] = {0, 0};
+  int from_index_ = 0;
+
+  // Occupancy.
+  int64_t eden_used_ = 0;
+  int64_t survivor_used_[2] = {0, 0};
+  int64_t old_top_ = 0;
+  int64_t old_committed_bytes_ = 0;
+
+  std::vector<Chunk> eden_chunks_;
+  std::vector<Chunk> survivor_chunks_;  // Chunks in the From space.
+  std::vector<Chunk> old_chunks_;
+
+  // Allocation-rate tracking for the adaptive size policy.
+  TimePoint last_gc_time_ = TimePoint::Epoch();
+  int64_t allocated_since_gc_ = 0;
+  int64_t total_allocated_bytes_ = 0;
+
+  GcLog gc_log_;
+  ResizeListener* resize_listener_ = nullptr;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_JVM_GENERATIONAL_HEAP_H_

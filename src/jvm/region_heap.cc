@@ -1,0 +1,344 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/jvm/region_heap.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+namespace {
+
+// Coalesces adjacent/overlapping ranges (regions are disjoint, so only
+// adjacency matters).
+std::vector<VaRange> Coalesce(std::vector<VaRange> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const VaRange& a, const VaRange& b) { return a.begin < b.begin; });
+  std::vector<VaRange> out;
+  for (const VaRange& r : ranges) {
+    if (!out.empty() && out.back().end == r.begin) {
+      out.back().end = r.end;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RegionizedHeap::RegionizedHeap(AddressSpace* space, const RegionHeapConfig& config)
+    : space_(space), config_(config) {
+  CHECK(space != nullptr);
+  CHECK_GT(config.region_bytes, 0);
+  CHECK_EQ(config.region_bytes % kPageSize, 0);
+  CHECK_GE(config.total_regions, config.max_young_regions);
+  CHECK_GE(config.max_young_regions, config.initial_young_regions);
+  CHECK_GE(config.initial_young_regions, config.min_young_regions);
+  const VaRange reservation =
+      space_->ReserveVa(config.region_bytes * config.total_regions);
+  regions_.resize(static_cast<size_t>(config.total_regions));
+  for (int32_t i = 0; i < config.total_regions; ++i) {
+    regions_[static_cast<size_t>(i)].range =
+        VaRange{reservation.begin + static_cast<uint64_t>(i) *
+                                        static_cast<uint64_t>(config.region_bytes),
+                reservation.begin + static_cast<uint64_t>(i + 1) *
+                                        static_cast<uint64_t>(config.region_bytes)};
+  }
+  free_pool_.reserve(static_cast<size_t>(config.total_regions));
+  for (int32_t i = config.total_regions - 1; i >= 0; --i) {
+    free_pool_.push_back(i);
+  }
+  young_quota_ = config.initial_young_regions;
+}
+
+int32_t RegionizedHeap::ClaimRegion(RegionRole role) {
+  CHECK(role != RegionRole::kFree);
+  if (free_pool_.empty()) {
+    return -1;
+  }
+  const int32_t index = free_pool_.back();
+  free_pool_.pop_back();
+  Region& region = regions_[static_cast<size_t>(index)];
+  // Free regions are uncommitted (returned to the guest kernel, §3.3.4's
+  // "area shrinks due to deallocations"); claiming recommits them, and the
+  // kernel's zeroing write announces the reuse to the dirty log.
+  CHECK(!region.committed);
+  CHECK(space_->CommitRange(region.range.begin, region.range.bytes()));
+  region.committed = true;
+  region.role = role;
+  region.used = 0;
+  region.chunks.clear();
+  if (role == RegionRole::kEden || role == RegionRole::kSurvivor) {
+    ++young_regions_;
+    if (young_claimed_) {
+      young_claimed_(region.range);
+    }
+  }
+  return index;
+}
+
+void RegionizedHeap::ReleaseRegion(int32_t index) {
+  Region& region = regions_[static_cast<size_t>(index)];
+  CHECK(region.role != RegionRole::kFree);
+  if (region.role == RegionRole::kEden || region.role == RegionRole::kSurvivor) {
+    --young_regions_;
+  }
+  region.role = RegionRole::kFree;
+  region.used = 0;
+  region.chunks.clear();
+  space_->DecommitRange(region.range.begin, region.range.bytes());
+  region.committed = false;
+  free_pool_.push_back(index);
+}
+
+void RegionizedHeap::PlaceChunk(Region& region, Chunk chunk) {
+  chunk.addr = region.range.begin + static_cast<uint64_t>(region.used);
+  space_->Write(chunk.addr, chunk.bytes);
+  region.used += chunk.bytes;
+  region.chunks.push_back(chunk);
+}
+
+bool RegionizedHeap::TryAllocate(int64_t bytes, TimePoint death_time) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, config_.region_bytes);
+  if (eden_cursor_ < 0 ||
+      regions_[static_cast<size_t>(eden_cursor_)].used + bytes > config_.region_bytes) {
+    if (young_regions_ >= young_quota_) {
+      return false;  // Young quota reached: evacuate first.
+    }
+    const int32_t claimed = ClaimRegion(RegionRole::kEden);
+    if (claimed < 0) {
+      return false;  // Region pool exhausted: evacuate first.
+    }
+    eden_cursor_ = claimed;
+  }
+  PlaceChunk(regions_[static_cast<size_t>(eden_cursor_)],
+             Chunk{bytes, death_time, 0, 0});
+  allocated_since_gc_ += bytes;
+  total_allocated_ += bytes;
+  return true;
+}
+
+bool RegionizedHeap::CopyInto(RegionRole role, Chunk chunk, int32_t* cursor) {
+  if (*cursor < 0 ||
+      regions_[static_cast<size_t>(*cursor)].used + chunk.bytes > config_.region_bytes) {
+    const int32_t claimed = ClaimRegion(role);
+    if (claimed < 0) {
+      return false;
+    }
+    *cursor = claimed;
+  }
+  PlaceChunk(regions_[static_cast<size_t>(*cursor)], chunk);
+  return true;
+}
+
+bool RegionizedHeap::AllocateOld(int64_t bytes, TimePoint death_time) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, config_.region_bytes);
+  return CopyInto(RegionRole::kOld, Chunk{bytes, death_time, config_.tenure_threshold, 0},
+                  &old_cursor_);
+}
+
+MinorGcResult RegionizedHeap::EvacuateYoung(TimePoint now, bool enforced) {
+  MinorGcResult result;
+  result.at = now;
+  result.enforced = enforced;
+
+  // Snapshot the evacuation set before claiming destination regions.
+  std::vector<int32_t> evacuated;
+  for (int32_t i = 0; i < static_cast<int32_t>(regions_.size()); ++i) {
+    const Region& region = regions_[static_cast<size_t>(i)];
+    if (region.role == RegionRole::kEden || region.role == RegionRole::kSurvivor) {
+      evacuated.push_back(i);
+      result.young_used_before += region.used;
+    }
+  }
+
+  int32_t survivor_cursor = -1;
+  int32_t survivor_regions_claimed = 0;
+  const int32_t survivor_cap =
+      std::max<int32_t>(1, static_cast<int32_t>(young_quota_ / 8));
+
+  for (const int32_t index : evacuated) {
+    Region& region = regions_[static_cast<size_t>(index)];
+    for (Chunk& chunk : region.chunks) {
+      if (chunk.death_time <= now) {
+        continue;  // Garbage: evaporates with the region.
+      }
+      result.live_bytes += chunk.bytes;
+      chunk.age += 1;
+      bool promoted = chunk.age >= config_.tenure_threshold ||
+                      survivor_regions_claimed > survivor_cap;
+      if (!promoted) {
+        const int32_t before = survivor_cursor;
+        if (CopyInto(RegionRole::kSurvivor, chunk, &survivor_cursor)) {
+          result.copied_to_survivor += chunk.bytes;
+          if (survivor_cursor != before) {
+            ++survivor_regions_claimed;
+          }
+          continue;
+        }
+        promoted = true;  // Pool pressure: promote instead.
+      }
+      // Promotion into old regions; reclaim fully-dead old regions on
+      // pressure (G1's mixed-collection stand-in).
+      if (!CopyInto(RegionRole::kOld, chunk, &old_cursor_)) {
+        for (int32_t i = 0; i < static_cast<int32_t>(regions_.size()); ++i) {
+          Region& old_region = regions_[static_cast<size_t>(i)];
+          if (old_region.role != RegionRole::kOld || i == old_cursor_) {
+            continue;
+          }
+          const bool all_dead =
+              std::all_of(old_region.chunks.begin(), old_region.chunks.end(),
+                          [now](const Chunk& c) { return c.death_time <= now; });
+          if (all_dead) {
+            ReleaseRegion(i);
+          }
+        }
+        CHECK(CopyInto(RegionRole::kOld, chunk, &old_cursor_));
+      }
+      result.promoted_bytes += chunk.bytes;
+    }
+  }
+
+  // Release the evacuated regions and report their ranges.
+  std::vector<VaRange> released;
+  released.reserve(evacuated.size());
+  for (const int32_t index : evacuated) {
+    released.push_back(regions_[static_cast<size_t>(index)].range);
+    ReleaseRegion(index);
+  }
+  released = Coalesce(std::move(released));
+  eden_cursor_ = -1;
+
+  result.garbage_bytes = result.young_used_before - result.live_bytes;
+  result.duration =
+      config_.gc_fixed +
+      config_.gc_per_live_mib *
+          (static_cast<double>(result.live_bytes) / static_cast<double>(kMiB)) +
+      config_.gc_per_region * static_cast<int64_t>(evacuated.size());
+
+  // Adaptive quota (enforced pauses never resize, as for the classic heap).
+  const Duration since_last = now - last_gc_time_;
+  if (!enforced && since_last > Duration::Zero() && allocated_since_gc_ > 0) {
+    const double rate = static_cast<double>(allocated_since_gc_) / since_last.ToSecondsF();
+    int64_t desired = static_cast<int64_t>(
+        rate * config_.target_fill_interval.ToSecondsF() /
+        (0.9 * static_cast<double>(config_.region_bytes)));
+    desired = std::clamp<int64_t>(desired, config_.min_young_regions,
+                                  config_.max_young_regions);
+    if (static_cast<double>(desired) >= 0.85 * static_cast<double>(config_.max_young_regions)) {
+      desired = config_.max_young_regions;
+    }
+    if (desired > young_quota_) {
+      young_quota_ = std::min<int64_t>(desired, young_quota_ * 2);
+    } else if (desired * 2 < young_quota_) {
+      young_quota_ = std::max<int64_t>(desired, config_.min_young_regions);
+    }
+    allocated_since_gc_ = 0;
+    last_gc_time_ = now;
+  } else if (!enforced) {
+    allocated_since_gc_ = 0;
+    last_gc_time_ = now;
+  }
+
+  result.young_committed_after = young_regions_ * config_.region_bytes;
+  gc_log_.minor.push_back(result);
+  if (young_released_ && !released.empty()) {
+    young_released_(released);
+  }
+  return result;
+}
+
+std::vector<VaRange> RegionizedHeap::YoungRanges() const {
+  std::vector<VaRange> out;
+  for (const Region& region : regions_) {
+    if (region.role == RegionRole::kEden || region.role == RegionRole::kSurvivor) {
+      out.push_back(region.range);
+    }
+  }
+  return Coalesce(std::move(out));
+}
+
+std::vector<VaRange> RegionizedHeap::OccupiedSurvivorRanges() const {
+  std::vector<VaRange> out;
+  for (const Region& region : regions_) {
+    if (region.role == RegionRole::kSurvivor && region.used > 0) {
+      out.push_back(
+          VaRange{region.range.begin, region.range.begin + static_cast<uint64_t>(region.used)});
+    }
+  }
+  return out;
+}
+
+std::vector<VaRange> RegionizedHeap::OccupiedOldRanges() const {
+  std::vector<VaRange> out;
+  for (const Region& region : regions_) {
+    if (region.role == RegionRole::kOld && region.used > 0) {
+      out.push_back(
+          VaRange{region.range.begin, region.range.begin + static_cast<uint64_t>(region.used)});
+    }
+  }
+  return Coalesce(std::move(out));
+}
+
+int64_t RegionizedHeap::young_used_bytes() const {
+  int64_t total = 0;
+  for (const Region& region : regions_) {
+    if (region.role == RegionRole::kEden || region.role == RegionRole::kSurvivor) {
+      total += region.used;
+    }
+  }
+  return total;
+}
+
+int64_t RegionizedHeap::old_used_bytes() const {
+  int64_t total = 0;
+  for (const Region& region : regions_) {
+    if (region.role == RegionRole::kOld) {
+      total += region.used;
+    }
+  }
+  return total;
+}
+
+std::vector<RegionizedHeap::ChunkInfo> RegionizedHeap::LiveChunks(TimePoint now) const {
+  std::vector<ChunkInfo> out;
+  for (const Region& region : regions_) {
+    for (const Chunk& chunk : region.chunks) {
+      if (chunk.death_time > now) {
+        out.push_back(ChunkInfo{chunk.addr, chunk.bytes});
+      }
+    }
+  }
+  return out;
+}
+
+void RegionizedHeap::CheckInvariants() const {
+  int64_t young = 0;
+  int64_t free_count = 0;
+  for (const Region& region : regions_) {
+    int64_t used = 0;
+    for (const Chunk& chunk : region.chunks) {
+      CHECK_GE(chunk.addr, region.range.begin);
+      CHECK_LE(chunk.addr + static_cast<uint64_t>(chunk.bytes), region.range.end);
+      used += chunk.bytes;
+    }
+    CHECK_EQ(used, region.used);
+    if (region.role == RegionRole::kEden || region.role == RegionRole::kSurvivor) {
+      ++young;
+    }
+    if (region.role == RegionRole::kFree) {
+      ++free_count;
+      CHECK_EQ(region.used, 0);
+      CHECK(!region.committed);
+    } else {
+      CHECK(region.committed);
+    }
+  }
+  CHECK_EQ(young, young_regions_);
+  CHECK_EQ(free_count, static_cast<int64_t>(free_pool_.size()));
+}
+
+}  // namespace javmm

@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// A garbage-first-style regionized heap -- the §6 future-work target:
+// "porting JAVMM to run with collectors that use non-contiguous VA ranges
+// for the Young generation ... HotSpot's garbage-first garbage collector is
+// one such example."
+//
+// The heap is a pool of fixed-size regions carved from one VA reservation.
+// Each region is free, or plays the eden / survivor / old role; the *young
+// generation is the current set of eden+survivor regions*, whose VA ranges
+// are non-contiguous and change at every collection. An evacuation pause
+// copies live young data into freshly claimed survivor (or old) regions and
+// returns the evacuated regions to the free pool -- so the skip-over area an
+// assisting agent reports is a vector of ranges that shrinks and grows
+// continuously, exercising the framework's multi-range paths for real.
+
+#ifndef JAVMM_SRC_JVM_REGION_HEAP_H_
+#define JAVMM_SRC_JVM_REGION_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/jvm/gc_stats.h"
+#include "src/mem/address_space.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+struct RegionHeapConfig {
+  int64_t region_bytes = 4 * kMiB;
+  int32_t total_regions = 384;       // Whole-heap reservation (1.5 GiB).
+  int32_t max_young_regions = 256;   // -Xmn analogue (1 GiB).
+  int32_t initial_young_regions = 16;
+  int32_t min_young_regions = 8;
+  int32_t tenure_threshold = 3;
+
+  // Evacuation-pause duration model: fixed + live copy + per evacuated
+  // region overhead (remembered-set scanning etc.).
+  Duration gc_fixed = Duration::Millis(15);
+  Duration gc_per_live_mib = Duration::Millis(4);
+  Duration gc_per_region = Duration::Millis(3);
+
+  // Adaptive young sizing, as for the contiguous heap.
+  Duration target_fill_interval = Duration::Seconds(3);
+};
+
+class RegionizedHeap {
+ public:
+  enum class RegionRole : uint8_t { kFree, kEden, kSurvivor, kOld };
+
+  // Called at the end of an evacuation with the VA ranges of the regions
+  // that left the young generation (they returned to the free pool or were
+  // retagged); the agent relays these as shrink notices.
+  using YoungReleasedCallback = std::function<void(const std::vector<VaRange>&)>;
+
+  // Called whenever a region joins the young generation (eden claims during
+  // allocation, survivor claims during evacuation); the agent relays these
+  // as incremental skip-over reports so a region-cycling collector keeps its
+  // young set skip-listed between bitmap updates.
+  using YoungClaimedCallback = std::function<void(const VaRange&)>;
+
+  RegionizedHeap(AddressSpace* space, const RegionHeapConfig& config);
+  RegionizedHeap(const RegionizedHeap&) = delete;
+  RegionizedHeap& operator=(const RegionizedHeap&) = delete;
+
+  // Allocates a chunk dying at `death_time` into the current eden region,
+  // claiming further free regions as eden fills. Returns false when the
+  // young generation has reached its region quota: evacuate first.
+  bool TryAllocate(int64_t bytes, TimePoint death_time);
+
+  // Evacuation pause: copies live young data into fresh survivor regions
+  // (promoting tenured/overflowing chunks into old regions), releases all
+  // evacuated young regions, and fires the young-released callback.
+  MinorGcResult EvacuateYoung(TimePoint now, bool enforced = false);
+
+  // Places long-lived baseline data directly into old regions.
+  bool AllocateOld(int64_t bytes, TimePoint death_time);
+
+  // ---- Queries for the assisting agent. ----
+  // Current young generation as VA ranges (non-contiguous, adjacent regions
+  // coalesced); this is the skip-over area set.
+  std::vector<VaRange> YoungRanges() const;
+  // Occupied prefixes of the survivor regions holding data that survived the
+  // latest evacuation -- the must-transfer set after an enforced pause.
+  std::vector<VaRange> OccupiedSurvivorRanges() const;
+  // Occupied old-region prefixes (compression hints).
+  std::vector<VaRange> OccupiedOldRanges() const;
+
+  int64_t young_region_count() const { return young_regions_; }
+  int64_t young_quota_regions() const { return young_quota_; }
+  int64_t young_used_bytes() const;
+  int64_t old_used_bytes() const;
+  int64_t total_allocated_bytes() const { return total_allocated_; }
+  const GcLog& gc_log() const { return gc_log_; }
+  const RegionHeapConfig& config() const { return config_; }
+
+  void set_young_released_callback(YoungReleasedCallback cb) {
+    young_released_ = std::move(cb);
+  }
+  void set_young_claimed_callback(YoungClaimedCallback cb) {
+    young_claimed_ = std::move(cb);
+  }
+
+  // Live chunks for migration verification.
+  struct ChunkInfo {
+    VirtAddr addr;
+    int64_t bytes;
+  };
+  std::vector<ChunkInfo> LiveChunks(TimePoint now) const;
+
+  void CheckInvariants() const;
+
+ private:
+  struct Chunk {
+    int64_t bytes;
+    TimePoint death_time;
+    int32_t age;
+    VirtAddr addr;
+  };
+
+  struct Region {
+    VaRange range;
+    RegionRole role = RegionRole::kFree;
+    bool committed = false;
+    int64_t used = 0;
+    std::vector<Chunk> chunks;
+  };
+
+  // Claims a free region for `role`, committing it on first use. Returns
+  // region index or -1 when the pool is exhausted.
+  int32_t ClaimRegion(RegionRole role);
+  void ReleaseRegion(int32_t index);
+
+  // Appends a chunk to `region` (caller checked capacity).
+  void PlaceChunk(Region& region, Chunk chunk);
+
+  // Copies `chunk` into the current destination region of `role`, claiming a
+  // new one on overflow. Returns false when the pool is exhausted.
+  bool CopyInto(RegionRole role, Chunk chunk, int32_t* cursor);
+
+  AddressSpace* space_;
+  RegionHeapConfig config_;
+  std::vector<Region> regions_;
+  std::vector<int32_t> free_pool_;  // LIFO: recycled regions interleave, so
+                                    // young ranges fragment over time.
+  int32_t eden_cursor_ = -1;        // Region receiving allocations.
+  int32_t old_cursor_ = -1;         // Old region receiving promotions.
+  int64_t young_regions_ = 0;       // Eden + survivor regions.
+  int64_t young_quota_ = 0;
+
+  TimePoint last_gc_time_ = TimePoint::Epoch();
+  int64_t allocated_since_gc_ = 0;
+  int64_t total_allocated_ = 0;
+  GcLog gc_log_;
+  YoungReleasedCallback young_released_;
+  YoungClaimedCallback young_claimed_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_JVM_REGION_HEAP_H_

@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/jvm/ti_agent.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+TiAgent::TiAgent(GuestKernel* kernel, AppId pid, JvmMigrationHooks* hooks,
+                 const TiAgentConfig& config)
+    : kernel_(kernel), pid_(pid), hooks_(hooks), config_(config) {
+  CHECK(kernel != nullptr);
+  CHECK(hooks != nullptr);
+  // "As a Java application runs, our TI agent is loaded. It creates a netlink
+  // socket to communicate with the LKM." (§4.3.2)
+  kernel_->netlink().Subscribe(pid_, this);
+}
+
+TiAgent::~TiAgent() { kernel_->netlink().Unsubscribe(pid_); }
+
+Lkm& TiAgent::lkm() {
+  Lkm* lkm = kernel_->lkm();
+  CHECK(lkm != nullptr);
+  return *lkm;
+}
+
+void TiAgent::OnNetlinkMessage(const NetlinkMessage& msg) {
+  switch (msg.type) {
+    case NetlinkMessageType::kQuerySkipOverAreas:
+      // Migration began: report the young generation as the skip-over area.
+      migration_active_ = true;
+      lkm().ReportSkipOverAreas(pid_, {hooks_->YoungGenRange()});
+      // Compression hint (§6 multi-bit map): tenured heap data is
+      // pointer/zero-rich and compresses very well.
+      lkm().AnnotateCompression(pid_, hooks_->OldGenRange(),
+                                CompressionClass::kHighlyCompressible);
+      return;
+    case NetlinkMessageType::kPrepareForSuspension:
+      if (!config_.cooperative) {
+        return;  // Straggler: never responds; the LKM's timeout handles us.
+      }
+      // Enforce a minor GC; the JVM calls OnEnforcedGcComplete when done.
+      hooks_->RequestEnforcedGc();
+      return;
+    case NetlinkMessageType::kVmResumed:
+      // Destination resumed (or migration aborted): release the Java threads
+      // and return to normal operation. The skipped young-gen space is empty
+      // post-GC, so the application simply continues.
+      migration_active_ = false;
+      if (holding_safepoint_) {
+        holding_safepoint_ = false;
+        hooks_->ReleaseFromSafepoint();
+      }
+      return;
+  }
+  JAVMM_UNREACHABLE("unknown netlink message");
+}
+
+void TiAgent::OnYoungGenShrunk(const VaRange& freed) {
+  if (!migration_active_) {
+    return;  // Shrink notices only matter while a migration is in flight.
+  }
+  if (holding_safepoint_) {
+    // Should not happen: the heap cannot resize while threads are held.
+    return;
+  }
+  lkm().NotifyAreaShrunk(pid_, freed);
+}
+
+bool TiAgent::OnEnforcedGcComplete() {
+  if (!migration_active_) {
+    // The migration finished (or fell back) while this GC ran; nothing to
+    // report and no reason to hold the threads.
+    return false;
+  }
+  // Threads are paused at the safepoint; keep them there ("without giving JVM
+  // control to release the Java threads", §4.3.2) so Eden and To stay empty
+  // through stop-and-copy.
+  holding_safepoint_ = true;
+  SuspensionReadyInfo info;
+  info.skip_over_areas = {hooks_->YoungGenRange()};
+  info.must_transfer = {hooks_->OccupiedFromRange()};
+  lkm().NotifySuspensionReady(pid_, info);
+  return true;
+}
+
+}  // namespace javmm

@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// The JVM TI agent of JAVMM (§4.3.1-§4.3.2).
+//
+// The agent is the glue between the LKM and the JVM: it subscribes to the
+// netlink multicast group when the Java application starts, answers skip-over
+// queries with the young generation's VA range, relays young-gen shrink
+// events, and -- on "prepare for suspension" -- enforces a minor GC, reports
+// suspension-ready with the occupied From range, and keeps the Java threads
+// at the safepoint until the VM resumes at the destination.
+
+#ifndef JAVMM_SRC_JVM_TI_AGENT_H_
+#define JAVMM_SRC_JVM_TI_AGENT_H_
+
+#include "src/guest/guest_kernel.h"
+#include "src/guest/lkm.h"
+#include "src/guest/netlink_bus.h"
+#include "src/jvm/generational_heap.h"
+
+namespace javmm {
+
+// The slice of JVM functionality the agent needs, provided partly by stock
+// JVMTI and partly by the paper's small HotSpot modifications. Implemented by
+// the Java application process (which owns heap timing).
+class JvmMigrationHooks {
+ public:
+  virtual ~JvmMigrationHooks() = default;
+
+  // Current committed VA range of the young generation (JVMTI extension).
+  virtual VaRange YoungGenRange() const = 0;
+
+  // Occupied prefix of the From space -- valid right after the enforced GC,
+  // while threads are still paused at the safepoint.
+  virtual VaRange OccupiedFromRange() const = 0;
+
+  // Occupied old generation (compression-hint annotation, §6).
+  virtual VaRange OldGenRange() const = 0;
+
+  // Requests a minor GC that must not be silently ignored (§4.3.2). The JVM
+  // brings threads to a safepoint and collects over *simulated time*; when
+  // the collection finishes it invokes TiAgent::OnEnforcedGcComplete while
+  // threads are still held.
+  virtual void RequestEnforcedGc() = 0;
+
+  // Releases Java threads from the safepoint (VM resumed at destination, or
+  // migration aborted).
+  virtual void ReleaseFromSafepoint() = 0;
+};
+
+struct TiAgentConfig {
+  // A non-cooperative agent ignores prepare-for-suspension; used to exercise
+  // the LKM's straggler timeout (§6).
+  bool cooperative = true;
+};
+
+class TiAgent : public NetlinkSubscriber, public GenerationalHeap::ResizeListener {
+ public:
+  // Loads the agent into process `pid`: subscribes to the netlink group.
+  TiAgent(GuestKernel* kernel, AppId pid, JvmMigrationHooks* hooks,
+          const TiAgentConfig& config = {});
+  ~TiAgent() override;
+
+  TiAgent(const TiAgent&) = delete;
+  TiAgent& operator=(const TiAgent&) = delete;
+
+  // NetlinkSubscriber: messages multicast by the LKM.
+  void OnNetlinkMessage(const NetlinkMessage& msg) override;
+
+  // GenerationalHeap::ResizeListener: pages freed from the young generation
+  // at GC end (the HotSpot modification of §4.3.2); relayed as a shrink
+  // notice while a migration is in flight.
+  void OnYoungGenShrunk(const VaRange& freed) override;
+
+  // Callback from the JVM when the enforced GC finished (threads still at the
+  // safepoint): report suspension-ready with the live From range and return
+  // true, meaning the JVM must keep the threads held. Returns false when the
+  // migration ended while the GC was running (e.g. the LKM's straggler
+  // timeout revoked us, the daemon fell back, and the VM already resumed) --
+  // the collection then counts as a normal GC and the threads are released.
+  bool OnEnforcedGcComplete();
+
+  bool migration_active() const { return migration_active_; }
+  bool holding_safepoint() const { return holding_safepoint_; }
+
+ private:
+  Lkm& lkm();
+
+  GuestKernel* kernel_;
+  AppId pid_;
+  JvmMigrationHooks* hooks_;
+  TiAgentConfig config_;
+  bool migration_active_ = false;
+  bool holding_safepoint_ = false;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_JVM_TI_AGENT_H_

@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/address_space.h"
+
+#include <vector>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+namespace {
+
+// Processes' VA spaces start well above zero, like a real Linux process image.
+constexpr VirtAddr kVaBase = 0x4000'0000;  // 1 GiB.
+
+}  // namespace
+
+AddressSpace::AddressSpace(GuestPhysicalMemory* memory) : memory_(memory), next_va_(kVaBase) {
+  CHECK(memory != nullptr);
+}
+
+AddressSpace::~AddressSpace() = default;
+
+VaRange AddressSpace::ReserveVa(int64_t bytes) {
+  CHECK_GT(bytes, 0);
+  const int64_t rounded = PagesForBytes(bytes) * kPageSize;
+  const VaRange range{next_va_, next_va_ + static_cast<uint64_t>(rounded)};
+  // Leave an unmapped guard page between reservations so adjacent regions can
+  // never be confused by off-by-one range arithmetic.
+  next_va_ = range.end + static_cast<uint64_t>(kPageSize);
+  return range;
+}
+
+bool AddressSpace::CommitRange(VirtAddr start, int64_t bytes) {
+  CHECK_EQ(start % static_cast<uint64_t>(kPageSize), 0u);
+  CHECK_GT(bytes, 0);
+  CHECK_EQ(bytes % kPageSize, 0);
+  const Vpn first = VpnOf(start);
+  const Vpn count = static_cast<Vpn>(bytes / kPageSize);
+  std::vector<Pfn> frames;
+  frames.reserve(count);
+  for (Vpn i = 0; i < count; ++i) {
+    const Pfn pfn = memory_->AllocateFrame();
+    if (pfn == kInvalidPfn) {
+      for (Pfn f : frames) {
+        memory_->FreeFrame(f);
+      }
+      return false;
+    }
+    frames.push_back(pfn);
+  }
+  for (Vpn i = 0; i < count; ++i) {
+    page_table_.Map(first + i, frames[static_cast<size_t>(i)]);
+    // The kernel zeroes pages before handing them to a process; this write
+    // is what makes a recycled frame's stale content unobservable -- and it
+    // marks the dirty log, so migration re-ships reused frames naturally.
+    memory_->Write(frames[static_cast<size_t>(i)]);
+  }
+  return true;
+}
+
+void AddressSpace::DecommitRange(VirtAddr start, int64_t bytes) {
+  CHECK_EQ(start % static_cast<uint64_t>(kPageSize), 0u);
+  CHECK_GT(bytes, 0);
+  CHECK_EQ(bytes % kPageSize, 0);
+  const Vpn first = VpnOf(start);
+  const Vpn count = static_cast<Vpn>(bytes / kPageSize);
+  for (Vpn i = 0; i < count; ++i) {
+    const Pfn pfn = page_table_.Lookup(first + i);
+    CHECK_NE(pfn, kInvalidPfn);
+    page_table_.Unmap(first + i);
+    memory_->FreeFrame(pfn);
+  }
+}
+
+bool AddressSpace::IsCommitted(VirtAddr va) const { return page_table_.IsMapped(VpnOf(va)); }
+
+Pfn AddressSpace::RemapPage(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  const Pfn old_pfn = page_table_.Lookup(vpn);
+  CHECK_NE(old_pfn, kInvalidPfn);
+  const Pfn new_pfn = memory_->AllocateFrame();
+  if (new_pfn == kInvalidPfn) {
+    return kInvalidPfn;
+  }
+  page_table_.Unmap(vpn);
+  page_table_.Map(vpn, new_pfn);
+  memory_->Write(new_pfn);  // The copy dirties the new frame.
+  memory_->FreeFrame(old_pfn);
+  return new_pfn;
+}
+
+void AddressSpace::Write(VirtAddr va, int64_t bytes) {
+  DCHECK_GT(bytes, 0);
+  const Vpn first = VpnOf(va);
+  const Vpn last = VpnOf(va + static_cast<uint64_t>(bytes) - 1);
+  for (Vpn vpn = first; vpn <= last; ++vpn) {
+    const Pfn pfn = page_table_.Lookup(vpn);
+    CHECK_NE(pfn, kInvalidPfn);
+    memory_->Write(pfn);
+  }
+}
+
+}  // namespace javmm

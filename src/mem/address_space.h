@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MEM_ADDRESS_SPACE_H_
+#define JAVMM_SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+
+#include "src/mem/page_table.h"
+#include "src/mem/physical_memory.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// One guest process's view of memory: a VA space backed by frames from the
+// guest's physical memory via a page table.
+//
+// The JVM heap lives in one process's address space; Write() is the single
+// path by which application stores reach physical frames (bumping versions and
+// the hypervisor dirty log).
+class AddressSpace {
+ public:
+  explicit AddressSpace(GuestPhysicalMemory* memory);
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+  ~AddressSpace();
+
+  // Reserves `bytes` of virtual address space (page-granular) without backing
+  // frames; analogous to an mmap(PROT_NONE) region the heap grows into.
+  VaRange ReserveVa(int64_t bytes);
+
+  // Backs [start, start+bytes) with freshly allocated frames, zeroing them
+  // (each committed page counts as one write, as the kernel's clear_page
+  // does). The range must be page-aligned and not currently committed.
+  // Returns false (committing nothing) if physical memory is exhausted.
+  bool CommitRange(VirtAddr start, int64_t bytes);
+
+  // Releases frames backing the page-aligned range [start, start+bytes);
+  // every page must be committed. After this, walks over the range see
+  // non-present PTEs -- the "PFNs reclaimed, no longer found in the page
+  // tables" situation of §3.3.4.
+  void DecommitRange(VirtAddr start, int64_t bytes);
+
+  bool IsCommitted(VirtAddr va) const;
+
+  // Moves the page containing `va` to a freshly allocated frame (content is
+  // "copied": the new frame is written) and frees the old frame. Models
+  // in-guest page migration/compaction/CoW breaks -- the PFN-remap events of
+  // §3.3.4 case (2). Returns the new frame, or kInvalidPfn if memory is
+  // exhausted (the page is then left untouched).
+  Pfn RemapPage(VirtAddr va);
+
+  // Stores `bytes` bytes starting at `va`: bumps the version of (and dirties)
+  // every page the span touches. The range must be committed.
+  void Write(VirtAddr va, int64_t bytes);
+
+  // Single-page store, e.g. a field update.
+  void Touch(VirtAddr va) { Write(va, 1); }
+
+  const PageTable& page_table() const { return page_table_; }
+  PageTable& page_table() { return page_table_; }
+  GuestPhysicalMemory& memory() { return *memory_; }
+
+  int64_t committed_bytes() const {
+    return static_cast<int64_t>(page_table_.mapped_count()) * kPageSize;
+  }
+
+ private:
+  GuestPhysicalMemory* memory_;
+  PageTable page_table_;
+  VirtAddr next_va_;  // Bump allocator for ReserveVa.
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_ADDRESS_SPACE_H_

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/bitmap.h"
+
+#include <bit>
+
+namespace javmm {
+
+PageBitmap::PageBitmap(int64_t size, bool initial) : size_(size) {
+  CHECK_GE(size, 0);
+  words_.resize(static_cast<size_t>((size + 63) / 64), initial ? ~uint64_t{0} : 0);
+  if (initial && size % 64 != 0 && !words_.empty()) {
+    // Keep bits past `size` clear so Count() stays exact.
+    words_.back() &= (uint64_t{1} << (size % 64)) - 1;
+  }
+}
+
+bool PageBitmap::TestAndSet(int64_t i) {
+  const bool prev = Test(i);
+  Set(i);
+  return prev;
+}
+
+bool PageBitmap::TestAndClear(int64_t i) {
+  const bool prev = Test(i);
+  Clear(i);
+  return prev;
+}
+
+void PageBitmap::SetAll() {
+  for (auto& w : words_) {
+    w = ~uint64_t{0};
+  }
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void PageBitmap::ClearAll() {
+  for (auto& w : words_) {
+    w = 0;
+  }
+}
+
+int64_t PageBitmap::Count() const {
+  int64_t n = 0;
+  for (uint64_t w : words_) {
+    n += std::popcount(w);
+  }
+  return n;
+}
+
+void PageBitmap::CollectSetBits(std::vector<int64_t>* out) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out->push_back(static_cast<int64_t>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace javmm

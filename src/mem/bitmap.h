@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MEM_BITMAP_H_
+#define JAVMM_SRC_MEM_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+// Dense fixed-size bitmap over PFNs. Shared implementation behind both the
+// hypervisor dirty bitmap and the guest transfer bitmap (one bit per VM page,
+// same page size -- §3.3.3).
+class PageBitmap {
+ public:
+  // Creates a bitmap of `size` bits, all initialised to `initial`.
+  explicit PageBitmap(int64_t size, bool initial = false);
+
+  int64_t size() const { return size_; }
+
+  bool Test(int64_t i) const {
+    DCHECK(InRange(i));
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+
+  void Set(int64_t i) {
+    DCHECK(InRange(i));
+    words_[static_cast<size_t>(i >> 6)] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(int64_t i) {
+    DCHECK(InRange(i));
+    words_[static_cast<size_t>(i >> 6)] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Assign(int64_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  // Returns the previous value and sets/clears the bit.
+  bool TestAndSet(int64_t i);
+  bool TestAndClear(int64_t i);
+
+  void SetAll();
+  void ClearAll();
+
+  // Number of set bits.
+  int64_t Count() const;
+
+  // Appends the indices of all set bits in ascending order to `out`.
+  void CollectSetBits(std::vector<int64_t>* out) const;
+
+  // Memory used by the bit store itself -- reported as framework overhead in
+  // the paper (32 KiB per GiB of VM memory with 4 KiB pages).
+  int64_t MemoryUsageBytes() const { return static_cast<int64_t>(words_.size() * 8); }
+
+ private:
+  bool InRange(int64_t i) const { return i >= 0 && i < size_; }
+
+  int64_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_BITMAP_H_

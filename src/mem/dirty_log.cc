@@ -1,0 +1,14 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/dirty_log.h"
+
+namespace javmm {
+
+std::vector<Pfn> DirtyLog::CollectAndClear() {
+  std::vector<Pfn> out;
+  bits_.CollectSetBits(&out);
+  bits_.ClearAll();
+  return out;
+}
+
+}  // namespace javmm

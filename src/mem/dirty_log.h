@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MEM_DIRTY_LOG_H_
+#define JAVMM_SRC_MEM_DIRTY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/bitmap.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// Hypervisor log-dirty facility, as Xen exposes it to the migration daemon.
+//
+// While attached to a `GuestPhysicalMemory`, every guest write marks the
+// corresponding PFN. The migration daemon uses two access patterns:
+//
+//   CollectAndClear  -- "read and clear": harvest the set of pages dirtied
+//                       since the last harvest; used at each iteration start
+//                       to form the iteration's send set.
+//   Test (peek)      -- non-destructive check whether a page has been dirtied
+//                       *again* since the harvest; used mid-iteration to skip
+//                       pages that would be retransmitted anyway ("skipped,
+//                       already dirtied" in Fig 9).
+class DirtyLog {
+ public:
+  explicit DirtyLog(int64_t frame_count) : bits_(frame_count) {}
+
+  int64_t frame_count() const { return bits_.size(); }
+
+  // Called by GuestPhysicalMemory on every write while logging is attached.
+  void Mark(Pfn pfn) {
+    bits_.Set(pfn);
+    ++total_marks_;
+  }
+
+  // Peek: has `pfn` been dirtied since the last CollectAndClear?
+  bool Test(Pfn pfn) const { return bits_.Test(pfn); }
+
+  int64_t CountDirty() const { return bits_.Count(); }
+
+  // Harvests all currently-dirty PFNs (ascending) and clears the log.
+  std::vector<Pfn> CollectAndClear();
+
+  void Clear() { bits_.ClearAll(); }
+
+  // Total number of Mark calls since construction; proxies the guest's
+  // memory-dirtying volume (used for the Fig 1 dirtying-rate series).
+  int64_t total_marks() const { return total_marks_; }
+
+ private:
+  PageBitmap bits_;
+  int64_t total_marks_ = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_DIRTY_LOG_H_

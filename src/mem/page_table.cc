@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/page_table.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+void PageTable::Map(Vpn vpn, Pfn pfn) {
+  CHECK_NE(pfn, kInvalidPfn);
+  const bool inserted = table_.emplace(vpn, pfn).second;
+  CHECK(inserted);  // Double-mapping a VPN is a guest-kernel bug.
+}
+
+void PageTable::Unmap(Vpn vpn) {
+  const size_t erased = table_.erase(vpn);
+  CHECK_EQ(erased, size_t{1});
+}
+
+Pfn PageTable::Lookup(Vpn vpn) const {
+  auto it = table_.find(vpn);
+  return it == table_.end() ? kInvalidPfn : it->second;
+}
+
+std::vector<Pfn> PageTable::WalkRange(const VaRange& range, int64_t* walk_cost) const {
+  const VaRange aligned = range.PageAlignedInterior();
+  std::vector<Pfn> pfns;
+  if (aligned.empty()) {
+    return pfns;
+  }
+  const Vpn first = VpnOf(aligned.begin);
+  const Vpn last = VpnOf(aligned.end);  // One past the final page.
+  pfns.reserve(static_cast<size_t>(last - first));
+  for (Vpn vpn = first; vpn < last; ++vpn) {
+    pfns.push_back(Lookup(vpn));
+  }
+  if (walk_cost != nullptr) {
+    *walk_cost += static_cast<int64_t>(last - first);
+  }
+  return pfns;
+}
+
+}  // namespace javmm

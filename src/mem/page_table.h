@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MEM_PAGE_TABLE_H_
+#define JAVMM_SRC_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// Per-process VA -> PFN mapping with 4 KiB pages.
+//
+// The LKM bridges the semantic gap by *walking* this table to translate the
+// skip-over VA ranges applications report into the PFNs the migration daemon
+// understands (§3.3.2). A walk over an unmapped page yields kInvalidPfn in the
+// corresponding slot -- mirroring a real walk hitting a non-present PTE (e.g.
+// a page freed by heap shrinkage, whose frame can no longer be found).
+class PageTable {
+ public:
+  PageTable() = default;
+
+  void Map(Vpn vpn, Pfn pfn);
+  void Unmap(Vpn vpn);
+  bool IsMapped(Vpn vpn) const { return table_.count(vpn) != 0; }
+
+  // Returns kInvalidPfn when unmapped.
+  Pfn Lookup(Vpn vpn) const;
+
+  // Page-table walk over the *page-aligned interior* of `range` (the LKM's
+  // alignment rule, §3.3.2): one entry per interior page, kInvalidPfn for
+  // unmapped pages. Also the number of PTEs visited is returned through
+  // `walk_cost` when non-null, to let callers model walk latency.
+  std::vector<Pfn> WalkRange(const VaRange& range, int64_t* walk_cost = nullptr) const;
+
+  size_t mapped_count() const { return table_.size(); }
+
+ private:
+  std::unordered_map<Vpn, Pfn> table_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_PAGE_TABLE_H_

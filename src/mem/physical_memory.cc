@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/physical_memory.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+GuestPhysicalMemory::GuestPhysicalMemory(int64_t bytes) : frame_count_(PagesForBytes(bytes)) {
+  CHECK_GT(frame_count_, 0);
+  versions_.assign(static_cast<size_t>(frame_count_), 0);
+  allocated_.assign(static_cast<size_t>(frame_count_), false);
+  free_list_.reserve(static_cast<size_t>(frame_count_));
+  // Push in reverse so frames are handed out in ascending PFN order, which
+  // makes layouts reproducible and easy to reason about in tests.
+  for (Pfn pfn = frame_count_ - 1; pfn >= 0; --pfn) {
+    free_list_.push_back(pfn);
+  }
+}
+
+Pfn GuestPhysicalMemory::AllocateFrame() {
+  if (free_list_.empty()) {
+    return kInvalidPfn;
+  }
+  const Pfn pfn = free_list_.back();
+  free_list_.pop_back();
+  allocated_[static_cast<size_t>(pfn)] = true;
+  ++allocated_frames_;
+  return pfn;
+}
+
+void GuestPhysicalMemory::FreeFrame(Pfn pfn) {
+  CHECK(InRange(pfn));
+  CHECK(allocated_[static_cast<size_t>(pfn)]);
+  allocated_[static_cast<size_t>(pfn)] = false;
+  --allocated_frames_;
+  free_list_.push_back(pfn);
+}
+
+bool GuestPhysicalMemory::IsAllocated(Pfn pfn) const {
+  CHECK(InRange(pfn));
+  return allocated_[static_cast<size_t>(pfn)];
+}
+
+void GuestPhysicalMemory::Write(Pfn pfn) {
+  DCHECK(InRange(pfn));
+  ++versions_[static_cast<size_t>(pfn)];
+  ++total_writes_;
+  for (DirtyLog* log : dirty_logs_) {
+    log->Mark(pfn);
+  }
+  for (WriteObserver* observer : write_observers_) {
+    observer->OnGuestWrite(pfn);
+  }
+}
+
+uint64_t GuestPhysicalMemory::version(Pfn pfn) const {
+  CHECK(InRange(pfn));
+  return versions_[static_cast<size_t>(pfn)];
+}
+
+void GuestPhysicalMemory::AttachDirtyLog(DirtyLog* log) {
+  CHECK(log != nullptr);
+  CHECK_EQ(log->frame_count(), frame_count_);
+  CHECK(std::find(dirty_logs_.begin(), dirty_logs_.end(), log) == dirty_logs_.end());
+  dirty_logs_.push_back(log);
+}
+
+void GuestPhysicalMemory::DetachDirtyLog(DirtyLog* log) {
+  auto it = std::find(dirty_logs_.begin(), dirty_logs_.end(), log);
+  if (it != dirty_logs_.end()) {
+    dirty_logs_.erase(it);
+  }
+}
+
+void GuestPhysicalMemory::AttachWriteObserver(WriteObserver* observer) {
+  CHECK(observer != nullptr);
+  CHECK(std::find(write_observers_.begin(), write_observers_.end(), observer) ==
+        write_observers_.end());
+  write_observers_.push_back(observer);
+}
+
+void GuestPhysicalMemory::DetachWriteObserver(WriteObserver* observer) {
+  auto it = std::find(write_observers_.begin(), write_observers_.end(), observer);
+  if (it != write_observers_.end()) {
+    write_observers_.erase(it);
+  }
+}
+
+}  // namespace javmm

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MEM_PHYSICAL_MEMORY_H_
+#define JAVMM_SRC_MEM_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/dirty_log.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// Observer of guest stores, invoked synchronously from Write(). The dirty
+// log is the canonical observer; the post-copy engine uses another to detect
+// accesses to pages that have not been fetched yet.
+class WriteObserver {
+ public:
+  virtual ~WriteObserver() = default;
+  virtual void OnGuestWrite(Pfn pfn) = 0;
+};
+
+// The guest VM's pseudo-physical memory.
+//
+// We do not store page *contents*. Instead each frame carries a monotonically
+// increasing version number, bumped on every write. A live-migration run is
+// verified by comparing the destination's received versions against the
+// source's pause-time versions -- the simulation analogue of "the bytes
+// arrived intact" (see DESIGN.md §4).
+//
+// A simple free-list frame allocator models the guest kernel handing frames to
+// processes; the migration daemon itself ignores allocation state and streams
+// *all* frames in the first iteration, exactly as Xen does.
+class GuestPhysicalMemory {
+ public:
+  explicit GuestPhysicalMemory(int64_t bytes);
+  GuestPhysicalMemory(const GuestPhysicalMemory&) = delete;
+  GuestPhysicalMemory& operator=(const GuestPhysicalMemory&) = delete;
+
+  int64_t frame_count() const { return frame_count_; }
+  int64_t bytes() const { return frame_count_ * kPageSize; }
+
+  // Frame allocation (guest-kernel side).
+  // Returns kInvalidPfn when physical memory is exhausted.
+  Pfn AllocateFrame();
+  void FreeFrame(Pfn pfn);
+  int64_t allocated_frames() const { return allocated_frames_; }
+  int64_t free_frames() const { return frame_count_ - allocated_frames_; }
+  bool IsAllocated(Pfn pfn) const;
+
+  // Write to a frame: bumps its version and marks attached dirty logs. This is
+  // the single choke point through which all guest stores flow.
+  void Write(Pfn pfn);
+
+  uint64_t version(Pfn pfn) const;
+
+  // Copy of all frame versions; taken at VM-pause time by the migration
+  // engine so verification can compare against a stable reference.
+  const std::vector<uint64_t>& versions() const { return versions_; }
+
+  // Per-frame allocation state (guest-kernel view); snapshotted at pause
+  // time by verification -- a frame that is free at pause holds no
+  // observable content (reuse is preceded by the zeroing commit write).
+  const std::vector<bool>& allocation_map() const { return allocated_; }
+
+  // Log-dirty mode: at most a handful of logs (source migration daemon,
+  // tests); every Write marks each attached log.
+  void AttachDirtyLog(DirtyLog* log);
+  void DetachDirtyLog(DirtyLog* log);
+
+  // Generic write observation (post-copy fault detection, tracing).
+  void AttachWriteObserver(WriteObserver* observer);
+  void DetachWriteObserver(WriteObserver* observer);
+
+  // Total writes ever issued; used to derive average dirtying rates.
+  int64_t total_writes() const { return total_writes_; }
+
+ private:
+  bool InRange(Pfn pfn) const { return pfn >= 0 && pfn < frame_count_; }
+
+  int64_t frame_count_;
+  std::vector<uint64_t> versions_;
+  std::vector<bool> allocated_;
+  std::vector<Pfn> free_list_;  // LIFO; deterministic allocation order.
+  int64_t allocated_frames_ = 0;
+  int64_t total_writes_ = 0;
+  std::vector<DirtyLog*> dirty_logs_;
+  std::vector<WriteObserver*> write_observers_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_PHYSICAL_MEMORY_H_

@@ -1,0 +1,16 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/types.h"
+
+#include <cstdio>
+
+namespace javmm {
+
+std::string VaRange::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[0x%llx, 0x%llx)", static_cast<unsigned long long>(begin),
+                static_cast<unsigned long long>(end));
+  return buf;
+}
+
+}  // namespace javmm

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Shared address/page types for the guest memory substrate.
+//
+// Terminology follows the paper:
+//   PFN       -- Page Frame Number: index of a page in the VM's contiguous
+//                *pseudo-physical* memory; the unit the migration daemon, dirty
+//                bitmap, and transfer bitmap operate on.
+//   VA / VPN  -- guest Virtual Address / Virtual Page Number; the unit
+//                applications (the JVM) operate on. The LKM bridges VA -> PFN
+//                by page-table walks.
+
+#ifndef JAVMM_SRC_MEM_TYPES_H_
+#define JAVMM_SRC_MEM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/units.h"
+
+namespace javmm {
+
+using Pfn = int64_t;
+inline constexpr Pfn kInvalidPfn = -1;
+
+using VirtAddr = uint64_t;
+using Vpn = uint64_t;
+
+constexpr Vpn VpnOf(VirtAddr va) { return va / static_cast<uint64_t>(kPageSize); }
+constexpr VirtAddr VaOfVpn(Vpn vpn) { return vpn * static_cast<uint64_t>(kPageSize); }
+
+// Rounds `va` up / down to a page boundary.
+constexpr VirtAddr PageAlignUp(VirtAddr va) {
+  const auto ps = static_cast<uint64_t>(kPageSize);
+  return (va + ps - 1) / ps * ps;
+}
+constexpr VirtAddr PageAlignDown(VirtAddr va) {
+  const auto ps = static_cast<uint64_t>(kPageSize);
+  return va / ps * ps;
+}
+
+// Half-open guest-virtual address range [begin, end).
+struct VaRange {
+  VirtAddr begin = 0;
+  VirtAddr end = 0;
+
+  constexpr int64_t bytes() const { return static_cast<int64_t>(end - begin); }
+  constexpr bool empty() const { return end <= begin; }
+  constexpr bool Contains(VirtAddr va) const { return va >= begin && va < end; }
+
+  // The largest fully page-aligned sub-range, as the LKM computes it (§3.3.2):
+  // start aligned *up*, end aligned *down*, so every page inside is skippable
+  // in its entirety.
+  constexpr VaRange PageAlignedInterior() const {
+    const VirtAddr b = PageAlignUp(begin);
+    const VirtAddr e = PageAlignDown(end);
+    if (e <= b) {
+      return VaRange{0, 0};
+    }
+    return VaRange{b, e};
+  }
+
+  constexpr bool operator==(const VaRange&) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_TYPES_H_

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Related-work baseline migration strategies (§2), for the comparison
+// ablation:
+//
+//   * StopAndCopyEngine -- non-live migration: pause, copy everything,
+//     resume. Minimal total time and traffic; downtime = whole transfer.
+//   * PostcopyEngine    -- Hines & Gopalan [18] / Hirofuchi et al. [19]:
+//     skip the pre-copy stage entirely, flip execution to the destination
+//     after shipping only device state, then fetch pages on demand (each
+//     fault stalls the guest a network round trip) while a background
+//     pre-paging stream pulls the rest. Tiny downtime, but a performance-
+//     degradation window until the working set is resident.
+
+#ifndef JAVMM_SRC_MIGRATION_BASELINES_H_
+#define JAVMM_SRC_MIGRATION_BASELINES_H_
+
+#include "src/guest/guest_kernel.h"
+#include "src/migration/config.h"
+#include "src/migration/destination.h"
+#include "src/migration/stats.h"
+#include "src/net/link.h"
+
+namespace javmm {
+
+// Outcome of a post-copy run; extends the common metrics with the
+// degradation-window accounting pre-copy approaches do not have.
+struct PostcopyResult {
+  MigrationResult common;
+  int64_t demand_faults = 0;          // Page faults served from the source.
+  Duration fault_stall = Duration::Zero();  // Guest time lost to faults.
+  Duration degradation_window = Duration::Zero();  // Resume -> all resident.
+};
+
+class StopAndCopyEngine {
+ public:
+  StopAndCopyEngine(GuestKernel* guest, const MigrationConfig& config);
+
+  MigrationResult Migrate();
+
+ private:
+  GuestKernel* guest_;
+  MigrationConfig config_;
+  NetworkLink link_;
+};
+
+class PostcopyEngine {
+ public:
+  struct Config {
+    MigrationConfig base;
+    // Guest stall per demand fault: one round trip plus the page transfer.
+    // (Pipelined pre-paging hides most of the bandwidth cost.)
+    Duration extra_fault_latency = Duration::Micros(60);  // Handler overhead.
+    int64_t prepage_batch_pages = 256;
+  };
+
+  PostcopyEngine(GuestKernel* guest, const Config& config);
+
+  // Runs the full post-copy migration: stop-and-transfer of device state,
+  // resume at destination, then drive the clock until every page is
+  // resident, serving demand faults as the guest touches non-resident pages.
+  PostcopyResult Migrate();
+
+ private:
+  class FaultTracker;
+
+  GuestKernel* guest_;
+  Config config_;
+  NetworkLink link_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MIGRATION_BASELINES_H_

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MIGRATION_CONFIG_H_
+#define JAVMM_SRC_MIGRATION_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+#include "src/net/link.h"
+
+namespace javmm {
+
+// Pre-copy migration daemon configuration. Defaults mirror Xen 4.1's
+// xc_domain_save: up to 30 live iterations, stop-and-copy once fewer than 50
+// dirty pages remain, bail out of pre-copy after sending 3x the VM's memory.
+struct MigrationConfig {
+  // false = vanilla Xen (ignores the transfer bitmap);
+  // true  = JAVMM / application-assisted (consults the LKM).
+  bool application_assisted = false;
+
+  int max_iterations = 30;
+  int64_t last_iter_threshold_pages = 50;
+  double max_sent_factor = 3.0;
+
+  // Pages shipped per send burst; the clock advances after each burst so the
+  // guest dirties memory while the stream is on the wire (~8 ms at 1 Gbps).
+  int64_t batch_pages = 256;
+
+  // Device reconnect + activation at the destination (§5.3: ~170 ms).
+  Duration resumption_time = Duration::Millis(170);
+
+  // How long the daemon waits for the LKM's suspension-ready notification
+  // before falling back to unassisted behaviour (transferring everything it
+  // ever skipped) -- the §6 protection against a hung guest side.
+  Duration lkm_response_timeout = Duration::Seconds(15);
+  Duration poll_quantum = Duration::Millis(5);
+
+  LinkConfig link;
+
+  // Fault injection: abort the migration after this many live iterations
+  // (e.g. the destination died or the operator cancelled). The source VM
+  // keeps running; the LKM is told to reset. Negative = disabled.
+  int abort_after_iterations = -1;
+
+  // ---- CPU accounting model (reported, never advances the clock). ----
+  Duration cpu_per_page_sent = Duration::Micros(4);
+  Duration cpu_per_page_scanned = Duration::Nanos(150);
+
+  // ---- Compression extension (§6): compress pages that are transferred
+  // (with JAVMM, that is exactly the non-skipped pages). ----
+  bool compress_pages = false;
+  double compression_ratio = 0.55;  // Wire bytes per payload byte (kNormal).
+  Duration cpu_per_page_compressed = Duration::Micros(14);
+
+  // Per-page compression classes (§6's multi-bit transfer map): in assisted
+  // mode the daemon honours the LKM's per-page hints instead of paying trial
+  // compression everywhere. Ignored for vanilla Xen (application-agnostic).
+  bool use_compression_classes = true;
+  double compression_high_ratio = 0.25;   // kHighlyCompressible.
+  Duration cpu_per_page_high = Duration::Micros(10);
+  Duration cpu_per_page_incompressible = Duration::Micros(2);  // Detect & skip.
+
+  // Delta compression for retransmissions (Svard et al. [35]): a page the
+  // destination already holds an older version of ships as a delta.
+  bool delta_compression = false;
+  double delta_ratio = 0.35;
+  Duration cpu_per_page_delta = Duration::Micros(8);
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MIGRATION_CONFIG_H_

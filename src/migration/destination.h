@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MIGRATION_DESTINATION_H_
+#define JAVMM_SRC_MIGRATION_DESTINATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/base/time.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// The destination host's view of the migrating VM: which page versions have
+// arrived. Receiving a page overwrites any earlier copy, exactly as the
+// migration stream does; post-migration verification compares this against
+// the source's pause-time versions.
+class DestinationVm {
+ public:
+  explicit DestinationVm(int64_t frame_count)
+      : received_(static_cast<size_t>(frame_count), false),
+        versions_(static_cast<size_t>(frame_count), 0) {}
+
+  int64_t frame_count() const { return static_cast<int64_t>(received_.size()); }
+
+  void ReceivePage(Pfn pfn, uint64_t version) {
+    DCHECK_GE(pfn, 0);
+    DCHECK_LT(pfn, frame_count());
+    if (!received_[static_cast<size_t>(pfn)]) {
+      received_[static_cast<size_t>(pfn)] = true;
+      ++pages_received_distinct_;
+    }
+    versions_[static_cast<size_t>(pfn)] = version;
+    ++pages_received_total_;
+  }
+
+  bool received(Pfn pfn) const { return received_[static_cast<size_t>(pfn)]; }
+  uint64_t version(Pfn pfn) const { return versions_[static_cast<size_t>(pfn)]; }
+
+  int64_t pages_received_total() const { return pages_received_total_; }
+  int64_t pages_received_distinct() const { return pages_received_distinct_; }
+
+ private:
+  std::vector<bool> received_;
+  std::vector<uint64_t> versions_;
+  int64_t pages_received_total_ = 0;
+  int64_t pages_received_distinct_ = 0;
+};
+
+// Supplier of application-level liveness for verification: PFNs whose
+// pause-time contents are required for correct execution at the destination
+// (pages of live Java objects, retained cache entries, ...).
+class RequiredPfnSource {
+ public:
+  virtual ~RequiredPfnSource() = default;
+  virtual std::vector<Pfn> RequiredPfns(TimePoint pause_time) const = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MIGRATION_DESTINATION_H_

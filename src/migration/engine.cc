@@ -1,0 +1,374 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/migration/engine.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+#include "src/guest/lkm.h"
+#include "src/mem/dirty_log.h"
+
+namespace javmm {
+
+MigrationEngine::MigrationEngine(GuestKernel* guest, const MigrationConfig& config)
+    : guest_(guest), config_(config), link_(config.link) {
+  CHECK(guest != nullptr);
+  CHECK_GT(config.batch_pages, 0);
+  CHECK_GE(config.max_iterations, 1);
+}
+
+void MigrationEngine::AddRequiredPfnSource(const RequiredPfnSource* source) {
+  CHECK(source != nullptr);
+  required_sources_.push_back(source);
+}
+
+void MigrationEngine::SendPage(Pfn pfn, DestinationVm* dest, Burst* burst,
+                               MigrationResult* result) {
+  int64_t payload = kPageSize;
+  Duration cpu = config_.cpu_per_page_sent;
+  if (config_.delta_compression && dest->received(pfn)) {
+    // Retransmission: the destination holds an older copy; ship a delta.
+    payload = static_cast<int64_t>(static_cast<double>(kPageSize) * config_.delta_ratio);
+    cpu += config_.cpu_per_page_delta;
+    ++result->pages_sent_delta;
+  } else if (config_.compress_pages) {
+    CompressionClass cls = CompressionClass::kNormal;
+    if (config_.use_compression_classes && hint_source_ != nullptr) {
+      cls = hint_source_->compression_class(pfn);
+    }
+    switch (cls) {
+      case CompressionClass::kNormal:
+        payload = static_cast<int64_t>(static_cast<double>(kPageSize) *
+                                       config_.compression_ratio);
+        cpu += config_.cpu_per_page_compressed;
+        ++result->pages_compressed;
+        break;
+      case CompressionClass::kHighlyCompressible:
+        payload = static_cast<int64_t>(static_cast<double>(kPageSize) *
+                                       config_.compression_high_ratio);
+        cpu += config_.cpu_per_page_high;
+        ++result->pages_compressed;
+        break;
+      case CompressionClass::kIncompressible:
+        // Hinted as not worth compressing: send raw, skip the trial.
+        cpu += config_.cpu_per_page_incompressible;
+        ++result->pages_sent_raw;
+        break;
+    }
+  } else {
+    ++result->pages_sent_raw;
+  }
+  dest->ReceivePage(pfn, guest_->memory().version(pfn));
+  burst->wire_bytes += payload + config_.link.per_page_overhead;
+  burst->send_cpu += cpu;
+  ++burst->pages;
+}
+
+void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationResult* result) {
+  Duration wire_time = Duration::Zero();
+  if (burst->pages > 0) {
+    wire_time = link_.TransferTime(burst->wire_bytes);
+    link_.RecordControlBytes(burst->wire_bytes);
+    rec->wire_bytes += burst->wire_bytes;
+    rec->pages_sent += burst->pages;
+    result->cpu_time += burst->send_cpu;
+  }
+  // Scanning the pending set (dirty-bitmap test, transfer-bitmap test) costs
+  // daemon CPU even for pages that are skipped; it pipelines with the wire,
+  // so the burst takes max(wire, scan) -- this is what keeps skip-heavy
+  // iterations from completing in zero time.
+  const Duration scan_time = config_.cpu_per_page_scanned * burst->scanned;
+  result->cpu_time += scan_time;
+  const Duration advance = std::max(wire_time, scan_time);
+  if (!advance.IsZero()) {
+    guest_->clock().Advance(advance);
+  }
+  *burst = Burst{};
+}
+
+IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>& pending,
+                                              DirtyLog* log, DestinationVm* dest,
+                                              const PageBitmap* transfer_bitmap,
+                                              PageBitmap* ever_skipped,
+                                              MigrationResult* result) {
+  IterationRecord rec;
+  rec.index = index;
+  const TimePoint iter_start = guest_->clock().now();
+
+  // Per-iteration control round trip (request dirty bitmap, sync with the
+  // receiver); keeps even all-skip iterations from taking zero time.
+  link_.RecordControlBytes(512);
+  guest_->clock().Advance(config_.link.latency * int64_t{2});
+
+  size_t i = 0;
+  Burst burst;
+  while (i < pending.size()) {
+    while (i < pending.size() && burst.pages < config_.batch_pages) {
+      const Pfn pfn = pending[i++];
+      ++rec.pages_scanned;
+      ++burst.scanned;
+      if (transfer_bitmap != nullptr && !transfer_bitmap->Test(pfn)) {
+        // Cleared transfer bit: the application vouched the page need not be
+        // migrated (§3.3.3). Remember it for the safety fallback.
+        ++rec.pages_skipped_bitmap;
+        ever_skipped->Set(pfn);
+        continue;
+      }
+      if (log->Test(pfn)) {
+        // Re-dirtied since the harvest: sending now would be redundant; the
+        // next round will carry it (§5.2).
+        ++rec.pages_skipped_dirty;
+        continue;
+      }
+      SendPage(pfn, dest, &burst, result);
+    }
+    FlushBurst(&burst, &rec, result);
+  }
+  rec.duration = guest_->clock().now() - iter_start;
+  return rec;
+}
+
+MigrationResult MigrationEngine::Migrate() {
+  SimClock& clock = guest_->clock();
+  GuestPhysicalMemory& memory = guest_->memory();
+  const int64_t frames = memory.frame_count();
+
+  MigrationResult result;
+  result.assisted = config_.application_assisted;
+  result.vm_bytes = memory.bytes();
+  result.started_at = clock.now();
+  link_.ResetMeters();
+
+  DirtyLog log(frames);
+  memory.AttachDirtyLog(&log);
+
+  DestinationVm dest(frames);
+  PageBitmap ever_skipped(frames);
+
+  Lkm* lkm = guest_->lkm();
+  const PageBitmap* transfer_bitmap = nullptr;
+  const bool assisted = config_.application_assisted && lkm != nullptr;
+  if (assisted) {
+    suspension_ready_ = false;
+    guest_->event_channel().BindDaemonHandler([this](LkmToDaemon msg) {
+      if (msg == LkmToDaemon::kSuspensionReady) {
+        suspension_ready_ = true;
+      }
+    });
+    // "Migration begins; notify LKM" -- triggers the first bitmap update.
+    guest_->event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+    transfer_bitmap = &lkm->transfer_bitmap();
+    hint_source_ = lkm;  // Per-page compression hints (§6).
+  } else {
+    hint_source_ = nullptr;
+  }
+
+  // ---- Live pre-copy iterations. ----
+  // Iteration 1 sends every frame of the VM's pseudo-physical memory.
+  std::vector<Pfn> pending;
+  pending.reserve(static_cast<size_t>(frames));
+  for (Pfn pfn = 0; pfn < frames; ++pfn) {
+    pending.push_back(pfn);
+  }
+
+  int64_t total_sent = 0;
+  int iter = 1;
+  for (;;) {
+    IterationRecord rec =
+        RunIteration(iter, pending, &log, &dest, transfer_bitmap, &ever_skipped, &result);
+    pending = log.CollectAndClear();
+    rec.dirty_pages_after = static_cast<int64_t>(pending.size());
+    total_sent += rec.pages_sent;
+    result.pages_skipped_dirty += rec.pages_skipped_dirty;
+    result.pages_skipped_bitmap += rec.pages_skipped_bitmap;
+    result.iterations.push_back(rec);
+
+    // Fault injection: the migration is cancelled (destination failure,
+    // operator abort). The guest never pauses; the LKM resets; applications
+    // are released and continue at the source.
+    if (config_.abort_after_iterations >= 0 && iter >= config_.abort_after_iterations) {
+      if (assisted) {
+        guest_->event_channel().NotifyGuest(DaemonToLkm::kMigrationAborted);
+      }
+      memory.DetachDirtyLog(&log);
+      result.total_time = clock.now() - result.started_at;
+      result.pages_sent = total_sent;
+      result.total_wire_bytes = link_.total_wire_bytes();
+      result.completed = false;
+      return result;
+    }
+
+    // xc_domain_save stop conditions.
+    const bool few_left =
+        static_cast<int64_t>(pending.size()) < config_.last_iter_threshold_pages;
+    const bool max_iters = iter >= config_.max_iterations;
+    const bool sent_too_much =
+        static_cast<double>(total_sent) >
+        config_.max_sent_factor * static_cast<double>(frames);
+    if (few_left || max_iters || sent_too_much) {
+      break;
+    }
+    ++iter;
+  }
+
+  // ---- Entering the last iteration. ----
+  bool fallback = false;
+  if (assisted) {
+    guest_->event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+    const TimePoint deadline = clock.now() + config_.lkm_response_timeout;
+    const TimePoint wait_start = clock.now();
+    while (!suspension_ready_ && clock.now() < deadline) {
+      clock.Advance(config_.poll_quantum);
+    }
+    if (suspension_ready_) {
+      result.downtime.final_bitmap_update = lkm->last_final_update_duration();
+      clock.Advance(result.downtime.final_bitmap_update);
+    } else {
+      // Guest side unresponsive: fall back to unassisted behaviour. Safety
+      // requires transferring every page we ever skipped on the apps' word,
+      // since their contents were never guaranteed recoverable.
+      fallback = true;
+      result.fell_back_unassisted = true;
+      transfer_bitmap = nullptr;
+    }
+    (void)wait_start;
+  }
+
+  // ---- Stop-and-copy. ----
+  guest_->PauseVm();
+  result.paused_at = clock.now();
+  {
+    // Merge everything still dirty (including pages dirtied by the enforced
+    // GC's copying) with the carried-over pending set.
+    PageBitmap final_set(frames);
+    for (Pfn pfn : pending) {
+      final_set.Set(pfn);
+    }
+    for (Pfn pfn : log.CollectAndClear()) {
+      final_set.Set(pfn);
+    }
+    // Pages whose skip listing the LKM re-enabled *after* the fact (straggler
+    // revocation, deferred final-update reconciliation) may have been dirtied
+    // while skip-listed and then dropped from the dirty log; re-send them.
+    // Pages that left an area via a timely shrink notice need no special
+    // handling: frame reuse starts with the zeroing commit write, which the
+    // dirty log catches, and frames still free at pause hold no observable
+    // content. On fallback, re-send everything ever skipped.
+    if (fallback) {
+      std::vector<Pfn> skipped;
+      ever_skipped.CollectSetBits(&skipped);
+      for (Pfn pfn : skipped) {
+        final_set.Set(pfn);
+      }
+    } else if (assisted) {
+      for (Pfn pfn : lkm->revoked_pfns()) {
+        final_set.Set(pfn);
+      }
+    }
+    std::vector<Pfn> last_pending;
+    final_set.CollectSetBits(&last_pending);
+
+    IterationRecord rec;
+    rec.index = iter + 1;
+    const TimePoint last_start = clock.now();
+    Burst burst;
+    for (Pfn pfn : last_pending) {
+      ++rec.pages_scanned;
+      ++burst.scanned;
+      if (transfer_bitmap != nullptr && !transfer_bitmap->Test(pfn)) {
+        // Final bitmap state: garbage the enforced GC reclaimed (plus any
+        // deferred expansion) is skipped even in the last iteration.
+        ++rec.pages_skipped_bitmap;
+        ++result.last_iter_pages_skipped_bitmap;
+        continue;
+      }
+      SendPage(pfn, &dest, &burst, &result);
+      if (burst.pages == config_.batch_pages) {
+        FlushBurst(&burst, &rec, &result);
+      }
+    }
+    FlushBurst(&burst, &rec, &result);
+    rec.duration = clock.now() - last_start;
+    result.downtime.last_iter_transfer = rec.duration;
+    result.last_iter_pages_sent = rec.pages_sent;
+    result.pages_skipped_bitmap += rec.pages_skipped_bitmap;
+    total_sent += rec.pages_sent;
+    result.iterations.push_back(rec);
+  }
+
+  // Snapshot the pause-time state for verification before anything resumes.
+  const std::vector<uint64_t> pause_versions = memory.versions();
+  const std::vector<bool> allocated_at_pause = memory.allocation_map();
+  const PageBitmap skip_allowed =
+      (assisted && !fallback) ? *transfer_bitmap : PageBitmap(frames, /*initial=*/true);
+  const TimePoint pause_time = result.paused_at;
+
+  if (assisted) {
+    result.lkm_bitmap_bytes = lkm->transfer_bitmap_bytes();
+    result.lkm_pfn_cache_bytes = lkm->pfn_cache_bytes();
+  }
+
+  // ---- Resume at the destination. ----
+  clock.Advance(config_.resumption_time);
+  result.downtime.resumption = config_.resumption_time;
+  guest_->ResumeVm();
+  result.resumed_at = clock.now();
+  if (assisted) {
+    guest_->event_channel().NotifyGuest(DaemonToLkm::kVmResumed);
+  }
+
+  memory.DetachDirtyLog(&log);
+
+  result.total_time = result.resumed_at - result.started_at;
+  result.pages_sent = total_sent;
+  result.total_wire_bytes = link_.total_wire_bytes();
+  result.completed = true;
+  result.verification =
+      Verify(dest, pause_versions, allocated_at_pause, &skip_allowed, pause_time);
+  return result;
+}
+
+VerificationReport MigrationEngine::Verify(const DestinationVm& dest,
+                                           const std::vector<uint64_t>& pause_versions,
+                                           const std::vector<bool>& allocated_at_pause,
+                                           const PageBitmap* skip_allowed,
+                                           TimePoint pause_time) const {
+  VerificationReport report;
+  const int64_t frames = dest.frame_count();
+  for (Pfn pfn = 0; pfn < frames; ++pfn) {
+    if (!skip_allowed->Test(pfn)) {
+      // Cleared final transfer bit: content legitimately absent.
+      ++report.pages_skipped_garbage;
+      continue;
+    }
+    if (!allocated_at_pause[static_cast<size_t>(pfn)]) {
+      // Frame free at pause: its content is unobservable -- any future use
+      // begins with the kernel's zeroing write.
+      ++report.pages_free_unverified;
+      continue;
+    }
+    ++report.pages_checked;
+    if (dest.version(pfn) != pause_versions[static_cast<size_t>(pfn)]) {
+      ++report.version_mismatches;
+    }
+  }
+  // Application-level audit: pages of live data must be intact regardless of
+  // what the transfer bitmap said.
+  for (const RequiredPfnSource* source : required_sources_) {
+    for (Pfn pfn : source->RequiredPfns(pause_time)) {
+      ++report.required_pfns_checked;
+      if (pfn < 0 || pfn >= frames ||
+          dest.version(pfn) != pause_versions[static_cast<size_t>(pfn)]) {
+        ++report.required_pfn_failures;
+      }
+    }
+  }
+  report.ok = report.version_mismatches == 0 && report.required_pfn_failures == 0;
+  if (!report.ok) {
+    report.detail = "version mismatches: " + std::to_string(report.version_mismatches) +
+                    ", live-data failures: " + std::to_string(report.required_pfn_failures);
+  }
+  return report;
+}
+
+}  // namespace javmm

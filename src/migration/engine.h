@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// The pre-copy migration daemon: vanilla Xen and JAVMM modes.
+//
+// The engine is the simulation's time driver while a migration runs: it
+// ships pages in bursts, advancing the clock by each burst's wire time, so
+// the guest keeps dirtying memory underneath it -- the race at the heart of
+// the paper. The vanilla mode reproduces xc_domain_save's behaviour
+// (iteration-1 full sweep, per-round dirty harvest, within-round re-dirty
+// skip, three stop conditions); the assisted mode additionally consults the
+// LKM's transfer bitmap and runs the Figure-4/7 workflow before pausing.
+
+#ifndef JAVMM_SRC_MIGRATION_ENGINE_H_
+#define JAVMM_SRC_MIGRATION_ENGINE_H_
+
+#include <vector>
+
+#include "src/guest/guest_kernel.h"
+#include "src/migration/config.h"
+#include "src/migration/destination.h"
+#include "src/migration/stats.h"
+#include "src/net/link.h"
+
+namespace javmm {
+
+class Lkm;
+
+class MigrationEngine {
+ public:
+  MigrationEngine(GuestKernel* guest, const MigrationConfig& config);
+
+  // Registers a source of application-level liveness used only by the
+  // post-migration verification audit (not by the migration itself).
+  void AddRequiredPfnSource(const RequiredPfnSource* source);
+
+  // Runs one complete live migration, driving the simulation clock, and
+  // returns the full result including the verification report. May be called
+  // repeatedly (e.g. migrate the VM back and forth).
+  MigrationResult Migrate();
+
+ private:
+  // Accumulates one send burst before the clock advances.
+  struct Burst {
+    int64_t pages = 0;
+    int64_t scanned = 0;
+    int64_t wire_bytes = 0;
+    Duration send_cpu = Duration::Zero();
+  };
+
+  // Sends one pre-copy iteration over `pending`; returns its record.
+  IterationRecord RunIteration(int index, const std::vector<Pfn>& pending, DirtyLog* log,
+                               DestinationVm* dest, const PageBitmap* transfer_bitmap,
+                               PageBitmap* ever_skipped, MigrationResult* result);
+
+  // Delivers one page to the destination and accounts its wire/CPU cost into
+  // `burst` (per-page compression class, delta retransmission).
+  void SendPage(Pfn pfn, DestinationVm* dest, Burst* burst, MigrationResult* result);
+
+  // Advances the clock for a finished burst: wire time pipelined with the
+  // bitmap-scan CPU time of the pages examined.
+  void FlushBurst(Burst* burst, IterationRecord* rec, MigrationResult* result);
+
+  VerificationReport Verify(const DestinationVm& dest,
+                            const std::vector<uint64_t>& pause_versions,
+                            const std::vector<bool>& allocated_at_pause,
+                            const PageBitmap* skip_allowed, TimePoint pause_time) const;
+
+  GuestKernel* guest_;
+  MigrationConfig config_;
+  NetworkLink link_;
+  std::vector<const RequiredPfnSource*> required_sources_;
+  bool suspension_ready_ = false;
+  // Set during an assisted migration: per-page compression hints (§6).
+  const Lkm* hint_source_ = nullptr;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MIGRATION_ENGINE_H_

@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_MIGRATION_STATS_H_
+#define JAVMM_SRC_MIGRATION_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// One pre-copy iteration, the unit of Figures 1, 8 and 9.
+struct IterationRecord {
+  int index = 0;
+  Duration duration = Duration::Zero();
+  int64_t pages_scanned = 0;
+  int64_t pages_sent = 0;
+  int64_t wire_bytes = 0;
+  // Within-iteration skip: page re-dirtied after the harvest, will be caught
+  // next round ("skipped (already dirtied)" in Fig 9).
+  int64_t pages_skipped_dirty = 0;
+  // Transfer-bitmap skip: page inside a skip-over area ("skipped (young
+  // gen)" in Fig 9). Always 0 for vanilla Xen.
+  int64_t pages_skipped_bitmap = 0;
+  // Dirty pages harvested at the end of this iteration = next round's input;
+  // proxies the guest's dirtying during the iteration (Fig 1's dirty series).
+  int64_t dirty_pages_after = 0;
+
+  double TransferRatePagesPerSec() const {
+    const double secs = duration.ToSecondsF();
+    return secs > 0 ? static_cast<double>(pages_sent) / secs : 0;
+  }
+  double DirtyRatePagesPerSec() const {
+    const double secs = duration.ToSecondsF();
+    return secs > 0 ? static_cast<double>(dirty_pages_after) / secs : 0;
+  }
+};
+
+// Components of the stop-and-copy downtime (§5.3). For vanilla Xen only the
+// last two are non-zero. `safepoint_wait` is informational: the workload
+// still executes while running to the safepoint, so it is excluded from
+// Total().
+struct DowntimeBreakdown {
+  Duration safepoint_wait = Duration::Zero();
+  Duration enforced_gc = Duration::Zero();
+  Duration final_bitmap_update = Duration::Zero();
+  Duration last_iter_transfer = Duration::Zero();
+  Duration resumption = Duration::Zero();
+
+  Duration Total() const {
+    return enforced_gc + final_bitmap_update + last_iter_transfer + resumption;
+  }
+};
+
+// Outcome of the post-migration correctness audit (DESIGN.md §5).
+struct VerificationReport {
+  bool ok = false;
+  int64_t pages_checked = 0;
+  int64_t pages_skipped_garbage = 0;  // Legitimately absent at destination.
+  int64_t pages_free_unverified = 0;  // Frames free at pause: no observable
+                                      // content (reuse starts with zeroing).
+  int64_t version_mismatches = 0;
+  int64_t required_pfns_checked = 0;  // App-level live-data pages.
+  int64_t required_pfn_failures = 0;
+  std::string detail;
+};
+
+struct MigrationResult {
+  bool completed = false;
+  bool assisted = false;
+  bool fell_back_unassisted = false;  // LKM timeout triggered the safe path.
+
+  TimePoint started_at;
+  TimePoint paused_at;
+  TimePoint resumed_at;
+  Duration total_time = Duration::Zero();
+
+  int64_t vm_bytes = 0;
+  int64_t total_wire_bytes = 0;
+  int64_t pages_sent = 0;
+  int64_t pages_skipped_dirty = 0;
+  int64_t pages_skipped_bitmap = 0;
+  int64_t last_iter_pages_sent = 0;
+  int64_t last_iter_pages_skipped_bitmap = 0;
+
+  DowntimeBreakdown downtime;
+  std::vector<IterationRecord> iterations;
+
+  // Daemon-side CPU time (accounting model; does not advance the clock).
+  Duration cpu_time = Duration::Zero();
+
+  // Compression extension accounting.
+  int64_t pages_compressed = 0;       // Full pages run through a compressor.
+  int64_t pages_sent_delta = 0;       // Retransmissions shipped as deltas.
+  int64_t pages_sent_raw = 0;         // Sent uncompressed (incompressible or
+                                      // compression disabled).
+
+  // Framework memory overhead at pause time (§5.3: "at most 1 MB").
+  int64_t lkm_bitmap_bytes = 0;
+  int64_t lkm_pfn_cache_bytes = 0;
+
+  VerificationReport verification;
+
+  int iteration_count() const { return static_cast<int>(iterations.size()); }
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MIGRATION_STATS_H_

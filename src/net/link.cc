@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/net/link.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+NetworkLink::NetworkLink(const LinkConfig& config) : config_(config) {
+  CHECK_GT(config.bandwidth_bps, 0.0);
+  CHECK_GT(config.efficiency, 0.0);
+  CHECK_LE(config.efficiency, 1.0);
+  CHECK_GE(config.per_page_overhead, 0);
+}
+
+int64_t NetworkLink::PageWireBytes(int64_t page_count) const {
+  return page_count * (kPageSize + config_.per_page_overhead);
+}
+
+Duration NetworkLink::PageTransferTime(int64_t page_count) const {
+  CHECK_GE(page_count, 0);
+  if (page_count == 0) {
+    return Duration::Zero();
+  }
+  const double secs =
+      static_cast<double>(PageWireBytes(page_count)) / config_.GoodputBytesPerSec();
+  return Duration::SecondsF(secs);
+}
+
+Duration NetworkLink::TransferTime(int64_t bytes) const {
+  CHECK_GE(bytes, 0);
+  const double secs = static_cast<double>(bytes) / config_.GoodputBytesPerSec();
+  return Duration::SecondsF(secs);
+}
+
+void NetworkLink::RecordPages(int64_t page_count) {
+  total_pages_sent_ += page_count;
+  total_wire_bytes_ += PageWireBytes(page_count);
+}
+
+void NetworkLink::RecordControlBytes(int64_t bytes) { total_wire_bytes_ += bytes; }
+
+void NetworkLink::ResetMeters() {
+  total_wire_bytes_ = 0;
+  total_pages_sent_ = 0;
+}
+
+}  // namespace javmm

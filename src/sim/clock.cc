@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/sim/clock.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+void SimClock::AddProcess(Process* p) {
+  CHECK(p != nullptr);
+  CHECK(std::find(processes_.begin(), processes_.end(), p) == processes_.end());
+  processes_.push_back(p);
+}
+
+void SimClock::RemoveProcess(Process* p) {
+  auto it = std::find(processes_.begin(), processes_.end(), p);
+  if (it != processes_.end()) {
+    processes_.erase(it);
+  }
+}
+
+void SimClock::Step(Duration dt) {
+  const TimePoint start = now_;
+  now_ += dt;
+  for (Process* p : processes_) {
+    p->RunFor(start, dt);
+  }
+}
+
+void SimClock::Advance(Duration dt) {
+  CHECK_GE(dt.nanos(), 0);
+  CHECK(!advancing_);
+  advancing_ = true;
+  const TimePoint deadline = now_ + dt;
+  // Fire anything already due (events scheduled at or before `now`).
+  events_.FireDueEvents(now_);
+  while (now_ < deadline) {
+    TimePoint next = deadline;
+    if (auto t = events_.NextEventTime(); t.has_value() && *t < next) {
+      next = std::max(*t, now_);
+    }
+    if (next > now_) {
+      Step(next - now_);
+    }
+    events_.FireDueEvents(now_);
+  }
+  advancing_ = false;
+}
+
+void SimClock::AdvanceTo(TimePoint deadline) {
+  if (deadline > now_) {
+    Advance(deadline - now_);
+  }
+}
+
+}  // namespace javmm

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_SIM_CLOCK_H_
+#define JAVMM_SRC_SIM_CLOCK_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/process.h"
+
+namespace javmm {
+
+// The simulation clock.
+//
+// One driver advances the clock; every registered `Process` consumes the same
+// interval, and timer events from the attached `EventQueue` fire at their due
+// instants. `Advance` subdivides the requested interval at event boundaries so
+// a timer callback observes a fully caught-up world.
+//
+// Re-entrancy rule: `Advance` must not be called from inside a `Process` or a
+// timer callback (checked).
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  TimePoint now() const { return now_; }
+  EventQueue& events() { return events_; }
+
+  // Registers a process to receive time. Order of registration is the order
+  // processes run within each sub-interval (deterministic).
+  void AddProcess(Process* p);
+  void RemoveProcess(Process* p);
+
+  // Advances simulated time by `dt` (>= 0), running processes and firing due
+  // timer events along the way.
+  void Advance(Duration dt);
+
+  // Advances until `deadline` (no-op if already past it).
+  void AdvanceTo(TimePoint deadline);
+
+ private:
+  void Step(Duration dt);  // Single sub-interval: run processes, no events.
+
+  TimePoint now_ = TimePoint::Epoch();
+  EventQueue events_;
+  std::vector<Process*> processes_;
+  bool advancing_ = false;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_SIM_CLOCK_H_

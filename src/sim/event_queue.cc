@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/sim/event_queue.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+EventQueue::EventId EventQueue::Schedule(TimePoint when, Callback cb) {
+  CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  events_.emplace(Key{when, id}, std::move(cb));
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->first.id == id) {
+      events_.erase(it);
+      return;
+    }
+  }
+}
+
+std::optional<TimePoint> EventQueue::NextEventTime() const {
+  if (events_.empty()) {
+    return std::nullopt;
+  }
+  return events_.begin()->first.when;
+}
+
+void EventQueue::FireDueEvents(TimePoint now) {
+  // Fire one at a time: a callback may schedule new events due at `now`.
+  while (!events_.empty() && events_.begin()->first.when <= now) {
+    auto node = events_.extract(events_.begin());
+    node.mapped()();
+  }
+}
+
+}  // namespace javmm

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_SIM_EVENT_QUEUE_H_
+#define JAVMM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// Timer queue for the simulation: callbacks scheduled at absolute simulated
+// instants. Used for periodic sampling (throughput analyser), LKM straggler
+// timeouts, and delayed messages.
+//
+// Events with equal timestamps fire in scheduling order (FIFO), which keeps
+// runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  // Schedules `cb` to fire at `when`. Returns an id usable with `Cancel`.
+  EventId Schedule(TimePoint when, Callback cb);
+
+  // Cancels a pending event; no-op if it already fired or was cancelled.
+  void Cancel(EventId id);
+
+  // Earliest pending event time, if any.
+  std::optional<TimePoint> NextEventTime() const;
+
+  // Fires (in order) every event with timestamp <= now. Callbacks may schedule
+  // further events, including at `now` itself.
+  void FireDueEvents(TimePoint now);
+
+  size_t pending_count() const { return events_.size(); }
+
+ private:
+  struct Key {
+    TimePoint when;
+    EventId id;  // Tie-breaker: preserves FIFO order for equal timestamps.
+    bool operator<(const Key& o) const {
+      if (when != o.when) {
+        return when < o.when;
+      }
+      return id < o.id;
+    }
+  };
+
+  std::map<Key, Callback> events_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_SIM_EVENT_QUEUE_H_

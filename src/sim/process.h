@@ -1,0 +1,30 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_SIM_PROCESS_H_
+#define JAVMM_SRC_SIM_PROCESS_H_
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// A component that consumes simulated time.
+//
+// The simulation is driver-based rather than coroutine-based: exactly one
+// driver (the migration engine, or a top-level experiment loop) advances the
+// `SimClock`, and every registered `Process` is then given the same interval to
+// spend. A `Process` must not advance the clock from inside `RunFor` -- it only
+// reacts to time passing (allocating objects, dirtying pages, running GCs,
+// completing operations).
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Consumes `dt` of simulated time beginning at `start`. Implementations may
+  // subdivide the interval internally (e.g. to interleave allocation with a GC
+  // pause) but must account for exactly `dt` in total.
+  virtual void RunFor(TimePoint start, Duration dt) = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_SIM_PROCESS_H_

@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+namespace {
+
+// Two-sided 90% critical values of Student's t for df = 1..30; df > 30 uses
+// the normal approximation 1.645.
+constexpr double kT90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+                           1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+                           1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                           1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+
+double T90(int64_t df) {
+  if (df <= 0) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kT90[df - 1];
+  }
+  return 1.645;
+}
+
+}  // namespace
+
+void Summary::Add(double x) { samples_.push_back(x); }
+
+double Summary::Mean() const {
+  CHECK_GT(count(), 0);
+  double sum = 0;
+  for (double x : samples_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::StdDev() const {
+  if (count() < 2) {
+    return 0.0;
+  }
+  const double m = Mean();
+  double ss = 0;
+  for (double x : samples_) {
+    ss += (x - m) * (x - m);
+  }
+  return std::sqrt(ss / static_cast<double>(count() - 1));
+}
+
+double Summary::Min() const {
+  CHECK_GT(count(), 0);
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Max() const {
+  CHECK_GT(count(), 0);
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Ci90HalfWidth() const {
+  if (count() < 2) {
+    return 0.0;
+  }
+  return T90(count() - 1) * StdDev() / std::sqrt(static_cast<double>(count()));
+}
+
+std::string Summary::ToString(double scale, const char* unit) const {
+  char buf[96];
+  if (count() == 0) {
+    return "n/a";
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f ± %.2f%s", Mean() / scale, Ci90HalfWidth() / scale, unit);
+  return buf;
+}
+
+}  // namespace javmm

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_STATS_SUMMARY_H_
+#define JAVMM_SRC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace javmm {
+
+// Summary statistics over repeated experiment runs. The paper repeats each
+// experiment >= 3 times and reports means with 90% confidence intervals
+// (§5.1); `Ci90HalfWidth` uses the small-sample t-distribution.
+class Summary {
+ public:
+  Summary() = default;
+
+  void Add(double x);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double Mean() const;
+  double StdDev() const;  // Sample standard deviation (n-1).
+  double Min() const;
+  double Max() const;
+
+  // Half-width of the two-sided 90% confidence interval for the mean.
+  // Returns 0 for fewer than 2 samples.
+  double Ci90HalfWidth() const;
+
+  // "mean ± ci" with the given unit scale applied (e.g. 1e9 for ns->s).
+  std::string ToString(double scale = 1.0, const char* unit = "") const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_STATS_SUMMARY_H_

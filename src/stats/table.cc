@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  cells_.push_back(buf);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_sep();
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  if (max_value <= 0 || value < 0) {
+    return "";
+  }
+  const int n = static_cast<int>(value / max_value * width + 0.5);
+  return std::string(static_cast<size_t>(std::min(n, width)), '#');
+}
+
+}  // namespace javmm

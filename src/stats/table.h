@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_STATS_TABLE_H_
+#define JAVMM_SRC_STATS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace javmm {
+
+// Minimal fixed-width ASCII table used by the bench binaries to print the
+// rows/series of each paper figure and table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for mixed content.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    RowBuilder& Cell(const std::string& s);
+    RowBuilder& Cell(double v, int precision = 2);
+    RowBuilder& Cell(int64_t v);
+    ~RowBuilder();
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a horizontal ASCII bar scaled so that `max_value` spans `width`
+// characters; used for quick visual shape checks in bench output.
+std::string AsciiBar(double value, double max_value, int width = 40);
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_STATS_TABLE_H_

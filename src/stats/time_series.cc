@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/stats/time_series.h"
+
+#include <algorithm>
+
+namespace javmm {
+
+double TimeSeries::MeanInWindow(TimePoint from, TimePoint to) const {
+  double sum = 0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    if (p.t >= from && p.t < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::MinInWindow(TimePoint from, TimePoint to) const {
+  double best = 0;
+  bool seen = false;
+  for (const Point& p : points_) {
+    if (p.t >= from && p.t < to) {
+      best = seen ? std::min(best, p.value) : p.value;
+      seen = true;
+    }
+  }
+  return seen ? best : 0.0;
+}
+
+Duration TimeSeries::LongestBelow(double threshold, TimePoint from, TimePoint to) const {
+  Duration best = Duration::Zero();
+  bool in_run = false;
+  TimePoint run_start;
+  TimePoint prev;
+  Duration spacing = Duration::Seconds(1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (p.t < from || p.t >= to) {
+      continue;
+    }
+    if (i > 0 && points_[i - 1].t >= from) {
+      spacing = p.t - points_[i - 1].t;
+    }
+    if (p.value < threshold) {
+      if (!in_run) {
+        in_run = true;
+        run_start = p.t;
+      }
+      best = std::max(best, p.t - run_start + spacing);
+    } else {
+      in_run = false;
+    }
+    prev = p.t;
+  }
+  return best;
+}
+
+}  // namespace javmm

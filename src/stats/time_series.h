@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_STATS_TIME_SERIES_H_
+#define JAVMM_SRC_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// A (simulated-time, value) series, e.g. the per-second throughput reported by
+// the paper's external analyser (Fig 11) or the dirtying-rate series of Fig 1.
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint t;
+    double value = 0;
+  };
+
+  void Add(TimePoint t, double value) { points_.push_back({t, value}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Mean of values with t in [from, to).
+  double MeanInWindow(TimePoint from, TimePoint to) const;
+
+  // Minimum value with t in [from, to); 0 when the window is empty.
+  double MinInWindow(TimePoint from, TimePoint to) const;
+
+  // Longest run of consecutive points in [from, to) whose value is below
+  // `threshold`, returned as (last.t - first.t) plus one sample interval per
+  // the series' typical spacing; used to measure observed workload downtime.
+  Duration LongestBelow(double threshold, TimePoint from, TimePoint to) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_STATS_TIME_SERIES_H_

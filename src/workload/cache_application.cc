@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/cache_application.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+CacheApplication::CacheApplication(GuestKernel* kernel, const CacheAppConfig& config, Rng rng)
+    : kernel_(kernel), config_(config), rng_(rng), pid_(kernel->CreateProcess("cache")) {
+  CHECK_GT(config.cache_bytes, 0);
+  CHECK_GT(config.purge_fraction, 0.0);
+  CHECK_LT(config.purge_fraction, 1.0);
+  AddressSpace& space = kernel_->address_space(pid_);
+  cache_ = space.ReserveVa(config_.cache_bytes);
+  CHECK(space.CommitRange(cache_.begin, cache_.bytes()));
+  space.Write(cache_.begin, cache_.bytes());  // Warm fill.
+  const int64_t retained_bytes =
+      PagesForBytes(static_cast<int64_t>(static_cast<double>(cache_.bytes()) *
+                                         (1.0 - config_.purge_fraction))) *
+      kPageSize;
+  split_ = cache_.begin + static_cast<uint64_t>(retained_bytes);
+  kernel_->netlink().Subscribe(pid_, this);
+  kernel_->clock().AddProcess(this);
+}
+
+CacheApplication::~CacheApplication() {
+  kernel_->clock().RemoveProcess(this);
+  kernel_->netlink().Unsubscribe(pid_);
+}
+
+VaRange CacheApplication::retained_range() const { return VaRange{cache_.begin, split_}; }
+
+VaRange CacheApplication::skip_range() const { return VaRange{split_, cache_.end}; }
+
+void CacheApplication::RunFor(TimePoint start, Duration dt) {
+  (void)start;
+  if (kernel_->vm_paused()) {
+    return;
+  }
+  AddressSpace& space = kernel_->address_space(pid_);
+  write_carry_ += static_cast<double>(config_.write_rate_bytes_per_sec) * dt.ToSecondsF();
+  // While prepared for suspension, the purged suffix must stay unneeded:
+  // writes land only in the retained prefix (§3.3.5's requirement that the
+  // skip-over contents remain recoverable/unneeded until suspension).
+  const VaRange target = prepared_ ? retained_range() : cache_;
+  const int64_t target_pages = PagesForBytes(target.bytes());
+  while (write_carry_ >= static_cast<double>(kPageSize)) {
+    const int64_t page =
+        static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(target_pages)));
+    space.Touch(target.begin + static_cast<uint64_t>(page * kPageSize));
+    write_carry_ -= static_cast<double>(kPageSize);
+  }
+  ops_completed_ += config_.ops_per_sec * dt.ToSecondsF();
+}
+
+void CacheApplication::OnNetlinkMessage(const NetlinkMessage& msg) {
+  Lkm* lkm = kernel_->lkm();
+  CHECK(lkm != nullptr);
+  switch (msg.type) {
+    case NetlinkMessageType::kQuerySkipOverAreas:
+      lkm->ReportSkipOverAreas(pid_, {skip_range()});
+      // Cached values are already compressed blobs: tell the daemon not to
+      // waste CPU trying (§6 multi-bit transfer map).
+      lkm->AnnotateCompression(pid_, retained_range(), CompressionClass::kIncompressible);
+      return;
+    case NetlinkMessageType::kPrepareForSuspension:
+      if (!config_.cooperative) {
+        return;
+      }
+      // Purge the cold suffix: its contents become unneeded at the
+      // destination. The retained entries are already compact in the prefix.
+      ++purge_count_;
+      prepared_ = true;
+      lkm->NotifySuspensionReady(pid_, SuspensionReadyInfo{{skip_range()}, {}});
+      return;
+    case NetlinkMessageType::kVmResumed:
+      // Continue with a shrunken cache; refill over time.
+      prepared_ = false;
+      return;
+  }
+  JAVMM_UNREACHABLE("unknown netlink message");
+}
+
+}  // namespace javmm

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// A memcached-like caching application using the framework directly -- the
+// §6 "applications with caching functionality" extension.
+//
+// The cache keeps its entries in one VA region. The least-valuable suffix
+// (`purge_fraction` of the region) is reported as the skip-over area; on
+// prepare-for-suspension the application purges that suffix (its contents
+// become unneeded) and reports ready. After migration it continues with a
+// shrunken cache, refilling over time -- no Java, no JVM, demonstrating that
+// the framework is application-independent.
+
+#ifndef JAVMM_SRC_WORKLOAD_CACHE_APPLICATION_H_
+#define JAVMM_SRC_WORKLOAD_CACHE_APPLICATION_H_
+
+#include "src/base/rng.h"
+#include "src/guest/guest_kernel.h"
+#include "src/guest/lkm.h"
+#include "src/guest/netlink_bus.h"
+#include "src/sim/process.h"
+
+namespace javmm {
+
+struct CacheAppConfig {
+  int64_t cache_bytes = 256 * kMiB;
+  // Fraction of the cache (the cold suffix) offered as skip-over area.
+  double purge_fraction = 0.5;
+  // Write traffic into the cache (insertions + LRU bookkeeping).
+  int64_t write_rate_bytes_per_sec = 8 * kMiB;
+  double ops_per_sec = 1000;  // Lookups served.
+  bool cooperative = true;    // false => never answers prepare (straggler).
+};
+
+class CacheApplication : public Process, public NetlinkSubscriber {
+ public:
+  CacheApplication(GuestKernel* kernel, const CacheAppConfig& config, Rng rng);
+  ~CacheApplication() override;
+
+  CacheApplication(const CacheApplication&) = delete;
+  CacheApplication& operator=(const CacheApplication&) = delete;
+
+  void RunFor(TimePoint start, Duration dt) override;
+  void OnNetlinkMessage(const NetlinkMessage& msg) override;
+
+  AppId pid() const { return pid_; }
+  // Hot prefix that must survive migration.
+  VaRange retained_range() const;
+  // Cold suffix offered for skipping.
+  VaRange skip_range() const;
+
+  int64_t purge_count() const { return purge_count_; }
+  double ops_completed() const { return ops_completed_; }
+  bool prepared() const { return prepared_; }
+
+ private:
+  GuestKernel* kernel_;
+  CacheAppConfig config_;
+  Rng rng_;
+  AppId pid_;
+  VaRange cache_;
+  VirtAddr split_;  // retained = [cache_.begin, split_), skip = [split_, end).
+  bool prepared_ = false;  // After prepare: write only into the retained part.
+  int64_t purge_count_ = 0;
+  double write_carry_ = 0;
+  double ops_completed_ = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_WORKLOAD_CACHE_APPLICATION_H_

@@ -1,0 +1,189 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/g1_application.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+G1JavaApplication::G1JavaApplication(GuestKernel* kernel, const WorkloadSpec& spec,
+                                     const RegionHeapConfig& heap_config, Rng rng)
+    : kernel_(kernel), spec_(spec), rng_(rng), pid_(kernel->CreateProcess(spec.name + "-g1")) {
+  heap_ = std::make_unique<RegionizedHeap>(&kernel_->address_space(pid_), heap_config);
+  if (spec_.old_baseline_bytes > 0) {
+    int64_t remaining = spec_.old_baseline_bytes;
+    const int64_t slice = heap_config.region_bytes / 2;
+    while (remaining > 0) {
+      const int64_t bytes = std::min(remaining, slice);
+      CHECK(heap_->AllocateOld(bytes, TimePoint::Max()));
+      remaining -= bytes;
+    }
+  }
+  heap_->set_young_released_callback(
+      [this](const std::vector<VaRange>& released) { OnYoungReleased(released); });
+  heap_->set_young_claimed_callback([this](const VaRange& claimed) {
+    // Incremental skip-over report for a region joining the young set: a
+    // repeated ReportSkipOverAreas is legal in MIGRATION STARTED and clears
+    // the new region's transfer bits right away -- without this, a
+    // region-cycling collector forfeits most of JAVMM's benefit (claimed
+    // regions would stay unprotected until the final update).
+    if (migration_active_ && kernel_->lkm() != nullptr &&
+        kernel_->lkm()->state() == Lkm::State::kMigrationStarted) {
+      kernel_->lkm()->ReportSkipOverAreas(pid_, {claimed});
+    }
+  });
+  kernel_->netlink().Subscribe(pid_, this);
+  kernel_->clock().AddProcess(this);
+}
+
+G1JavaApplication::~G1JavaApplication() {
+  kernel_->clock().RemoveProcess(this);
+  kernel_->netlink().Unsubscribe(pid_);
+}
+
+Lkm& G1JavaApplication::lkm() {
+  Lkm* lkm = kernel_->lkm();
+  CHECK(lkm != nullptr);
+  return *lkm;
+}
+
+void G1JavaApplication::OnNetlinkMessage(const NetlinkMessage& msg) {
+  switch (msg.type) {
+    case NetlinkMessageType::kQuerySkipOverAreas: {
+      migration_active_ = true;
+      lkm().ReportSkipOverAreas(pid_, heap_->YoungRanges());
+      for (const VaRange& range : heap_->OccupiedOldRanges()) {
+        lkm().AnnotateCompression(pid_, range, CompressionClass::kHighlyCompressible);
+      }
+      return;
+    }
+    case NetlinkMessageType::kPrepareForSuspension:
+      enforced_gc_pending_ = true;
+      time_to_safepoint_ = (state_ == ExecState::kInGc)
+                               ? Duration::Zero()
+                               : Duration::SecondsF(rng_.UniformReal(
+                                     0.0, spec_.safepoint_interval.ToSecondsF()));
+      safepoint_wait_observed_ = time_to_safepoint_;
+      return;
+    case NetlinkMessageType::kVmResumed:
+      migration_active_ = false;
+      if (state_ == ExecState::kHeldAtSafepoint) {
+        state_ = ExecState::kRunning;
+      }
+      return;
+  }
+  JAVMM_UNREACHABLE("unknown netlink message");
+}
+
+void G1JavaApplication::OnYoungReleased(const std::vector<VaRange>& released) {
+  if (!migration_active_ || state_ == ExecState::kHeldAtSafepoint) {
+    return;
+  }
+  if (lkm().state() != Lkm::State::kMigrationStarted) {
+    // Entering-last-iteration window: the enforced evacuation's region
+    // changes are reconciled by the final bitmap update (fresh ranges +
+    // must-transfer survivors in the suspension-ready notice) -- sending
+    // shrink notices here would violate the §3.3.4 no-shrink rule.
+    return;
+  }
+  // Regions left the young generation: immediate shrink notices (§3.3.4).
+  for (const VaRange& range : released) {
+    lkm().NotifyAreaShrunk(pid_, range);
+  }
+  // Our G1-port optimisation: re-report the current young set so freshly
+  // claimed regions are skip-listed without waiting for the final update.
+  lkm().ReportSkipOverAreas(pid_, heap_->YoungRanges());
+}
+
+void G1JavaApplication::OnEnforcedGcComplete() {
+  if (!migration_active_) {
+    state_ = ExecState::kRunning;
+    return;
+  }
+  state_ = ExecState::kHeldAtSafepoint;
+  SuspensionReadyInfo info;
+  info.skip_over_areas = heap_->YoungRanges();
+  info.must_transfer = heap_->OccupiedSurvivorRanges();
+  lkm().NotifySuspensionReady(pid_, info);
+}
+
+void G1JavaApplication::RunFor(TimePoint start, Duration dt) {
+  if (kernel_->vm_paused()) {
+    return;
+  }
+  TimePoint now = start;
+  Duration remaining = dt;
+  while (remaining > Duration::Zero()) {
+    switch (state_) {
+      case ExecState::kHeldAtSafepoint:
+        return;
+      case ExecState::kInGc: {
+        const Duration step = std::min(remaining, gc_left_);
+        gc_left_ -= step;
+        now += step;
+        remaining -= step;
+        if (gc_left_.IsZero()) {
+          if (gc_was_enforced_) {
+            OnEnforcedGcComplete();
+            if (state_ == ExecState::kHeldAtSafepoint) {
+              return;
+            }
+          } else {
+            state_ = ExecState::kRunning;
+          }
+        }
+        break;
+      }
+      case ExecState::kRunning: {
+        if (enforced_gc_pending_ && time_to_safepoint_.IsZero()) {
+          BeginGc(now, /*enforced=*/true);
+          break;
+        }
+        Duration step = remaining;
+        if (enforced_gc_pending_) {
+          step = std::min(step, time_to_safepoint_);
+        }
+        // Fine-grained slices keep the GC trigger near the true fill point.
+        step = std::min(step, Duration::Millis(20));
+        AdvanceRunning(now, step);
+        now += step;
+        remaining -= step;
+        if (enforced_gc_pending_) {
+          time_to_safepoint_ = std::max(Duration::Zero(), time_to_safepoint_ - step);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void G1JavaApplication::BeginGc(TimePoint now, bool enforced) {
+  const MinorGcResult result = heap_->EvacuateYoung(now, enforced);
+  state_ = ExecState::kInGc;
+  gc_left_ = result.duration;
+  gc_was_enforced_ = enforced;
+  if (enforced) {
+    enforced_gc_pending_ = false;
+  }
+}
+
+void G1JavaApplication::AdvanceRunning(TimePoint now, Duration dt) {
+  const double secs = dt.ToSecondsF();
+  alloc_carry_bytes_ += static_cast<double>(spec_.alloc_rate_bytes_per_sec) * secs;
+  while (alloc_carry_bytes_ >= static_cast<double>(spec_.chunk_bytes)) {
+    const bool long_lived = rng_.Chance(spec_.long_lived_fraction);
+    const double mean = long_lived ? spec_.long_lifetime_mean.ToSecondsF()
+                                   : spec_.short_lifetime_mean.ToSecondsF();
+    const TimePoint death = now + Duration::SecondsF(rng_.Exponential(mean));
+    if (!heap_->TryAllocate(spec_.chunk_bytes, death)) {
+      BeginGc(now, /*enforced=*/enforced_gc_pending_);
+      return;  // Remaining slice time is consumed by the GC state.
+    }
+    alloc_carry_bytes_ -= static_cast<double>(spec_.chunk_bytes);
+  }
+  ops_completed_ += spec_.ops_per_sec * secs;
+}
+
+}  // namespace javmm

@@ -1,0 +1,176 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/java_application.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+JavaApplication::JavaApplication(GuestKernel* kernel, const WorkloadSpec& spec, Rng rng,
+                                 const TiAgentConfig& agent_config)
+    : kernel_(kernel), spec_(spec), rng_(rng), pid_(kernel->CreateProcess(spec.name)) {
+  heap_ = std::make_unique<GenerationalHeap>(&kernel_->address_space(pid_), spec_.heap);
+  if (spec_.old_baseline_bytes > 0) {
+    // Startup-resident long-lived data (database tables, scene geometry,
+    // matrices); effectively immortal for the run.
+    CHECK(heap_->AllocateOld(spec_.old_baseline_bytes, TimePoint::Max()));
+  }
+  agent_ = std::make_unique<TiAgent>(kernel_, pid_, this, agent_config);
+  heap_->set_resize_listener(agent_.get());
+  kernel_->clock().AddProcess(this);
+}
+
+JavaApplication::~JavaApplication() { kernel_->clock().RemoveProcess(this); }
+
+VaRange JavaApplication::YoungGenRange() const { return heap_->young_committed(); }
+
+VaRange JavaApplication::OccupiedFromRange() const { return heap_->occupied_from_range(); }
+
+VaRange JavaApplication::OldGenRange() const { return heap_->occupied_old_range(); }
+
+void JavaApplication::RequestEnforcedGc() {
+  CHECK(state_ != ExecState::kHeldAtSafepoint);
+  enforced_gc_pending_ = true;
+  // Java threads run until they reach a safepoint poll; the wait is uniform
+  // over the workload's safepoint interval (Fig 8: 0.7 s for compiler).
+  time_to_safepoint_ =
+      Duration::SecondsF(rng_.UniformReal(0.0, spec_.safepoint_interval.ToSecondsF()));
+  if (state_ == ExecState::kInGc) {
+    // A collection is already in progress (its pause is a safepoint); the
+    // enforced GC follows immediately after it finishes.
+    time_to_safepoint_ = Duration::Zero();
+  }
+  safepoint_wait_observed_ = time_to_safepoint_;
+}
+
+void JavaApplication::ReleaseFromSafepoint() {
+  CHECK(state_ == ExecState::kHeldAtSafepoint);
+  state_ = ExecState::kRunning;
+}
+
+void JavaApplication::RunFor(TimePoint start, Duration dt) {
+  if (kernel_->vm_paused()) {
+    return;  // vCPUs suspended for stop-and-copy: no execution, no dirtying.
+  }
+  TimePoint now = start;
+  Duration remaining = dt;
+  while (remaining > Duration::Zero()) {
+    switch (state_) {
+      case ExecState::kHeldAtSafepoint:
+        // Threads held by the TI agent until the VM resumes remotely.
+        return;
+      case ExecState::kInGc: {
+        const Duration step = std::min(remaining, gc_left_);
+        gc_left_ -= step;
+        total_gc_pause_ += step;
+        now += step;
+        remaining -= step;
+        if (gc_left_.IsZero()) {
+          if (gc_was_enforced_ && agent_->OnEnforcedGcComplete()) {
+            state_ = ExecState::kHeldAtSafepoint;
+            return;
+          }
+          state_ = ExecState::kRunning;
+        }
+        break;
+      }
+      case ExecState::kRunning: {
+        if (enforced_gc_pending_ && time_to_safepoint_.IsZero()) {
+          BeginGc(now, /*enforced=*/true);
+          break;
+        }
+        // Run until eden fills, the safepoint is reached, or the slice ends.
+        const double rate = static_cast<double>(spec_.alloc_rate_bytes_per_sec);
+        Duration until_full = Duration::Max();
+        if (rate > 0) {
+          const double free_bytes =
+              static_cast<double>(heap_->eden_free_bytes()) - alloc_carry_bytes_;
+          until_full = Duration::SecondsF(std::max(free_bytes, 0.0) / rate);
+        }
+        Duration step = std::min(remaining, until_full);
+        if (enforced_gc_pending_) {
+          step = std::min(step, time_to_safepoint_);
+        }
+        if (step > Duration::Zero()) {
+          AdvanceRunning(now, step);
+          now += step;
+          remaining -= step;
+          if (enforced_gc_pending_) {
+            time_to_safepoint_ =
+                std::max(Duration::Zero(), time_to_safepoint_ - step);
+          }
+          break;
+        }
+        // No time could pass: eden is full (allocation failure is itself a
+        // safepoint, satisfying any pending enforced request -- HotSpot
+        // coalesces simultaneous GC requests, §4.3.2 footnote).
+        BeginGc(now, /*enforced=*/enforced_gc_pending_);
+        break;
+      }
+    }
+  }
+}
+
+void JavaApplication::BeginGc(TimePoint now, bool enforced) {
+  const MinorGcResult result = heap_->MinorGc(now, enforced);
+  state_ = ExecState::kInGc;
+  gc_left_ = result.duration + result.full_gc_penalty;
+  gc_was_enforced_ = enforced;
+  if (enforced) {
+    enforced_gc_pending_ = false;
+  }
+}
+
+void JavaApplication::AdvanceRunning(TimePoint now, Duration dt) {
+  const double secs = dt.ToSecondsF();
+  const double rate = static_cast<double>(spec_.alloc_rate_bytes_per_sec);
+  alloc_carry_bytes_ += rate * secs;
+  double consumed_bytes = 0;
+  while (alloc_carry_bytes_ >= static_cast<double>(spec_.chunk_bytes)) {
+    // Approximate each chunk's allocation instant within the slice so
+    // lifetime sampling stays accurate even for coarse slices.
+    const TimePoint at =
+        rate > 0 ? now + Duration::SecondsF(consumed_bytes / rate) : now;
+    const bool long_lived = rng_.Chance(spec_.long_lived_fraction);
+    const double mean = long_lived ? spec_.long_lifetime_mean.ToSecondsF()
+                                   : spec_.short_lifetime_mean.ToSecondsF();
+    const TimePoint death = at + Duration::SecondsF(rng_.Exponential(mean));
+    if (!heap_->TryAllocate(spec_.chunk_bytes, death)) {
+      break;  // Eden full; the caller's next loop iteration triggers a GC.
+    }
+    alloc_carry_bytes_ -= static_cast<double>(spec_.chunk_bytes);
+    consumed_bytes += static_cast<double>(spec_.chunk_bytes);
+  }
+  old_mut_carry_bytes_ += static_cast<double>(spec_.old_mutation_bytes_per_sec) * secs;
+  if (old_mut_carry_bytes_ >= static_cast<double>(kPageSize)) {
+    const int64_t bytes = static_cast<int64_t>(old_mut_carry_bytes_);
+    MutateOld(bytes);
+    old_mut_carry_bytes_ -= static_cast<double>(bytes);
+  }
+  ops_completed_ += spec_.ops_per_sec * secs;
+}
+
+void JavaApplication::MutateOld(int64_t bytes) {
+  const VaRange old = heap_->occupied_old_range();
+  if (old.empty()) {
+    return;
+  }
+  if (spec_.old_mutation_mode == OldMutationMode::kSweep) {
+    // Sequential cyclic passes over the occupied old generation (scimark's
+    // in-place matrix updates).
+    AddressSpace& space = kernel_->address_space(pid_);
+    const int64_t occupied_pages = PagesForBytes(old.bytes());
+    const int64_t pages = PagesForBytes(bytes);
+    for (int64_t i = 0; i < pages; ++i) {
+      const int64_t page = old_sweep_cursor_page_ % occupied_pages;
+      space.Touch(old.begin + static_cast<uint64_t>(page * kPageSize));
+      ++old_sweep_cursor_page_;
+    }
+  } else {
+    heap_->MutateOld(bytes, [this] { return rng_.NextDouble(); });
+  }
+}
+
+}  // namespace javmm

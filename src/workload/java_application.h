@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_WORKLOAD_JAVA_APPLICATION_H_
+#define JAVMM_SRC_WORKLOAD_JAVA_APPLICATION_H_
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/guest/guest_kernel.h"
+#include "src/jvm/generational_heap.h"
+#include "src/jvm/ti_agent.h"
+#include "src/sim/process.h"
+#include "src/workload/spec.h"
+
+namespace javmm {
+
+// A Java workload running inside the guest: one JVM process executing one
+// SPECjvm2008-like workload.
+//
+// As a simulation `Process` it turns elapsed simulated time into allocation
+// (dirtying eden), old-generation mutation, completed operations, and GC
+// pauses -- including the migration-time choreography: on a prepare-for-
+// suspension request it runs to a safepoint, performs the enforced minor GC,
+// and then holds the Java threads until the VM resumes at the destination
+// (§4.3.2). While the guest VM is paused by the hypervisor, no progress is
+// made at all.
+class JavaApplication : public Process, public JvmMigrationHooks {
+ public:
+  JavaApplication(GuestKernel* kernel, const WorkloadSpec& spec, Rng rng,
+                  const TiAgentConfig& agent_config = {});
+  ~JavaApplication() override;
+
+  JavaApplication(const JavaApplication&) = delete;
+  JavaApplication& operator=(const JavaApplication&) = delete;
+
+  // Process: consume `dt` of simulated time.
+  void RunFor(TimePoint start, Duration dt) override;
+
+  // JvmMigrationHooks (called by the TI agent).
+  VaRange YoungGenRange() const override;
+  VaRange OccupiedFromRange() const override;
+  VaRange OldGenRange() const override;
+  void RequestEnforcedGc() override;
+  void ReleaseFromSafepoint() override;
+
+  GenerationalHeap& heap() { return *heap_; }
+  const GenerationalHeap& heap() const { return *heap_; }
+  TiAgent& agent() { return *agent_; }
+  AppId pid() const { return pid_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+  // Cumulative operations completed (fractional; the analyser differences it).
+  double ops_completed() const { return ops_completed_; }
+
+  // Total simulated time spent paused in GCs.
+  Duration total_gc_pause() const { return total_gc_pause_; }
+
+  // Observed time-to-safepoint of the most recent enforced-GC request
+  // (downtime reporting; the workload keeps executing during this wait).
+  Duration last_safepoint_wait() const { return safepoint_wait_observed_; }
+
+  bool held_at_safepoint() const { return state_ == ExecState::kHeldAtSafepoint; }
+
+ private:
+  enum class ExecState {
+    kRunning,           // Executing Java code (allocating, mutating, working).
+    kInGc,              // Paused for a collection (natural or enforced).
+    kHeldAtSafepoint,   // Enforced GC done; threads held until VM resume.
+  };
+
+  // Executes `dt` of normal Java-thread time: allocation, old mutation, ops.
+  void AdvanceRunning(TimePoint now, Duration dt);
+
+  // Starts a minor GC at `now`; enters kInGc for the GC's duration.
+  void BeginGc(TimePoint now, bool enforced);
+
+  void MutateOld(int64_t bytes);
+
+  GuestKernel* kernel_;
+  WorkloadSpec spec_;
+  Rng rng_;
+  AppId pid_;
+  std::unique_ptr<GenerationalHeap> heap_;
+  std::unique_ptr<TiAgent> agent_;
+
+  ExecState state_ = ExecState::kRunning;
+  Duration gc_left_ = Duration::Zero();
+  bool gc_was_enforced_ = false;
+
+  // Pending enforced-GC request: time left until the threads reach the
+  // safepoint (sampled from U(0, safepoint_interval)).
+  bool enforced_gc_pending_ = false;
+  Duration time_to_safepoint_ = Duration::Zero();
+  Duration safepoint_wait_observed_ = Duration::Zero();  // For downtime stats.
+
+  // Fractional carries between RunFor slices.
+  double alloc_carry_bytes_ = 0;
+  double old_mut_carry_bytes_ = 0;
+  int64_t old_sweep_cursor_page_ = 0;
+
+  double ops_completed_ = 0;
+  Duration total_gc_pause_ = Duration::Zero();
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_WORKLOAD_JAVA_APPLICATION_H_

@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/os_process.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+OsBackgroundProcess::OsBackgroundProcess(GuestKernel* kernel, const OsProcessConfig& config,
+                                         Rng rng)
+    : kernel_(kernel), config_(config), rng_(rng), pid_(kernel->CreateProcess("guest-os")) {
+  CHECK_GE(config.resident_bytes, config.hot_bytes);
+  AddressSpace& space = kernel_->address_space(pid_);
+  resident_ = space.ReserveVa(config_.resident_bytes);
+  CHECK(space.CommitRange(resident_.begin, resident_.bytes()));
+  // Populate: boot-time writes so the pages carry non-zero versions.
+  space.Write(resident_.begin, resident_.bytes());
+  kernel_->clock().AddProcess(this);
+}
+
+OsBackgroundProcess::~OsBackgroundProcess() { kernel_->clock().RemoveProcess(this); }
+
+void OsBackgroundProcess::RunFor(TimePoint start, Duration dt) {
+  (void)start;
+  if (kernel_->vm_paused()) {
+    return;
+  }
+  carry_bytes_ += static_cast<double>(config_.dirty_rate_bytes_per_sec) * dt.ToSecondsF();
+  AddressSpace& space = kernel_->address_space(pid_);
+  const int64_t hot_pages = PagesForBytes(config_.hot_bytes);
+  while (carry_bytes_ >= static_cast<double>(kPageSize)) {
+    const int64_t page = static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(hot_pages)));
+    space.Touch(resident_.begin + static_cast<uint64_t>(page * kPageSize));
+    carry_bytes_ -= static_cast<double>(kPageSize);
+  }
+}
+
+}  // namespace javmm

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_WORKLOAD_OS_PROCESS_H_
+#define JAVMM_SRC_WORKLOAD_OS_PROCESS_H_
+
+#include "src/base/rng.h"
+#include "src/guest/guest_kernel.h"
+#include "src/sim/process.h"
+
+namespace javmm {
+
+struct OsProcessConfig {
+  // Memory resident outside the Java heap: guest kernel, page cache, JVM
+  // code cache & metaspace, daemons. Part of the 2 GiB the first migration
+  // iteration must stream.
+  int64_t resident_bytes = 320 * kMiB;
+  // Hot subset receiving ongoing writes (kernel structures, JIT activity).
+  int64_t hot_bytes = 48 * kMiB;
+  int64_t dirty_rate_bytes_per_sec = static_cast<int64_t>(1.5 * static_cast<double>(kMiB));
+};
+
+// Background guest activity outside the JVM heap. Dirties a small hot subset
+// of its resident memory at a steady rate; this is the floor of per-iteration
+// dirty pages that keeps even an idle migration's later iterations non-empty.
+class OsBackgroundProcess : public Process {
+ public:
+  OsBackgroundProcess(GuestKernel* kernel, const OsProcessConfig& config, Rng rng);
+  ~OsBackgroundProcess() override;
+
+  OsBackgroundProcess(const OsBackgroundProcess&) = delete;
+  OsBackgroundProcess& operator=(const OsBackgroundProcess&) = delete;
+
+  void RunFor(TimePoint start, Duration dt) override;
+
+  AppId pid() const { return pid_; }
+  VaRange resident_range() const { return resident_; }
+
+ private:
+  GuestKernel* kernel_;
+  OsProcessConfig config_;
+  Rng rng_;
+  AppId pid_;
+  VaRange resident_;
+  double carry_bytes_ = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_WORKLOAD_OS_PROCESS_H_

@@ -1,0 +1,195 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/spec.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+namespace {
+
+WorkloadSpec Base() {
+  WorkloadSpec spec;
+  spec.heap = HeapConfig{};
+  return spec;
+}
+
+// Category 1: high object allocation rate, mostly short-lived objects; the
+// young generation races to its cap (§5.3). Calibration anchors: Table 2/3
+// young+old sizes, Fig 5(b) >97% garbage, Fig 5(c) durations.
+
+WorkloadSpec Derby() {
+  WorkloadSpec spec = Base();
+  spec.name = "derby";
+  spec.description = "Apache Derby database with business logic";
+  spec.category = 1;
+  spec.alloc_rate_bytes_per_sec = 340 * kMiB;
+  spec.long_lived_fraction = 0.005;
+  spec.short_lifetime_mean = Duration::Millis(20);
+  spec.long_lifetime_mean = Duration::Seconds(60);
+  spec.old_baseline_bytes = 150 * kMiB;  // Database tables + business state.
+  spec.old_mutation_bytes_per_sec = 2 * kMiB;
+  spec.ops_per_sec = 0.80;
+  return spec;
+}
+
+WorkloadSpec Compiler() {
+  WorkloadSpec spec = Base();
+  spec.name = "compiler";
+  spec.description = "OpenJDK 7 front-end compiler";
+  spec.category = 1;
+  spec.alloc_rate_bytes_per_sec = 340 * kMiB;
+  spec.long_lived_fraction = 0.004;
+  spec.short_lifetime_mean = Duration::Millis(60);  // ASTs live across passes.
+  spec.long_lifetime_mean = Duration::Seconds(30);
+  spec.old_baseline_bytes = 45 * kMiB;
+  spec.old_mutation_bytes_per_sec = 1 * kMiB;
+  spec.ops_per_sec = 0.45;
+  return spec;
+}
+
+WorkloadSpec Xml() {
+  WorkloadSpec spec = Base();
+  spec.name = "xml";
+  spec.description = "Apply style sheets to XML documents";
+  spec.category = 1;
+  spec.alloc_rate_bytes_per_sec = 520 * kMiB;
+  spec.long_lived_fraction = 0.001;
+  spec.short_lifetime_mean = Duration::Millis(15);
+  spec.long_lifetime_mean = Duration::Seconds(60);
+  spec.old_baseline_bytes = 0;
+  spec.old_mutation_bytes_per_sec = kMiB / 2;
+  spec.ops_per_sec = 4.0;
+  return spec;
+}
+
+WorkloadSpec Sunflow() {
+  WorkloadSpec spec = Base();
+  spec.name = "sunflow";
+  spec.description = "Open-source image rendering system";
+  spec.category = 1;
+  spec.alloc_rate_bytes_per_sec = 400 * kMiB;
+  spec.long_lived_fraction = 0.002;
+  spec.short_lifetime_mean = Duration::Millis(25);
+  spec.long_lifetime_mean = Duration::Seconds(40);
+  spec.old_baseline_bytes = 20 * kMiB;  // Scene geometry.
+  spec.old_mutation_bytes_per_sec = kMiB / 2;
+  spec.ops_per_sec = 1.2;
+  return spec;
+}
+
+// Category 2: medium allocation rate; young grows but stays below its cap.
+
+WorkloadSpec Serial() {
+  WorkloadSpec spec = Base();
+  spec.name = "serial";
+  spec.description = "Serialize and deserialize primitives and objects";
+  spec.category = 2;
+  spec.alloc_rate_bytes_per_sec = 160 * kMiB;
+  spec.long_lived_fraction = 0.004;
+  spec.short_lifetime_mean = Duration::Millis(50);
+  spec.long_lifetime_mean = Duration::Seconds(40);
+  spec.old_baseline_bytes = 30 * kMiB;
+  spec.old_mutation_bytes_per_sec = 1 * kMiB;
+  spec.ops_per_sec = 2.2;
+  return spec;
+}
+
+WorkloadSpec Crypto() {
+  WorkloadSpec spec = Base();
+  spec.name = "crypto";
+  spec.description = "Sign and verify with cryptographic hashes";
+  spec.category = 2;
+  spec.alloc_rate_bytes_per_sec = 125 * kMiB;  // Young ~460 MiB (Table 2);
+  // dirties marginally faster than gigabit goodput, so plain pre-copy never
+  // converges -- the regime behind crypto's multi-second Xen downtime.
+  spec.long_lived_fraction = 0.001;
+  spec.short_lifetime_mean = Duration::Millis(30);
+  spec.long_lifetime_mean = Duration::Seconds(30);
+  spec.old_baseline_bytes = 12 * kMiB;
+  spec.old_mutation_bytes_per_sec = kMiB / 4;
+  spec.ops_per_sec = 2.8;
+  return spec;
+}
+
+WorkloadSpec Mpeg() {
+  WorkloadSpec spec = Base();
+  spec.name = "mpeg";
+  spec.description = "MP3 decoding";
+  spec.category = 2;
+  spec.alloc_rate_bytes_per_sec = 70 * kMiB;
+  spec.long_lived_fraction = 0.002;
+  spec.short_lifetime_mean = Duration::Millis(40);
+  spec.long_lifetime_mean = Duration::Seconds(60);
+  spec.old_baseline_bytes = 25 * kMiB;
+  spec.old_mutation_bytes_per_sec = kMiB / 4;
+  spec.ops_per_sec = 1.8;
+  return spec;
+}
+
+WorkloadSpec Compress() {
+  WorkloadSpec spec = Base();
+  spec.name = "compress";
+  spec.description = "Compression by a modified Lempel-Ziv method";
+  spec.category = 2;
+  spec.alloc_rate_bytes_per_sec = 90 * kMiB;
+  spec.long_lived_fraction = 0.003;
+  spec.short_lifetime_mean = Duration::Millis(40);
+  spec.long_lifetime_mean = Duration::Seconds(50);
+  spec.old_baseline_bytes = 30 * kMiB;
+  spec.old_mutation_bytes_per_sec = kMiB / 2;
+  spec.ops_per_sec = 1.5;
+  return spec;
+}
+
+// Category 3: low allocation rate, mostly long-lived objects; small young
+// generation, large old generation (Table 2: 128 MiB young, 486 MiB old).
+
+WorkloadSpec Scimark() {
+  WorkloadSpec spec = Base();
+  spec.name = "scimark";
+  spec.description = "Compute the LU factorization of matrices";
+  spec.category = 3;
+  spec.alloc_rate_bytes_per_sec = 20 * kMiB;
+  spec.long_lived_fraction = 0.15;  // Per-op matrices survive the whole op.
+  spec.short_lifetime_mean = Duration::SecondsF(1.2);
+  spec.long_lifetime_mean = Duration::Seconds(20);
+  spec.old_baseline_bytes = 400 * kMiB;  // Resident matrix working set.
+  spec.old_mutation_bytes_per_sec = 25 * kMiB;  // LU sweeps the matrices.
+  spec.old_mutation_mode = OldMutationMode::kSweep;
+  spec.ops_per_sec = 0.35;
+  // Long-lived survivors need roomy survivor spaces (SurvivorRatio=2) and
+  // fast tenuring, or every minor GC overflows into the old generation and
+  // full GCs thrash.
+  spec.heap.survivor_fraction = 0.25;
+  spec.heap.tenure_threshold = 1;
+  return spec;
+}
+
+}  // namespace
+
+WorkloadSpec Workloads::Get(const std::string& name) {
+  for (const WorkloadSpec& spec : All()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  JAVMM_UNREACHABLE(("unknown workload: " + name).c_str());
+}
+
+std::vector<WorkloadSpec> Workloads::All() {
+  return {Derby(), Compiler(), Xml(),     Sunflow(), Serial(),
+          Crypto(), Scimark(),  Mpeg(),    Compress()};
+}
+
+std::vector<WorkloadSpec> Workloads::CategoryRepresentatives() {
+  return {Get("derby"), Get("crypto"), Get("scimark")};
+}
+
+WorkloadSpec Workloads::WithYoungCap(WorkloadSpec spec, int64_t young_max_bytes) {
+  spec.heap.young_max_bytes = young_max_bytes;
+  spec.heap.young_initial_bytes = std::min(spec.heap.young_initial_bytes, young_max_bytes);
+  spec.heap.young_min_bytes = std::min(spec.heap.young_min_bytes, spec.heap.young_initial_bytes);
+  return spec;
+}
+
+}  // namespace javmm

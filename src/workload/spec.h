@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Synthetic stand-ins for the SPECjvm2008 workloads of Table 1.
+//
+// The paper characterises each workload through a handful of parameters --
+// object allocation rate, object-lifetime mix (the §5.3 categories), old-gen
+// size and mutation behaviour, GC durations -- and every result follows from
+// those. Each spec below is calibrated against the paper's measurements:
+// Fig 5(a) heap consumption, Fig 5(b) garbage fractions, Fig 5(c) GC
+// durations, and the Young/Old sizes of Tables 2-3.
+
+#ifndef JAVMM_SRC_WORKLOAD_SPEC_H_
+#define JAVMM_SRC_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/base/units.h"
+#include "src/jvm/heap_config.h"
+
+namespace javmm {
+
+// How the workload dirties its long-lived (old-generation) data.
+enum class OldMutationMode {
+  kUniformRandom,  // Scattered field updates (databases, business logic).
+  kSweep,          // Sequential passes over large arrays (scimark's matrices).
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::string description;  // Table 1.
+  int category = 0;         // §5.3: 1 = high alloc/short-lived, 2 = medium,
+                            // 3 = low alloc/long-lived.
+
+  // ---- Allocation behaviour. ----
+  int64_t alloc_rate_bytes_per_sec = 0;
+  int64_t chunk_bytes = 64 * kKiB;   // Cohort granularity (DESIGN.md §4).
+  double long_lived_fraction = 0.0;  // Fraction of allocations that tenure.
+  Duration short_lifetime_mean = Duration::Millis(30);
+  Duration long_lifetime_mean = Duration::Seconds(60);
+
+  // ---- Old-generation behaviour. ----
+  int64_t old_baseline_bytes = 0;  // Startup-resident long-lived data.
+  int64_t old_mutation_bytes_per_sec = 0;
+  OldMutationMode old_mutation_mode = OldMutationMode::kUniformRandom;
+
+  // ---- Operation/throughput model (the paper's external analyser). ----
+  double ops_per_sec = 1.0;  // Completed per second of actual execution.
+
+  // Maximum time for Java threads to reach a safepoint; the observed
+  // time-to-safepoint is ~U(0, interval) (Fig 8 waits 0.7 s for compiler).
+  Duration safepoint_interval = Duration::Millis(1400);
+
+  // ---- Heap tuning (young cap is the -Xmn knob Tables 2-3 vary). ----
+  HeapConfig heap;
+};
+
+// Registry of the nine calibrated workloads.
+class Workloads {
+ public:
+  // Returns the spec by SPECjvm2008 name (derby, compiler, xml, sunflow,
+  // serial, crypto, scimark, mpeg, compress). Aborts on unknown names.
+  static WorkloadSpec Get(const std::string& name);
+
+  // All nine, in the paper's presentation order.
+  static std::vector<WorkloadSpec> All();
+
+  // The three §5.3 representatives: derby (cat 1), crypto (cat 2),
+  // scimark (cat 3).
+  static std::vector<WorkloadSpec> CategoryRepresentatives();
+
+  // Returns `spec` with a different young-generation cap (Table 3's -Xmn).
+  static WorkloadSpec WithYoungCap(WorkloadSpec spec, int64_t young_max_bytes);
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_WORKLOAD_SPEC_H_

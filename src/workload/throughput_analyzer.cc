@@ -1,0 +1,34 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/workload/throughput_analyzer.h"
+
+namespace javmm {
+
+ThroughputAnalyzer::ThroughputAnalyzer(SimClock* clock, const JavaApplication* app,
+                                       Duration interval)
+    : clock_(clock), app_(app), interval_(interval) {
+  timer_ = clock_->events().Schedule(clock_->now() + interval_, [this] { Sample(); });
+}
+
+ThroughputAnalyzer::~ThroughputAnalyzer() {
+  if (!stopped_) {
+    clock_->events().Cancel(timer_);
+  }
+}
+
+void ThroughputAnalyzer::Sample() {
+  const double ops = app_->ops_completed();
+  const double per_sec = (ops - last_ops_) / interval_.ToSecondsF();
+  last_ops_ = ops;
+  series_.Add(clock_->now(), per_sec);
+  timer_ = clock_->events().Schedule(clock_->now() + interval_, [this] { Sample(); });
+}
+
+Duration ThroughputAnalyzer::ObservedDowntime(TimePoint from, TimePoint to) const {
+  // "Near zero": below 5% of the mean rate before `from`.
+  const double baseline = series_.MeanInWindow(TimePoint::Epoch(), from);
+  const double threshold = baseline > 0 ? baseline * 0.05 : 1e-9;
+  return series_.LongestBelow(threshold, from, to);
+}
+
+}  // namespace javmm

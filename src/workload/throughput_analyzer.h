@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#ifndef JAVMM_SRC_WORKLOAD_THROUGHPUT_ANALYZER_H_
+#define JAVMM_SRC_WORKLOAD_THROUGHPUT_ANALYZER_H_
+
+#include "src/sim/clock.h"
+#include "src/stats/time_series.h"
+#include "src/workload/java_application.h"
+
+namespace javmm {
+
+// The paper's external throughput analyser (§5.1): alongside each workload it
+// records the number of operations completed per second, observed "from
+// outside of the VM using a time source that is not affected by temporary
+// suspension of the VM". Our simulation clock is exactly such a source; a
+// repeating timer samples the application's cumulative op counter.
+class ThroughputAnalyzer {
+ public:
+  ThroughputAnalyzer(SimClock* clock, const JavaApplication* app,
+                     Duration interval = Duration::Seconds(1));
+  ~ThroughputAnalyzer();
+
+  ThroughputAnalyzer(const ThroughputAnalyzer&) = delete;
+  ThroughputAnalyzer& operator=(const ThroughputAnalyzer&) = delete;
+
+  const TimeSeries& series() const { return series_; }
+  Duration interval() const { return interval_; }
+
+  // Longest observed stretch of near-zero throughput within [from, to);
+  // the paper's externally-visible workload downtime (Fig 10(c)).
+  Duration ObservedDowntime(TimePoint from, TimePoint to) const;
+
+ private:
+  void Sample();
+
+  SimClock* clock_;
+  const JavaApplication* app_;
+  Duration interval_;
+  TimeSeries series_;
+  double last_ops_ = 0;
+  EventQueue::EventId timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_WORKLOAD_THROUGHPUT_ANALYZER_H_

@@ -1,0 +1,178 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit tests for src/base: time, units, RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/base/units.h"
+
+namespace javmm {
+namespace {
+
+TEST(DurationTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::Nanos(5).nanos(), 5);
+  EXPECT_EQ(Duration::Micros(3).nanos(), 3000);
+  EXPECT_EQ(Duration::Millis(2).nanos(), 2000000);
+  EXPECT_EQ(Duration::Seconds(1).nanos(), 1000000000);
+  EXPECT_EQ(Duration::Minutes(1).nanos(), 60ll * 1000000000);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(2).ToSecondsF(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).ToMillisF(), 1500.0);
+}
+
+TEST(DurationTest, SecondsFRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::SecondsF(1e-9).nanos(), 1);
+  EXPECT_EQ(Duration::SecondsF(0.5).nanos(), 500000000);
+  EXPECT_EQ(Duration::SecondsF(1.25e-9).nanos(), 1);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Seconds(3);
+  const Duration b = Duration::Seconds(1);
+  EXPECT_EQ((a + b).nanos(), Duration::Seconds(4).nanos());
+  EXPECT_EQ((a - b).nanos(), Duration::Seconds(2).nanos());
+  EXPECT_EQ((b * int64_t{3}).nanos(), a.nanos());
+  EXPECT_EQ((a / int64_t{3}).nanos(), b.nanos());
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_EQ((b * 2.5).nanos(), 2500000000ll);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_TRUE(Duration::Zero().IsZero());
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2.000s");
+  EXPECT_EQ(Duration::Millis(13).ToString(), "13.00ms");
+  EXPECT_EQ(Duration::Micros(250).ToString(), "250.0us");
+  EXPECT_EQ(Duration::Nanos(40).ToString(), "40ns");
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t = TimePoint::Epoch() + Duration::Seconds(10);
+  EXPECT_EQ(t.nanos(), 10ll * 1000000000);
+  EXPECT_EQ((t - TimePoint::Epoch()).nanos(), Duration::Seconds(10).nanos());
+  EXPECT_EQ((t - Duration::Seconds(4)).nanos(), Duration::Seconds(6).nanos());
+  EXPECT_LT(TimePoint::Epoch(), t);
+}
+
+TEST(UnitsTest, PagesForBytes) {
+  EXPECT_EQ(PagesForBytes(0), 0);
+  EXPECT_EQ(PagesForBytes(1), 1);
+  EXPECT_EQ(PagesForBytes(kPageSize), 1);
+  EXPECT_EQ(PagesForBytes(kPageSize + 1), 2);
+  EXPECT_EQ(PagesForBytes(kGiB), 262144);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LogNormal(5.0, 0.8);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, BoundedParetoWithinBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.BoundedPareto(1.0, 100.0, 1.2);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(10);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,204 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for the related-work baseline engines (stop-and-copy, post-copy) and
+// the kFinalRewalk LKM update mode (§3.3.4 alternative approach).
+
+#include <gtest/gtest.h>
+
+#include "src/core/migration_lab.h"
+#include "src/migration/baselines.h"
+
+namespace javmm {
+namespace {
+
+LabConfig SmallLab(uint64_t seed = 1) {
+  LabConfig config;
+  config.vm_bytes = 512 * kMiB;
+  config.seed = seed;
+  config.os.resident_bytes = 64 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  return config;
+}
+
+WorkloadSpec SmallDerby() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 100 * kMiB;
+  spec.old_baseline_bytes = 32 * kMiB;
+  spec.heap.young_max_bytes = 256 * kMiB;
+  spec.heap.old_max_bytes = 128 * kMiB;
+  return spec;
+}
+
+// ---- Stop-and-copy. ----
+
+TEST(StopAndCopyTest, DowntimeEqualsTransferPlusResumption) {
+  MigrationLab lab(SmallDerby(), SmallLab());
+  lab.Run(Duration::Seconds(10));
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  const MigrationResult result = engine.Migrate();
+  EXPECT_TRUE(result.completed);
+  ASSERT_TRUE(result.verification.ok);
+  // Everything is sent exactly once, while paused.
+  EXPECT_EQ(result.pages_sent, lab.guest().memory().frame_count());
+  EXPECT_EQ(result.downtime.Total().nanos(),
+            (result.downtime.last_iter_transfer + result.downtime.resumption).nanos());
+  // Downtime ~ VM size / goodput: 512 MiB at ~119 MiB/s is > 4 s.
+  EXPECT_GT(result.downtime.Total().ToSecondsF(), 4.0);
+  // And total time == downtime (non-live).
+  EXPECT_EQ(result.total_time.nanos(), result.downtime.Total().nanos());
+}
+
+TEST(StopAndCopyTest, GuestMakesNoProgressDuringMigration) {
+  MigrationLab lab(SmallDerby(), SmallLab());
+  lab.Run(Duration::Seconds(5));
+  const double ops_before = lab.app().ops_completed();
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  engine.Migrate();
+  EXPECT_EQ(lab.app().ops_completed(), ops_before);
+  lab.Run(Duration::Seconds(2));
+  EXPECT_GT(lab.app().ops_completed(), ops_before);
+}
+
+// ---- Post-copy. ----
+
+TEST(PostcopyTest, TinyDowntimeButDegradationWindow) {
+  MigrationLab lab(SmallDerby(), SmallLab());
+  lab.Run(Duration::Seconds(10));
+  PostcopyEngine::Config config;
+  config.base = lab.config().migration;
+  PostcopyEngine engine(&lab.guest(), config);
+  const PostcopyResult result = engine.Migrate();
+  EXPECT_TRUE(result.common.completed);
+  EXPECT_TRUE(result.common.verification.ok);
+  // Downtime: device state + resumption only -- well under a second.
+  EXPECT_LT(result.common.downtime.Total().ToSecondsF(), 0.5);
+  // But the degradation window covers streaming the whole VM.
+  EXPECT_GT(result.degradation_window.ToSecondsF(), 3.0);
+  EXPECT_GT(result.demand_faults, 0);
+  EXPECT_GT(result.fault_stall.nanos(), 0);
+}
+
+TEST(PostcopyTest, EveryPageFetchedExactlyOnce) {
+  MigrationLab lab(SmallDerby(), SmallLab());
+  lab.Run(Duration::Seconds(5));
+  PostcopyEngine::Config config;
+  config.base = lab.config().migration;
+  PostcopyEngine engine(&lab.guest(), config);
+  const PostcopyResult result = engine.Migrate();
+  EXPECT_EQ(result.common.pages_sent, lab.guest().memory().frame_count());
+  // Guest keeps running afterwards.
+  const double ops = lab.app().ops_completed();
+  lab.Run(Duration::Seconds(2));
+  EXPECT_GT(lab.app().ops_completed(), ops);
+}
+
+TEST(PostcopyTest, IdleGuestHasNoFaults) {
+  // No workload: nothing writes, so no demand faults; pre-paging does it all.
+  SimClock clock;
+  GuestPhysicalMemory memory(64 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  PostcopyEngine::Config config;
+  PostcopyEngine engine(&kernel, config);
+  const PostcopyResult result = engine.Migrate();
+  EXPECT_EQ(result.demand_faults, 0);
+  EXPECT_TRUE(result.fault_stall.IsZero());
+  EXPECT_TRUE(result.common.verification.ok);
+}
+
+// ---- Write observers. ----
+
+class CountingObserver : public WriteObserver {
+ public:
+  void OnGuestWrite(Pfn pfn) override {
+    ++count_;
+    last_ = pfn;
+  }
+  int64_t count_ = 0;
+  Pfn last_ = kInvalidPfn;
+};
+
+TEST(WriteObserverTest, AttachedObserverSeesWrites) {
+  GuestPhysicalMemory memory(16 * kPageSize);
+  CountingObserver observer;
+  memory.AttachWriteObserver(&observer);
+  memory.Write(5);
+  memory.Write(7);
+  EXPECT_EQ(observer.count_, 2);
+  EXPECT_EQ(observer.last_, 7);
+  memory.DetachWriteObserver(&observer);
+  memory.Write(5);
+  EXPECT_EQ(observer.count_, 2);
+}
+
+// ---- kFinalRewalk update mode. ----
+
+TEST(FinalRewalkTest, AssistedMigrationVerifiesWithRewalkMode) {
+  LabConfig config = SmallLab(5);
+  config.lkm.update_mode = BitmapUpdateMode::kFinalRewalk;
+  config.migration.application_assisted = true;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(30));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_TRUE(result.assisted);
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_GT(result.pages_skipped_bitmap, 0);
+  // Second migration still works (state resets cleanly).
+  lab.Run(Duration::Seconds(10));
+  const MigrationResult second = lab.Migrate();
+  ASSERT_TRUE(second.verification.ok) << second.verification.detail;
+}
+
+TEST(FinalRewalkTest, RewalkModeSurvivesYoungShrink) {
+  // A shrinking young generation with NO shrink notifications: the rewalk
+  // must reconcile everything at the final update.
+  LabConfig config = SmallLab(6);
+  config.lkm.update_mode = BitmapUpdateMode::kFinalRewalk;
+  config.migration.application_assisted = true;
+  WorkloadSpec spec = SmallDerby();
+  spec.alloc_rate_bytes_per_sec = 4 * kMiB;  // Low demand...
+  spec.heap.young_initial_bytes = 128 * kMiB;  // ...oversized heap => shrinks.
+  spec.heap.shrink_headroom = 1.3;
+  MigrationLab lab(spec, config);
+  lab.Run(Duration::Seconds(60));
+  const MigrationResult result = lab.Migrate();
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_EQ(lab.guest().lkm()->protocol_violations(), 0);
+}
+
+TEST(FinalRewalkTest, FinalUpdateCostsMoreThanIncremental) {
+  // The deferred approach's final update walks every skip-over PTE; the
+  // incremental one only diffs. The paper deferred the former for exactly
+  // this reason.
+  Duration rewalk_cost;
+  Duration incremental_cost;
+  for (const BitmapUpdateMode mode :
+       {BitmapUpdateMode::kFinalRewalk, BitmapUpdateMode::kIncremental}) {
+    LabConfig config = SmallLab(7);
+    config.lkm.update_mode = mode;
+    config.migration.application_assisted = true;
+    MigrationLab lab(SmallDerby(), config);
+    lab.Run(Duration::Seconds(30));
+    const MigrationResult result = lab.Migrate();
+    ASSERT_TRUE(result.verification.ok);
+    if (mode == BitmapUpdateMode::kFinalRewalk) {
+      rewalk_cost = result.downtime.final_bitmap_update;
+    } else {
+      incremental_cost = result.downtime.final_bitmap_update;
+    }
+  }
+  EXPECT_GT(rewalk_cost.nanos(), incremental_cost.nanos());
+}
+
+TEST(FinalRewalkTest, ShrinkNoticesIgnoredWithoutViolation) {
+  SimClock clock;
+  GuestPhysicalMemory memory(256 * kPageSize);
+  GuestKernel kernel(&memory, &clock);
+  LkmConfig config;
+  config.update_mode = BitmapUpdateMode::kFinalRewalk;
+  Lkm& lkm = kernel.LoadLkm(config);
+  const AppId pid = kernel.CreateProcess("app");
+  lkm.NotifyAreaShrunk(pid, VaRange{0, 4096});
+  EXPECT_EQ(lkm.protocol_violations(), 0);
+}
+
+}  // namespace
+}  // namespace javmm

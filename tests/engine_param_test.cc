@@ -1,0 +1,124 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Property sweep over the migration daemon's configuration space: migration
+// must remain correct (verification passes) for every combination of batch
+// size, stop thresholds, link speed and engine mode -- the knobs only move
+// performance, never correctness.
+
+#include <gtest/gtest.h>
+
+#include "src/core/migration_lab.h"
+
+namespace javmm {
+namespace {
+
+WorkloadSpec SweepWorkload() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 80 * kMiB;
+  spec.old_baseline_bytes = 24 * kMiB;
+  spec.heap.young_max_bytes = 160 * kMiB;
+  spec.heap.old_max_bytes = 96 * kMiB;
+  return spec;
+}
+
+struct ParamCase {
+  int64_t batch_pages;
+  int max_iterations;
+  int64_t threshold_pages;
+  double bandwidth_gbps;
+  bool assisted;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ParamCase>& info) {
+  const ParamCase& p = info.param;
+  return "b" + std::to_string(p.batch_pages) + "_i" + std::to_string(p.max_iterations) +
+         "_t" + std::to_string(p.threshold_pages) + "_g" +
+         std::to_string(static_cast<int>(p.bandwidth_gbps * 10)) +
+         (p.assisted ? "_javmm" : "_xen");
+}
+
+class EngineParamTest : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(EngineParamTest, AlwaysVerifies) {
+  const ParamCase& p = GetParam();
+  LabConfig config;
+  config.vm_bytes = 384 * kMiB;
+  config.os.resident_bytes = 48 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  config.seed = 77;
+  config.migration.application_assisted = p.assisted;
+  config.migration.batch_pages = p.batch_pages;
+  config.migration.max_iterations = p.max_iterations;
+  config.migration.last_iter_threshold_pages = p.threshold_pages;
+  config.migration.link.bandwidth_bps = p.bandwidth_gbps * 1e9;
+  MigrationLab lab(SweepWorkload(), config);
+  lab.Run(Duration::Seconds(15));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_TRUE(result.completed);
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_LE(result.iteration_count(), p.max_iterations + 1);
+  // Guest alive afterwards.
+  const double ops = lab.app().ops_completed();
+  lab.Run(Duration::Seconds(3));
+  EXPECT_GT(lab.app().ops_completed(), ops);
+}
+
+std::vector<ParamCase> Cases() {
+  std::vector<ParamCase> cases;
+  for (const int64_t batch : {1, 64, 1024}) {
+    for (const bool assisted : {false, true}) {
+      cases.push_back(ParamCase{batch, 30, 50, 1.0, assisted});
+    }
+  }
+  for (const int max_iter : {1, 3, 60}) {
+    for (const bool assisted : {false, true}) {
+      cases.push_back(ParamCase{256, max_iter, 50, 1.0, assisted});
+    }
+  }
+  for (const int64_t threshold : {0, 5000, 1000000}) {
+    cases.push_back(ParamCase{256, 30, threshold, 1.0, true});
+  }
+  for (const double gbps : {0.1, 10.0}) {
+    for (const bool assisted : {false, true}) {
+      cases.push_back(ParamCase{256, 30, 50, gbps, assisted});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ConfigSpace, EngineParamTest, ::testing::ValuesIn(Cases()), CaseName);
+
+// Extreme-shape guests: tiny VM, page-sized VM.
+TEST(EngineEdgeTest, TinyVmMigrates) {
+  SimClock clock;
+  GuestPhysicalMemory memory(8 * kPageSize);
+  GuestKernel kernel(&memory, &clock);
+  MigrationEngine engine(&kernel, MigrationConfig{});
+  const MigrationResult result = engine.Migrate();
+  EXPECT_TRUE(result.verification.ok);
+  EXPECT_EQ(result.pages_sent, 8);
+}
+
+TEST(EngineEdgeTest, RepeatedMigrationsAlternatingModes) {
+  LabConfig config;
+  config.vm_bytes = 256 * kMiB;
+  config.os.resident_bytes = 48 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  WorkloadSpec spec = SweepWorkload();
+  spec.heap.young_max_bytes = 64 * kMiB;
+  spec.heap.old_max_bytes = 64 * kMiB;
+  spec.old_baseline_bytes = 16 * kMiB;
+  MigrationLab lab(spec, config);
+  lab.Run(Duration::Seconds(10));
+  for (int round = 0; round < 4; ++round) {
+    MigrationConfig mig = config.migration;
+    mig.application_assisted = (round % 2 == 1);
+    MigrationEngine engine(&lab.guest(), mig);
+    const MigrationResult result = engine.Migrate();
+    ASSERT_TRUE(result.verification.ok) << "round " << round;
+    lab.Run(Duration::Seconds(3));
+  }
+  EXPECT_EQ(lab.guest().lkm()->protocol_violations(), 0);
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,145 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit tests for the guest-kernel plumbing: netlink bus, event channel,
+// process registry.
+
+#include <gtest/gtest.h>
+
+#include "src/guest/event_channel.h"
+#include "src/guest/guest_kernel.h"
+#include "src/guest/netlink_bus.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/clock.h"
+
+namespace javmm {
+namespace {
+
+class CountingSubscriber : public NetlinkSubscriber {
+ public:
+  void OnNetlinkMessage(const NetlinkMessage& msg) override {
+    ++received_;
+    last_ = msg.type;
+  }
+  int received_ = 0;
+  NetlinkMessageType last_ = NetlinkMessageType::kVmResumed;
+};
+
+TEST(NetlinkBusTest, MulticastReachesAllSubscribers) {
+  NetlinkBus bus;
+  CountingSubscriber a;
+  CountingSubscriber b;
+  bus.Subscribe(1, &a);
+  bus.Subscribe(2, &b);
+  bus.Multicast(NetlinkMessage{NetlinkMessageType::kQuerySkipOverAreas});
+  EXPECT_EQ(a.received_, 1);
+  EXPECT_EQ(b.received_, 1);
+  EXPECT_EQ(a.last_, NetlinkMessageType::kQuerySkipOverAreas);
+}
+
+TEST(NetlinkBusTest, UnsubscribeStopsDelivery) {
+  NetlinkBus bus;
+  CountingSubscriber a;
+  bus.Subscribe(1, &a);
+  bus.Unsubscribe(1);
+  bus.Multicast(NetlinkMessage{NetlinkMessageType::kVmResumed});
+  EXPECT_EQ(a.received_, 0);
+  EXPECT_FALSE(bus.IsSubscribed(1));
+}
+
+TEST(NetlinkBusTest, SubscriberIdsAscending) {
+  NetlinkBus bus;
+  CountingSubscriber a;
+  CountingSubscriber b;
+  bus.Subscribe(7, &a);
+  bus.Subscribe(3, &b);
+  EXPECT_EQ(bus.SubscriberIds(), (std::vector<AppId>{3, 7}));
+}
+
+// A subscriber that unsubscribes itself during delivery must not corrupt the
+// multicast iteration.
+class SelfRemovingSubscriber : public NetlinkSubscriber {
+ public:
+  SelfRemovingSubscriber(NetlinkBus* bus, AppId pid) : bus_(bus), pid_(pid) {}
+  void OnNetlinkMessage(const NetlinkMessage&) override {
+    ++received_;
+    bus_->Unsubscribe(pid_);
+  }
+  NetlinkBus* bus_;
+  AppId pid_;
+  int received_ = 0;
+};
+
+TEST(NetlinkBusTest, ReentrantUnsubscribeDuringMulticast) {
+  NetlinkBus bus;
+  SelfRemovingSubscriber a(&bus, 1);
+  CountingSubscriber b;
+  bus.Subscribe(1, &a);
+  bus.Subscribe(2, &b);
+  bus.Multicast(NetlinkMessage{NetlinkMessageType::kVmResumed});
+  EXPECT_EQ(a.received_, 1);
+  EXPECT_EQ(b.received_, 1);
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+}
+
+TEST(EventChannelTest, BidirectionalNotification) {
+  EventChannel channel;
+  DaemonToLkm to_guest = DaemonToLkm::kVmResumed;
+  LkmToDaemon to_daemon = LkmToDaemon::kSuspensionReady;
+  int guest_count = 0;
+  int daemon_count = 0;
+  channel.BindGuestHandler([&](DaemonToLkm msg) {
+    to_guest = msg;
+    ++guest_count;
+  });
+  channel.BindDaemonHandler([&](LkmToDaemon msg) {
+    to_daemon = msg;
+    ++daemon_count;
+  });
+  channel.NotifyGuest(DaemonToLkm::kMigrationStarted);
+  channel.NotifyDaemon(LkmToDaemon::kSuspensionReady);
+  EXPECT_EQ(guest_count, 1);
+  EXPECT_EQ(daemon_count, 1);
+  EXPECT_EQ(to_guest, DaemonToLkm::kMigrationStarted);
+  EXPECT_EQ(to_daemon, LkmToDaemon::kSuspensionReady);
+}
+
+TEST(EventChannelTest, UnboundDeliveryIsDropped) {
+  EventChannel channel;
+  channel.NotifyGuest(DaemonToLkm::kMigrationStarted);  // Must not crash.
+  channel.NotifyDaemon(LkmToDaemon::kSuspensionReady);
+  EXPECT_FALSE(channel.guest_bound());
+}
+
+TEST(GuestKernelTest, ProcessRegistry) {
+  SimClock clock;
+  GuestPhysicalMemory memory(16 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  const AppId a = kernel.CreateProcess("jvm");
+  const AppId b = kernel.CreateProcess("cache");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(kernel.process_name(a), "jvm");
+  EXPECT_EQ(kernel.process_name(b), "cache");
+  // Address spaces are independent: same VA in both maps to different frames.
+  AddressSpace& sa = kernel.address_space(a);
+  AddressSpace& sb = kernel.address_space(b);
+  const VaRange ra = sa.ReserveVa(kPageSize);
+  const VaRange rb = sb.ReserveVa(kPageSize);
+  ASSERT_TRUE(sa.CommitRange(ra.begin, kPageSize));
+  ASSERT_TRUE(sb.CommitRange(rb.begin, kPageSize));
+  EXPECT_EQ(ra.begin, rb.begin);  // Same virtual address...
+  EXPECT_NE(sa.page_table().Lookup(VpnOf(ra.begin)),
+            sb.page_table().Lookup(VpnOf(rb.begin)));  // ...different frames.
+}
+
+TEST(GuestKernelTest, PauseResume) {
+  SimClock clock;
+  GuestPhysicalMemory memory(16 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  EXPECT_FALSE(kernel.vm_paused());
+  kernel.PauseVm();
+  EXPECT_TRUE(kernel.vm_paused());
+  kernel.ResumeVm();
+  EXPECT_FALSE(kernel.vm_paused());
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,186 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for the Java application process + TI agent choreography (§4.3.2).
+
+#include <gtest/gtest.h>
+
+#include "src/guest/lkm.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/clock.h"
+#include "src/workload/java_application.h"
+#include "src/workload/spec.h"
+
+namespace javmm {
+namespace {
+
+WorkloadSpec TestSpec() {
+  WorkloadSpec spec;
+  spec.name = "test";
+  spec.category = 1;
+  spec.alloc_rate_bytes_per_sec = 32 * kMiB;
+  spec.chunk_bytes = 64 * kKiB;
+  spec.long_lived_fraction = 0.01;
+  spec.short_lifetime_mean = Duration::Millis(50);
+  spec.long_lifetime_mean = Duration::Seconds(20);
+  spec.old_baseline_bytes = 4 * kMiB;
+  spec.old_mutation_bytes_per_sec = kMiB / 4;
+  spec.ops_per_sec = 10;
+  spec.safepoint_interval = Duration::Millis(400);
+  spec.heap.young_max_bytes = 64 * kMiB;
+  spec.heap.young_initial_bytes = 16 * kMiB;
+  spec.heap.young_min_bytes = 8 * kMiB;
+  spec.heap.old_max_bytes = 64 * kMiB;
+  return spec;
+}
+
+class JavaAppTest : public ::testing::Test {
+ protected:
+  JavaAppTest() : memory_(512 * kMiB), kernel_(&memory_, &clock_) {
+    lkm_ = &kernel_.LoadLkm(LkmConfig{});
+    kernel_.event_channel().BindDaemonHandler([this](LkmToDaemon msg) {
+      if (msg == LkmToDaemon::kSuspensionReady) {
+        suspension_ready_ = true;
+      }
+    });
+  }
+
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+  Lkm* lkm_;
+  bool suspension_ready_ = false;
+};
+
+TEST_F(JavaAppTest, AllocatesAtConfiguredRate) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(1));
+  clock_.Advance(Duration::Seconds(10));
+  // 32 MiB/s over 10 s minus GC pauses: within 25% of 320 MiB.
+  const double allocated = static_cast<double>(app.heap().total_allocated_bytes()) -
+                           static_cast<double>(TestSpec().old_baseline_bytes);
+  EXPECT_NEAR(allocated / static_cast<double>(320 * kMiB), 1.0, 0.25);
+}
+
+TEST_F(JavaAppTest, MinorGcsHappenAtFillCadence) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(2));
+  clock_.Advance(Duration::Seconds(20));
+  const GcLog& log = app.heap().gc_log();
+  EXPECT_GT(log.minor_count(), 5);
+  // Mostly garbage: short-lived objects dominate.
+  EXPECT_GT(log.MeanMinorGarbageFraction(), 0.85);
+}
+
+TEST_F(JavaAppTest, OpsAccrueMinusGcPauses) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(3));
+  clock_.Advance(Duration::Seconds(10));
+  const double expected =
+      (Duration::Seconds(10) - app.total_gc_pause()).ToSecondsF() * TestSpec().ops_per_sec;
+  EXPECT_NEAR(app.ops_completed(), expected, expected * 0.02);
+}
+
+TEST_F(JavaAppTest, NoProgressWhileVmPaused) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(4));
+  clock_.Advance(Duration::Seconds(2));
+  const double ops_before = app.ops_completed();
+  const int64_t writes_before = memory_.total_writes();
+  kernel_.PauseVm();
+  clock_.Advance(Duration::Seconds(5));
+  EXPECT_EQ(app.ops_completed(), ops_before);
+  EXPECT_EQ(memory_.total_writes(), writes_before);
+  kernel_.ResumeVm();
+  clock_.Advance(Duration::Seconds(1));
+  EXPECT_GT(app.ops_completed(), ops_before);
+}
+
+TEST_F(JavaAppTest, AgentReportsYoungGenOnQuery) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(5));
+  clock_.Advance(Duration::Seconds(5));
+  const VaRange young = app.heap().young_committed();
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  // All committed young pages had their transfer bits cleared.
+  const int64_t cleared = lkm_->transfer_bitmap().size() - lkm_->transfer_bitmap().Count();
+  EXPECT_EQ(cleared, PagesForBytes(young.bytes()));
+  EXPECT_TRUE(app.agent().migration_active());
+}
+
+TEST_F(JavaAppTest, EnforcedGcRunsAndHoldsThreads) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(6));
+  clock_.Advance(Duration::Seconds(5));
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  const int64_t gcs_before = app.heap().gc_log().minor_count();
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_FALSE(suspension_ready_);  // Needs simulated time for TTS + GC.
+  clock_.Advance(Duration::Seconds(3));
+  EXPECT_TRUE(suspension_ready_);
+  EXPECT_TRUE(app.held_at_safepoint());
+  // Exactly one more GC ran, flagged enforced, leaving eden empty.
+  const GcLog& log = app.heap().gc_log();
+  ASSERT_GE(log.minor_count(), gcs_before + 1);
+  EXPECT_TRUE(log.minor.back().enforced);
+  EXPECT_EQ(app.heap().eden_free_bytes(),
+            app.heap().eden_range().bytes());
+
+  // While held: no ops, no dirtying, even though the VM is not paused.
+  const double ops_before = app.ops_completed();
+  clock_.Advance(Duration::Seconds(2));
+  EXPECT_EQ(app.ops_completed(), ops_before);
+
+  // Resume releases the threads.
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kVmResumed);
+  EXPECT_FALSE(app.held_at_safepoint());
+  clock_.Advance(Duration::Seconds(1));
+  EXPECT_GT(app.ops_completed(), ops_before);
+}
+
+TEST_F(JavaAppTest, SuspensionReadyCarriesOccupiedFrom) {
+  JavaApplication app(&kernel_, TestSpec(), Rng(7));
+  clock_.Advance(Duration::Seconds(5));
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  clock_.Advance(Duration::Seconds(3));
+  ASSERT_TRUE(suspension_ready_);
+  // Survivors of the enforced GC sit in From; their transfer bits must be
+  // set (treated as leaving the young generation).
+  const VaRange from = app.heap().occupied_from_range();
+  if (!from.empty()) {
+    AddressSpace& space = kernel_.address_space(app.pid());
+    const Pfn pfn = space.page_table().Lookup(VpnOf(from.begin));
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_TRUE(lkm_->transfer_bitmap().Test(pfn));
+  }
+}
+
+TEST_F(JavaAppTest, NonCooperativeAgentIgnoresPrepare) {
+  TiAgentConfig agent_config;
+  agent_config.cooperative = false;
+  JavaApplication app(&kernel_, TestSpec(), Rng(8), agent_config);
+  clock_.Advance(Duration::Seconds(3));
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  clock_.Advance(Duration::Seconds(2));
+  EXPECT_FALSE(suspension_ready_);
+  EXPECT_FALSE(app.held_at_safepoint());
+  // The LKM's straggler timeout eventually proceeds without it.
+  clock_.Advance(LkmConfig{}.straggler_timeout);
+  EXPECT_TRUE(suspension_ready_);
+  EXPECT_EQ(lkm_->stragglers_timed_out(), 1);
+}
+
+TEST_F(JavaAppTest, YoungShrinkNotifiesLkmDuringMigration) {
+  WorkloadSpec spec = TestSpec();
+  spec.heap.young_initial_bytes = 64 * kMiB;  // Oversized for the alloc rate.
+  spec.heap.shrink_headroom = 1.3;
+  spec.alloc_rate_bytes_per_sec = 2 * kMiB;
+  JavaApplication app(&kernel_, spec, Rng(9));
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  const int64_t cleared_at_start =
+      lkm_->transfer_bitmap().size() - lkm_->transfer_bitmap().Count();
+  // Run long enough for several GCs; the adaptive policy shrinks the young
+  // generation and the agent relays the shrink to the LKM.
+  clock_.Advance(Duration::Seconds(120));
+  const int64_t cleared_now = lkm_->transfer_bitmap().size() - lkm_->transfer_bitmap().Count();
+  EXPECT_LT(cleared_now, cleared_at_start);
+  EXPECT_LT(app.heap().young_committed_bytes(), 64 * kMiB);
+  EXPECT_EQ(lkm_->protocol_violations(), 0);
+}
+
+}  // namespace
+}  // namespace javmm

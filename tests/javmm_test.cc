@@ -1,0 +1,258 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// End-to-end JAVMM tests: assisted migration of Java VMs, safety fallback,
+// multi-application guests, cache-application skip-over.
+
+#include <gtest/gtest.h>
+
+#include "src/core/migration_lab.h"
+#include "src/core/policy.h"
+#include "src/workload/cache_application.h"
+
+namespace javmm {
+namespace {
+
+// Scaled-down lab (512 MiB VM, scaled workload) so each test runs in
+// milliseconds while exercising every code path.
+LabConfig SmallLab(bool assisted, uint64_t seed = 1) {
+  LabConfig config;
+  config.vm_bytes = 512 * kMiB;
+  config.seed = seed;
+  config.os.resident_bytes = 64 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  config.migration.application_assisted = assisted;
+  return config;
+}
+
+WorkloadSpec SmallDerby() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 120 * kMiB;
+  spec.old_baseline_bytes = 32 * kMiB;
+  spec.heap.young_max_bytes = 256 * kMiB;
+  spec.heap.young_initial_bytes = 32 * kMiB;
+  spec.heap.old_max_bytes = 128 * kMiB;
+  return spec;
+}
+
+TEST(JavmmTest, AssistedMigrationVerifies) {
+  MigrationLab lab(SmallDerby(), SmallLab(/*assisted=*/true));
+  lab.Run(Duration::Seconds(30));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.assisted);
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_GT(result.verification.required_pfns_checked, 0);
+  EXPECT_GT(result.pages_skipped_bitmap, 0);
+  EXPECT_GT(result.verification.pages_skipped_garbage, 0);
+  // Workload continues correctly at the destination.
+  const double ops_before = lab.app().ops_completed();
+  lab.Run(Duration::Seconds(10));
+  EXPECT_GT(lab.app().ops_completed(), ops_before);
+}
+
+TEST(JavmmTest, AssistedBeatsVanillaOnAllThreeMetrics) {
+  MigrationResult xen;
+  MigrationResult assisted;
+  {
+    MigrationLab lab(SmallDerby(), SmallLab(false, 3));
+    lab.Run(Duration::Seconds(30));
+    xen = lab.Migrate();
+  }
+  {
+    MigrationLab lab(SmallDerby(), SmallLab(true, 3));
+    lab.Run(Duration::Seconds(30));
+    assisted = lab.Migrate();
+  }
+  ASSERT_TRUE(xen.verification.ok);
+  ASSERT_TRUE(assisted.verification.ok);
+  EXPECT_LT(assisted.total_time.nanos(), xen.total_time.nanos());
+  EXPECT_LT(assisted.total_wire_bytes, xen.total_wire_bytes);
+  EXPECT_LT(assisted.downtime.Total().nanos(), xen.downtime.Total().nanos());
+  EXPECT_LT(assisted.cpu_time.nanos(), xen.cpu_time.nanos());
+}
+
+TEST(JavmmTest, DowntimeBreakdownPopulated) {
+  MigrationLab lab(SmallDerby(), SmallLab(true));
+  lab.Run(Duration::Seconds(30));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_GT(result.downtime.enforced_gc.nanos(), 0);
+  EXPECT_GT(result.downtime.final_bitmap_update.nanos(), 0);
+  EXPECT_GT(result.downtime.last_iter_transfer.nanos(), 0);
+  EXPECT_EQ(result.downtime.resumption.nanos(), Duration::Millis(170).nanos());
+  // The paper measures the final bitmap update under 300 us.
+  EXPECT_LT(result.downtime.final_bitmap_update.nanos(), Duration::Micros(300).nanos());
+}
+
+TEST(JavmmTest, FrameworkMemoryOverheadIsSmall) {
+  MigrationLab lab(SmallDerby(), SmallLab(true));
+  lab.Run(Duration::Seconds(30));
+  const MigrationResult result = lab.Migrate();
+  // §3.3.3/§5.3: 32 KiB bitmap per GiB; PFN cache ~1 MiB per GiB of skip area.
+  EXPECT_EQ(result.lkm_bitmap_bytes, PagesForBytes(512 * kMiB) / 8);
+  EXPECT_LT(result.lkm_pfn_cache_bytes, kMiB);
+}
+
+TEST(JavmmTest, NonCooperativeAppTriggersSafeFallback) {
+  LabConfig config = SmallLab(/*assisted=*/true, 5);
+  config.agent.cooperative = false;
+  config.lkm.straggler_timeout = Duration::Seconds(60);  // Longer than the
+  // daemon's own patience, forcing the daemon-side fallback path.
+  config.migration.lkm_response_timeout = Duration::Seconds(2);
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(20));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_TRUE(result.fell_back_unassisted);
+  // Correctness preserved: everything ever skipped was ultimately sent.
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_EQ(result.verification.pages_skipped_garbage, 0);
+}
+
+TEST(JavmmTest, StragglerTimeoutStillCompletesAssisted) {
+  LabConfig config = SmallLab(/*assisted=*/true, 6);
+  config.agent.cooperative = false;
+  config.lkm.straggler_timeout = Duration::Seconds(2);  // LKM gives up first.
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(20));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_FALSE(result.fell_back_unassisted);  // LKM answered (after revoking).
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+}
+
+TEST(JavmmTest, MigrateTwiceSameGuest) {
+  MigrationLab lab(SmallDerby(), SmallLab(true, 7));
+  lab.Run(Duration::Seconds(20));
+  const MigrationResult first = lab.Migrate();
+  ASSERT_TRUE(first.verification.ok);
+  lab.Run(Duration::Seconds(10));
+  const MigrationResult second = lab.Migrate();
+  ASSERT_TRUE(second.verification.ok) << second.verification.detail;
+  EXPECT_TRUE(second.assisted);
+  EXPECT_GT(second.pages_skipped_bitmap, 0);
+}
+
+TEST(JavmmTest, UnassistedIgnoresLkmEntirely) {
+  MigrationLab lab(SmallDerby(), SmallLab(false, 8));
+  lab.Run(Duration::Seconds(20));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_FALSE(result.assisted);
+  EXPECT_EQ(result.pages_skipped_bitmap, 0);
+  EXPECT_EQ(result.verification.pages_skipped_garbage, 0);
+  ASSERT_TRUE(result.verification.ok);
+}
+
+TEST(JavmmTest, NoLkmLoadedDegradesToVanilla) {
+  LabConfig config = SmallLab(/*assisted=*/true, 9);
+  config.load_lkm = false;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(10));
+  const MigrationResult result = lab.Migrate();
+  ASSERT_TRUE(result.verification.ok);
+  EXPECT_EQ(result.pages_skipped_bitmap, 0);
+}
+
+// ---- Cache application (§6 extension). ----
+
+class CacheLabTest : public ::testing::Test {
+ protected:
+  CacheLabTest()
+      : memory_(256 * kMiB), kernel_(&memory_, &clock_) {
+    kernel_.LoadLkm(LkmConfig{});
+  }
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+};
+
+TEST_F(CacheLabTest, CacheAppSkipsColdSuffix) {
+  CacheAppConfig cache_config;
+  cache_config.cache_bytes = 64 * kMiB;
+  cache_config.purge_fraction = 0.5;
+  CacheApplication cache(&kernel_, cache_config, Rng(1));
+  clock_.Advance(Duration::Seconds(5));
+
+  MigrationConfig mig;
+  mig.application_assisted = true;
+  MigrationEngine engine(&kernel_, mig);
+  RangeLivenessSource retained(&kernel_, cache.pid());
+  retained.AddRange(cache.retained_range());
+  engine.AddRequiredPfnSource(&retained);
+
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_EQ(cache.purge_count(), 1);
+  // The cold suffix (32 MiB) was skipped in the last iteration too.
+  EXPECT_GT(result.verification.pages_skipped_garbage,
+            PagesForBytes(24 * kMiB));
+  EXPECT_GT(result.verification.required_pfns_checked, 0);
+  EXPECT_EQ(result.verification.required_pfn_failures, 0);
+  // App keeps serving after resume.
+  const double ops = cache.ops_completed();
+  clock_.Advance(Duration::Seconds(2));
+  EXPECT_GT(cache.ops_completed(), ops);
+}
+
+TEST_F(CacheLabTest, JvmAndCacheCoexist) {
+  WorkloadSpec spec = SmallDerby();
+  spec.heap.young_max_bytes = 64 * kMiB;
+  spec.heap.old_max_bytes = 48 * kMiB;
+  spec.old_baseline_bytes = 16 * kMiB;
+  spec.alloc_rate_bytes_per_sec = 40 * kMiB;
+  JavaApplication jvm(&kernel_, spec, Rng(2));
+  CacheAppConfig cache_config;
+  cache_config.cache_bytes = 32 * kMiB;
+  CacheApplication cache(&kernel_, cache_config, Rng(3));
+  clock_.Advance(Duration::Seconds(10));
+
+  MigrationConfig mig;
+  mig.application_assisted = true;
+  MigrationEngine engine(&kernel_, mig);
+  JavaLivenessSource jvm_live(&kernel_, &jvm);
+  RangeLivenessSource cache_live(&kernel_, cache.pid());
+  cache_live.AddRange(cache.retained_range());
+  engine.AddRequiredPfnSource(&jvm_live);
+  engine.AddRequiredPfnSource(&cache_live);
+
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  // Both applications contributed skip-over areas.
+  EXPECT_GT(result.verification.pages_skipped_garbage,
+            PagesForBytes(cache_config.cache_bytes / 2));
+  EXPECT_EQ(cache.purge_count(), 1);
+  EXPECT_FALSE(jvm.held_at_safepoint());  // Released after resume.
+}
+
+// ---- Adaptive policy (§6). ----
+
+TEST(PolicyTest, RecommendsAssistedForGarbageRichWorkload) {
+  MigrationLab lab(SmallDerby(), SmallLab(true, 10));
+  lab.Run(Duration::Seconds(30));
+  const PolicyDecision decision =
+      AdaptiveMigrationPolicy::Decide(lab.app().heap(), LinkConfig{});
+  EXPECT_TRUE(decision.use_assisted) << decision.reason;
+}
+
+TEST(PolicyTest, RecommendsPlainForLongLivedWorkload) {
+  WorkloadSpec spec = Workloads::Get("scimark");
+  spec.old_baseline_bytes = 96 * kMiB;
+  spec.heap.young_max_bytes = 128 * kMiB;
+  spec.heap.old_max_bytes = 224 * kMiB;
+  MigrationLab lab(spec, SmallLab(true, 11));
+  lab.Run(Duration::Seconds(60));
+  const PolicyDecision decision =
+      AdaptiveMigrationPolicy::Decide(lab.app().heap(), LinkConfig{});
+  EXPECT_FALSE(decision.use_assisted) << decision.reason;
+}
+
+TEST(PolicyTest, NoHistoryFallsBackToYoungSize) {
+  GuestPhysicalMemory memory(256 * kMiB);
+  AddressSpace space(&memory);
+  HeapConfig config;
+  config.young_max_bytes = 64 * kMiB;
+  config.young_initial_bytes = 32 * kMiB;
+  config.old_max_bytes = 64 * kMiB;
+  GenerationalHeap heap(&space, config);
+  const PolicyDecision decision = AdaptiveMigrationPolicy::Decide(heap, LinkConfig{});
+  EXPECT_FALSE(decision.use_assisted);  // 32 MiB young < 256 MiB threshold.
+}
+
+}  // namespace
+}  // namespace javmm

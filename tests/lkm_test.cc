@@ -1,0 +1,321 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Protocol tests for the LKM: state machine, transfer-bitmap update policy,
+// PFN cache, straggler timeout (Fig 4, §3.3.4, §6).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/guest/guest_kernel.h"
+#include "src/guest/lkm.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/clock.h"
+
+namespace javmm {
+namespace {
+
+// A scriptable application on the netlink group.
+class FakeApp : public NetlinkSubscriber {
+ public:
+  FakeApp(GuestKernel* kernel, std::string name)
+      : kernel_(kernel), pid_(kernel->CreateProcess(std::move(name))) {
+    kernel_->netlink().Subscribe(pid_, this);
+  }
+  ~FakeApp() override { kernel_->netlink().Unsubscribe(pid_); }
+
+  // Commits `pages` pages and returns the region's VA range.
+  VaRange CommitRegion(int64_t pages) {
+    AddressSpace& space = kernel_->address_space(pid_);
+    const VaRange r = space.ReserveVa(pages * kPageSize);
+    EXPECT_TRUE(space.CommitRange(r.begin, r.bytes()));
+    return r;
+  }
+
+  void OnNetlinkMessage(const NetlinkMessage& msg) override {
+    last_message_ = msg.type;
+    ++messages_received_;
+    Lkm* lkm = kernel_->lkm();
+    switch (msg.type) {
+      case NetlinkMessageType::kQuerySkipOverAreas:
+        if (respond_to_query_) {
+          lkm->ReportSkipOverAreas(pid_, areas_);
+        }
+        return;
+      case NetlinkMessageType::kPrepareForSuspension:
+        if (respond_to_prepare_) {
+          lkm->NotifySuspensionReady(pid_, ready_info_);
+        }
+        return;
+      case NetlinkMessageType::kVmResumed:
+        ++resumed_notices_;
+        return;
+    }
+  }
+
+  AppId pid() const { return pid_; }
+  Pfn PfnAt(VirtAddr va) { return kernel_->address_space(pid_).page_table().Lookup(VpnOf(va)); }
+
+  GuestKernel* kernel_;
+  AppId pid_;
+  std::vector<VaRange> areas_;
+  SuspensionReadyInfo ready_info_;
+  bool respond_to_query_ = true;
+  bool respond_to_prepare_ = true;
+  std::optional<NetlinkMessageType> last_message_;
+  int messages_received_ = 0;
+  int resumed_notices_ = 0;
+};
+
+class LkmTest : public ::testing::Test {
+ protected:
+  LkmTest() : memory_(256 * kPageSize), kernel_(&memory_, &clock_) {
+    lkm_ = &kernel_.LoadLkm(LkmConfig{});
+    kernel_.event_channel().BindDaemonHandler([this](LkmToDaemon msg) {
+      if (msg == LkmToDaemon::kSuspensionReady) {
+        ++suspension_ready_count_;
+      }
+    });
+  }
+
+  int64_t ClearedBits() const {
+    return lkm_->transfer_bitmap().size() - lkm_->transfer_bitmap().Count();
+  }
+
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+  Lkm* lkm_;
+  int suspension_ready_count_ = 0;
+};
+
+TEST_F(LkmTest, InitialState) {
+  EXPECT_EQ(lkm_->state(), Lkm::State::kInitialized);
+  // Transfer bitmap initialised all-set: every dirty page migrates by default.
+  EXPECT_EQ(lkm_->transfer_bitmap().Count(), memory_.frame_count());
+}
+
+TEST_F(LkmTest, FirstUpdateClearsSkipOverBits) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(16);
+  app.areas_ = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kMigrationStarted);
+  EXPECT_EQ(ClearedBits(), 16);
+  EXPECT_FALSE(lkm_->transfer_bitmap().Test(app.PfnAt(region.begin)));
+  // PFN cache sized at 4 bytes per cached page (§3.3.4).
+  EXPECT_EQ(lkm_->pfn_cache_bytes(), 16 * 4);
+}
+
+TEST_F(LkmTest, UnalignedAreaOnlyClearsInteriorPages) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(4);
+  // Report a range missing the first and last 100 bytes: boundary pages are
+  // not skippable in their entirety, so only the 2 interior pages clear.
+  app.areas_ = {VaRange{region.begin + 100, region.end - 100}};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  EXPECT_EQ(ClearedBits(), 2);
+}
+
+TEST_F(LkmTest, UncommittedPagesInAreaAreIgnored) {
+  FakeApp app(&kernel_, "app");
+  AddressSpace& space = kernel_.address_space(app.pid());
+  const VaRange reserved = space.ReserveVa(8 * kPageSize);
+  ASSERT_TRUE(space.CommitRange(reserved.begin, 4 * kPageSize));  // Half mapped.
+  app.areas_ = {reserved};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  EXPECT_EQ(ClearedBits(), 4);  // Walk found 4 present PTEs.
+}
+
+TEST_F(LkmTest, ShrinkSetsBitsImmediatelyViaPfnCache) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(16);
+  app.areas_ = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  ASSERT_EQ(ClearedBits(), 16);
+
+  // The last 4 pages leave the area; the app frees them *before* notifying,
+  // so the PFNs are gone from the page tables -- the cache must resolve them.
+  const VaRange left{region.end - 4 * static_cast<uint64_t>(kPageSize), region.end};
+  const Pfn leaving_pfn = app.PfnAt(left.begin);
+  kernel_.address_space(app.pid()).DecommitRange(left.begin, left.bytes());
+  lkm_->NotifyAreaShrunk(app.pid(), left);
+
+  EXPECT_EQ(ClearedBits(), 12);
+  EXPECT_TRUE(lkm_->transfer_bitmap().Test(leaving_pfn));
+  EXPECT_EQ(lkm_->pfn_cache_bytes(), 12 * 4);  // Cache entries dropped.
+}
+
+TEST_F(LkmTest, ExpansionDeferredToFinalUpdate) {
+  FakeApp app(&kernel_, "app");
+  const VaRange initial = app.CommitRegion(8);
+  app.areas_ = {initial};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  ASSERT_EQ(ClearedBits(), 8);
+
+  // Area expands: app commits 8 more pages; per §3.3.4 it does NOT notify.
+  AddressSpace& space = kernel_.address_space(app.pid());
+  const VaRange extra = space.ReserveVa(8 * kPageSize);
+  ASSERT_TRUE(space.CommitRange(extra.begin, extra.bytes()));
+  EXPECT_EQ(ClearedBits(), 8);  // Still only the original pages.
+
+  // Final update: the fresh report includes the expansion.
+  app.ready_info_.skip_over_areas = {initial, extra};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kSuspensionReady);
+  EXPECT_EQ(ClearedBits(), 16);
+  EXPECT_EQ(suspension_ready_count_, 1);
+}
+
+TEST_F(LkmTest, MustTransferRangesGetBitsSetInFinalUpdate) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(16);
+  app.areas_ = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  ASSERT_EQ(ClearedBits(), 16);
+
+  // JAVMM's occupied From space: 3 pages inside the skip-over area that must
+  // be transferred in the last iteration.
+  const VaRange from{region.begin + 2 * static_cast<uint64_t>(kPageSize),
+                     region.begin + 5 * static_cast<uint64_t>(kPageSize)};
+  app.ready_info_.skip_over_areas = {region};
+  app.ready_info_.must_transfer = {from};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_EQ(ClearedBits(), 13);
+  EXPECT_TRUE(lkm_->transfer_bitmap().Test(app.PfnAt(from.begin)));
+}
+
+TEST_F(LkmTest, MustTransferUsesOutwardAlignment) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(8);
+  app.areas_ = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  // A must-transfer range covering half of page 1 and half of page 2 must
+  // re-enable BOTH pages (live data may touch either).
+  const VaRange partial{region.begin + static_cast<uint64_t>(kPageSize) + 2000,
+                        region.begin + 2 * static_cast<uint64_t>(kPageSize) + 2000};
+  app.ready_info_.skip_over_areas = {region};
+  app.ready_info_.must_transfer = {partial};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_EQ(ClearedBits(), 6);
+}
+
+TEST_F(LkmTest, StragglerTimeoutRevokesAreasAndProceeds) {
+  FakeApp good(&kernel_, "good");
+  FakeApp bad(&kernel_, "bad");
+  const VaRange good_region = good.CommitRegion(8);
+  const VaRange bad_region = bad.CommitRegion(8);
+  good.areas_ = {good_region};
+  bad.areas_ = {bad_region};
+  bad.respond_to_prepare_ = false;  // Non-cooperative at suspension time.
+  good.ready_info_.skip_over_areas = {good_region};
+
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  ASSERT_EQ(ClearedBits(), 16);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  // Good responded; bad is pending, so the LKM waits.
+  EXPECT_EQ(lkm_->state(), Lkm::State::kEnteringLastIter);
+  EXPECT_EQ(suspension_ready_count_, 0);
+
+  // Let the straggler timeout fire.
+  clock_.Advance(LkmConfig{}.straggler_timeout + Duration::Millis(1));
+  EXPECT_EQ(lkm_->state(), Lkm::State::kSuspensionReady);
+  EXPECT_EQ(suspension_ready_count_, 1);
+  EXPECT_EQ(lkm_->stragglers_timed_out(), 1);
+  // The straggler's pages were revoked (bits set again); the good app's
+  // remain cleared.
+  EXPECT_TRUE(lkm_->transfer_bitmap().Test(bad.PfnAt(bad_region.begin)));
+  EXPECT_FALSE(lkm_->transfer_bitmap().Test(good.PfnAt(good_region.begin)));
+  EXPECT_EQ(ClearedBits(), 8);
+}
+
+TEST_F(LkmTest, ResumeResetsEverything) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(8);
+  app.areas_ = {region};
+  app.ready_info_.skip_over_areas = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kVmResumed);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kInitialized);
+  EXPECT_EQ(lkm_->transfer_bitmap().Count(), memory_.frame_count());
+  EXPECT_EQ(lkm_->pfn_cache_bytes(), 0);
+  EXPECT_EQ(app.resumed_notices_, 1);
+}
+
+TEST_F(LkmTest, SupportsBackToBackMigrations) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(8);
+  app.areas_ = {region};
+  app.ready_info_.skip_over_areas = {region};
+  for (int round = 0; round < 3; ++round) {
+    kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+    EXPECT_EQ(ClearedBits(), 8);
+    kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+    EXPECT_EQ(lkm_->state(), Lkm::State::kSuspensionReady);
+    kernel_.event_channel().NotifyGuest(DaemonToLkm::kVmResumed);
+    EXPECT_EQ(lkm_->state(), Lkm::State::kInitialized);
+  }
+  EXPECT_EQ(suspension_ready_count_, 3);
+}
+
+TEST_F(LkmTest, AbortReleasesAndResets) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(8);
+  app.areas_ = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  ASSERT_EQ(ClearedBits(), 8);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationAborted);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kInitialized);
+  EXPECT_EQ(lkm_->transfer_bitmap().Count(), memory_.frame_count());
+  EXPECT_EQ(app.resumed_notices_, 1);  // Release notification delivered.
+}
+
+TEST_F(LkmTest, OutOfStateMessagesCountAsViolations) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(4);
+  // Reports before migration started are ignored.
+  lkm_->ReportSkipOverAreas(app.pid(), {region});
+  EXPECT_EQ(ClearedBits(), 0);
+  lkm_->NotifyAreaShrunk(app.pid(), region);
+  lkm_->NotifySuspensionReady(app.pid(), {});
+  EXPECT_EQ(lkm_->protocol_violations(), 3);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kInitialized);
+}
+
+TEST_F(LkmTest, NoSubscribersProceedsImmediately) {
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kSuspensionReady);
+  EXPECT_EQ(suspension_ready_count_, 1);
+  EXPECT_EQ(lkm_->transfer_bitmap().Count(), memory_.frame_count());
+}
+
+TEST_F(LkmTest, MultipleAppsContributeIndependentAreas) {
+  FakeApp a(&kernel_, "a");
+  FakeApp b(&kernel_, "b");
+  const VaRange ra = a.CommitRegion(4);
+  const VaRange rb = b.CommitRegion(6);
+  a.areas_ = {ra};
+  b.areas_ = {rb};
+  a.ready_info_.skip_over_areas = {ra};
+  b.ready_info_.skip_over_areas = {rb};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  EXPECT_EQ(ClearedBits(), 10);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  EXPECT_EQ(lkm_->state(), Lkm::State::kSuspensionReady);
+  EXPECT_EQ(ClearedBits(), 10);
+}
+
+TEST_F(LkmTest, FinalUpdateDurationIsSmall) {
+  FakeApp app(&kernel_, "app");
+  const VaRange region = app.CommitRegion(64);
+  app.areas_ = {region};
+  app.ready_info_.skip_over_areas = {region};
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+  kernel_.event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+  // The paper measures < 300 us; with no expansion/shrink it is near zero.
+  EXPECT_LT(lkm_->last_final_update_duration().nanos(), Duration::Micros(300).nanos());
+}
+
+}  // namespace
+}  // namespace javmm

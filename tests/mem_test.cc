@@ -1,0 +1,296 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit tests for the memory substrate: bitmap, dirty log, physical memory,
+// page table, address space.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/mem/address_space.h"
+#include "src/mem/bitmap.h"
+#include "src/mem/dirty_log.h"
+#include "src/mem/page_table.h"
+#include "src/mem/physical_memory.h"
+
+namespace javmm {
+namespace {
+
+// ---- PageBitmap. ----
+
+TEST(PageBitmapTest, InitialAllClear) {
+  PageBitmap bm(100);
+  EXPECT_EQ(bm.Count(), 0);
+  EXPECT_FALSE(bm.Test(0));
+  EXPECT_FALSE(bm.Test(99));
+}
+
+TEST(PageBitmapTest, InitialAllSetCountsExactly) {
+  PageBitmap bm(100, /*initial=*/true);
+  EXPECT_EQ(bm.Count(), 100);  // Tail bits beyond size must not count.
+  EXPECT_TRUE(bm.Test(99));
+}
+
+TEST(PageBitmapTest, SetClearTest) {
+  PageBitmap bm(128);
+  bm.Set(63);
+  bm.Set(64);
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_EQ(bm.Count(), 2);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Count(), 1);
+}
+
+TEST(PageBitmapTest, TestAndSetClear) {
+  PageBitmap bm(10);
+  EXPECT_FALSE(bm.TestAndSet(3));
+  EXPECT_TRUE(bm.TestAndSet(3));
+  EXPECT_TRUE(bm.TestAndClear(3));
+  EXPECT_FALSE(bm.TestAndClear(3));
+}
+
+TEST(PageBitmapTest, SetAllClearAll) {
+  PageBitmap bm(70);
+  bm.SetAll();
+  EXPECT_EQ(bm.Count(), 70);
+  bm.ClearAll();
+  EXPECT_EQ(bm.Count(), 0);
+}
+
+TEST(PageBitmapTest, CollectSetBitsAscending) {
+  PageBitmap bm(200);
+  bm.Set(5);
+  bm.Set(64);
+  bm.Set(199);
+  std::vector<int64_t> bits;
+  bm.CollectSetBits(&bits);
+  EXPECT_EQ(bits, (std::vector<int64_t>{5, 64, 199}));
+}
+
+TEST(PageBitmapTest, MemoryUsageMatchesPaperFigure) {
+  // §3.3.3: one bit per 4 KiB page => 32 KiB of bitmap per GiB of memory.
+  PageBitmap bm(PagesForBytes(kGiB));
+  EXPECT_EQ(bm.MemoryUsageBytes(), 32 * kKiB);
+}
+
+class PageBitmapSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PageBitmapSizeTest, RandomOpsAgainstReferenceModel) {
+  const int64_t size = GetParam();
+  PageBitmap bm(size);
+  std::vector<bool> ref(static_cast<size_t>(size), false);
+  Rng rng(static_cast<uint64_t>(size) * 977 + 1);
+  for (int op = 0; op < 2000; ++op) {
+    const int64_t i = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(size)));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        bm.Set(i);
+        ref[static_cast<size_t>(i)] = true;
+        break;
+      case 1:
+        bm.Clear(i);
+        ref[static_cast<size_t>(i)] = false;
+        break;
+      default:
+        ASSERT_EQ(bm.Test(i), ref[static_cast<size_t>(i)]);
+    }
+  }
+  int64_t ref_count = 0;
+  for (bool b : ref) {
+    ref_count += b ? 1 : 0;
+  }
+  EXPECT_EQ(bm.Count(), ref_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageBitmapSizeTest,
+                         ::testing::Values<int64_t>(1, 63, 64, 65, 127, 128, 1000, 4096));
+
+// ---- DirtyLog. ----
+
+TEST(DirtyLogTest, MarkTestCollect) {
+  DirtyLog log(100);
+  log.Mark(3);
+  log.Mark(7);
+  log.Mark(3);  // Re-dirty: idempotent in the bitmap, counted in marks.
+  EXPECT_TRUE(log.Test(3));
+  EXPECT_FALSE(log.Test(4));
+  EXPECT_EQ(log.CountDirty(), 2);
+  EXPECT_EQ(log.total_marks(), 3);
+  const std::vector<Pfn> dirty = log.CollectAndClear();
+  EXPECT_EQ(dirty, (std::vector<Pfn>{3, 7}));
+  EXPECT_EQ(log.CountDirty(), 0);
+  EXPECT_FALSE(log.Test(3));
+}
+
+// ---- GuestPhysicalMemory. ----
+
+TEST(PhysicalMemoryTest, FrameCountFromBytes) {
+  GuestPhysicalMemory mem(2 * kGiB);
+  EXPECT_EQ(mem.frame_count(), 524288);
+  EXPECT_EQ(mem.bytes(), 2 * kGiB);
+}
+
+TEST(PhysicalMemoryTest, AllocateAscendingAndFree) {
+  GuestPhysicalMemory mem(16 * kPageSize);
+  const Pfn a = mem.AllocateFrame();
+  const Pfn b = mem.AllocateFrame();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_TRUE(mem.IsAllocated(a));
+  EXPECT_EQ(mem.allocated_frames(), 2);
+  mem.FreeFrame(a);
+  EXPECT_FALSE(mem.IsAllocated(a));
+  EXPECT_EQ(mem.AllocateFrame(), a);  // LIFO reuse.
+}
+
+TEST(PhysicalMemoryTest, ExhaustionReturnsInvalid) {
+  GuestPhysicalMemory mem(2 * kPageSize);
+  EXPECT_NE(mem.AllocateFrame(), kInvalidPfn);
+  EXPECT_NE(mem.AllocateFrame(), kInvalidPfn);
+  EXPECT_EQ(mem.AllocateFrame(), kInvalidPfn);
+}
+
+TEST(PhysicalMemoryTest, WriteBumpsVersionAndMarksLogs) {
+  GuestPhysicalMemory mem(8 * kPageSize);
+  DirtyLog log(mem.frame_count());
+  mem.AttachDirtyLog(&log);
+  EXPECT_EQ(mem.version(2), 0u);
+  mem.Write(2);
+  mem.Write(2);
+  EXPECT_EQ(mem.version(2), 2u);
+  EXPECT_TRUE(log.Test(2));
+  mem.DetachDirtyLog(&log);
+  mem.Write(3);
+  EXPECT_FALSE(log.Test(3));  // Detached log no longer sees writes.
+  EXPECT_EQ(mem.total_writes(), 3);
+}
+
+TEST(PhysicalMemoryTest, MultipleDirtyLogs) {
+  GuestPhysicalMemory mem(8 * kPageSize);
+  DirtyLog log1(mem.frame_count());
+  DirtyLog log2(mem.frame_count());
+  mem.AttachDirtyLog(&log1);
+  mem.AttachDirtyLog(&log2);
+  mem.Write(5);
+  EXPECT_TRUE(log1.Test(5));
+  EXPECT_TRUE(log2.Test(5));
+}
+
+// ---- PageTable. ----
+
+TEST(PageTableTest, MapLookupUnmap) {
+  PageTable pt;
+  pt.Map(10, 42);
+  EXPECT_EQ(pt.Lookup(10), 42);
+  EXPECT_EQ(pt.Lookup(11), kInvalidPfn);
+  EXPECT_TRUE(pt.IsMapped(10));
+  pt.Unmap(10);
+  EXPECT_EQ(pt.Lookup(10), kInvalidPfn);
+}
+
+TEST(PageTableTest, WalkRangeAlignsInterior) {
+  PageTable pt;
+  const auto ps = static_cast<uint64_t>(kPageSize);
+  pt.Map(1, 100);
+  pt.Map(2, 101);
+  pt.Map(3, 102);
+  // Range starts mid-page 1 and ends mid-page 3: only pages 2 is fully inside
+  // ... wait: aligned interior of [1.5p, 3.5p) is [2p, 3p) = page 2 only.
+  const VaRange range{ps + ps / 2, 3 * ps + ps / 2};
+  int64_t cost = 0;
+  const std::vector<Pfn> pfns = pt.WalkRange(range, &cost);
+  ASSERT_EQ(pfns.size(), 1u);
+  EXPECT_EQ(pfns[0], 101);
+  EXPECT_EQ(cost, 1);
+}
+
+TEST(PageTableTest, WalkRangeReportsUnmappedAsInvalid) {
+  PageTable pt;
+  const auto ps = static_cast<uint64_t>(kPageSize);
+  pt.Map(0, 100);
+  pt.Map(2, 102);
+  const std::vector<Pfn> pfns = pt.WalkRange(VaRange{0, 3 * ps});
+  ASSERT_EQ(pfns.size(), 3u);
+  EXPECT_EQ(pfns[0], 100);
+  EXPECT_EQ(pfns[1], kInvalidPfn);
+  EXPECT_EQ(pfns[2], 102);
+}
+
+TEST(PageTableTest, WalkEmptyAlignedInterior) {
+  PageTable pt;
+  // Sub-page range: no fully-contained page.
+  const VaRange range{100, 200};
+  EXPECT_TRUE(pt.WalkRange(range).empty());
+}
+
+// ---- VaRange alignment helpers. ----
+
+TEST(VaRangeTest, PageAlignedInterior) {
+  const auto ps = static_cast<uint64_t>(kPageSize);
+  EXPECT_EQ((VaRange{0, 2 * ps}.PageAlignedInterior()), (VaRange{0, 2 * ps}));
+  EXPECT_EQ((VaRange{1, 2 * ps}.PageAlignedInterior()), (VaRange{ps, 2 * ps}));
+  EXPECT_EQ((VaRange{0, 2 * ps - 1}.PageAlignedInterior()), (VaRange{0, ps}));
+  EXPECT_TRUE((VaRange{1, ps}.PageAlignedInterior()).empty());
+}
+
+// ---- AddressSpace. ----
+
+TEST(AddressSpaceTest, ReserveCommitWrite) {
+  GuestPhysicalMemory mem(64 * kPageSize);
+  AddressSpace space(&mem);
+  const VaRange r = space.ReserveVa(10 * kPageSize);
+  EXPECT_EQ(r.bytes(), 10 * kPageSize);
+  EXPECT_FALSE(space.IsCommitted(r.begin));
+  ASSERT_TRUE(space.CommitRange(r.begin, r.bytes()));
+  EXPECT_TRUE(space.IsCommitted(r.begin));
+  EXPECT_EQ(mem.allocated_frames(), 10);
+  // Committing zeroes each page: version 1. The app write makes it 2.
+  const Pfn pfn0 = space.page_table().Lookup(VpnOf(r.begin));
+  EXPECT_EQ(mem.version(pfn0), 1u);
+  space.Write(r.begin, 2 * kPageSize);
+  EXPECT_EQ(mem.version(pfn0), 2u);
+}
+
+TEST(AddressSpaceTest, WriteSpanningPageBoundary) {
+  GuestPhysicalMemory mem(64 * kPageSize);
+  AddressSpace space(&mem);
+  const VaRange r = space.ReserveVa(4 * kPageSize);
+  ASSERT_TRUE(space.CommitRange(r.begin, r.bytes()));
+  // A 2-byte write straddling pages 0 and 1 dirties both (on top of the
+  // zeroing write each page received at commit time).
+  space.Write(r.begin + static_cast<uint64_t>(kPageSize) - 1, 2);
+  EXPECT_EQ(mem.version(space.page_table().Lookup(VpnOf(r.begin))), 2u);
+  EXPECT_EQ(mem.version(space.page_table().Lookup(VpnOf(r.begin) + 1)), 2u);
+}
+
+TEST(AddressSpaceTest, DecommitFreesFramesAndUnmaps) {
+  GuestPhysicalMemory mem(64 * kPageSize);
+  AddressSpace space(&mem);
+  const VaRange r = space.ReserveVa(8 * kPageSize);
+  ASSERT_TRUE(space.CommitRange(r.begin, r.bytes()));
+  space.DecommitRange(r.begin + 4 * static_cast<uint64_t>(kPageSize), 4 * kPageSize);
+  EXPECT_EQ(mem.allocated_frames(), 4);
+  EXPECT_TRUE(space.IsCommitted(r.begin));
+  EXPECT_FALSE(space.IsCommitted(r.begin + 5 * static_cast<uint64_t>(kPageSize)));
+}
+
+TEST(AddressSpaceTest, CommitFailsAtomicallyWhenExhausted) {
+  GuestPhysicalMemory mem(4 * kPageSize);
+  AddressSpace space(&mem);
+  const VaRange r = space.ReserveVa(8 * kPageSize);
+  EXPECT_FALSE(space.CommitRange(r.begin, 8 * kPageSize));
+  // Nothing leaked: all 4 frames still available.
+  EXPECT_EQ(mem.allocated_frames(), 0);
+  EXPECT_TRUE(space.CommitRange(r.begin, 4 * kPageSize));
+}
+
+TEST(AddressSpaceTest, ReservationsDoNotOverlap) {
+  GuestPhysicalMemory mem(64 * kPageSize);
+  AddressSpace space(&mem);
+  const VaRange a = space.ReserveVa(3 * kPageSize);
+  const VaRange b = space.ReserveVa(3 * kPageSize);
+  EXPECT_GE(b.begin, a.end);
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,149 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Coverage for the smaller substrates: the network link model, the guest-OS
+// background dirtier, and the throughput analyser's sampling behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/sim/clock.h"
+#include "src/workload/os_process.h"
+#include "src/workload/throughput_analyzer.h"
+
+namespace javmm {
+namespace {
+
+// ---- NetworkLink. ----
+
+TEST(LinkTest, GoodputMatchesPaperOperatingPoint) {
+  // 1 Gbps at 95% efficiency ~ 118.75 MB/s -- "950 MB ... more than
+  // 7 seconds" (§4.2) pins the paper's testbed to about this.
+  const LinkConfig config;
+  EXPECT_NEAR(config.GoodputBytesPerSec(), 118.75e6, 1e4);
+  NetworkLink link(config);
+  const double secs = link.TransferTime(950 * 1000 * 1000).ToSecondsF();
+  EXPECT_GT(secs, 7.0);
+  EXPECT_LT(secs, 9.0);
+}
+
+TEST(LinkTest, PageTransferIncludesOverhead) {
+  NetworkLink link(LinkConfig{});
+  EXPECT_EQ(link.PageWireBytes(1), kPageSize + LinkConfig{}.per_page_overhead);
+  EXPECT_EQ(link.PageWireBytes(100), 100 * (kPageSize + LinkConfig{}.per_page_overhead));
+  // Transfer time scales linearly in pages.
+  const double t1 = link.PageTransferTime(1).ToSecondsF();
+  const double t100 = link.PageTransferTime(100).ToSecondsF();
+  EXPECT_NEAR(t100, 100 * t1, t100 * 0.01);
+  EXPECT_TRUE(link.PageTransferTime(0).IsZero());
+}
+
+TEST(LinkTest, MetersAccumulateAndReset) {
+  NetworkLink link(LinkConfig{});
+  link.RecordPages(10);
+  link.RecordControlBytes(512);
+  EXPECT_EQ(link.total_pages_sent(), 10);
+  EXPECT_EQ(link.total_wire_bytes(), link.PageWireBytes(10) + 512);
+  link.ResetMeters();
+  EXPECT_EQ(link.total_pages_sent(), 0);
+  EXPECT_EQ(link.total_wire_bytes(), 0);
+}
+
+TEST(LinkTest, FasterLinkShorterTime) {
+  LinkConfig fast;
+  fast.bandwidth_bps = 10e9;
+  EXPECT_LT(NetworkLink(fast).PageTransferTime(1000).nanos(),
+            NetworkLink(LinkConfig{}).PageTransferTime(1000).nanos());
+}
+
+// ---- OsBackgroundProcess. ----
+
+TEST(OsProcessTest, DirtiesAtConfiguredRate) {
+  SimClock clock;
+  GuestPhysicalMemory memory(256 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  OsProcessConfig config;
+  config.resident_bytes = 64 * kMiB;
+  config.hot_bytes = 8 * kMiB;
+  config.dirty_rate_bytes_per_sec = 4 * kMiB;
+  OsBackgroundProcess os(&kernel, config, Rng(1));
+  DirtyLog log(memory.frame_count());
+  memory.AttachDirtyLog(&log);
+  clock.Advance(Duration::Seconds(10));
+  // 4 MiB/s for 10 s = 40 MiB = 10240 page touches.
+  EXPECT_NEAR(static_cast<double>(log.total_marks()), 10240.0, 16.0);
+  memory.DetachDirtyLog(&log);
+}
+
+TEST(OsProcessTest, HotSetBoundsDirtyFootprint) {
+  SimClock clock;
+  GuestPhysicalMemory memory(256 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  OsProcessConfig config;
+  config.resident_bytes = 64 * kMiB;
+  config.hot_bytes = 4 * kMiB;  // 1024 pages.
+  config.dirty_rate_bytes_per_sec = 16 * kMiB;
+  OsBackgroundProcess os(&kernel, config, Rng(2));
+  DirtyLog log(memory.frame_count());
+  memory.AttachDirtyLog(&log);
+  clock.Advance(Duration::Seconds(5));
+  EXPECT_LE(log.CountDirty(), PagesForBytes(config.hot_bytes));
+  memory.DetachDirtyLog(&log);
+}
+
+TEST(OsProcessTest, RespectsVmPause) {
+  SimClock clock;
+  GuestPhysicalMemory memory(512 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  OsBackgroundProcess os(&kernel, OsProcessConfig{}, Rng(3));
+  const int64_t writes = memory.total_writes();
+  kernel.PauseVm();
+  clock.Advance(Duration::Seconds(5));
+  EXPECT_EQ(memory.total_writes(), writes);
+}
+
+// ---- ThroughputAnalyzer sampling. ----
+
+TEST(AnalyzerTest, SamplesOncePerInterval) {
+  SimClock clock;
+  GuestPhysicalMemory memory(512 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  kernel.LoadLkm(LkmConfig{});
+  WorkloadSpec spec = Workloads::Get("crypto");
+  spec.alloc_rate_bytes_per_sec = 16 * kMiB;
+  spec.heap.young_max_bytes = 64 * kMiB;
+  spec.heap.old_max_bytes = 64 * kMiB;
+  spec.old_baseline_bytes = 8 * kMiB;
+  JavaApplication app(&kernel, spec, Rng(4));
+  ThroughputAnalyzer analyzer(&clock, &app);
+  clock.Advance(Duration::Seconds(30));
+  EXPECT_EQ(analyzer.series().size(), 30u);
+  // Mean observed rate ~ ops_per_sec minus GC overhead.
+  const double mean = analyzer.series().MeanInWindow(
+      TimePoint::Epoch() + Duration::Seconds(5), clock.now());
+  EXPECT_NEAR(mean, spec.ops_per_sec, spec.ops_per_sec * 0.15);
+}
+
+TEST(AnalyzerTest, SeesPauseAsZeroThroughput) {
+  SimClock clock;
+  GuestPhysicalMemory memory(512 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  kernel.LoadLkm(LkmConfig{});
+  WorkloadSpec spec = Workloads::Get("crypto");
+  spec.alloc_rate_bytes_per_sec = 16 * kMiB;
+  spec.heap.young_max_bytes = 64 * kMiB;
+  spec.heap.old_max_bytes = 64 * kMiB;
+  spec.old_baseline_bytes = 8 * kMiB;
+  JavaApplication app(&kernel, spec, Rng(5));
+  ThroughputAnalyzer analyzer(&clock, &app);
+  clock.Advance(Duration::Seconds(10));
+  kernel.PauseVm();
+  clock.Advance(Duration::Seconds(5));
+  kernel.ResumeVm();
+  clock.Advance(Duration::Seconds(10));
+  const Duration observed = analyzer.ObservedDowntime(
+      TimePoint::Epoch() + Duration::Seconds(8), clock.now());
+  EXPECT_GE(observed.ToSecondsF(), 4.0);
+  EXPECT_LE(observed.ToSecondsF(), 7.0);
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,262 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for the G1-style regionized heap and the JAVMM port to it (§6
+// future work: non-contiguous young generation).
+
+#include <gtest/gtest.h>
+
+#include "src/core/liveness.h"
+#include "src/jvm/region_heap.h"
+#include "src/migration/engine.h"
+#include "src/workload/g1_application.h"
+#include "src/workload/os_process.h"
+
+namespace javmm {
+namespace {
+
+RegionHeapConfig SmallRegionConfig() {
+  RegionHeapConfig config;
+  config.region_bytes = kMiB;
+  config.total_regions = 96;
+  config.max_young_regions = 48;
+  config.initial_young_regions = 8;
+  config.min_young_regions = 4;
+  return config;
+}
+
+class RegionHeapTest : public ::testing::Test {
+ protected:
+  RegionHeapTest() : memory_(256 * kMiB), space_(&memory_) {}
+  GuestPhysicalMemory memory_;
+  AddressSpace space_;
+};
+
+TEST_F(RegionHeapTest, AllocationSpillsAcrossRegions) {
+  RegionizedHeap heap(&space_, SmallRegionConfig());
+  // 3 chunks of 0.5 MiB fit in 2 one-MiB regions.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(heap.TryAllocate(kMiB / 2, TimePoint::Max()));
+  }
+  EXPECT_EQ(heap.young_region_count(), 2);
+  EXPECT_EQ(heap.young_used_bytes(), 3 * kMiB / 2);
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, AllocationFailsAtQuota) {
+  RegionizedHeap heap(&space_, SmallRegionConfig());
+  int64_t allocated = 0;
+  while (heap.TryAllocate(kMiB / 2, TimePoint::Max())) {
+    allocated += kMiB / 2;
+  }
+  EXPECT_EQ(heap.young_region_count(), 8);  // initial_young_regions.
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, EvacuationEmptiesYoungAndReleasesRegions) {
+  RegionizedHeap heap(&space_, SmallRegionConfig());
+  while (heap.TryAllocate(kMiB / 4, TimePoint::Epoch() + Duration::Seconds(1))) {
+  }
+  std::vector<VaRange> released;
+  heap.set_young_released_callback(
+      [&](const std::vector<VaRange>& ranges) { released = ranges; });
+  const MinorGcResult gc = heap.EvacuateYoung(TimePoint::Epoch() + Duration::Seconds(10));
+  EXPECT_EQ(gc.live_bytes, 0);
+  EXPECT_EQ(gc.garbage_bytes, gc.young_used_before);
+  EXPECT_EQ(heap.young_used_bytes(), 0);
+  EXPECT_EQ(heap.young_region_count(), 0);
+  ASSERT_FALSE(released.empty());
+  int64_t released_bytes = 0;
+  for (const VaRange& r : released) {
+    released_bytes += r.bytes();
+  }
+  EXPECT_EQ(released_bytes, 8 * kMiB);  // All 8 young regions left.
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, SurvivorsLandInSurvivorRegions) {
+  RegionizedHeap heap(&space_, SmallRegionConfig());
+  ASSERT_TRUE(heap.TryAllocate(kMiB / 2, TimePoint::Max()));  // Lives.
+  ASSERT_TRUE(heap.TryAllocate(kMiB / 2, TimePoint::Epoch() + Duration::Nanos(1)));
+  const MinorGcResult gc = heap.EvacuateYoung(TimePoint::Epoch() + Duration::Seconds(1));
+  EXPECT_EQ(gc.copied_to_survivor, kMiB / 2);
+  const auto survivors = heap.OccupiedSurvivorRanges();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0].bytes(), kMiB / 2);
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, TenuredChunksPromoteToOldRegions) {
+  RegionHeapConfig config = SmallRegionConfig();
+  config.tenure_threshold = 2;
+  RegionizedHeap heap(&space_, config);
+  ASSERT_TRUE(heap.TryAllocate(kMiB / 2, TimePoint::Max()));
+  heap.EvacuateYoung(TimePoint::Epoch() + Duration::Seconds(1));  // Age 1.
+  EXPECT_EQ(heap.old_used_bytes(), 0);
+  heap.EvacuateYoung(TimePoint::Epoch() + Duration::Seconds(2));  // Age 2 -> old.
+  EXPECT_EQ(heap.old_used_bytes(), kMiB / 2);
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, YoungRangesBecomeNonContiguous) {
+  RegionHeapConfig config = SmallRegionConfig();
+  config.tenure_threshold = 1;  // Promote survivors immediately.
+  RegionizedHeap heap(&space_, config);
+  // Interleave young allocation with promotions over several cycles: old
+  // regions get claimed between young regions, fragmenting the young set.
+  TimePoint now = TimePoint::Epoch();
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // Alternate medium-lived batches (promoted, die two cycles later, their
+    // old regions reclaimed) with immediately-dead batches.
+    while (heap.TryAllocate(kMiB / 4,
+                            now + (cycle % 2 == 0 ? Duration::SecondsF(2.2)
+                                                  : Duration::Millis(1)))) {
+    }
+    now += Duration::Seconds(1);
+    heap.EvacuateYoung(now);
+  }
+  while (heap.TryAllocate(kMiB / 4, now + Duration::Minutes(10))) {
+  }
+  EXPECT_GT(heap.YoungRanges().size(), 1u);  // Non-contiguous young set.
+  heap.CheckInvariants();
+}
+
+TEST_F(RegionHeapTest, DeadOldRegionsReclaimedUnderPressure) {
+  RegionHeapConfig config = SmallRegionConfig();
+  config.total_regions = 24;
+  config.max_young_regions = 8;
+  config.initial_young_regions = 8;
+  config.tenure_threshold = 1;
+  RegionizedHeap heap(&space_, config);
+  // Fill most of the pool with old data that dies at t=5s.
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_TRUE(heap.AllocateOld(kMiB, TimePoint::Epoch() + Duration::Seconds(5)));
+  }
+  // After death, promotions must reclaim the dead old regions rather than
+  // aborting on pool exhaustion. Promoted batches die 1.5 s later, so each
+  // cycle's pressure is relieved by reclaiming the previous cycles' regions.
+  TimePoint now = TimePoint::Epoch() + Duration::Seconds(10);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    while (heap.TryAllocate(kMiB / 2, now + Duration::SecondsF(1.5))) {
+    }
+    now += Duration::Seconds(1);
+    heap.EvacuateYoung(now);
+    heap.CheckInvariants();
+  }
+  EXPECT_GT(heap.old_used_bytes(), 0);
+}
+
+TEST_F(RegionHeapTest, QuotaGrowsWithAllocationRate) {
+  RegionizedHeap heap(&space_, SmallRegionConfig());
+  TimePoint now = TimePoint::Epoch();
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    while (heap.TryAllocate(kMiB / 4, now + Duration::Millis(1))) {
+    }
+    now += Duration::Millis(100);  // Filled fast => demand high.
+    heap.EvacuateYoung(now);
+  }
+  EXPECT_EQ(heap.young_quota_regions(), SmallRegionConfig().max_young_regions);
+}
+
+// ---- End-to-end: JAVMM migrating a G1 guest. ----
+
+class G1MigrationTest : public ::testing::Test {
+ protected:
+  G1MigrationTest() : memory_(512 * kMiB), kernel_(&memory_, &clock_) {
+    kernel_.LoadLkm(LkmConfig{});
+  }
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+};
+
+WorkloadSpec G1Spec() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 80 * kMiB;
+  spec.old_baseline_bytes = 24 * kMiB;
+  return spec;
+}
+
+RegionHeapConfig G1HeapConfig() {
+  RegionHeapConfig config;
+  config.region_bytes = 2 * kMiB;
+  config.total_regions = 144;  // 288 MiB heap.
+  config.max_young_regions = 96;
+  config.initial_young_regions = 16;
+  return config;
+}
+
+TEST_F(G1MigrationTest, AssistedMigrationVerifies) {
+  G1JavaApplication app(&kernel_, G1Spec(), G1HeapConfig(), Rng(1));
+  OsBackgroundProcess os(&kernel_, OsProcessConfig{64 * kMiB, 8 * kMiB, kMiB}, Rng(2));
+  clock_.Advance(Duration::Seconds(30));
+
+  MigrationConfig mig;
+  mig.application_assisted = true;
+  MigrationEngine engine(&kernel_, mig);
+  G1LivenessSource live(&kernel_, &app);
+  RangeLivenessSource os_live(&kernel_, os.pid());
+  os_live.AddRange(os.resident_range());
+  engine.AddRequiredPfnSource(&live);
+  engine.AddRequiredPfnSource(&os_live);
+
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  EXPECT_GT(result.pages_skipped_bitmap, 0);
+  EXPECT_GT(result.verification.pages_skipped_garbage, 0);
+  EXPECT_FALSE(app.held_at_safepoint());
+  EXPECT_EQ(kernel_.lkm()->protocol_violations(), 0);
+  // Guest continues at the destination.
+  const double ops = app.ops_completed();
+  clock_.Advance(Duration::Seconds(5));
+  EXPECT_GT(app.ops_completed(), ops);
+}
+
+TEST_F(G1MigrationTest, AssistedBeatsVanillaForG1Guest) {
+  MigrationResult results[2];
+  for (const bool assisted : {false, true}) {
+    SimClock clock;
+    GuestPhysicalMemory memory(512 * kMiB);
+    GuestKernel kernel(&memory, &clock);
+    kernel.LoadLkm(LkmConfig{});
+    G1JavaApplication app(&kernel, G1Spec(), G1HeapConfig(), Rng(3));
+    clock.Advance(Duration::Seconds(30));
+    MigrationConfig mig;
+    mig.application_assisted = assisted;
+    MigrationEngine engine(&kernel, mig);
+    G1LivenessSource live(&kernel, &app);
+    engine.AddRequiredPfnSource(&live);
+    results[assisted ? 1 : 0] = engine.Migrate();
+    ASSERT_TRUE(results[assisted ? 1 : 0].verification.ok);
+  }
+  EXPECT_LT(results[1].total_wire_bytes, results[0].total_wire_bytes);
+  // This small guest converges quickly either way, so JAVMM's prepare phase
+  // (safepoint + enforced evacuation) may cost a little wall-clock; it must
+  // never cost much, and the traffic win must be real.
+  EXPECT_LE(results[1].total_time.nanos(),
+            static_cast<int64_t>(static_cast<double>(results[0].total_time.nanos()) * 1.25));
+}
+
+TEST_F(G1MigrationTest, ShrinkAndRereportKeepBitmapCurrent) {
+  // During a long migration the G1 young set cycles several times; the
+  // shrink + re-report protocol must keep skipping effective throughout
+  // (i.e. young pages are still being skipped in *later* iterations).
+  G1JavaApplication app(&kernel_, G1Spec(), G1HeapConfig(), Rng(4));
+  clock_.Advance(Duration::Seconds(30));
+  MigrationConfig mig;
+  mig.application_assisted = true;
+  mig.link.bandwidth_bps = 4e8;  // Slow link => many GC cycles mid-migration.
+  MigrationEngine engine(&kernel_, mig);
+  G1LivenessSource live(&kernel_, &app);
+  engine.AddRequiredPfnSource(&live);
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_GE(result.iterations.size(), 3u);
+  // Bitmap skipping still active after the first iteration.
+  int64_t later_skips = 0;
+  for (size_t i = 1; i + 1 < result.iterations.size(); ++i) {
+    later_skips += result.iterations[i].pages_skipped_bitmap;
+  }
+  EXPECT_GT(later_skips, 0);
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,234 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Robustness and fidelity tests: migration abort, determinism, the §3.3.4
+// PFN-remap hazard (assumed absent by the incremental design, handled by the
+// kFinalRewalk alternative), and final-update parallelism.
+
+#include <gtest/gtest.h>
+
+#include "src/core/migration_lab.h"
+
+namespace javmm {
+namespace {
+
+LabConfig SmallLab(uint64_t seed = 1) {
+  LabConfig config;
+  config.vm_bytes = 512 * kMiB;
+  config.seed = seed;
+  config.os.resident_bytes = 64 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  return config;
+}
+
+WorkloadSpec SmallDerby() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 100 * kMiB;
+  spec.old_baseline_bytes = 32 * kMiB;
+  spec.heap.young_max_bytes = 192 * kMiB;
+  spec.heap.old_max_bytes = 128 * kMiB;
+  return spec;
+}
+
+// ---- Abort. ----
+
+TEST(AbortTest, AbortedMigrationLeavesGuestRunning) {
+  LabConfig config = SmallLab(1);
+  config.migration.application_assisted = true;
+  config.migration.abort_after_iterations = 2;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(15));
+  const MigrationResult result = lab.Migrate();
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(lab.guest().vm_paused());
+  // The LKM reset to INITIALIZED and released any held applications.
+  EXPECT_EQ(lab.guest().lkm()->state(), Lkm::State::kInitialized);
+  EXPECT_EQ(lab.guest().lkm()->transfer_bitmap().Count(),
+            lab.guest().memory().frame_count());
+  EXPECT_FALSE(lab.app().held_at_safepoint());
+  // The workload continues at the source.
+  const double ops = lab.app().ops_completed();
+  lab.Run(Duration::Seconds(5));
+  EXPECT_GT(lab.app().ops_completed(), ops);
+}
+
+TEST(AbortTest, RetryAfterAbortSucceeds) {
+  LabConfig config = SmallLab(2);
+  config.migration.application_assisted = true;
+  config.migration.abort_after_iterations = 1;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(15));
+  const MigrationResult aborted = lab.Migrate();
+  EXPECT_FALSE(aborted.completed);
+  lab.Run(Duration::Seconds(5));
+  // Retry with a fresh engine without the fault.
+  LabConfig retry_config = config;
+  retry_config.migration.abort_after_iterations = -1;
+  MigrationEngine engine(&lab.guest(), retry_config.migration);
+  const MigrationResult retried = engine.Migrate();
+  EXPECT_TRUE(retried.completed);
+  ASSERT_TRUE(retried.verification.ok) << retried.verification.detail;
+  EXPECT_GT(retried.pages_skipped_bitmap, 0);  // Assistance worked again.
+}
+
+// ---- Determinism. ----
+
+TEST(DeterminismTest, SameSeedSameResult) {
+  MigrationResult a;
+  MigrationResult b;
+  for (MigrationResult* out : {&a, &b}) {
+    LabConfig config = SmallLab(42);
+    config.migration.application_assisted = true;
+    MigrationLab lab(SmallDerby(), config);
+    lab.Run(Duration::Seconds(20));
+    *out = lab.Migrate();
+  }
+  EXPECT_EQ(a.total_time.nanos(), b.total_time.nanos());
+  EXPECT_EQ(a.total_wire_bytes, b.total_wire_bytes);
+  EXPECT_EQ(a.pages_sent, b.pages_sent);
+  EXPECT_EQ(a.pages_skipped_bitmap, b.pages_skipped_bitmap);
+  EXPECT_EQ(a.downtime.Total().nanos(), b.downtime.Total().nanos());
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].pages_sent, b.iterations[i].pages_sent) << "iter " << i;
+    EXPECT_EQ(a.iterations[i].duration.nanos(), b.iterations[i].duration.nanos());
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  MigrationResult a;
+  MigrationResult b;
+  uint64_t seed = 1;
+  for (MigrationResult* out : {&a, &b}) {
+    LabConfig config = SmallLab(seed++);
+    MigrationLab lab(SmallDerby(), config);
+    lab.Run(Duration::Seconds(20));
+    *out = lab.Migrate();
+  }
+  EXPECT_NE(a.pages_sent, b.pages_sent);
+}
+
+// ---- §3.3.4 PFN remap (case 2): the documented hazard and its fix. ----
+
+// A scriptable app whose skip-over region gets one page remapped to a new
+// frame mid-migration; the freed frame is immediately reused by a victim
+// process that writes precious data into it.
+class RemapScenario {
+ public:
+  explicit RemapScenario(BitmapUpdateMode mode)
+      : memory_(512 * kPageSize), kernel_(&memory_, &clock_) {
+    LkmConfig lkm_config;
+    lkm_config.update_mode = mode;
+    lkm_ = &kernel_.LoadLkm(lkm_config);
+  }
+
+  // Runs the scenario and returns whether the victim's page survived.
+  bool Run() {
+    const AppId skipper = kernel_.CreateProcess("skipper");
+    const AppId victim = kernel_.CreateProcess("victim");
+    AddressSpace& skip_space = kernel_.address_space(skipper);
+    const VaRange area = skip_space.ReserveVa(16 * kPageSize);
+    CHECK(skip_space.CommitRange(area.begin, area.bytes()));
+
+    // A cooperative app that reports `area` and answers prepare immediately.
+    class App : public NetlinkSubscriber {
+     public:
+      App(Lkm* lkm, AppId pid, VaRange area) : lkm_(lkm), pid_(pid), area_(area) {}
+      void OnNetlinkMessage(const NetlinkMessage& msg) override {
+        if (msg.type == NetlinkMessageType::kQuerySkipOverAreas) {
+          lkm_->ReportSkipOverAreas(pid_, {area_});
+        } else if (msg.type == NetlinkMessageType::kPrepareForSuspension) {
+          lkm_->NotifySuspensionReady(pid_, SuspensionReadyInfo{{area_}, {}});
+        }
+      }
+      Lkm* lkm_;
+      AppId pid_;
+      VaRange area_;
+    };
+    App app(lkm_, skipper, area);
+    kernel_.netlink().Subscribe(skipper, &app);
+
+    MigrationConfig config;
+    config.application_assisted = true;
+    MigrationEngine engine(&kernel_, config);
+
+    // The victim's page must be intact at the destination; register it as
+    // required (it only exists after the mid-migration timer fires).
+    struct VictimSource : RequiredPfnSource {
+      std::vector<Pfn> RequiredPfns(TimePoint) const override {
+        if (*va == 0) {
+          return {};
+        }
+        return {space->page_table().Lookup(VpnOf(*va))};
+      }
+      AddressSpace* space;
+      const VirtAddr* va;
+    };
+    VirtAddr victim_va = 0;
+    VictimSource victim_source;
+    victim_source.space = &kernel_.address_space(victim);
+    victim_source.va = &victim_va;
+    engine.AddRequiredPfnSource(&victim_source);
+
+    // Drive the remap + victim reuse while iteration 1 is in flight, via a
+    // timer: remap one page of the skip-over area; the freed frame goes back
+    // on the free list and the victim's next allocation picks it up (LIFO).
+    kernel_.clock().events().Schedule(
+        kernel_.clock().now() + Duration::Millis(5), [&] {
+          CHECK_NE(skip_space.RemapPage(area.begin), kInvalidPfn);
+          AddressSpace& vspace = kernel_.address_space(victim);
+          const VaRange vr = vspace.ReserveVa(kPageSize);
+          CHECK(vspace.CommitRange(vr.begin, kPageSize));
+          vspace.Write(vr.begin, kPageSize);  // Precious data.
+          victim_va = vr.begin;
+        });
+
+    const MigrationResult result = engine.Migrate();
+    kernel_.netlink().Unsubscribe(skipper);
+    CHECK(victim_va != 0);
+    return result.verification.ok;
+  }
+
+ private:
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+  Lkm* lkm_;
+};
+
+TEST(RemapHazardTest, IncrementalModeAssumesNoRemaps) {
+  // §3.3.4: "for the events in (2) and (3), we currently assume their
+  // absence in skip-over areas during migration." With a remap injected, the
+  // old frame keeps its cleared bit and escapes the audit -- the documented
+  // limitation of the implemented approach.
+  RemapScenario scenario(BitmapUpdateMode::kIncremental);
+  EXPECT_FALSE(scenario.Run());
+}
+
+TEST(RemapHazardTest, FinalRewalkModeHandlesRemaps) {
+  // The alternative approach re-walks the area: it sees vpn -> p_new, sets
+  // p_old's bit (so the victim's reused frame is transferred and audited)
+  // and clears p_new's.
+  RemapScenario scenario(BitmapUpdateMode::kFinalRewalk);
+  EXPECT_TRUE(scenario.Run());
+}
+
+// ---- Final-update parallelism (§3.3.4 / §6). ----
+
+TEST(FinalUpdateParallelismTest, ThreadsDivideRewalkCost) {
+  Duration costs[2];
+  int idx = 0;
+  for (const int threads : {1, 4}) {
+    LabConfig config = SmallLab(9);
+    config.migration.application_assisted = true;
+    config.lkm.update_mode = BitmapUpdateMode::kFinalRewalk;
+    config.lkm.final_update_threads = threads;
+    MigrationLab lab(SmallDerby(), config);
+    lab.Run(Duration::Seconds(20));
+    const MigrationResult result = lab.Migrate();
+    ASSERT_TRUE(result.verification.ok);
+    costs[idx++] = result.downtime.final_bitmap_update;
+  }
+  EXPECT_GT(costs[0].nanos(), costs[1].nanos() * 3);
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit tests for the simulation kernel: event queue + clock.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/process.h"
+
+namespace javmm {
+namespace {
+
+TEST(EventQueueTest, FiresInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(TimePoint::FromNanos(30), [&] { fired.push_back(3); });
+  q.Schedule(TimePoint::FromNanos(10), [&] { fired.push_back(1); });
+  q.Schedule(TimePoint::FromNanos(20), [&] { fired.push_back(2); });
+  q.FireDueEvents(TimePoint::FromNanos(30));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(TimePoint::FromNanos(10), [&fired, i] { fired.push_back(i); });
+  }
+  q.FireDueEvents(TimePoint::FromNanos(10));
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, OnlyDueEventsFire) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(TimePoint::FromNanos(10), [&] { ++fired; });
+  q.Schedule(TimePoint::FromNanos(20), [&] { ++fired; });
+  q.FireDueEvents(TimePoint::FromNanos(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventQueue::EventId id = q.Schedule(TimePoint::FromNanos(10), [&] { ++fired; });
+  q.Cancel(id);
+  q.FireDueEvents(TimePoint::FromNanos(100));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.Cancel(12345);  // Must not crash.
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueueTest, CallbackMayScheduleAtSameInstant) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(TimePoint::FromNanos(10), [&] {
+    ++fired;
+    q.Schedule(TimePoint::FromNanos(10), [&] { ++fired; });
+  });
+  q.FireDueEvents(TimePoint::FromNanos(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, NextEventTime) {
+  EventQueue q;
+  EXPECT_FALSE(q.NextEventTime().has_value());
+  q.Schedule(TimePoint::FromNanos(50), [] {});
+  q.Schedule(TimePoint::FromNanos(20), [] {});
+  ASSERT_TRUE(q.NextEventTime().has_value());
+  EXPECT_EQ(q.NextEventTime()->nanos(), 20);
+}
+
+// A process that records the intervals it receives.
+class RecordingProcess : public Process {
+ public:
+  void RunFor(TimePoint start, Duration dt) override { slices_.push_back({start, dt}); }
+  Duration TotalTime() const {
+    Duration total = Duration::Zero();
+    for (const auto& s : slices_) {
+      total += s.second;
+    }
+    return total;
+  }
+  const std::vector<std::pair<TimePoint, Duration>>& slices() const { return slices_; }
+
+ private:
+  std::vector<std::pair<TimePoint, Duration>> slices_;
+};
+
+TEST(SimClockTest, AdvanceMovesNow) {
+  SimClock clock;
+  clock.Advance(Duration::Seconds(2));
+  EXPECT_EQ(clock.now().nanos(), Duration::Seconds(2).nanos());
+}
+
+TEST(SimClockTest, ProcessesReceiveFullInterval) {
+  SimClock clock;
+  RecordingProcess p;
+  clock.AddProcess(&p);
+  clock.Advance(Duration::Seconds(3));
+  EXPECT_EQ(p.TotalTime().nanos(), Duration::Seconds(3).nanos());
+}
+
+TEST(SimClockTest, AdvanceSubdividesAtEventBoundaries) {
+  SimClock clock;
+  RecordingProcess p;
+  clock.AddProcess(&p);
+  TimePoint fired_at;
+  clock.events().Schedule(TimePoint::FromNanos(Duration::Seconds(1).nanos()),
+                          [&] { fired_at = clock.now(); });
+  clock.Advance(Duration::Seconds(3));
+  // The process ran in two slices: [0,1s) and [1s,3s).
+  ASSERT_EQ(p.slices().size(), 2u);
+  EXPECT_EQ(p.slices()[0].second.nanos(), Duration::Seconds(1).nanos());
+  EXPECT_EQ(p.slices()[1].second.nanos(), Duration::Seconds(2).nanos());
+  EXPECT_EQ(fired_at.nanos(), Duration::Seconds(1).nanos());
+  EXPECT_EQ(p.TotalTime().nanos(), Duration::Seconds(3).nanos());
+}
+
+TEST(SimClockTest, RepeatingEventChain) {
+  SimClock clock;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    clock.events().Schedule(clock.now() + Duration::Seconds(1), tick);
+  };
+  clock.events().Schedule(clock.now() + Duration::Seconds(1), tick);
+  clock.Advance(Duration::SecondsF(5.5));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(SimClockTest, RemoveProcessStopsDelivery) {
+  SimClock clock;
+  RecordingProcess p;
+  clock.AddProcess(&p);
+  clock.Advance(Duration::Seconds(1));
+  clock.RemoveProcess(&p);
+  clock.Advance(Duration::Seconds(1));
+  EXPECT_EQ(p.TotalTime().nanos(), Duration::Seconds(1).nanos());
+}
+
+TEST(SimClockTest, AdvanceToPastIsNoop) {
+  SimClock clock;
+  clock.Advance(Duration::Seconds(5));
+  clock.AdvanceTo(TimePoint::Epoch() + Duration::Seconds(3));
+  EXPECT_EQ(clock.now().nanos(), Duration::Seconds(5).nanos());
+  clock.AdvanceTo(TimePoint::Epoch() + Duration::Seconds(7));
+  EXPECT_EQ(clock.now().nanos(), Duration::Seconds(7).nanos());
+}
+
+TEST(SimClockTest, ZeroAdvanceFiresDueEvents) {
+  SimClock clock;
+  int fired = 0;
+  clock.events().Schedule(clock.now(), [&] { ++fired; });
+  clock.Advance(Duration::Zero());
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace javmm

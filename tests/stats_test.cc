@@ -1,0 +1,154 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit tests for the stats module: summaries, time series, tables; plus the
+// workload-spec registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+#include "src/stats/time_series.h"
+#include "src/workload/spec.h"
+
+namespace javmm {
+namespace {
+
+TEST(SummaryTest, MeanStdDevMinMax) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_EQ(s.count(), 8);
+}
+
+TEST(SummaryTest, Ci90UsesStudentT) {
+  Summary s;
+  s.Add(10.0);
+  s.Add(12.0);
+  s.Add(14.0);
+  // n=3, mean 12, sd 2, t_{0.90, df=2} = 2.920 => CI = 2.920 * 2 / sqrt(3).
+  EXPECT_NEAR(s.Ci90HalfWidth(), 2.920 * 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(SummaryTest, SingleSampleHasZeroCi) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Ci90HalfWidth(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(TimeSeriesTest, MeanAndMinInWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.Add(TimePoint::Epoch() + Duration::Seconds(i), i < 5 ? 10.0 : 2.0);
+  }
+  EXPECT_DOUBLE_EQ(
+      ts.MeanInWindow(TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(5)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.MinInWindow(TimePoint::Epoch() + Duration::Seconds(3),
+                                  TimePoint::Epoch() + Duration::Seconds(8)),
+                   2.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(TimePoint::Epoch() + Duration::Seconds(100),
+                                   TimePoint::Epoch() + Duration::Seconds(200)),
+                   0.0);
+}
+
+TEST(TimeSeriesTest, LongestBelowFindsStall) {
+  TimeSeries ts;
+  // 1 Hz samples: normal, then a 3-sample stall, then normal.
+  const double values[] = {5, 5, 5, 0, 0, 0, 5, 5};
+  for (int i = 0; i < 8; ++i) {
+    ts.Add(TimePoint::Epoch() + Duration::Seconds(i), values[i]);
+  }
+  const Duration stall =
+      ts.LongestBelow(0.5, TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(8));
+  EXPECT_EQ(stall.nanos(), Duration::Seconds(3).nanos());
+}
+
+TEST(TimeSeriesTest, LongestBelowNoStall) {
+  TimeSeries ts;
+  for (int i = 0; i < 5; ++i) {
+    ts.Add(TimePoint::Epoch() + Duration::Seconds(i), 5.0);
+  }
+  EXPECT_TRUE(ts.LongestBelow(0.5, TimePoint::Epoch(),
+                              TimePoint::Epoch() + Duration::Seconds(5))
+                  .IsZero());
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table table({"name", "value"});
+  table.Row().Cell("alpha").Cell(int64_t{42});
+  table.Row().Cell("b").Cell(3.14159, 2);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 3.14  |"), std::string::npos);
+}
+
+TEST(AsciiBarTest, ScalesToWidth) {
+  EXPECT_EQ(AsciiBar(10, 10, 20).size(), 20u);
+  EXPECT_EQ(AsciiBar(5, 10, 20).size(), 10u);
+  EXPECT_EQ(AsciiBar(0, 10, 20).size(), 0u);
+  EXPECT_EQ(AsciiBar(100, 10, 20).size(), 20u);  // Clamped.
+}
+
+// ---- Workload registry (Table 1). ----
+
+TEST(WorkloadSpecTest, AllNineWorkloadsPresent) {
+  const auto all = Workloads::All();
+  ASSERT_EQ(all.size(), 9u);
+  for (const char* name :
+       {"derby", "compiler", "xml", "sunflow", "serial", "crypto", "scimark", "mpeg",
+        "compress"}) {
+    EXPECT_EQ(Workloads::Get(name).name, name);
+  }
+}
+
+TEST(WorkloadSpecTest, CategoriesMatchSection53) {
+  EXPECT_EQ(Workloads::Get("derby").category, 1);
+  EXPECT_EQ(Workloads::Get("compiler").category, 1);
+  EXPECT_EQ(Workloads::Get("xml").category, 1);
+  EXPECT_EQ(Workloads::Get("sunflow").category, 1);
+  EXPECT_EQ(Workloads::Get("serial").category, 2);
+  EXPECT_EQ(Workloads::Get("crypto").category, 2);
+  EXPECT_EQ(Workloads::Get("mpeg").category, 2);
+  EXPECT_EQ(Workloads::Get("compress").category, 2);
+  EXPECT_EQ(Workloads::Get("scimark").category, 3);
+}
+
+TEST(WorkloadSpecTest, SpecsAreSane) {
+  for (const WorkloadSpec& spec : Workloads::All()) {
+    EXPECT_GT(spec.alloc_rate_bytes_per_sec, 0) << spec.name;
+    EXPECT_GE(spec.long_lived_fraction, 0.0) << spec.name;
+    EXPECT_LE(spec.long_lived_fraction, 1.0) << spec.name;
+    EXPECT_GT(spec.ops_per_sec, 0.0) << spec.name;
+    EXPECT_GT(spec.heap.young_max_bytes, 0) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+  }
+}
+
+TEST(WorkloadSpecTest, CategoryRepresentatives) {
+  const auto reps = Workloads::CategoryRepresentatives();
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0].name, "derby");
+  EXPECT_EQ(reps[1].name, "crypto");
+  EXPECT_EQ(reps[2].name, "scimark");
+}
+
+TEST(WorkloadSpecTest, WithYoungCapAppliesTable3) {
+  const WorkloadSpec xml = Workloads::WithYoungCap(Workloads::Get("xml"), 1536 * kMiB);
+  EXPECT_EQ(xml.heap.young_max_bytes, 1536 * kMiB);
+  const WorkloadSpec compiler =
+      Workloads::WithYoungCap(Workloads::Get("compiler"), 512 * kMiB);
+  EXPECT_EQ(compiler.heap.young_max_bytes, 512 * kMiB);
+  EXPECT_LE(compiler.heap.young_initial_bytes, 512 * kMiB);
+}
+
+}  // namespace
+}  // namespace javmm

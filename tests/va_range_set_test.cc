@@ -1,0 +1,177 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Unit + property tests for VaRangeSet, the LKM's skip-over-area bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/guest/va_range_set.h"
+
+namespace javmm {
+namespace {
+
+TEST(VaRangeSetTest, AddAndContains) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_TRUE(s.Contains(199));
+  EXPECT_FALSE(s.Contains(200));
+  EXPECT_FALSE(s.Contains(99));
+  EXPECT_EQ(s.TotalBytes(), 100);
+}
+
+TEST(VaRangeSetTest, AddEmptyIsNoop) {
+  VaRangeSet s;
+  s.Add({100, 100});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VaRangeSetTest, CoalescesOverlapping) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({150, 300});
+  EXPECT_EQ(s.Ranges().size(), 1u);
+  EXPECT_EQ(s.Ranges()[0], (VaRange{100, 300}));
+}
+
+TEST(VaRangeSetTest, CoalescesAdjacent) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({200, 300});
+  EXPECT_EQ(s.Ranges().size(), 1u);
+  EXPECT_EQ(s.TotalBytes(), 200);
+}
+
+TEST(VaRangeSetTest, KeepsDisjointSeparate) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({300, 400});
+  EXPECT_EQ(s.Ranges().size(), 2u);
+}
+
+TEST(VaRangeSetTest, AddBridgesMultiple) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({300, 400});
+  s.Add({500, 600});
+  s.Add({150, 550});
+  EXPECT_EQ(s.Ranges().size(), 1u);
+  EXPECT_EQ(s.Ranges()[0], (VaRange{100, 600}));
+}
+
+TEST(VaRangeSetTest, SubtractMiddleSplits) {
+  VaRangeSet s;
+  s.Add({100, 400});
+  s.Subtract({200, 300});
+  const auto ranges = s.Ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (VaRange{100, 200}));
+  EXPECT_EQ(ranges[1], (VaRange{300, 400}));
+}
+
+TEST(VaRangeSetTest, SubtractEnds) {
+  VaRangeSet s;
+  s.Add({100, 400});
+  s.Subtract({100, 150});  // Trim left.
+  s.Subtract({350, 400});  // Trim right.
+  ASSERT_EQ(s.Ranges().size(), 1u);
+  EXPECT_EQ(s.Ranges()[0], (VaRange{150, 350}));
+}
+
+TEST(VaRangeSetTest, SubtractSpanningMultiple) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({300, 400});
+  s.Subtract({150, 350});
+  const auto ranges = s.Ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (VaRange{100, 150}));
+  EXPECT_EQ(ranges[1], (VaRange{350, 400}));
+}
+
+TEST(VaRangeSetTest, SubtractDisjointIsNoop) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Subtract({300, 400});
+  EXPECT_EQ(s.TotalBytes(), 100);
+}
+
+TEST(VaRangeSetTest, IntersectionWith) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({300, 400});
+  const auto hits = s.IntersectionWith({150, 350});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (VaRange{150, 200}));
+  EXPECT_EQ(hits[1], (VaRange{300, 350}));
+}
+
+TEST(VaRangeSetTest, ComplementWithin) {
+  VaRangeSet s;
+  s.Add({100, 200});
+  s.Add({300, 400});
+  const auto gaps = s.ComplementWithin({50, 450});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (VaRange{50, 100}));
+  EXPECT_EQ(gaps[1], (VaRange{200, 300}));
+  EXPECT_EQ(gaps[2], (VaRange{400, 450}));
+}
+
+TEST(VaRangeSetTest, MinusIsSetDifference) {
+  VaRangeSet a;
+  a.Add({100, 400});
+  VaRangeSet b;
+  b.Add({200, 300});
+  const auto diff = a.Minus(b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], (VaRange{100, 200}));
+  EXPECT_EQ(diff[1], (VaRange{300, 400}));
+  // b \ a is empty.
+  EXPECT_TRUE(b.Minus(a).empty());
+}
+
+// Property test: random Add/Subtract sequences must agree with a naive
+// per-byte reference model (scaled down: each unit = one "byte").
+class VaRangeSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VaRangeSetPropertyTest, MatchesNaiveModel) {
+  Rng rng(GetParam());
+  VaRangeSet s;
+  std::set<VirtAddr> model;
+  constexpr VirtAddr kUniverse = 512;
+  for (int op = 0; op < 300; ++op) {
+    const VirtAddr b = rng.NextBounded(kUniverse);
+    const VirtAddr e = b + rng.NextBounded(64);
+    const VaRange r{b, std::min(e, kUniverse)};
+    if (rng.Chance(0.5)) {
+      s.Add(r);
+      for (VirtAddr v = r.begin; v < r.end; ++v) {
+        model.insert(v);
+      }
+    } else {
+      s.Subtract(r);
+      for (VirtAddr v = r.begin; v < r.end; ++v) {
+        model.erase(v);
+      }
+    }
+  }
+  EXPECT_EQ(s.TotalBytes(), static_cast<int64_t>(model.size()));
+  for (VirtAddr v = 0; v < kUniverse; ++v) {
+    ASSERT_EQ(s.Contains(v), model.count(v) != 0) << "at " << v;
+  }
+  // Invariant: ranges are sorted, non-empty, non-overlapping, non-adjacent.
+  const auto ranges = s.Ranges();
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    ASSERT_LT(ranges[i].begin, ranges[i].end);
+    if (i > 0) {
+      ASSERT_GT(ranges[i].begin, ranges[i - 1].end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VaRangeSetPropertyTest,
+                         ::testing::Values<uint64_t>(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace javmm
