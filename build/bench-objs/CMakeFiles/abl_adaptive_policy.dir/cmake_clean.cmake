@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive_policy"
+  "../bench/abl_adaptive_policy.pdb"
+  "CMakeFiles/abl_adaptive_policy.dir/abl_adaptive_policy.cpp.o"
+  "CMakeFiles/abl_adaptive_policy.dir/abl_adaptive_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

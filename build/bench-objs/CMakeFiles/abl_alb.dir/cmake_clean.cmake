@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_alb"
+  "../bench/abl_alb.pdb"
+  "CMakeFiles/abl_alb.dir/abl_alb.cpp.o"
+  "CMakeFiles/abl_alb.dir/abl_alb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_baselines"
+  "../bench/abl_baselines.pdb"
+  "CMakeFiles/abl_baselines.dir/abl_baselines.cpp.o"
+  "CMakeFiles/abl_baselines.dir/abl_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

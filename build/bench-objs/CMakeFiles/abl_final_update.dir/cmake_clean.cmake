@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_final_update"
+  "../bench/abl_final_update.pdb"
+  "CMakeFiles/abl_final_update.dir/abl_final_update.cpp.o"
+  "CMakeFiles/abl_final_update.dir/abl_final_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_final_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

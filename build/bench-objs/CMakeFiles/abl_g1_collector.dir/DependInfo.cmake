@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_g1_collector.cpp" "bench-objs/CMakeFiles/abl_g1_collector.dir/abl_g1_collector.cpp.o" "gcc" "bench-objs/CMakeFiles/abl_g1_collector.dir/abl_g1_collector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/javmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/javmm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/javmm_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/javmm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/javmm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/javmm_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/javmm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javmm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/javmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_g1_collector"
+  "../bench/abl_g1_collector.pdb"
+  "CMakeFiles/abl_g1_collector.dir/abl_g1_collector.cpp.o"
+  "CMakeFiles/abl_g1_collector.dir/abl_g1_collector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_g1_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

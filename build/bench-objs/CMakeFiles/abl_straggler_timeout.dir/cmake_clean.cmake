@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_straggler_timeout"
+  "../bench/abl_straggler_timeout.pdb"
+  "CMakeFiles/abl_straggler_timeout.dir/abl_straggler_timeout.cpp.o"
+  "CMakeFiles/abl_straggler_timeout.dir/abl_straggler_timeout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_straggler_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

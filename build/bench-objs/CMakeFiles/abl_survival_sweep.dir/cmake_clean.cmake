@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_survival_sweep"
+  "../bench/abl_survival_sweep.pdb"
+  "CMakeFiles/abl_survival_sweep.dir/abl_survival_sweep.cpp.o"
+  "CMakeFiles/abl_survival_sweep.dir/abl_survival_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_survival_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

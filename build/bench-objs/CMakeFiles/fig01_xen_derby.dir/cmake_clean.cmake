@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_xen_derby"
+  "../bench/fig01_xen_derby.pdb"
+  "CMakeFiles/fig01_xen_derby.dir/fig01_xen_derby.cpp.o"
+  "CMakeFiles/fig01_xen_derby.dir/fig01_xen_derby.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_xen_derby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

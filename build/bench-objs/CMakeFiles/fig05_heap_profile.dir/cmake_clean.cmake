@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_heap_profile"
+  "../bench/fig05_heap_profile.pdb"
+  "CMakeFiles/fig05_heap_profile.dir/fig05_heap_profile.cpp.o"
+  "CMakeFiles/fig05_heap_profile.dir/fig05_heap_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_heap_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_progress"
+  "../bench/fig08_progress.pdb"
+  "CMakeFiles/fig08_progress.dir/fig08_progress.cpp.o"
+  "CMakeFiles/fig08_progress.dir/fig08_progress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_memory_processed"
+  "../bench/fig09_memory_processed.pdb"
+  "CMakeFiles/fig09_memory_processed.dir/fig09_memory_processed.cpp.o"
+  "CMakeFiles/fig09_memory_processed.dir/fig09_memory_processed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_processed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

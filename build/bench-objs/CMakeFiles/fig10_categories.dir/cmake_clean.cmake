@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_categories"
+  "../bench/fig10_categories.pdb"
+  "CMakeFiles/fig10_categories.dir/fig10_categories.cpp.o"
+  "CMakeFiles/fig10_categories.dir/fig10_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_throughput"
+  "../bench/fig11_throughput.pdb"
+  "CMakeFiles/fig11_throughput.dir/fig11_throughput.cpp.o"
+  "CMakeFiles/fig11_throughput.dir/fig11_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

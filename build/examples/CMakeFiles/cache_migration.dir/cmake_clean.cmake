@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_migration.dir/cache_migration.cpp.o"
+  "CMakeFiles/cache_migration.dir/cache_migration.cpp.o.d"
+  "cache_migration"
+  "cache_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

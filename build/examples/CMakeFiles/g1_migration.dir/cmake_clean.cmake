@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g1_migration.dir/g1_migration.cpp.o"
+  "CMakeFiles/g1_migration.dir/g1_migration.cpp.o.d"
+  "g1_migration"
+  "g1_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g1_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for g1_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_cli.dir/migrate_cli.cpp.o"
+  "CMakeFiles/migrate_cli.dir/migrate_cli.cpp.o.d"
+  "migrate_cli"
+  "migrate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

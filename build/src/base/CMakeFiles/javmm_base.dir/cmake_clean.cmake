@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_base.dir/rng.cc.o"
+  "CMakeFiles/javmm_base.dir/rng.cc.o.d"
+  "CMakeFiles/javmm_base.dir/time.cc.o"
+  "CMakeFiles/javmm_base.dir/time.cc.o.d"
+  "CMakeFiles/javmm_base.dir/units.cc.o"
+  "CMakeFiles/javmm_base.dir/units.cc.o.d"
+  "libjavmm_base.a"
+  "libjavmm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_core.dir/liveness.cc.o"
+  "CMakeFiles/javmm_core.dir/liveness.cc.o.d"
+  "CMakeFiles/javmm_core.dir/migration_lab.cc.o"
+  "CMakeFiles/javmm_core.dir/migration_lab.cc.o.d"
+  "CMakeFiles/javmm_core.dir/policy.cc.o"
+  "CMakeFiles/javmm_core.dir/policy.cc.o.d"
+  "libjavmm_core.a"
+  "libjavmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

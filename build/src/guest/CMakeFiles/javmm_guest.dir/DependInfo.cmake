@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/guest_kernel.cc" "src/guest/CMakeFiles/javmm_guest.dir/guest_kernel.cc.o" "gcc" "src/guest/CMakeFiles/javmm_guest.dir/guest_kernel.cc.o.d"
+  "/root/repo/src/guest/lkm.cc" "src/guest/CMakeFiles/javmm_guest.dir/lkm.cc.o" "gcc" "src/guest/CMakeFiles/javmm_guest.dir/lkm.cc.o.d"
+  "/root/repo/src/guest/netlink_bus.cc" "src/guest/CMakeFiles/javmm_guest.dir/netlink_bus.cc.o" "gcc" "src/guest/CMakeFiles/javmm_guest.dir/netlink_bus.cc.o.d"
+  "/root/repo/src/guest/va_range_set.cc" "src/guest/CMakeFiles/javmm_guest.dir/va_range_set.cc.o" "gcc" "src/guest/CMakeFiles/javmm_guest.dir/va_range_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/javmm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javmm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javmm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_guest.dir/guest_kernel.cc.o"
+  "CMakeFiles/javmm_guest.dir/guest_kernel.cc.o.d"
+  "CMakeFiles/javmm_guest.dir/lkm.cc.o"
+  "CMakeFiles/javmm_guest.dir/lkm.cc.o.d"
+  "CMakeFiles/javmm_guest.dir/netlink_bus.cc.o"
+  "CMakeFiles/javmm_guest.dir/netlink_bus.cc.o.d"
+  "CMakeFiles/javmm_guest.dir/va_range_set.cc.o"
+  "CMakeFiles/javmm_guest.dir/va_range_set.cc.o.d"
+  "libjavmm_guest.a"
+  "libjavmm_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

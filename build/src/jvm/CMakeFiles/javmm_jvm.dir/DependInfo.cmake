@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/generational_heap.cc" "src/jvm/CMakeFiles/javmm_jvm.dir/generational_heap.cc.o" "gcc" "src/jvm/CMakeFiles/javmm_jvm.dir/generational_heap.cc.o.d"
+  "/root/repo/src/jvm/region_heap.cc" "src/jvm/CMakeFiles/javmm_jvm.dir/region_heap.cc.o" "gcc" "src/jvm/CMakeFiles/javmm_jvm.dir/region_heap.cc.o.d"
+  "/root/repo/src/jvm/ti_agent.cc" "src/jvm/CMakeFiles/javmm_jvm.dir/ti_agent.cc.o" "gcc" "src/jvm/CMakeFiles/javmm_jvm.dir/ti_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/javmm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javmm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/javmm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javmm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_jvm.dir/generational_heap.cc.o"
+  "CMakeFiles/javmm_jvm.dir/generational_heap.cc.o.d"
+  "CMakeFiles/javmm_jvm.dir/region_heap.cc.o"
+  "CMakeFiles/javmm_jvm.dir/region_heap.cc.o.d"
+  "CMakeFiles/javmm_jvm.dir/ti_agent.cc.o"
+  "CMakeFiles/javmm_jvm.dir/ti_agent.cc.o.d"
+  "libjavmm_jvm.a"
+  "libjavmm_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjavmm_jvm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for javmm_jvm.
+# This may be replaced when dependencies are built.

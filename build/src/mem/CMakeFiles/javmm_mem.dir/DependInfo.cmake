@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/javmm_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/bitmap.cc" "src/mem/CMakeFiles/javmm_mem.dir/bitmap.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/bitmap.cc.o.d"
+  "/root/repo/src/mem/dirty_log.cc" "src/mem/CMakeFiles/javmm_mem.dir/dirty_log.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/dirty_log.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/javmm_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/mem/CMakeFiles/javmm_mem.dir/physical_memory.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/physical_memory.cc.o.d"
+  "/root/repo/src/mem/types.cc" "src/mem/CMakeFiles/javmm_mem.dir/types.cc.o" "gcc" "src/mem/CMakeFiles/javmm_mem.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/javmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

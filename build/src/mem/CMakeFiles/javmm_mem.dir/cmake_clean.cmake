@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_mem.dir/address_space.cc.o"
+  "CMakeFiles/javmm_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/javmm_mem.dir/bitmap.cc.o"
+  "CMakeFiles/javmm_mem.dir/bitmap.cc.o.d"
+  "CMakeFiles/javmm_mem.dir/dirty_log.cc.o"
+  "CMakeFiles/javmm_mem.dir/dirty_log.cc.o.d"
+  "CMakeFiles/javmm_mem.dir/page_table.cc.o"
+  "CMakeFiles/javmm_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/javmm_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/javmm_mem.dir/physical_memory.cc.o.d"
+  "CMakeFiles/javmm_mem.dir/types.cc.o"
+  "CMakeFiles/javmm_mem.dir/types.cc.o.d"
+  "libjavmm_mem.a"
+  "libjavmm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

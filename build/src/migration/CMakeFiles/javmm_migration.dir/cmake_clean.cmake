@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_migration.dir/baselines.cc.o"
+  "CMakeFiles/javmm_migration.dir/baselines.cc.o.d"
+  "CMakeFiles/javmm_migration.dir/engine.cc.o"
+  "CMakeFiles/javmm_migration.dir/engine.cc.o.d"
+  "libjavmm_migration.a"
+  "libjavmm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_net.dir/link.cc.o"
+  "CMakeFiles/javmm_net.dir/link.cc.o.d"
+  "libjavmm_net.a"
+  "libjavmm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_sim.dir/clock.cc.o"
+  "CMakeFiles/javmm_sim.dir/clock.cc.o.d"
+  "CMakeFiles/javmm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/javmm_sim.dir/event_queue.cc.o.d"
+  "libjavmm_sim.a"
+  "libjavmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_stats.dir/summary.cc.o"
+  "CMakeFiles/javmm_stats.dir/summary.cc.o.d"
+  "CMakeFiles/javmm_stats.dir/table.cc.o"
+  "CMakeFiles/javmm_stats.dir/table.cc.o.d"
+  "CMakeFiles/javmm_stats.dir/time_series.cc.o"
+  "CMakeFiles/javmm_stats.dir/time_series.cc.o.d"
+  "libjavmm_stats.a"
+  "libjavmm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

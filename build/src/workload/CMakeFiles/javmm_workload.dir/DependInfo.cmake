@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cache_application.cc" "src/workload/CMakeFiles/javmm_workload.dir/cache_application.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/cache_application.cc.o.d"
+  "/root/repo/src/workload/g1_application.cc" "src/workload/CMakeFiles/javmm_workload.dir/g1_application.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/g1_application.cc.o.d"
+  "/root/repo/src/workload/java_application.cc" "src/workload/CMakeFiles/javmm_workload.dir/java_application.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/java_application.cc.o.d"
+  "/root/repo/src/workload/os_process.cc" "src/workload/CMakeFiles/javmm_workload.dir/os_process.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/os_process.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/javmm_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/spec.cc.o.d"
+  "/root/repo/src/workload/throughput_analyzer.cc" "src/workload/CMakeFiles/javmm_workload.dir/throughput_analyzer.cc.o" "gcc" "src/workload/CMakeFiles/javmm_workload.dir/throughput_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/javmm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/javmm_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/javmm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/javmm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/javmm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_workload.dir/cache_application.cc.o"
+  "CMakeFiles/javmm_workload.dir/cache_application.cc.o.d"
+  "CMakeFiles/javmm_workload.dir/g1_application.cc.o"
+  "CMakeFiles/javmm_workload.dir/g1_application.cc.o.d"
+  "CMakeFiles/javmm_workload.dir/java_application.cc.o"
+  "CMakeFiles/javmm_workload.dir/java_application.cc.o.d"
+  "CMakeFiles/javmm_workload.dir/os_process.cc.o"
+  "CMakeFiles/javmm_workload.dir/os_process.cc.o.d"
+  "CMakeFiles/javmm_workload.dir/spec.cc.o"
+  "CMakeFiles/javmm_workload.dir/spec.cc.o.d"
+  "CMakeFiles/javmm_workload.dir/throughput_analyzer.cc.o"
+  "CMakeFiles/javmm_workload.dir/throughput_analyzer.cc.o.d"
+  "libjavmm_workload.a"
+  "libjavmm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_app_test.dir/java_app_test.cc.o"
+  "CMakeFiles/java_app_test.dir/java_app_test.cc.o.d"
+  "java_app_test"
+  "java_app_test.pdb"
+  "java_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

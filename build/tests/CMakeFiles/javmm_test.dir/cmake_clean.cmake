@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javmm_test.dir/javmm_test.cc.o"
+  "CMakeFiles/javmm_test.dir/javmm_test.cc.o.d"
+  "javmm_test"
+  "javmm_test.pdb"
+  "javmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

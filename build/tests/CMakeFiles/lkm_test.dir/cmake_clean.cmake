@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkm_test.dir/lkm_test.cc.o"
+  "CMakeFiles/lkm_test.dir/lkm_test.cc.o.d"
+  "lkm_test"
+  "lkm_test.pdb"
+  "lkm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_and_misc_test.dir/net_and_misc_test.cc.o"
+  "CMakeFiles/net_and_misc_test.dir/net_and_misc_test.cc.o.d"
+  "net_and_misc_test"
+  "net_and_misc_test.pdb"
+  "net_and_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_and_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

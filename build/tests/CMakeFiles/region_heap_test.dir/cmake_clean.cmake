@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_heap_test.dir/region_heap_test.cc.o"
+  "CMakeFiles/region_heap_test.dir/region_heap_test.cc.o.d"
+  "region_heap_test"
+  "region_heap_test.pdb"
+  "region_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/va_range_set_test.dir/va_range_set_test.cc.o"
+  "CMakeFiles/va_range_set_test.dir/va_range_set_test.cc.o.d"
+  "va_range_set_test"
+  "va_range_set_test.pdb"
+  "va_range_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/va_range_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
