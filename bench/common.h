@@ -51,6 +51,10 @@ inline RunOutput RunMigrationExperiment(const WorkloadSpec& spec, bool assisted,
     std::fprintf(stderr, "WARNING: verification failed for %s (%s): %s\n", spec.name.c_str(),
                  assisted ? "JAVMM" : "Xen", out.result.verification.detail.c_str());
   }
+  if (out.result.trace_audit.ran && !out.result.trace_audit.ok) {
+    std::fprintf(stderr, "WARNING: trace audit failed for %s (%s): %s\n", spec.name.c_str(),
+                 assisted ? "JAVMM" : "Xen", out.result.trace_audit.ToString().c_str());
+  }
   return out;
 }
 

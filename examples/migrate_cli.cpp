@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -40,6 +41,7 @@ struct CliOptions {
   bool compress = false;
   bool csv = false;
   bool list = false;
+  std::string trace_out;  // JSON-lines trace of the last run ("" = off).
 };
 
 void PrintUsage() {
@@ -55,6 +57,7 @@ void PrintUsage() {
       "  --warmup-s=S          workload warmup before migrating (default 120)\n"
       "  --compress            enable the compression extension\n"
       "  --csv                 print per-iteration records as CSV\n"
+      "  --trace-out=FILE      write the last run's migration trace as JSON lines\n"
       "  --list                list workloads and exit\n");
 }
 
@@ -86,6 +89,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->young_mib = std::atoll(value.c_str());
     } else if (ParseFlag(argv[i], "--warmup-s", &value)) {
       options->warmup_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      options->trace_out = value;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       options->compress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -101,6 +106,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
   }
   return true;
+}
+
+// Writes `trace` to options.trace_out as JSON lines; returns false on I/O
+// failure. No-op (true) when the flag was not given.
+bool MaybeExportTrace(const CliOptions& options, const TraceRecorder& trace) {
+  if (options.trace_out.empty()) {
+    return true;
+  }
+  std::ofstream out(options.trace_out);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", options.trace_out.c_str());
+    return false;
+  }
+  trace.ExportJsonLines(out);
+  return static_cast<bool>(out);
+}
+
+void WarnIfAuditFailed(const MigrationResult& result) {
+  if (result.trace_audit.ran && !result.trace_audit.ok) {
+    std::fprintf(stderr, "TRACE AUDIT FAILED: %s\n", result.trace_audit.ToString().c_str());
+  }
 }
 
 void PrintCsv(const MigrationResult& result) {
@@ -163,6 +189,10 @@ int RunPrecopyStyle(const CliOptions& options) {
       std::fprintf(stderr, "VERIFICATION FAILED: %s\n", result.verification.detail.c_str());
       return 1;
     }
+    WarnIfAuditFailed(result);
+    if (run + 1 == options.repeat && !MaybeExportTrace(options, engine.trace())) {
+      return 1;
+    }
     time_s.Add(result.total_time.ToSecondsF());
     traffic_gib.Add(static_cast<double>(result.total_wire_bytes) / static_cast<double>(kGiB));
     downtime_s.Add(result.downtime.Total().ToSecondsF());
@@ -205,6 +235,10 @@ int RunBaseline(const CliOptions& options) {
   if (options.engine == "stopcopy") {
     StopAndCopyEngine engine(&lab.guest(), config.migration);
     const MigrationResult result = engine.Migrate();
+    WarnIfAuditFailed(result);
+    if (!MaybeExportTrace(options, engine.trace())) {
+      return 1;
+    }
     table.Row().Cell("engine").Cell("stop-and-copy");
     table.Row().Cell("completion time").Cell(result.total_time.ToString());
     table.Row().Cell("network traffic").Cell(FormatBytes(result.total_wire_bytes));
@@ -217,6 +251,10 @@ int RunBaseline(const CliOptions& options) {
   pc.base = config.migration;
   PostcopyEngine engine(&lab.guest(), pc);
   const PostcopyResult result = engine.Migrate();
+  WarnIfAuditFailed(result.common);
+  if (!MaybeExportTrace(options, engine.trace())) {
+    return 1;
+  }
   table.Row().Cell("engine").Cell("post-copy");
   table.Row().Cell("completion time").Cell(result.common.total_time.ToString());
   table.Row().Cell("network traffic").Cell(FormatBytes(result.common.total_wire_bytes));

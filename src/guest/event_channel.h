@@ -23,6 +23,7 @@ class EventChannel {
 
   // Daemon side registers to receive LKM notifications.
   void BindDaemonHandler(DaemonHandler handler) { daemon_handler_ = std::move(handler); }
+  void UnbindDaemonHandler() { daemon_handler_ = nullptr; }
 
   // Daemon -> LKM. Silently dropped if no LKM is bound (e.g. the guest never
   // loaded the module) -- the daemon must cope via timeouts, as in §6.
@@ -40,10 +41,29 @@ class EventChannel {
   }
 
   bool guest_bound() const { return static_cast<bool>(guest_handler_); }
+  bool daemon_bound() const { return static_cast<bool>(daemon_handler_); }
 
  private:
   GuestHandler guest_handler_;
   DaemonHandler daemon_handler_;
+};
+
+// Binds a daemon handler for the duration of a scope. The migration daemon's
+// handler typically captures `this` of a stack- or heap-allocated engine, so
+// leaving it bound past the migration would dangle; this guarantees the
+// unbind on every exit path (complete, abort, fallback, exception).
+class ScopedDaemonBinding {
+ public:
+  ScopedDaemonBinding(EventChannel* channel, EventChannel::DaemonHandler handler)
+      : channel_(channel) {
+    channel_->BindDaemonHandler(std::move(handler));
+  }
+  ~ScopedDaemonBinding() { channel_->UnbindDaemonHandler(); }
+  ScopedDaemonBinding(const ScopedDaemonBinding&) = delete;
+  ScopedDaemonBinding& operator=(const ScopedDaemonBinding&) = delete;
+
+ private:
+  EventChannel* channel_;
 };
 
 }  // namespace javmm

@@ -6,6 +6,7 @@
 
 #include "src/base/macros.h"
 #include "src/guest/guest_kernel.h"
+#include "src/trace/trace.h"
 
 namespace javmm {
 
@@ -38,18 +39,34 @@ void Lkm::OnDaemonMessage(DaemonToLkm msg) {
   JAVMM_UNREACHABLE("unknown daemon message");
 }
 
+void Lkm::EnterState(State state) {
+  state_ = state;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{TraceEventKind::kLkmState, kernel_->clock().now(), 0,
+                              static_cast<int32_t>(state), 0, 0, 0, Duration::Zero()});
+  }
+}
+
+void Lkm::NoteProtocolViolation(int32_t detail) {
+  ++protocol_violations_;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{TraceEventKind::kProtocolViolation, kernel_->clock().now(), 0,
+                              detail, 0, 0, 0, Duration::Zero()});
+  }
+}
+
 void Lkm::HandleMigrationStarted() {
   if (state_ != State::kInitialized) {
     // A second migration while one is in flight is a daemon bug; a restart
     // after abort goes through kInitialized.
-    ++protocol_violations_;
+    NoteProtocolViolation(static_cast<int32_t>(DaemonToLkm::kMigrationStarted));
     return;
   }
   apps_.clear();
   transfer_bitmap_.SetAll();
   final_update_duration_ = Duration::Zero();
   revoked_pfns_.clear();
-  state_ = State::kMigrationStarted;
+  EnterState(State::kMigrationStarted);
   // First transfer-bitmap update: query running applications for skip-over
   // areas. Cooperative apps respond re-entrantly (or shortly after) through
   // ReportSkipOverAreas.
@@ -58,7 +75,7 @@ void Lkm::HandleMigrationStarted() {
 
 void Lkm::ReportSkipOverAreas(AppId pid, const std::vector<VaRange>& areas) {
   if (state_ != State::kMigrationStarted) {
-    ++protocol_violations_;
+    NoteProtocolViolation(-1);
     return;
   }
   AppRecord& rec = apps_[pid];
@@ -82,12 +99,12 @@ void Lkm::NotifyAreaShrunk(AppId pid, const VaRange& left) {
   if (state_ != State::kMigrationStarted) {
     // §3.3.4: areas must not shrink in the final-update window; a shrink
     // notice outside migration is meaningless. Count and ignore.
-    ++protocol_violations_;
+    NoteProtocolViolation(-2);
     return;
   }
   auto it = apps_.find(pid);
   if (it == apps_.end()) {
-    ++protocol_violations_;
+    NoteProtocolViolation(-2);
     return;
   }
   AppRecord& rec = it->second;
@@ -101,10 +118,10 @@ void Lkm::NotifyAreaShrunk(AppId pid, const VaRange& left) {
 
 void Lkm::HandleEnteringLastIter() {
   if (state_ != State::kMigrationStarted) {
-    ++protocol_violations_;
+    NoteProtocolViolation(static_cast<int32_t>(DaemonToLkm::kEnteringLastIter));
     return;
   }
-  state_ = State::kEnteringLastIter;
+  EnterState(State::kEnteringLastIter);
   awaiting_ready_ = kernel_->netlink().SubscriberIds();
   if (awaiting_ready_.empty()) {
     // No assisting applications: nothing to prepare; proceed immediately.
@@ -118,12 +135,12 @@ void Lkm::HandleEnteringLastIter() {
 
 void Lkm::NotifySuspensionReady(AppId pid, const SuspensionReadyInfo& info) {
   if (state_ != State::kEnteringLastIter) {
-    ++protocol_violations_;
+    NoteProtocolViolation(-3);
     return;
   }
   auto it = std::find(awaiting_ready_.begin(), awaiting_ready_.end(), pid);
   if (it == awaiting_ready_.end()) {
-    ++protocol_violations_;
+    NoteProtocolViolation(-3);
     return;
   }
   awaiting_ready_.erase(it);
@@ -205,7 +222,7 @@ void Lkm::FinalizeBitmapAndNotifyDaemon() {
       (config_.per_pte_walk_cost * (total_ptes_walked_ - walked_before) +
        config_.per_cache_op_cost * cache_ops) /
       static_cast<int64_t>(std::max(config_.final_update_threads, 1));
-  state_ = State::kSuspensionReady;
+  EnterState(State::kSuspensionReady);
   kernel_->event_channel().NotifyDaemon(LkmToDaemon::kSuspensionReady);
 }
 
@@ -217,7 +234,7 @@ void Lkm::HandleVmResumedOrAborted(bool resumed) {
   awaiting_ready_.clear();
   apps_.clear();
   transfer_bitmap_.SetAll();
-  state_ = State::kInitialized;
+  EnterState(State::kInitialized);
   // On resume, tell applications to recover / treat skip-over areas as empty.
   // On abort the VM keeps running at the source; applications still need the
   // release notification to leave their prepared-for-suspension hold.

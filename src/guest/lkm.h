@@ -39,6 +39,7 @@
 namespace javmm {
 
 class GuestKernel;
+class TraceRecorder;
 
 // How the LKM keeps the transfer bitmap consistent with skip-over areas that
 // change during migration (§3.3.4).
@@ -146,6 +147,11 @@ class Lkm {
   // Duration of the most recent final bitmap update (downtime component).
   Duration last_final_update_duration() const { return final_update_duration_; }
 
+  // Attaches a migration trace: state transitions and protocol violations
+  // are recorded while set. The migration daemon attaches its recorder for
+  // the duration of each Migrate() and detaches on every exit path.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   // ---- Introspection / overhead accounting (§5.3). ----
   int64_t transfer_bitmap_bytes() const { return transfer_bitmap_.MemoryUsageBytes(); }
   int64_t pfn_cache_bytes() const;  // 4 bytes/entry, as in the paper.
@@ -166,6 +172,8 @@ class Lkm {
   void HandleMigrationStarted();
   void HandleEnteringLastIter();
   void HandleVmResumedOrAborted(bool resumed);
+  void EnterState(State state);      // Transition + trace record.
+  void NoteProtocolViolation(int32_t detail);
   void OnStragglerTimeout();
   void FinalizeBitmapAndNotifyDaemon();
 
@@ -188,6 +196,7 @@ class Lkm {
 
   GuestKernel* kernel_;
   LkmConfig config_;
+  TraceRecorder* trace_ = nullptr;
   State state_ = State::kInitialized;
   PageBitmap transfer_bitmap_;
   std::vector<uint8_t> compression_classes_;

@@ -4,6 +4,7 @@
 
 #include "src/base/macros.h"
 #include "src/mem/bitmap.h"
+#include "src/trace/auditor.h"
 
 namespace javmm {
 
@@ -23,14 +24,22 @@ MigrationResult StopAndCopyEngine::Migrate() {
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
   link_.ResetMeters();
+  trace_.set_enabled(config_.record_trace);
+  trace_.Clear();
+  trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
+                           Duration::Zero()});
 
   guest_->PauseVm();
   result.paused_at = clock.now();
+  trace_.Record(
+      TraceEvent{TraceEventKind::kPause, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   const std::vector<uint64_t> pause_versions = memory.versions();
 
   DestinationVm dest(frames);
   IterationRecord rec;
   rec.index = 1;
+  trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, clock.now(), rec.index, 0, 0, 0, 0,
+                           Duration::Zero()});
   for (Pfn pfn = 0; pfn < frames; pfn += config_.batch_pages) {
     const int64_t burst = std::min(config_.batch_pages, frames - pfn);
     for (int64_t i = 0; i < burst; ++i) {
@@ -41,8 +50,13 @@ MigrationResult StopAndCopyEngine::Migrate() {
     rec.pages_scanned += burst;
     rec.wire_bytes += link_.PageWireBytes(burst);
     clock.Advance(link_.PageTransferTime(burst));
+    trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), rec.index, 0, burst,
+                             link_.PageWireBytes(burst), burst,
+                             config_.cpu_per_page_sent * burst});
   }
   rec.duration = clock.now() - result.paused_at;
+  trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
+                           rec.pages_sent, rec.wire_bytes, rec.pages_scanned, Duration::Zero()});
   result.downtime.last_iter_transfer = rec.duration;
   result.iterations.push_back(rec);
   result.pages_sent = rec.pages_sent;
@@ -53,9 +67,13 @@ MigrationResult StopAndCopyEngine::Migrate() {
   result.downtime.resumption = config_.resumption_time;
   guest_->ResumeVm();
   result.resumed_at = clock.now();
+  trace_.Record(
+      TraceEvent{TraceEventKind::kResume, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   result.total_time = result.resumed_at - result.started_at;
   result.total_wire_bytes = link_.total_wire_bytes();
   result.completed = true;
+  trace_.Record(
+      TraceEvent{TraceEventKind::kComplete, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
 
   VerificationReport& v = result.verification;
   for (Pfn pfn = 0; pfn < frames; ++pfn) {
@@ -65,6 +83,10 @@ MigrationResult StopAndCopyEngine::Migrate() {
     }
   }
   v.ok = v.version_mismatches == 0;
+  if (config_.record_trace && config_.audit_trace) {
+    result.trace_audit = TraceAuditor::Audit(AuditMode::kStopAndCopy, trace_, result,
+                                             link_.total_wire_bytes(), link_.total_pages_sent());
+  }
   return result;
 }
 
@@ -74,8 +96,10 @@ MigrationResult StopAndCopyEngine::Migrate() {
 // touches pages that have not arrived yet.
 class PostcopyEngine::FaultTracker : public WriteObserver {
  public:
-  FaultTracker(int64_t frames, Duration per_fault_stall, NetworkLink* link)
-      : resident_(frames), per_fault_stall_(per_fault_stall), link_(link) {}
+  FaultTracker(int64_t frames, Duration per_fault_stall, NetworkLink* link, SimClock* clock,
+               TraceRecorder* trace)
+      : resident_(frames), per_fault_stall_(per_fault_stall), link_(link), clock_(clock),
+        trace_(trace) {}
 
   void OnGuestWrite(Pfn pfn) override {
     if (resident_.Test(pfn)) {
@@ -88,6 +112,8 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
     ++faults_;
     stall_debt_ += per_fault_stall_;
     link_->RecordPages(1);
+    trace_->Record(TraceEvent{TraceEventKind::kBurst, clock_->now(), 0, 1, 1,
+                              link_->PageWireBytes(1), 0, Duration::Zero()});
   }
 
   // Background pre-paging: makes up to `max_pages` lowest non-resident pages
@@ -103,6 +129,10 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
       ++cursor_;
     }
     link_->RecordPages(fetched);
+    if (fetched > 0) {
+      trace_->Record(TraceEvent{TraceEventKind::kBurst, clock_->now(), 0, 0, fetched,
+                                link_->PageWireBytes(fetched), 0, Duration::Zero()});
+    }
     return fetched;
   }
 
@@ -120,6 +150,8 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
   int64_t resident_count_ = 0;
   Duration per_fault_stall_;
   NetworkLink* link_;
+  SimClock* clock_;
+  TraceRecorder* trace_;
   int64_t faults_ = 0;
   Duration stall_debt_ = Duration::Zero();
   Pfn cursor_ = 0;
@@ -139,26 +171,36 @@ PostcopyResult PostcopyEngine::Migrate() {
   common.vm_bytes = memory.bytes();
   common.started_at = clock.now();
   link_.ResetMeters();
+  trace_.set_enabled(config_.base.record_trace);
+  trace_.Clear();
+  trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0,
+                           memory.frame_count(), 0, 0, Duration::Zero()});
 
   // Stop-and-transfer of vCPU/device state only (a few MiB), then resume at
   // the destination immediately.
   guest_->PauseVm();
   common.paused_at = clock.now();
+  trace_.Record(
+      TraceEvent{TraceEventKind::kPause, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   constexpr int64_t kDeviceStateBytes = 4 * kMiB;
   link_.RecordControlBytes(kDeviceStateBytes);
+  trace_.Record(TraceEvent{TraceEventKind::kControlBytes, clock.now(), 0, 0, 0,
+                           kDeviceStateBytes, 0, Duration::Zero()});
   clock.Advance(link_.TransferTime(kDeviceStateBytes));
   common.downtime.last_iter_transfer = clock.now() - common.paused_at;
   clock.Advance(config_.base.resumption_time);
   common.downtime.resumption = config_.base.resumption_time;
   guest_->ResumeVm();
   common.resumed_at = clock.now();
+  trace_.Record(
+      TraceEvent{TraceEventKind::kResume, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
 
   // Degradation window: the guest executes while pages stream in; writes to
   // non-resident pages fault and stall the guest. A fault's stall is applied
   // at the next quantum boundary (the guest "loses" that execution time).
   const Duration per_fault_stall = config_.base.link.latency * int64_t{2} +
                                    link_.PageTransferTime(1) + config_.extra_fault_latency;
-  FaultTracker tracker(memory.frame_count(), per_fault_stall, &link_);
+  FaultTracker tracker(memory.frame_count(), per_fault_stall, &link_, &clock, &trace_);
   memory.AttachWriteObserver(&tracker);
   while (!tracker.AllResident()) {
     const Duration stall = tracker.TakeStallDebt();
@@ -193,6 +235,12 @@ PostcopyResult PostcopyEngine::Migrate() {
   // construction (the destination is authoritative after the flip).
   common.verification.ok = true;
   common.verification.pages_checked = memory.frame_count();
+  trace_.Record(
+      TraceEvent{TraceEventKind::kComplete, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
+  if (config_.base.record_trace && config_.base.audit_trace) {
+    common.trace_audit = TraceAuditor::Audit(AuditMode::kPostcopy, trace_, common,
+                                             link_.total_wire_bytes(), link_.total_pages_sent());
+  }
   return result;
 }
 

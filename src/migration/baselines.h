@@ -19,6 +19,7 @@
 #include "src/migration/destination.h"
 #include "src/migration/stats.h"
 #include "src/net/link.h"
+#include "src/trace/trace.h"
 
 namespace javmm {
 
@@ -37,10 +38,14 @@ class StopAndCopyEngine {
 
   MigrationResult Migrate();
 
+  // Structured trace of the most recent Migrate().
+  const TraceRecorder& trace() const { return trace_; }
+
  private:
   GuestKernel* guest_;
   MigrationConfig config_;
   NetworkLink link_;
+  TraceRecorder trace_;
 };
 
 class PostcopyEngine {
@@ -60,12 +65,16 @@ class PostcopyEngine {
   // resident, serving demand faults as the guest touches non-resident pages.
   PostcopyResult Migrate();
 
+  // Structured trace of the most recent Migrate().
+  const TraceRecorder& trace() const { return trace_; }
+
  private:
   class FaultTracker;
 
   GuestKernel* guest_;
   Config config_;
   NetworkLink link_;
+  TraceRecorder trace_;
 };
 
 }  // namespace javmm

@@ -37,6 +37,17 @@ struct MigrationConfig {
 
   LinkConfig link;
 
+  // Structured trace recording (src/trace/): every burst, control round
+  // trip, protocol message and phase transition is appended to the engine's
+  // TraceRecorder. Cheap (one vector push per burst), so on by default.
+  bool record_trace = true;
+
+  // Run the TraceAuditor at the end of every Migrate() and store its report
+  // in MigrationResult::trace_audit. Requires record_trace; the accounting
+  // identities it checks are exact, so tests and benches treat a failed
+  // audit as a bug in the engine's metering.
+  bool audit_trace = true;
+
   // Fault injection: abort the migration after this many live iterations
   // (e.g. the destination died or the operator cancelled). The source VM
   // keeps running; the LKM is told to reset. Negative = disabled.

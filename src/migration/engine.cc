@@ -3,10 +3,12 @@
 #include "src/migration/engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/base/macros.h"
 #include "src/guest/lkm.h"
 #include "src/mem/dirty_log.h"
+#include "src/trace/auditor.h"
 
 namespace javmm {
 
@@ -68,7 +70,10 @@ void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationRe
   Duration wire_time = Duration::Zero();
   if (burst->pages > 0) {
     wire_time = link_.TransferTime(burst->wire_bytes);
-    link_.RecordControlBytes(burst->wire_bytes);
+    // Page traffic advances both link meters. Compression and delta bursts
+    // are smaller than PageWireBytes would predict, so record the actual
+    // wire size rather than deriving it from the page count.
+    link_.RecordPageBytes(burst->pages, burst->wire_bytes);
     rec->wire_bytes += burst->wire_bytes;
     rec->pages_sent += burst->pages;
     result->cpu_time += burst->send_cpu;
@@ -83,6 +88,11 @@ void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationRe
   if (!advance.IsZero()) {
     guest_->clock().Advance(advance);
   }
+  if (burst->pages > 0 || burst->scanned > 0) {
+    trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0,
+                             burst->pages, burst->wire_bytes, burst->scanned,
+                             burst->send_cpu + scan_time});
+  }
   *burst = Burst{};
 }
 
@@ -94,10 +104,14 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
   IterationRecord rec;
   rec.index = index;
   const TimePoint iter_start = guest_->clock().now();
+  trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, iter_start, index, 0, 0, 0, 0,
+                           Duration::Zero()});
 
   // Per-iteration control round trip (request dirty bitmap, sync with the
   // receiver); keeps even all-skip iterations from taking zero time.
   link_.RecordControlBytes(512);
+  trace_.Record(
+      TraceEvent{TraceEventKind::kControlBytes, iter_start, index, 0, 0, 512, 0, Duration::Zero()});
   guest_->clock().Advance(config_.link.latency * int64_t{2});
 
   size_t i = 0;
@@ -125,6 +139,8 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
     FlushBurst(&burst, &rec, result);
   }
   rec.duration = guest_->clock().now() - iter_start;
+  trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, guest_->clock().now(), index, 0,
+                           rec.pages_sent, rec.wire_bytes, rec.pages_scanned, Duration::Zero()});
   return rec;
 }
 
@@ -138,6 +154,10 @@ MigrationResult MigrationEngine::Migrate() {
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
   link_.ResetMeters();
+  trace_.set_enabled(config_.record_trace);
+  trace_.Clear();
+  trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
+                           Duration::Zero()});
 
   DirtyLog log(frames);
   memory.AttachDirtyLog(&log);
@@ -148,15 +168,34 @@ MigrationResult MigrationEngine::Migrate() {
   Lkm* lkm = guest_->lkm();
   const PageBitmap* transfer_bitmap = nullptr;
   const bool assisted = config_.application_assisted && lkm != nullptr;
+  // The daemon handler captures `this`; the scoped binding guarantees the
+  // unbind on every exit path (complete, abort, fallback) so no dangling
+  // callback survives the engine and no stale suspension-ready notification
+  // leaks into a later back-to-back migration.
+  std::optional<ScopedDaemonBinding> daemon_binding;
+  struct LkmTraceGuard {
+    Lkm* lkm = nullptr;
+    ~LkmTraceGuard() {
+      if (lkm != nullptr) {
+        lkm->set_trace(nullptr);
+      }
+    }
+  } lkm_trace_guard;
   if (assisted) {
     suspension_ready_ = false;
-    guest_->event_channel().BindDaemonHandler([this](LkmToDaemon msg) {
+    daemon_binding.emplace(&guest_->event_channel(), [this](LkmToDaemon msg) {
+      trace_.Record(TraceEvent{TraceEventKind::kLkmToDaemon, guest_->clock().now(), 0,
+                               static_cast<int32_t>(msg), 0, 0, 0, Duration::Zero()});
       if (msg == LkmToDaemon::kSuspensionReady) {
         suspension_ready_ = true;
       }
     });
+    if (config_.record_trace) {
+      lkm->set_trace(&trace_);
+      lkm_trace_guard.lkm = lkm;
+    }
     // "Migration begins; notify LKM" -- triggers the first bitmap update.
-    guest_->event_channel().NotifyGuest(DaemonToLkm::kMigrationStarted);
+    NotifyLkm(DaemonToLkm::kMigrationStarted);
     transfer_bitmap = &lkm->transfer_bitmap();
     hint_source_ = lkm;  // Per-page compression hints (§6).
   } else {
@@ -188,13 +227,24 @@ MigrationResult MigrationEngine::Migrate() {
     // are released and continue at the source.
     if (config_.abort_after_iterations >= 0 && iter >= config_.abort_after_iterations) {
       if (assisted) {
-        guest_->event_channel().NotifyGuest(DaemonToLkm::kMigrationAborted);
+        NotifyLkm(DaemonToLkm::kMigrationAborted);
       }
       memory.DetachDirtyLog(&log);
       result.total_time = clock.now() - result.started_at;
+      // The VM never paused: report an empty pause window at the abort
+      // instant (rather than epoch-default timestamps) so downtime
+      // arithmetic over the result stays well-defined.
+      result.paused_at = clock.now();
+      result.resumed_at = clock.now();
+      result.downtime = DowntimeBreakdown{};
+      result.last_iter_pages_sent = 0;
+      result.last_iter_pages_skipped_bitmap = 0;
       result.pages_sent = total_sent;
       result.total_wire_bytes = link_.total_wire_bytes();
       result.completed = false;
+      TracePhase(TraceEventKind::kAbort);
+      hint_source_ = nullptr;
+      RunAudit(&result);
       return result;
     }
 
@@ -214,7 +264,7 @@ MigrationResult MigrationEngine::Migrate() {
   // ---- Entering the last iteration. ----
   bool fallback = false;
   if (assisted) {
-    guest_->event_channel().NotifyGuest(DaemonToLkm::kEnteringLastIter);
+    NotifyLkm(DaemonToLkm::kEnteringLastIter);
     const TimePoint deadline = clock.now() + config_.lkm_response_timeout;
     const TimePoint wait_start = clock.now();
     while (!suspension_ready_ && clock.now() < deadline) {
@@ -230,6 +280,11 @@ MigrationResult MigrationEngine::Migrate() {
       fallback = true;
       result.fell_back_unassisted = true;
       transfer_bitmap = nullptr;
+      // The guest's per-page compression hints are as stale as its bitmap:
+      // drop them so stop-and-copy pays trial compression instead of
+      // trusting classes from a guest just declared unresponsive.
+      hint_source_ = nullptr;
+      TracePhase(TraceEventKind::kFallback);
     }
     (void)wait_start;
   }
@@ -237,6 +292,7 @@ MigrationResult MigrationEngine::Migrate() {
   // ---- Stop-and-copy. ----
   guest_->PauseVm();
   result.paused_at = clock.now();
+  TracePhase(TraceEventKind::kPause);
   {
     // Merge everything still dirty (including pages dirtied by the enforced
     // GC's copying) with the carried-over pending set.
@@ -271,6 +327,8 @@ MigrationResult MigrationEngine::Migrate() {
     IterationRecord rec;
     rec.index = iter + 1;
     const TimePoint last_start = clock.now();
+    trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, last_start, rec.index, 0, 0, 0, 0,
+                             Duration::Zero()});
     Burst burst;
     for (Pfn pfn : last_pending) {
       ++rec.pages_scanned;
@@ -289,6 +347,9 @@ MigrationResult MigrationEngine::Migrate() {
     }
     FlushBurst(&burst, &rec, &result);
     rec.duration = clock.now() - last_start;
+    trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
+                             rec.pages_sent, rec.wire_bytes, rec.pages_scanned,
+                             Duration::Zero()});
     result.downtime.last_iter_transfer = rec.duration;
     result.last_iter_pages_sent = rec.pages_sent;
     result.pages_skipped_bitmap += rec.pages_skipped_bitmap;
@@ -313,8 +374,9 @@ MigrationResult MigrationEngine::Migrate() {
   result.downtime.resumption = config_.resumption_time;
   guest_->ResumeVm();
   result.resumed_at = clock.now();
+  TracePhase(TraceEventKind::kResume);
   if (assisted) {
-    guest_->event_channel().NotifyGuest(DaemonToLkm::kVmResumed);
+    NotifyLkm(DaemonToLkm::kVmResumed);
   }
 
   memory.DetachDirtyLog(&log);
@@ -323,9 +385,31 @@ MigrationResult MigrationEngine::Migrate() {
   result.pages_sent = total_sent;
   result.total_wire_bytes = link_.total_wire_bytes();
   result.completed = true;
+  TracePhase(TraceEventKind::kComplete);
   result.verification =
       Verify(dest, pause_versions, allocated_at_pause, &skip_allowed, pause_time);
+  hint_source_ = nullptr;
+  RunAudit(&result);
   return result;
+}
+
+void MigrationEngine::TracePhase(TraceEventKind kind) {
+  trace_.Record(
+      TraceEvent{kind, guest_->clock().now(), 0, 0, 0, 0, 0, Duration::Zero()});
+}
+
+void MigrationEngine::NotifyLkm(DaemonToLkm msg) {
+  trace_.Record(TraceEvent{TraceEventKind::kDaemonToLkm, guest_->clock().now(), 0,
+                           static_cast<int32_t>(msg), 0, 0, 0, Duration::Zero()});
+  guest_->event_channel().NotifyGuest(msg);
+}
+
+void MigrationEngine::RunAudit(MigrationResult* result) {
+  if (!config_.record_trace || !config_.audit_trace) {
+    return;
+  }
+  result->trace_audit = TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result,
+                                            link_.total_wire_bytes(), link_.total_pages_sent());
 }
 
 VerificationReport MigrationEngine::Verify(const DestinationVm& dest,

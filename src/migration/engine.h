@@ -19,6 +19,7 @@
 #include "src/migration/destination.h"
 #include "src/migration/stats.h"
 #include "src/net/link.h"
+#include "src/trace/trace.h"
 
 namespace javmm {
 
@@ -36,6 +37,10 @@ class MigrationEngine {
   // returns the full result including the verification report. May be called
   // repeatedly (e.g. migrate the VM back and forth).
   MigrationResult Migrate();
+
+  // Structured trace of the most recent Migrate() (empty when
+  // config.record_trace is false). Valid until the next Migrate().
+  const TraceRecorder& trace() const { return trace_; }
 
  private:
   // Accumulates one send burst before the clock advances.
@@ -64,9 +69,17 @@ class MigrationEngine {
                             const std::vector<bool>& allocated_at_pause,
                             const PageBitmap* skip_allowed, TimePoint pause_time) const;
 
+  // Records a phase-transition event (pause, resume, fallback, ...).
+  void TracePhase(TraceEventKind kind);
+  // Records a daemon->LKM notification and delivers it.
+  void NotifyLkm(DaemonToLkm msg);
+  // Runs the TraceAuditor over the finished run when configured.
+  void RunAudit(MigrationResult* result);
+
   GuestKernel* guest_;
   MigrationConfig config_;
   NetworkLink link_;
+  TraceRecorder trace_;
   std::vector<const RequiredPfnSource*> required_sources_;
   bool suspension_ready_ = false;
   // Set during an assisted migration: per-page compression hints (§6).

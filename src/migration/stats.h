@@ -54,6 +54,28 @@ struct DowntimeBreakdown {
   }
 };
 
+// Outcome of the post-run trace audit (src/trace/auditor.h): accounting
+// identities and protocol-state-machine checks over the structured trace.
+// `ran` is false when trace recording or auditing was disabled. Defined here
+// (not in src/trace/) so MigrationResult can carry it without a dependency
+// cycle between the trace and migration layers.
+struct TraceAuditReport {
+  bool ran = false;
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  std::string ToString() const {
+    std::string out;
+    for (const std::string& v : violations) {
+      if (!out.empty()) {
+        out += "; ";
+      }
+      out += v;
+    }
+    return out.empty() ? "ok" : out;
+  }
+};
+
 // Outcome of the post-migration correctness audit (DESIGN.md §5).
 struct VerificationReport {
   bool ok = false;
@@ -102,6 +124,7 @@ struct MigrationResult {
   int64_t lkm_pfn_cache_bytes = 0;
 
   VerificationReport verification;
+  TraceAuditReport trace_audit;
 
   int iteration_count() const { return static_cast<int>(iterations.size()); }
 };

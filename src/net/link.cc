@@ -38,6 +38,11 @@ void NetworkLink::RecordPages(int64_t page_count) {
   total_wire_bytes_ += PageWireBytes(page_count);
 }
 
+void NetworkLink::RecordPageBytes(int64_t page_count, int64_t wire_bytes) {
+  total_pages_sent_ += page_count;
+  total_wire_bytes_ += wire_bytes;
+}
+
 void NetworkLink::RecordControlBytes(int64_t bytes) { total_wire_bytes_ += bytes; }
 
 void NetworkLink::ResetMeters() {

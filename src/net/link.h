@@ -51,6 +51,9 @@ class NetworkLink {
 
   // Metering: the engines record what they put on the wire.
   void RecordPages(int64_t page_count);
+  // Page traffic whose wire size differs from PageWireBytes (compression,
+  // delta retransmission): advances both the page and the byte meter.
+  void RecordPageBytes(int64_t page_count, int64_t wire_bytes);
   void RecordControlBytes(int64_t bytes);
 
   int64_t total_wire_bytes() const { return total_wire_bytes_; }

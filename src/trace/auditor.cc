@@ -1,0 +1,374 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/trace/auditor.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace javmm {
+
+namespace {
+
+// Numeric values of the protocol enums, mirrored here so the trace layer
+// does not depend on src/guest/ headers. Kept in sync with
+// src/guest/messages.h (DaemonToLkm, LkmToDaemon) and src/guest/lkm.h
+// (Lkm::State).
+constexpr int32_t kMsgMigrationStarted = 0;
+constexpr int32_t kMsgEnteringLastIter = 1;
+constexpr int32_t kMsgVmResumed = 2;
+constexpr int32_t kMsgMigrationAborted = 3;
+constexpr int32_t kMsgSuspensionReady = 0;  // LkmToDaemon.
+
+constexpr int32_t kStateInitialized = 0;
+constexpr int32_t kStateMigrationStarted = 1;
+constexpr int32_t kStateEnteringLastIter = 2;
+constexpr int32_t kStateSuspensionReady = 3;
+
+struct Span {
+  int32_t index = 0;
+  TimePoint begin;
+  TimePoint end;
+  bool closed = false;
+  int64_t pages = 0;
+  int64_t wire_bytes = 0;
+  int64_t scanned = 0;
+};
+
+struct BurstSums {
+  int64_t pages = 0;
+  int64_t wire_bytes = 0;
+  int64_t scanned = 0;
+};
+
+struct Message {
+  bool to_lkm = false;  // true: daemon -> LKM; false: LKM -> daemon.
+  int32_t detail = 0;
+};
+
+std::string N(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
+                                     const MigrationResult& result, int64_t link_wire_bytes,
+                                     int64_t link_pages_sent) {
+  TraceAuditReport report;
+  report.ran = true;
+  auto fail = [&report](std::string msg) {
+    report.ok = false;
+    report.violations.push_back(std::move(msg));
+  };
+
+  // ---- Pass 1: fold the event stream. ----
+  std::vector<Span> spans;
+  std::map<int32_t, BurstSums> bursts_by_iter;
+  BurstSums burst_total;
+  int64_t control_wire = 0;
+  std::vector<Message> messages;
+  std::vector<int32_t> lkm_states;
+  std::optional<TimePoint> pause_at;
+  std::optional<TimePoint> resume_at;
+  std::optional<size_t> fallback_pos;  // Index into `messages` at fallback time.
+  int64_t pauses = 0;
+  int64_t resumes = 0;
+  int64_t aborts = 0;
+  int64_t completes = 0;
+
+  for (const TraceEvent& event : trace.events()) {
+    switch (event.kind) {
+      case TraceEventKind::kMigrationStart:
+        break;
+      case TraceEventKind::kIterationBegin:
+        if (!spans.empty() && !spans.back().closed) {
+          fail("iteration " + N(event.iteration) + " began before iteration " +
+               N(spans.back().index) + " ended");
+        }
+        spans.push_back(Span{event.iteration, event.at, event.at, false, 0, 0, 0});
+        break;
+      case TraceEventKind::kIterationEnd:
+        if (spans.empty() || spans.back().closed || spans.back().index != event.iteration) {
+          fail("iteration_end " + N(event.iteration) + " without a matching begin");
+          break;
+        }
+        spans.back().closed = true;
+        spans.back().end = event.at;
+        spans.back().pages = event.pages;
+        spans.back().wire_bytes = event.wire_bytes;
+        spans.back().scanned = event.scanned;
+        break;
+      case TraceEventKind::kBurst: {
+        BurstSums& sums = bursts_by_iter[event.iteration];
+        sums.pages += event.pages;
+        sums.wire_bytes += event.wire_bytes;
+        sums.scanned += event.scanned;
+        burst_total.pages += event.pages;
+        burst_total.wire_bytes += event.wire_bytes;
+        burst_total.scanned += event.scanned;
+        break;
+      }
+      case TraceEventKind::kControlBytes:
+        control_wire += event.wire_bytes;
+        break;
+      case TraceEventKind::kDaemonToLkm:
+        messages.push_back(Message{true, event.detail});
+        break;
+      case TraceEventKind::kLkmToDaemon:
+        messages.push_back(Message{false, event.detail});
+        break;
+      case TraceEventKind::kLkmState:
+        lkm_states.push_back(event.detail);
+        break;
+      case TraceEventKind::kProtocolViolation:
+        break;  // Informational; the LKM tolerates and counts these.
+      case TraceEventKind::kPause:
+        ++pauses;
+        pause_at = event.at;
+        break;
+      case TraceEventKind::kResume:
+        ++resumes;
+        resume_at = event.at;
+        break;
+      case TraceEventKind::kFallback:
+        fallback_pos = messages.size();
+        break;
+      case TraceEventKind::kAbort:
+        ++aborts;
+        break;
+      case TraceEventKind::kComplete:
+        ++completes;
+        break;
+    }
+  }
+
+  // ---- Accounting identities (all modes). ----
+  if (burst_total.pages != link_pages_sent) {
+    fail("sum of burst pages (" + N(burst_total.pages) + ") != link page meter (" +
+         N(link_pages_sent) + ")");
+  }
+  if (burst_total.pages != result.pages_sent) {
+    fail("sum of burst pages (" + N(burst_total.pages) + ") != result.pages_sent (" +
+         N(result.pages_sent) + ")");
+  }
+  if (burst_total.wire_bytes + control_wire != link_wire_bytes) {
+    fail("burst wire (" + N(burst_total.wire_bytes) + ") + control wire (" + N(control_wire) +
+         ") != link wire meter (" + N(link_wire_bytes) + ")");
+  }
+  if (link_wire_bytes != result.total_wire_bytes) {
+    fail("link wire meter (" + N(link_wire_bytes) + ") != result.total_wire_bytes (" +
+         N(result.total_wire_bytes) + ")");
+  }
+  if (mode == AuditMode::kPrecopy &&
+      result.pages_sent !=
+          result.pages_sent_raw + result.pages_compressed + result.pages_sent_delta) {
+    fail("pages_sent (" + N(result.pages_sent) + ") != raw (" + N(result.pages_sent_raw) +
+         ") + compressed (" + N(result.pages_compressed) + ") + delta (" +
+         N(result.pages_sent_delta) + ")");
+  }
+
+  // ---- Iteration spans vs. IterationRecords (modes with iterations). ----
+  if (mode != AuditMode::kPostcopy) {
+    if (spans.size() != result.iterations.size()) {
+      fail("trace has " + N(static_cast<int64_t>(spans.size())) + " iteration spans, result has " +
+           N(static_cast<int64_t>(result.iterations.size())) + " records");
+    } else {
+      int64_t sum_pages = 0;
+      for (size_t i = 0; i < spans.size(); ++i) {
+        const Span& span = spans[i];
+        const IterationRecord& rec = result.iterations[i];
+        const std::string tag = "iteration " + N(rec.index) + ": ";
+        if (!span.closed) {
+          fail(tag + "span never ended");
+          continue;
+        }
+        if (span.index != rec.index) {
+          fail(tag + "span index " + N(span.index) + " out of order");
+        }
+        if ((span.end - span.begin).nanos() != rec.duration.nanos()) {
+          fail(tag + "span duration " + N((span.end - span.begin).nanos()) +
+               "ns != record duration " + N(rec.duration.nanos()) + "ns");
+        }
+        if (span.pages != rec.pages_sent || span.wire_bytes != rec.wire_bytes ||
+            span.scanned != rec.pages_scanned) {
+          fail(tag + "span totals do not match the iteration record");
+        }
+        const BurstSums sums = bursts_by_iter.count(span.index) ? bursts_by_iter[span.index]
+                                                                : BurstSums{};
+        if (sums.pages != rec.pages_sent) {
+          fail(tag + "burst pages (" + N(sums.pages) + ") != record pages_sent (" +
+               N(rec.pages_sent) + ")");
+        }
+        if (sums.wire_bytes != rec.wire_bytes) {
+          fail(tag + "burst wire (" + N(sums.wire_bytes) + ") != record wire_bytes (" +
+               N(rec.wire_bytes) + ")");
+        }
+        if (sums.scanned != rec.pages_scanned) {
+          fail(tag + "burst scanned (" + N(sums.scanned) + ") != record pages_scanned (" +
+               N(rec.pages_scanned) + ")");
+        }
+        if (i > 0 && spans[i - 1].closed && span.begin < spans[i - 1].end) {
+          fail(tag + "span overlaps the previous iteration");
+        }
+        sum_pages += rec.pages_sent;
+      }
+      if (sum_pages != result.pages_sent) {
+        fail("sum of iteration pages_sent (" + N(sum_pages) + ") != result.pages_sent (" +
+             N(result.pages_sent) + ")");
+      }
+      if (!spans.empty() && spans.front().begin != result.started_at) {
+        fail("first iteration does not start at started_at");
+      }
+    }
+  }
+
+  // ---- Phase timing. ----
+  if (result.completed) {
+    if (pauses != 1 || resumes != 1 || completes != 1 || aborts != 0) {
+      fail("completed run must trace exactly one pause/resume/complete and no abort");
+    }
+    if (pause_at && pause_at->nanos() != result.paused_at.nanos()) {
+      fail("pause event at " + N(pause_at->nanos()) + "ns != result.paused_at (" +
+           N(result.paused_at.nanos()) + "ns)");
+    }
+    if (resume_at && resume_at->nanos() != result.resumed_at.nanos()) {
+      fail("resume event at " + N(resume_at->nanos()) + "ns != result.resumed_at (" +
+           N(result.resumed_at.nanos()) + "ns)");
+    }
+    // Downtime components must exactly cover the pause window. (The enforced
+    // GC and final bitmap update happen while the VM still runs; the lab
+    // layer adds them to the breakdown after the fact.)
+    const Duration window = result.resumed_at - result.paused_at;
+    const Duration parts = result.downtime.last_iter_transfer + result.downtime.resumption;
+    if (window.nanos() != parts.nanos()) {
+      fail("downtime window " + N(window.nanos()) + "ns != last_iter_transfer + resumption (" +
+           N(parts.nanos()) + "ns)");
+    }
+    if (mode != AuditMode::kPostcopy) {
+      if ((result.resumed_at - result.started_at).nanos() != result.total_time.nanos()) {
+        fail("total_time != resumed_at - started_at");
+      }
+      // The last iteration is the stop-and-copy transfer: it starts at the
+      // pause and its duration is the last_iter_transfer downtime component.
+      if (!spans.empty() && spans.back().closed) {
+        if (spans.back().begin != result.paused_at) {
+          fail("final iteration does not start at paused_at");
+        }
+        if ((spans.back().end - spans.back().begin).nanos() !=
+            result.downtime.last_iter_transfer.nanos()) {
+          fail("final iteration span != downtime.last_iter_transfer");
+        }
+      }
+      // Iteration spans partition started_at -> resumed_at: span durations,
+      // inter-span gaps (zero except the pre-pause assist window) and the
+      // resumption must add up exactly.
+      if (spans.size() == result.iterations.size() && !spans.empty()) {
+        int64_t covered = 0;
+        for (size_t i = 0; i < spans.size(); ++i) {
+          covered += (spans[i].end - spans[i].begin).nanos();
+          if (i > 0) {
+            const int64_t gap = (spans[i].begin - spans[i - 1].end).nanos();
+            covered += gap;
+            // Live iterations are back to back; only the transition into the
+            // final iteration may wait (suspension poll + final update).
+            if (gap != 0 && (i + 1 != spans.size() || !result.assisted)) {
+              fail("unexpected " + N(gap) + "ns gap before iteration " + N(spans[i].index));
+            }
+          }
+        }
+        covered += result.downtime.resumption.nanos();
+        if (covered != result.total_time.nanos()) {
+          fail("iteration spans + gaps + resumption (" + N(covered) +
+               "ns) do not partition total_time (" + N(result.total_time.nanos()) + "ns)");
+        }
+      }
+    }
+  } else {
+    if (aborts != 1 || pauses != 0 || resumes != 0 || completes != 0) {
+      fail("aborted run must trace exactly one abort and no pause/resume/complete");
+    }
+    if (!result.downtime.Total().IsZero()) {
+      fail("aborted run reports non-zero downtime");
+    }
+    if (result.paused_at != result.resumed_at) {
+      fail("aborted run must report an empty pause window");
+    }
+    if (mode == AuditMode::kPrecopy && spans.size() == result.iterations.size()) {
+      int64_t covered = 0;
+      for (const Span& span : spans) {
+        covered += (span.end - span.begin).nanos();
+      }
+      if (covered != result.total_time.nanos()) {
+        fail("aborted run: iteration spans (" + N(covered) + "ns) != total_time (" +
+             N(result.total_time.nanos()) + "ns)");
+      }
+    }
+  }
+  if (result.fell_back_unassisted != fallback_pos.has_value()) {
+    fail(result.fell_back_unassisted ? "fallback result without a fallback trace event"
+                                     : "fallback trace event without a fallback result");
+  }
+
+  // ---- Protocol state machine (Figures 4 and 7). ----
+  if (mode == AuditMode::kPrecopy) {
+    if (!result.assisted) {
+      if (!messages.empty() || !lkm_states.empty()) {
+        fail("unassisted run traced daemon<->LKM protocol traffic");
+      }
+    } else {
+      // Expected daemon<->LKM message sequence.
+      std::vector<Message> expected;
+      expected.push_back(Message{true, kMsgMigrationStarted});
+      if (!result.completed) {
+        expected.push_back(Message{true, kMsgMigrationAborted});
+      } else {
+        expected.push_back(Message{true, kMsgEnteringLastIter});
+        if (!result.fell_back_unassisted) {
+          expected.push_back(Message{false, kMsgSuspensionReady});
+        } else if (messages.size() == 4) {
+          // Fallback tolerates one late suspension-ready: a straggler timer
+          // that fires after the daemon already gave up on the guest.
+          expected.push_back(Message{false, kMsgSuspensionReady});
+        }
+        expected.push_back(Message{true, kMsgVmResumed});
+      }
+      bool match = messages.size() == expected.size();
+      for (size_t i = 0; match && i < messages.size(); ++i) {
+        match = messages[i].to_lkm == expected[i].to_lkm &&
+                messages[i].detail == expected[i].detail;
+      }
+      if (!match) {
+        fail("daemon<->LKM message sequence does not follow the Figure-4/7 workflow (" +
+             N(static_cast<int64_t>(messages.size())) + " messages)");
+      }
+      if (result.fell_back_unassisted && fallback_pos.has_value() && *fallback_pos < 2) {
+        fail("fallback before the entering-last-iter notification");
+      }
+      // LKM state transitions (present when the trace is attached to an LKM)
+      // must follow the Figure-4 edges, starting from INITIALIZED.
+      int32_t prev = kStateInitialized;
+      for (int32_t state : lkm_states) {
+        const bool allowed =
+            (prev == kStateInitialized && state == kStateMigrationStarted) ||
+            (prev == kStateMigrationStarted && state == kStateEnteringLastIter) ||
+            (prev == kStateEnteringLastIter && state == kStateSuspensionReady) ||
+            (prev == kStateSuspensionReady && state == kStateInitialized) ||
+            (prev == kStateEnteringLastIter && state == kStateInitialized) ||
+            (prev == kStateMigrationStarted && state == kStateInitialized);
+        if (!allowed) {
+          fail("illegal LKM state transition " + N(prev) + " -> " + N(state));
+        }
+        prev = state;
+      }
+      if (!lkm_states.empty() && prev != kStateInitialized) {
+        fail("LKM did not return to INITIALIZED by the end of the migration");
+      }
+    }
+  } else if (!messages.empty() || !lkm_states.empty()) {
+    fail("baseline engine traced daemon<->LKM protocol traffic");
+  }
+
+  return report;
+}
+
+}  // namespace javmm

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Post-run invariant audit over a migration trace.
+//
+// The paper's headline results (Figures 8-11) are pure accounting over the
+// pre-copy race, so a metering bug silently corrupts every reproduced figure.
+// The auditor re-derives the aggregates from the event-level trace and checks
+// them against MigrationResult and the NetworkLink meters:
+//
+//   * accounting identities -- sum of burst wire bytes (+ control traffic)
+//     == link wire meter == result.total_wire_bytes; sum of burst pages ==
+//     link page meter == result.pages_sent; per-iteration burst sums match
+//     each IterationRecord; pages_sent == raw + compressed + delta.
+//   * timing partition -- iteration spans are ordered and contiguous where
+//     the engine performs no out-of-iteration clock advance, the last
+//     iteration starts at paused_at, and last_iter_transfer + resumption
+//     exactly cover the paused_at -> resumed_at downtime window.
+//   * protocol state machine -- daemon<->LKM messages and LKM state
+//     transitions follow the Figure-4/7 workflow (including the fallback and
+//     abort variants).
+//
+// Engines run the audit automatically at the end of Migrate() when
+// MigrationConfig::audit_trace is set (the default) and store the report in
+// MigrationResult::trace_audit.
+
+#ifndef JAVMM_SRC_TRACE_AUDITOR_H_
+#define JAVMM_SRC_TRACE_AUDITOR_H_
+
+#include <cstdint>
+
+#include "src/migration/stats.h"
+#include "src/trace/trace.h"
+
+namespace javmm {
+
+// Which engine produced the trace; selects the applicable invariants.
+enum class AuditMode {
+  kPrecopy,      // MigrationEngine (vanilla Xen or JAVMM).
+  kStopAndCopy,  // StopAndCopyEngine: one pause-time iteration.
+  kPostcopy,     // PostcopyEngine: no iterations; bursts are faults/prepaging.
+};
+
+class TraceAuditor {
+ public:
+  // Checks every applicable invariant; each failure appends one violation.
+  // `link_wire_bytes` / `link_pages_sent` are the NetworkLink meters after
+  // the run (the engines reset them at migration start).
+  static TraceAuditReport Audit(AuditMode mode, const TraceRecorder& trace,
+                                const MigrationResult& result, int64_t link_wire_bytes,
+                                int64_t link_pages_sent);
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_TRACE_AUDITOR_H_

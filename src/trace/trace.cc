@@ -1,0 +1,131 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace javmm {
+
+namespace {
+
+// Names for the `detail` field of message/state events. Indexed by the
+// numeric enum value; kept in sync with DaemonToLkm / LkmToDaemon
+// (src/guest/messages.h) and Lkm::State (src/guest/lkm.h).
+const char* const kDaemonToLkmNames[] = {"migration_started", "entering_last_iter",
+                                         "vm_resumed", "migration_aborted"};
+const char* const kLkmToDaemonNames[] = {"suspension_ready"};
+const char* const kLkmStateNames[] = {"initialized", "migration_started",
+                                      "entering_last_iter", "suspension_ready"};
+
+const char* NameOrUnknown(const char* const* table, size_t size, int32_t value) {
+  if (value >= 0 && static_cast<size_t>(value) < size) {
+    return table[static_cast<size_t>(value)];
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const char* TraceRecorder::KindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kMigrationStart:
+      return "migration_start";
+    case TraceEventKind::kIterationBegin:
+      return "iteration_begin";
+    case TraceEventKind::kIterationEnd:
+      return "iteration_end";
+    case TraceEventKind::kBurst:
+      return "burst";
+    case TraceEventKind::kControlBytes:
+      return "control_bytes";
+    case TraceEventKind::kDaemonToLkm:
+      return "daemon_to_lkm";
+    case TraceEventKind::kLkmToDaemon:
+      return "lkm_to_daemon";
+    case TraceEventKind::kLkmState:
+      return "lkm_state";
+    case TraceEventKind::kProtocolViolation:
+      return "protocol_violation";
+    case TraceEventKind::kPause:
+      return "pause";
+    case TraceEventKind::kResume:
+      return "resume";
+    case TraceEventKind::kFallback:
+      return "fallback";
+    case TraceEventKind::kAbort:
+      return "abort";
+    case TraceEventKind::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+int64_t TraceRecorder::CountOf(TraceEventKind kind) const {
+  int64_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceRecorder::ExportJsonLines(std::ostream& os) const {
+  char buffer[256];
+  for (const TraceEvent& event : events_) {
+    std::snprintf(buffer, sizeof(buffer), "{\"event\":\"%s\",\"t_ns\":%" PRId64,
+                  KindName(event.kind), event.at.nanos());
+    os << buffer;
+    switch (event.kind) {
+      case TraceEventKind::kMigrationStart:
+        std::snprintf(buffer, sizeof(buffer), ",\"frames\":%" PRId64, event.pages);
+        os << buffer;
+        break;
+      case TraceEventKind::kIterationBegin:
+        std::snprintf(buffer, sizeof(buffer), ",\"iter\":%d", event.iteration);
+        os << buffer;
+        break;
+      case TraceEventKind::kIterationEnd:
+      case TraceEventKind::kBurst:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"pages\":%" PRId64 ",\"wire_bytes\":%" PRId64
+                      ",\"scanned\":%" PRId64 ",\"cpu_ns\":%" PRId64,
+                      event.iteration, event.pages, event.wire_bytes, event.scanned,
+                      event.cpu.nanos());
+        os << buffer;
+        break;
+      case TraceEventKind::kControlBytes:
+        std::snprintf(buffer, sizeof(buffer), ",\"wire_bytes\":%" PRId64, event.wire_bytes);
+        os << buffer;
+        break;
+      case TraceEventKind::kDaemonToLkm:
+        os << ",\"message\":\""
+           << NameOrUnknown(kDaemonToLkmNames, std::size(kDaemonToLkmNames), event.detail)
+           << '"';
+        break;
+      case TraceEventKind::kLkmToDaemon:
+        os << ",\"message\":\""
+           << NameOrUnknown(kLkmToDaemonNames, std::size(kLkmToDaemonNames), event.detail)
+           << '"';
+        break;
+      case TraceEventKind::kLkmState:
+        os << ",\"state\":\""
+           << NameOrUnknown(kLkmStateNames, std::size(kLkmStateNames), event.detail) << '"';
+        break;
+      case TraceEventKind::kProtocolViolation:
+        std::snprintf(buffer, sizeof(buffer), ",\"detail\":%d", event.detail);
+        os << buffer;
+        break;
+      case TraceEventKind::kPause:
+      case TraceEventKind::kResume:
+      case TraceEventKind::kFallback:
+      case TraceEventKind::kAbort:
+      case TraceEventKind::kComplete:
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace javmm

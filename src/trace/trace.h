@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Structured migration trace: a low-overhead event recorder the engines and
+// the LKM append to while a migration runs.
+//
+// The trace is the ground truth the TraceAuditor (auditor.h) checks the
+// aggregate accounting in MigrationResult against: every burst that touches
+// the wire, every control round trip, every daemon<->LKM protocol message and
+// every phase transition (pause/resume/fallback/abort) is one event. Events
+// carry simulated timestamps, so per-iteration spans and the downtime window
+// can be re-derived from the trace alone. The JSON-lines exporter makes runs
+// inspectable offline (`migrate_cli --trace-out=FILE`).
+
+#ifndef JAVMM_SRC_TRACE_TRACE_H_
+#define JAVMM_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+enum class TraceEventKind : uint8_t {
+  kMigrationStart,  // pages = VM frame count.
+  kIterationBegin,  // iteration = index.
+  kIterationEnd,    // iteration, pages (sent), wire_bytes, scanned.
+  kBurst,           // iteration, pages, wire_bytes, scanned, cpu.
+  kControlBytes,    // wire_bytes of non-page control traffic.
+  kDaemonToLkm,     // detail = DaemonToLkm enum value.
+  kLkmToDaemon,     // detail = LkmToDaemon enum value.
+  kLkmState,        // detail = Lkm::State enum value after a transition.
+  kProtocolViolation,  // detail = the offending message/state, best effort.
+  kPause,           // Stop-and-copy begins: vCPUs suspended.
+  kResume,          // VM active at the destination.
+  kFallback,        // LKM timeout: reverting to unassisted behaviour.
+  kAbort,           // Migration cancelled; guest keeps running at the source.
+  kComplete,        // Migration finished (verification may still fail).
+};
+
+// One trace event. Sparse: each kind populates the fields listed above and
+// leaves the rest zero. Kept flat (no variants) so recording is a single
+// vector push_back on the hot path.
+struct TraceEvent {
+  TraceEventKind kind;
+  TimePoint at;
+  int32_t iteration = 0;
+  int32_t detail = 0;
+  int64_t pages = 0;
+  int64_t wire_bytes = 0;
+  int64_t scanned = 0;
+  Duration cpu = Duration::Zero();
+};
+
+class TraceRecorder {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Clear() { events_.clear(); }
+
+  void Record(const TraceEvent& event) {
+    if (enabled_) {
+      events_.push_back(event);
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Number of events of `kind` currently recorded.
+  int64_t CountOf(TraceEventKind kind) const;
+
+  // Writes the trace as JSON lines, one event per line:
+  //   {"event":"burst","t_ns":1234,"iter":2,"pages":256,"wire_bytes":...}
+  void ExportJsonLines(std::ostream& os) const;
+
+  static const char* KindName(TraceEventKind kind);
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_TRACE_TRACE_H_
