@@ -15,17 +15,28 @@
 using namespace javmm;         // NOLINT
 using namespace javmm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Ablation: link-bandwidth sweep, derby workload ===\n\n");
   const double gbps[] = {1.0, 2.5, 5.0, 10.0};
 
-  Table table({"link(Gbps)", "engine", "time(s)", "traffic(GiB)", "downtime(s)", "iters",
-               "verified"});
+  ExperimentSet set(ParseBenchArgs(argc, argv));
   for (const double g : gbps) {
     for (const bool assisted : {false, true}) {
       RunOptions options;
       options.lab.migration.link.bandwidth_bps = g * 1e9;
-      const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%.1fGbps/%s", g, EngineName(assisted).c_str());
+      set.Add(label, Workloads::Get("derby"), assisted, options);
+    }
+  }
+  set.Run();
+
+  Table table({"link(Gbps)", "engine", "time(s)", "traffic(GiB)", "downtime(s)", "iters",
+               "verified"});
+  size_t i = 0;
+  for (const double g : gbps) {
+    for (const bool assisted : {false, true}) {
+      const RunOutput& out = set.out(i++);
       table.Row()
           .Cell(g, 1)
           .Cell(EngineName(assisted))
@@ -41,5 +52,5 @@ int main() {
               "is forced into a long stop-and-copy; as bandwidth rises past the dirtying\n"
               "rate, Xen converges and the completion-time gap narrows -- but JAVMM still\n"
               "moves a fraction of the traffic (garbage is never worth shipping).\n");
-  return 0;
+  return set.ExitCode();
 }

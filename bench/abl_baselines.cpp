@@ -12,68 +12,50 @@
 #include <iostream>
 
 #include "bench/common.h"
-#include "src/migration/baselines.h"
 
 using namespace javmm;         // NOLINT
 using namespace javmm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Ablation: migration-strategy comparison, derby, 2 GiB VM ===\n\n");
+  const struct {
+    EngineKind kind;
+    const char* name;
+  } strategies[] = {
+      {EngineKind::kStopAndCopy, "stop-and-copy"},
+      {EngineKind::kXenPrecopy, "pre-copy (Xen)"},
+      {EngineKind::kJavmm, "JAVMM"},
+      {EngineKind::kPostcopy, "post-copy"},
+  };
+
+  ExperimentSet set(ParseBenchArgs(argc, argv));
+  for (const auto& strategy : strategies) {
+    Scenario scenario;
+    scenario.label = strategy.name;
+    scenario.spec = Workloads::Get("derby");
+    scenario.engine = strategy.kind;
+    scenario.options.seed = 9;
+    set.Add(scenario);
+  }
+  set.Run();
+
   Table table({"strategy", "time(s)", "traffic(GiB)", "downtime(s)", "degradation",
                "verified"});
-
-  // Stop-and-copy.
-  {
-    LabConfig config;
-    config.seed = 9;
-    MigrationLab lab(Workloads::Get("derby"), config);
-    lab.Run(Duration::Seconds(120));
-    StopAndCopyEngine engine(&lab.guest(), config.migration);
-    const MigrationResult r = engine.Migrate();
+  for (size_t i = 0; i < 4; ++i) {
+    const RunOutput& out = set.out(i);
+    char degradation[96] = "none";
+    if (strategies[i].kind == EngineKind::kPostcopy) {
+      std::snprintf(degradation, sizeof(degradation), "%.1fs window, %lld faults, %.2fs stall",
+                    out.degradation_window.ToSecondsF(),
+                    static_cast<long long>(out.demand_faults), out.fault_stall.ToSecondsF());
+    }
     table.Row()
-        .Cell("stop-and-copy")
-        .Cell(r.total_time.ToSecondsF(), 1)
-        .Cell(GiBOf(r.total_wire_bytes), 2)
-        .Cell(r.downtime.Total().ToSecondsF(), 2)
-        .Cell("none")
-        .Cell(r.verification.ok ? "yes" : "NO");
-  }
-
-  // Pre-copy (Xen) and JAVMM.
-  for (const bool assisted : {false, true}) {
-    RunOptions options;
-    options.seed = 9;
-    const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
-    table.Row()
-        .Cell(assisted ? "JAVMM" : "pre-copy (Xen)")
+        .Cell(strategies[i].name)
         .Cell(out.result.total_time.ToSecondsF(), 1)
         .Cell(GiBOf(out.result.total_wire_bytes), 2)
         .Cell(out.result.downtime.Total().ToSecondsF(), 2)
-        .Cell("none")
-        .Cell(out.result.verification.ok ? "yes" : "NO");
-  }
-
-  // Post-copy.
-  {
-    LabConfig config;
-    config.seed = 9;
-    MigrationLab lab(Workloads::Get("derby"), config);
-    lab.Run(Duration::Seconds(120));
-    PostcopyEngine::Config pc;
-    pc.base = config.migration;
-    PostcopyEngine engine(&lab.guest(), pc);
-    const PostcopyResult r = engine.Migrate();
-    char degradation[96];
-    std::snprintf(degradation, sizeof(degradation), "%.1fs window, %lld faults, %.2fs stall",
-                  r.degradation_window.ToSecondsF(), static_cast<long long>(r.demand_faults),
-                  r.fault_stall.ToSecondsF());
-    table.Row()
-        .Cell("post-copy")
-        .Cell(r.common.total_time.ToSecondsF(), 1)
-        .Cell(GiBOf(r.common.total_wire_bytes), 2)
-        .Cell(r.common.downtime.Total().ToSecondsF(), 2)
         .Cell(degradation)
-        .Cell(r.common.verification.ok ? "yes" : "NO");
+        .Cell(out.result.verification.ok ? "yes" : "NO");
   }
 
   table.Print(std::cout);
@@ -81,5 +63,5 @@ int main() {
               "degradation window of demand faults; stop-and-copy's downtime IS the\n"
               "transfer; vanilla pre-copy cannot converge under derby; JAVMM combines\n"
               "sub-second downtime with the smallest traffic of the live strategies.\n");
-  return 0;
+  return set.ExitCode();
 }

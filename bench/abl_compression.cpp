@@ -30,7 +30,7 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Ablation: compression extension (§6), derby workload ===\n\n");
   const Variant variants[] = {
       {"none", false, false, false},
@@ -38,15 +38,25 @@ int main() {
       {"class-aware", true, true, false},
       {"uniform+delta", true, false, true},
   };
-  Table table({"engine", "variant", "time(s)", "traffic(GiB)", "downtime(s)", "cpu(s)",
-               "compressed", "delta", "raw"});
+
+  ExperimentSet set(ParseBenchArgs(argc, argv));
   for (const bool assisted : {false, true}) {
     for (const Variant& v : variants) {
       RunOptions options;
       options.lab.migration.compress_pages = v.compress;
       options.lab.migration.use_compression_classes = v.classes;
       options.lab.migration.delta_compression = v.delta;
-      const RunOutput out = RunMigrationExperiment(Workloads::Get("derby"), assisted, options);
+      set.Add(EngineName(assisted) + "/" + v.name, Workloads::Get("derby"), assisted, options);
+    }
+  }
+  set.Run();
+
+  Table table({"engine", "variant", "time(s)", "traffic(GiB)", "downtime(s)", "cpu(s)",
+               "compressed", "delta", "raw"});
+  size_t i = 0;
+  for (const bool assisted : {false, true}) {
+    for (const Variant& v : variants) {
+      const RunOutput& out = set.out(i++);
       table.Row()
           .Cell(EngineName(assisted))
           .Cell(v.name)
@@ -64,5 +74,5 @@ int main() {
               "class-aware compression squeezes the (annotated) old generation harder for\n"
               "less CPU; delta helps exactly the retransmission-heavy vanilla engine; and\n"
               "JAVMM pays the compressor on ~7x fewer pages than Xen for the same VM.\n");
-  return 0;
+  return set.ExitCode();
 }

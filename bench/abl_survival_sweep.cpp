@@ -33,7 +33,7 @@ WorkloadSpec SweepSpec(Duration short_mean, int64_t alloc_rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Ablation: object-lifetime sweep (JAVMM vs Xen downtime crossover) ===\n");
   std::printf("(live working set rate*lifetime held <= ~350 MiB, as in real workloads whose\n"
               "heaps fit; moving right along the table is moving from derby toward scimark)\n\n");
@@ -45,17 +45,28 @@ int main() {
                           {1500, 160 * kMiB}, {3000, 110 * kMiB}, {6000, 55 * kMiB},
                           {12000, 28 * kMiB}};
 
-  Table table({"mean lifetime(ms)", "alloc(MiB/s)", "last-iter payload(MiB)",
-               "Xen downtime(s)", "JAVMM downtime(s)", "JAVMM wins?"});
+  ExperimentSet set(ParseBenchArgs(argc, argv));
   for (const Point& pt : points) {
-    const int ms = pt.lifetime_ms;
-    const WorkloadSpec spec = SweepSpec(Duration::Millis(ms), pt.rate);
+    const WorkloadSpec spec = SweepSpec(Duration::Millis(pt.lifetime_ms), pt.rate);
     RunOptions options;
     options.warmup = Duration::Seconds(90);
-    const RunOutput xen = RunMigrationExperiment(spec, /*assisted=*/false, options);
-    const RunOutput javmm_run = RunMigrationExperiment(spec, /*assisted=*/true, options);
+    for (const bool assisted : {false, true}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%dms/%s", pt.lifetime_ms,
+                    EngineName(assisted).c_str());
+      set.Add(label, spec, assisted, options);
+    }
+  }
+  set.Run();
+
+  Table table({"mean lifetime(ms)", "alloc(MiB/s)", "last-iter payload(MiB)",
+               "Xen downtime(s)", "JAVMM downtime(s)", "JAVMM wins?"});
+  size_t i = 0;
+  for (const Point& pt : points) {
+    const RunOutput& xen = set.out(i++);
+    const RunOutput& javmm_run = set.out(i++);
     table.Row()
-        .Cell(static_cast<int64_t>(ms))
+        .Cell(static_cast<int64_t>(pt.lifetime_ms))
         .Cell(MiBOf(pt.rate), 0)
         .Cell(PagesToMiB(javmm_run.result.last_iter_pages_sent), 1)
         .Cell(xen.result.downtime.Total().ToSecondsF(), 2)
@@ -67,5 +78,5 @@ int main() {
               "a bigger stop-and-copy payload, and eventually a JAVMM downtime worse than\n"
               "plain pre-copy's -- the scimark regime of Fig 10(c). The crossover is where\n"
               "the adaptive policy (abl_adaptive_policy) flips engines.\n");
-  return 0;
+  return set.ExitCode();
 }

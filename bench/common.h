@@ -1,79 +1,225 @@
 // Copyright (c) 2026 The JAVMM Reproduction Authors.
 // Shared helpers for the experiment (bench) binaries. Each binary regenerates
 // one paper exhibit; see DESIGN.md §3 for the experiment index.
+//
+// Sweep-style exhibits describe their runs as Scenarios and execute them
+// through an ExperimentSet, which drives the ScenarioRunner (src/runner/):
+// `--jobs=N` parallelizes any exhibit with bit-identical results, `--json=F`
+// exports the per-run report as JSON lines, and ExitCode() is non-zero when
+// any run failed verification or its trace audit.
 
 #ifndef JAVMM_BENCH_COMMON_H_
 #define JAVMM_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/migration_lab.h"
+#include "src/runner/runner.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
 namespace javmm {
 namespace bench {
 
-// One full experiment run at paper scale: warm the workload up, migrate,
-// keep running at the destination.
-struct RunOutput {
-  MigrationResult result;
-  TimeSeries throughput;
-  Duration observed_downtime = Duration::Zero();
-  int64_t young_at_migration = 0;
-  int64_t old_at_migration = 0;
-};
+inline std::string EngineName(bool assisted) { return assisted ? "JAVMM" : "Xen"; }
 
-struct RunOptions {
-  Duration warmup = Duration::Seconds(120);
-  Duration cooldown = Duration::Seconds(40);
-  uint64_t seed = 1;
-  LabConfig lab;
-};
-
-inline RunOutput RunMigrationExperiment(const WorkloadSpec& spec, bool assisted,
-                                        const RunOptions& options = {}) {
-  LabConfig config = options.lab;
-  config.seed = options.seed;
-  config.migration.application_assisted = assisted;
-  MigrationLab lab(spec, config);
-  lab.Run(options.warmup);
-  RunOutput out;
-  out.young_at_migration = lab.app().heap().young_committed_bytes();
-  out.old_at_migration = lab.app().heap().old_used_bytes();
-  const TimePoint migration_start = lab.clock().now();
-  out.result = lab.Migrate();
-  lab.Run(options.cooldown);
-  out.throughput = lab.analyzer().series();
-  out.observed_downtime = lab.analyzer().ObservedDowntime(migration_start, lab.clock().now());
-  if (!out.result.verification.ok) {
-    std::fprintf(stderr, "WARNING: verification failed for %s (%s): %s\n", spec.name.c_str(),
-                 assisted ? "JAVMM" : "Xen", out.result.verification.detail.c_str());
+inline void WarnOnFailure(const RunRecord& rec) {
+  const char* label = rec.scenario.label.c_str();
+  if (!rec.ran) {
+    std::fprintf(stderr, "ERROR: run %s did not finish: %s\n", label, rec.error.c_str());
+    return;
   }
-  if (out.result.trace_audit.ran && !out.result.trace_audit.ok) {
-    std::fprintf(stderr, "WARNING: trace audit failed for %s (%s): %s\n", spec.name.c_str(),
-                 assisted ? "JAVMM" : "Xen", out.result.trace_audit.ToString().c_str());
+  const MigrationResult& r = rec.output.result;
+  if (rec.verification_failed()) {
+    std::fprintf(stderr, "FAILED: verification for %s: %s\n", label,
+                 r.verification.detail.c_str());
   }
-  return out;
+  if (rec.audit_failed()) {
+    std::fprintf(stderr, "FAILED: trace audit for %s: %s\n", label,
+                 r.trace_audit.ToString().c_str());
+  }
 }
 
-// Aggregates one metric over repeated seeds.
+// Flags shared by every sweep binary.
+struct BenchArgs {
+  int jobs = 1;           // --jobs=N (0 = one worker per hardware thread).
+  std::string json_path;  // --json=FILE: JSON-lines run report.
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      args.jobs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --jobs=N, --json=FILE)\n", arg);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// Collects scenarios, runs them all at once through the ScenarioRunner, then
+// hands the outputs back by submission index. Typical exhibit structure:
+//
+//   ExperimentSet set(ParseBenchArgs(argc, argv));
+//   for (...) set.Add(label, spec, assisted, options);   // describe runs
+//   set.Run();                                           // execute (parallel)
+//   for (...) table.Row()... set.out(i) ...;             // render, in order
+//   return set.ExitCode();
+class ExperimentSet {
+ public:
+  explicit ExperimentSet(const BenchArgs& args) : args_(args) {}
+
+  size_t Add(Scenario scenario) {
+    scenarios_.push_back(std::move(scenario));
+    return scenarios_.size() - 1;
+  }
+  size_t Add(std::string label, const WorkloadSpec& spec, bool assisted,
+             const RunOptions& options = {}) {
+    Scenario scenario;
+    scenario.label = std::move(label);
+    scenario.spec = spec;
+    scenario.engine = assisted ? EngineKind::kJavmm : EngineKind::kXenPrecopy;
+    scenario.options = options;
+    return Add(std::move(scenario));
+  }
+
+  const RunReport& Run() {
+    report_ = ScenarioRunner(args_.jobs).RunAll(scenarios_);
+    for (const RunRecord& rec : report_.runs) {
+      WarnOnFailure(rec);
+    }
+    if (!args_.json_path.empty()) {
+      std::ofstream os(args_.json_path);
+      if (!os) {
+        std::fprintf(stderr, "ERROR: cannot write %s\n", args_.json_path.c_str());
+        ++report_.errors;
+      } else {
+        report_.ExportJsonLines(os);
+      }
+    }
+    return report_;
+  }
+
+  const RunReport& report() const { return report_; }
+  const RunRecord& record(size_t i) const { return report_.runs.at(i); }
+  const RunOutput& out(size_t i) const { return record(i).output; }
+  const MigrationResult& result(size_t i) const { return out(i).result; }
+
+  // Non-zero when any run failed verification, failed its trace audit, or
+  // did not finish -- so a broken exhibit cannot exit clean.
+  int ExitCode() const {
+    if (!report_.all_ok()) {
+      std::fprintf(stderr,
+                   "%lld run(s) failed (%lld verification, %lld audit, %lld errors)\n",
+                   static_cast<long long>(report_.failure_count()),
+                   static_cast<long long>(report_.verification_failures),
+                   static_cast<long long>(report_.audit_failures),
+                   static_cast<long long>(report_.errors));
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  BenchArgs args_;
+  std::vector<Scenario> scenarios_;
+  RunReport report_;
+};
+
+// Serial single-run helper for the non-sweep exhibits. Prints a warning on
+// verification/audit failure; callers that aggregate should prefer
+// ExperimentSet, which also fails the binary's exit code.
+inline RunOutput RunMigrationExperiment(const WorkloadSpec& spec, bool assisted,
+                                        const RunOptions& options = {}) {
+  Scenario scenario;
+  scenario.label = spec.name + "/" + EngineName(assisted);
+  scenario.spec = spec;
+  scenario.engine = assisted ? EngineKind::kJavmm : EngineKind::kXenPrecopy;
+  scenario.options = options;
+  const RunRecord rec = ScenarioRunner::RunOne(scenario);
+  WarnOnFailure(rec);
+  return rec.output;
+}
+
+// True when the run's numbers are trustworthy: it completed and both
+// integrity checks passed.
+inline bool RunClean(const MigrationResult& result) {
+  return result.completed && result.verification.ok &&
+         (!result.trace_audit.ran || result.trace_audit.ok);
+}
+
+// Aggregates one engine's metrics over repeated seeds. Only clean completed
+// runs enter the headline distributions; aborted runs, fallback runs and
+// integrity failures are tallied (and fallbacks summarized) separately so
+// they cannot silently skew the paper-facing means.
 struct MetricSummary {
   Summary time_s;
   Summary traffic_gib;
   Summary downtime_s;
   Summary cpu_s;
 
+  // Runs that completed only via the unassisted safety fallback: their
+  // time/downtime describe a different mechanism, so they get their own
+  // distributions.
+  Summary fallback_time_s;
+  Summary fallback_downtime_s;
+
+  int64_t clean = 0;
+  int64_t fallbacks = 0;
+  int64_t aborted = 0;
+  int64_t failed = 0;  // Verification or trace-audit failure: excluded.
+
   void Add(const MigrationResult& result) {
+    if ((result.completed && !result.verification.ok) ||
+        (result.trace_audit.ran && !result.trace_audit.ok)) {
+      ++failed;
+      return;
+    }
+    if (!result.completed) {
+      ++aborted;
+      return;
+    }
+    if (result.fell_back_unassisted) {
+      ++fallbacks;
+      fallback_time_s.Add(result.total_time.ToSecondsF());
+      fallback_downtime_s.Add(result.downtime.Total().ToSecondsF());
+      return;
+    }
+    ++clean;
     time_s.Add(result.total_time.ToSecondsF());
     traffic_gib.Add(static_cast<double>(result.total_wire_bytes) / static_cast<double>(kGiB));
     downtime_s.Add(result.downtime.Total().ToSecondsF());
     cpu_s.Add(result.cpu_time.ToSecondsF());
   }
-};
 
-inline std::string EngineName(bool assisted) { return assisted ? "JAVMM" : "Xen"; }
+  bool any_failed() const { return failed > 0; }
+
+  // Compact per-cell tally, e.g. "3 ok" or "2 ok +1 fb +1 FAIL".
+  std::string CountsLabel() const {
+    std::string out = std::to_string(clean) + " ok";
+    if (fallbacks > 0) {
+      out += " +" + std::to_string(fallbacks) + " fb";
+    }
+    if (aborted > 0) {
+      out += " +" + std::to_string(aborted) + " abort";
+    }
+    if (failed > 0) {
+      out += " +" + std::to_string(failed) + " FAIL";
+    }
+    return out;
+  }
+};
 
 inline double MiBOf(int64_t bytes) {
   return static_cast<double>(bytes) / static_cast<double>(kMiB);

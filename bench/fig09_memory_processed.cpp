@@ -36,12 +36,17 @@ void PrintProcessed(const char* engine, const MigrationResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "=== Figure 9: memory processed per iteration, compiler (young cap 512 MiB) ===\n\n");
   const WorkloadSpec spec = Workloads::WithYoungCap(Workloads::Get("compiler"), 512 * kMiB);
-  const RunOutput xen = RunMigrationExperiment(spec, /*assisted=*/false);
-  const RunOutput javmm_run = RunMigrationExperiment(spec, /*assisted=*/true);
+
+  ExperimentSet set(ParseBenchArgs(argc, argv));
+  set.Add("compiler/Xen", spec, /*assisted=*/false);
+  set.Add("compiler/JAVMM", spec, /*assisted=*/true);
+  set.Run();
+  const RunOutput& xen = set.out(0);
+  const RunOutput& javmm_run = set.out(1);
 
   PrintProcessed("Xen", xen.result);
   PrintProcessed("JAVMM", javmm_run.result);
@@ -58,5 +63,5 @@ int main() {
               PagesToMiB(xen.result.iterations[0].pages_skipped_dirty),
               PagesToMiB(javmm_run.result.iterations[0].pages_skipped_dirty +
                          javmm_run.result.iterations[0].pages_skipped_bitmap));
-  return (xen.result.verification.ok && javmm_run.result.verification.ok) ? 0 : 1;
+  return set.ExitCode();
 }

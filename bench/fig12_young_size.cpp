@@ -47,7 +47,7 @@ int main() {
         options.seed = static_cast<uint64_t>(seed);
         const RunOutput out = RunMigrationExperiment(spec, assisted, options);
         (assisted ? aggs[c].javmm : aggs[c].xen).Add(out.result);
-        aggs[c].verified = aggs[c].verified && out.result.verification.ok;
+        aggs[c].verified = aggs[c].verified && RunClean(out.result);
         if (assisted) {
           young.Add(MiBOf(out.young_at_migration));
           old_gen.Add(MiBOf(out.old_at_migration));
@@ -74,7 +74,7 @@ int main() {
                                 "Figure 12(c): workload downtime (s)"};
   for (int m = 0; m < 3; ++m) {
     std::printf("=== %s ===\n", metric_names[m]);
-    Table table({"workload(young)", "Xen", "JAVMM", "reduction"});
+    Table table({"workload(young)", "Xen", "JAVMM", "reduction", "runs"});
     for (size_t c = 0; c < 3; ++c) {
       const Summary& xs = m == 0   ? aggs[c].xen.time_s
                           : m == 1 ? aggs[c].xen.traffic_gib
@@ -85,8 +85,12 @@ int main() {
       char label[64];
       std::snprintf(label, sizeof(label), "%s(%lld MiB)", cases[c].workload,
                     static_cast<long long>(cases[c].young_cap / kMiB));
-      table.Row().Cell(label).Cell(xs.ToString()).Cell(js.ToString()).Cell(
-          ReductionPct(xs.Mean(), js.Mean()), 0);
+      table.Row()
+          .Cell(label)
+          .Cell(xs.ToString())
+          .Cell(js.ToString())
+          .Cell(ReductionPct(xs.Mean(), js.Mean()), 0)
+          .Cell(aggs[c].xen.CountsLabel() + " / " + aggs[c].javmm.CountsLabel());
     }
     table.Print(std::cout);
     std::printf("\n");

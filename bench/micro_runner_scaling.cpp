@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Runner scaling check: a 16-seed sweep (8 per engine) through the
+// ScenarioRunner. Run it twice to verify the determinism contract end to end:
+//
+//   bench/micro_runner_scaling --jobs=1 --json=serial.jsonl
+//   bench/micro_runner_scaling --jobs=8 --json=parallel.jsonl
+//   diff serial.jsonl parallel.jsonl        # must be empty
+//
+// The JSON-lines export carries only exact integers, so any scheduling
+// dependence shows up as a diff. The printed wall-clock gives the speedup on
+// the current host (the sweep is embarrassingly parallel; on an 8-core host
+// --jobs=8 should be >= 3x faster than --jobs=1).
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("=== Runner scaling: 16-run crypto sweep, jobs=%d ===\n\n", args.jobs);
+
+  ExperimentSet set(args);
+  for (const bool assisted : {false, true}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      RunOptions options;
+      options.seed = seed;
+      options.warmup = Duration::Seconds(60);
+      set.Add("crypto/" + EngineName(assisted) + "/s" + std::to_string(seed),
+              Workloads::Get("crypto"), assisted, options);
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const RunReport& report = set.Run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  MetricSummary xen;
+  MetricSummary javmm_agg;
+  for (size_t i = 0; i < report.runs.size(); ++i) {
+    (i < 8 ? xen : javmm_agg).Add(set.result(i));
+  }
+  Table table({"engine", "runs", "time(s)", "traffic(GiB)", "downtime(s)"});
+  table.Row()
+      .Cell("Xen")
+      .Cell(xen.CountsLabel())
+      .Cell(xen.time_s.ToString())
+      .Cell(xen.traffic_gib.ToString())
+      .Cell(xen.downtime_s.ToString());
+  table.Row()
+      .Cell("JAVMM")
+      .Cell(javmm_agg.CountsLabel())
+      .Cell(javmm_agg.time_s.ToString())
+      .Cell(javmm_agg.traffic_gib.ToString())
+      .Cell(javmm_agg.downtime_s.ToString());
+  table.Print(std::cout);
+
+  std::printf("\n16 runs in %.2fs wall-clock with --jobs=%d\n", wall_s, args.jobs);
+  return set.ExitCode();
+}

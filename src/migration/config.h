@@ -37,6 +37,12 @@ struct MigrationConfig {
 
   LinkConfig link;
 
+  // Control traffic per live iteration (request the dirty bitmap, sync with
+  // the receiver). The engine both meters this on the link and records it in
+  // the control-bytes trace event, and passes it to the TraceAuditor so the
+  // metered and audited values cannot drift apart.
+  int64_t control_bytes_per_iteration = 512;
+
   // Structured trace recording (src/trace/): every burst, control round
   // trip, protocol message and phase transition is appended to the engine's
   // TraceRecorder. Cheap (one vector push per burst), so on by default.

@@ -109,9 +109,9 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
 
   // Per-iteration control round trip (request dirty bitmap, sync with the
   // receiver); keeps even all-skip iterations from taking zero time.
-  link_.RecordControlBytes(512);
-  trace_.Record(
-      TraceEvent{TraceEventKind::kControlBytes, iter_start, index, 0, 0, 512, 0, Duration::Zero()});
+  link_.RecordControlBytes(config_.control_bytes_per_iteration);
+  trace_.Record(TraceEvent{TraceEventKind::kControlBytes, iter_start, index, 0, 0,
+                           config_.control_bytes_per_iteration, 0, Duration::Zero()});
   guest_->clock().Advance(config_.link.latency * int64_t{2});
 
   size_t i = 0;
@@ -266,7 +266,6 @@ MigrationResult MigrationEngine::Migrate() {
   if (assisted) {
     NotifyLkm(DaemonToLkm::kEnteringLastIter);
     const TimePoint deadline = clock.now() + config_.lkm_response_timeout;
-    const TimePoint wait_start = clock.now();
     while (!suspension_ready_ && clock.now() < deadline) {
       clock.Advance(config_.poll_quantum);
     }
@@ -286,7 +285,6 @@ MigrationResult MigrationEngine::Migrate() {
       hint_source_ = nullptr;
       TracePhase(TraceEventKind::kFallback);
     }
-    (void)wait_start;
   }
 
   // ---- Stop-and-copy. ----
@@ -408,8 +406,9 @@ void MigrationEngine::RunAudit(MigrationResult* result) {
   if (!config_.record_trace || !config_.audit_trace) {
     return;
   }
-  result->trace_audit = TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result,
-                                            link_.total_wire_bytes(), link_.total_pages_sent());
+  result->trace_audit =
+      TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result, link_.total_wire_bytes(),
+                          link_.total_pages_sent(), config_.control_bytes_per_iteration);
 }
 
 VerificationReport MigrationEngine::Verify(const DestinationVm& dest,

@@ -1,0 +1,155 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+namespace javmm {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendRecordJson(const RunRecord& rec, std::ostream& os) {
+  const MigrationResult& r = rec.output.result;
+  os << "{\"label\":\"" << EscapeJson(rec.scenario.label) << "\""
+     << ",\"workload\":\"" << EscapeJson(rec.scenario.spec.name) << "\""
+     << ",\"engine\":\"" << EngineKindName(rec.scenario.engine) << "\""
+     << ",\"seed\":" << rec.scenario.options.seed << ",\"ran\":" << (rec.ran ? "true" : "false");
+  if (!rec.ran) {
+    os << ",\"error\":\"" << EscapeJson(rec.error) << "\"}\n";
+    return;
+  }
+  os << ",\"completed\":" << (r.completed ? "true" : "false")
+     << ",\"fell_back\":" << (r.fell_back_unassisted ? "true" : "false")
+     << ",\"verified\":" << (r.verification.ok ? "true" : "false")
+     << ",\"audit_ran\":" << (r.trace_audit.ran ? "true" : "false")
+     << ",\"audit_ok\":" << (r.trace_audit.ok ? "true" : "false")
+     << ",\"iterations\":" << r.iteration_count() << ",\"total_time_ns\":" << r.total_time.nanos()
+     << ",\"downtime_ns\":" << r.downtime.Total().nanos()
+     << ",\"wire_bytes\":" << r.total_wire_bytes << ",\"pages_sent\":" << r.pages_sent
+     << ",\"pages_skipped_dirty\":" << r.pages_skipped_dirty
+     << ",\"pages_skipped_bitmap\":" << r.pages_skipped_bitmap
+     << ",\"cpu_ns\":" << r.cpu_time.nanos()
+     << ",\"young_at_migration_bytes\":" << rec.output.young_at_migration
+     << ",\"old_at_migration_bytes\":" << rec.output.old_at_migration
+     << ",\"observed_downtime_ns\":" << rec.output.observed_downtime.nanos()
+     << ",\"demand_faults\":" << rec.output.demand_faults << "}\n";
+}
+
+}  // namespace
+
+void RunReport::ExportJsonLines(std::ostream& os) const {
+  for (const RunRecord& rec : runs) {
+    AppendRecordJson(rec, os);
+  }
+}
+
+ScenarioRunner::ScenarioRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+RunRecord ScenarioRunner::RunOne(const Scenario& scenario) {
+  RunRecord rec;
+  rec.scenario = scenario;
+  try {
+    rec.output = RunScenario(scenario);
+    rec.ran = true;
+  } catch (const std::exception& e) {
+    rec.error = e.what();
+  } catch (...) {
+    rec.error = "unknown exception";
+  }
+  return rec;
+}
+
+RunReport ScenarioRunner::RunAll(const std::vector<Scenario>& scenarios) const {
+  RunReport report;
+  report.runs.resize(scenarios.size());
+
+  const size_t n = scenarios.size();
+  const int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(jobs_), n > 0 ? n : 1));
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      report.runs[i] = RunOne(scenarios[i]);
+    }
+  } else {
+    // Each worker claims the next unstarted scenario; records land in their
+    // submission slot, so the report order never depends on scheduling.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&scenarios, &report, &next, n]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) {
+            return;
+          }
+          report.runs[i] = RunOne(scenarios[i]);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  for (const RunRecord& rec : report.runs) {
+    if (!rec.ran) {
+      ++report.errors;
+      continue;
+    }
+    if (rec.verification_failed()) {
+      ++report.verification_failures;
+    }
+    if (rec.audit_failed()) {
+      ++report.audit_failures;
+    }
+    if (rec.aborted()) {
+      ++report.aborted;
+    }
+    if (rec.fell_back()) {
+      ++report.fallbacks;
+    }
+  }
+  return report;
+}
+
+}  // namespace javmm

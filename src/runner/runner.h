@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// ScenarioRunner: execute many independent migration experiments, optionally
+// in parallel, with results bit-identical to serial execution.
+//
+// Migration studies are embarrassingly parallel across runs: each experiment
+// owns its whole world (SimClock, Rng, guest, heap -- see RunScenario's
+// determinism contract in scenario.h), so a bounded worker pool can execute
+// any number of scenarios concurrently and the per-scenario results depend
+// only on the Scenario, never on scheduling. RunAll() preserves submission
+// order in the report regardless of completion order, which keeps tables and
+// the JSON-lines export stable under any --jobs value.
+
+#ifndef JAVMM_SRC_RUNNER_RUNNER_H_
+#define JAVMM_SRC_RUNNER_RUNNER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/runner/scenario.h"
+
+namespace javmm {
+
+// One executed scenario plus its integrity status. `ran` is false only when
+// the run threw (configuration error, resource exhaustion); such records
+// carry `error` and count as failures.
+struct RunRecord {
+  Scenario scenario;
+  RunOutput output;
+  bool ran = false;
+  std::string error;
+
+  // Fault injection cancelled the migration; the guest kept running at the
+  // source. Not a result-integrity failure: abort scenarios are intentional.
+  bool aborted() const { return ran && !output.result.completed; }
+  // Completed, but via the unassisted safety fallback (LKM timeout).
+  bool fell_back() const { return ran && output.result.fell_back_unassisted; }
+  // Completed but the destination state did not verify: the run's numbers
+  // describe a broken migration and must not enter any summary.
+  bool verification_failed() const {
+    return ran && output.result.completed && !output.result.verification.ok;
+  }
+  // The trace audit found an accounting/protocol violation: the metering
+  // behind the numbers is suspect.
+  bool audit_failed() const {
+    return ran && output.result.trace_audit.ran && !output.result.trace_audit.ok;
+  }
+  bool failed() const { return !ran || verification_failed() || audit_failed(); }
+};
+
+// Aggregate of one RunAll(): per-run records in submission order plus the
+// failure tally a bench binary needs for its exit code.
+struct RunReport {
+  std::vector<RunRecord> runs;
+
+  int64_t verification_failures = 0;
+  int64_t audit_failures = 0;
+  int64_t errors = 0;     // Runs that threw before producing a result.
+  int64_t aborted = 0;    // Intentional fault-injection outcomes.
+  int64_t fallbacks = 0;  // Completed via the unassisted safety path.
+
+  int64_t failure_count() const { return verification_failures + audit_failures + errors; }
+  bool all_ok() const { return failure_count() == 0; }
+
+  // One JSON object per run, in submission order. All quantities are exact
+  // integers (nanoseconds, bytes, pages), so the export is byte-identical
+  // across serial and parallel execution of the same scenario list.
+  void ExportJsonLines(std::ostream& os) const;
+};
+
+class ScenarioRunner {
+ public:
+  // `jobs` <= 0 means one worker per hardware thread.
+  explicit ScenarioRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  // Executes every scenario and returns the records in submission order.
+  // With jobs > 1, scenarios run on a bounded pool of worker threads; each
+  // worker claims the next unstarted index, so submission order also bounds
+  // start order (no reordering beyond pool concurrency).
+  RunReport RunAll(const std::vector<Scenario>& scenarios) const;
+
+  // Executes a single scenario on the calling thread, capturing run errors
+  // into the record instead of propagating.
+  static RunRecord RunOne(const Scenario& scenario);
+
+ private:
+  int jobs_;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_RUNNER_RUNNER_H_

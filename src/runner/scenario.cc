@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/runner/scenario.h"
+
+#include "src/migration/baselines.h"
+
+namespace javmm {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kXenPrecopy:
+      return "Xen";
+    case EngineKind::kJavmm:
+      return "JAVMM";
+    case EngineKind::kStopAndCopy:
+      return "stop-and-copy";
+    case EngineKind::kPostcopy:
+      return "post-copy";
+  }
+  return "?";
+}
+
+RunOutput RunScenario(const Scenario& scenario) {
+  LabConfig config = scenario.options.lab;
+  config.seed = scenario.options.seed;
+  config.migration.application_assisted = scenario.engine == EngineKind::kJavmm;
+
+  MigrationLab lab(scenario.spec, config);
+  lab.Run(scenario.options.warmup);
+
+  RunOutput out;
+  out.young_at_migration = lab.app().heap().young_committed_bytes();
+  out.old_at_migration = lab.app().heap().old_used_bytes();
+  const TimePoint migration_start = lab.clock().now();
+
+  switch (scenario.engine) {
+    case EngineKind::kXenPrecopy:
+    case EngineKind::kJavmm:
+      out.result = lab.Migrate();
+      break;
+    case EngineKind::kStopAndCopy: {
+      StopAndCopyEngine engine(&lab.guest(), config.migration);
+      out.result = engine.Migrate();
+      break;
+    }
+    case EngineKind::kPostcopy: {
+      PostcopyEngine::Config pc;
+      pc.base = config.migration;
+      PostcopyEngine engine(&lab.guest(), pc);
+      const PostcopyResult r = engine.Migrate();
+      out.result = r.common;
+      out.demand_faults = r.demand_faults;
+      out.fault_stall = r.fault_stall;
+      out.degradation_window = r.degradation_window;
+      break;
+    }
+  }
+
+  lab.Run(scenario.options.cooldown);
+  out.throughput = lab.analyzer().series();
+  out.observed_downtime = lab.analyzer().ObservedDowntime(migration_start, lab.clock().now());
+  return out;
+}
+
+}  // namespace javmm

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Scenario: a self-contained experiment descriptor.
+//
+// A Scenario names everything one migration experiment needs -- the workload,
+// the engine, the seed and the lab configuration -- so it can be executed
+// anywhere (this thread, a worker-pool thread) and always produce the same
+// RunOutput. RunScenario() is the single entry point the bench binaries and
+// the ScenarioRunner (runner.h) share; it owns every piece of mutable state
+// for the run (SimClock, Rng, guest, heap), which is what makes concurrent
+// execution of independent scenarios bit-identical to serial execution.
+
+#ifndef JAVMM_SRC_RUNNER_SCENARIO_H_
+#define JAVMM_SRC_RUNNER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/migration_lab.h"
+#include "src/stats/time_series.h"
+#include "src/workload/spec.h"
+
+namespace javmm {
+
+// Which migration strategy the scenario exercises. The pre-copy kinds run
+// through MigrationLab::Migrate() (downtime breakdown enriched with the
+// JVM-side components); the baselines construct their engine directly.
+enum class EngineKind {
+  kXenPrecopy,   // Vanilla pre-copy (ignores the transfer bitmap).
+  kJavmm,        // Application-assisted pre-copy (the paper's system).
+  kStopAndCopy,  // Non-live baseline: pause, copy everything, resume.
+  kPostcopy,     // Demand-paging baseline with background pre-paging.
+};
+
+const char* EngineKindName(EngineKind kind);
+
+// Experiment phasing around the migration itself: warm the workload up,
+// migrate, keep running at the destination.
+struct RunOptions {
+  Duration warmup = Duration::Seconds(120);
+  Duration cooldown = Duration::Seconds(40);
+  uint64_t seed = 1;
+  LabConfig lab;
+};
+
+struct Scenario {
+  std::string label;  // Row/series label; also keys the JSON-lines export.
+  WorkloadSpec spec;
+  EngineKind engine = EngineKind::kXenPrecopy;
+  RunOptions options;
+};
+
+// One full experiment run at paper scale.
+struct RunOutput {
+  MigrationResult result;
+  TimeSeries throughput;
+  Duration observed_downtime = Duration::Zero();
+  int64_t young_at_migration = 0;
+  int64_t old_at_migration = 0;
+
+  // Post-copy extras (EngineKind::kPostcopy only; zero otherwise).
+  int64_t demand_faults = 0;
+  Duration fault_stall = Duration::Zero();
+  Duration degradation_window = Duration::Zero();
+};
+
+// Executes one scenario start to finish on the calling thread. Determinism
+// contract: the run reads only the Scenario (by value semantics) and shared
+// *immutable* process state; every mutable object -- clock, RNG, guest,
+// heap, engine, analyzer -- is constructed here and dies here.
+RunOutput RunScenario(const Scenario& scenario);
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_RUNNER_SCENARIO_H_

@@ -53,7 +53,8 @@ std::string N(int64_t v) { return std::to_string(v); }
 
 TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
                                      const MigrationResult& result, int64_t link_wire_bytes,
-                                     int64_t link_pages_sent) {
+                                     int64_t link_pages_sent,
+                                     int64_t control_bytes_per_iteration) {
   TraceAuditReport report;
   report.ran = true;
   auto fail = [&report](std::string msg) {
@@ -66,6 +67,7 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
   std::map<int32_t, BurstSums> bursts_by_iter;
   BurstSums burst_total;
   int64_t control_wire = 0;
+  std::vector<int64_t> control_events;
   std::vector<Message> messages;
   std::vector<int32_t> lkm_states;
   std::optional<TimePoint> pause_at;
@@ -110,6 +112,7 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
       }
       case TraceEventKind::kControlBytes:
         control_wire += event.wire_bytes;
+        control_events.push_back(event.wire_bytes);
         break;
       case TraceEventKind::kDaemonToLkm:
         messages.push_back(Message{true, event.detail});
@@ -165,6 +168,23 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
     fail("pages_sent (" + N(result.pages_sent) + ") != raw (" + N(result.pages_sent_raw) +
          ") + compressed (" + N(result.pages_compressed) + ") + delta (" +
          N(result.pages_sent_delta) + ")");
+  }
+  // Control traffic: one round trip of the configured size per live
+  // iteration (a completed run's final IterationRecord is the stop-and-copy
+  // transfer, which performs no bitmap-request round trip).
+  if (mode == AuditMode::kPrecopy && control_bytes_per_iteration > 0) {
+    for (const int64_t bytes : control_events) {
+      if (bytes != control_bytes_per_iteration) {
+        fail("control round trip of " + N(bytes) + " bytes != configured " +
+             N(control_bytes_per_iteration));
+      }
+    }
+    const int64_t live_iterations =
+        static_cast<int64_t>(result.iterations.size()) - (result.completed ? 1 : 0);
+    if (static_cast<int64_t>(control_events.size()) != live_iterations) {
+      fail("control round trips (" + N(static_cast<int64_t>(control_events.size())) +
+           ") != live iterations (" + N(live_iterations) + ")");
+    }
   }
 
   // ---- Iteration spans vs. IterationRecords (modes with iterations). ----

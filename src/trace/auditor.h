@@ -44,9 +44,16 @@ class TraceAuditor {
   // Checks every applicable invariant; each failure appends one violation.
   // `link_wire_bytes` / `link_pages_sent` are the NetworkLink meters after
   // the run (the engines reset them at migration start).
+  // `control_bytes_per_iteration` (> 0, pre-copy mode only) is the engine's
+  // configured per-iteration control round trip: the auditor then requires
+  // exactly one control-bytes event of exactly that size per live iteration,
+  // so the engine's metering and the audit share one constant by
+  // construction. 0 disables the check (baseline engines meter control
+  // traffic differently).
   static TraceAuditReport Audit(AuditMode mode, const TraceRecorder& trace,
                                 const MigrationResult& result, int64_t link_wire_bytes,
-                                int64_t link_pages_sent);
+                                int64_t link_pages_sent,
+                                int64_t control_bytes_per_iteration = 0);
 };
 
 }  // namespace javmm

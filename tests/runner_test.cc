@@ -1,0 +1,199 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for src/runner/: the parallel ScenarioRunner must be a pure
+// performance substrate -- per-run results bit-identical to serial execution,
+// report order equal to submission order, and failure accounting that a
+// bench binary can turn into its exit code.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/runner/runner.h"
+
+namespace javmm {
+namespace {
+
+// Shorter-than-paper phases keep the suite fast; the workloads still reach a
+// steady state that gives both engines real work to do.
+Scenario FastScenario(const std::string& workload, bool assisted, uint64_t seed) {
+  Scenario scenario;
+  scenario.label = workload + (assisted ? "/JAVMM" : "/Xen") + "/s" + std::to_string(seed);
+  scenario.spec = Workloads::Get(workload);
+  scenario.engine = assisted ? EngineKind::kJavmm : EngineKind::kXenPrecopy;
+  scenario.options.seed = seed;
+  scenario.options.warmup = Duration::Seconds(20);
+  scenario.options.cooldown = Duration::Seconds(5);
+  return scenario;
+}
+
+// Field-by-field equality over everything MigrationResult carries. Byte
+// identity of two runs of the same scenario is the determinism contract.
+void ExpectIdenticalResults(const MigrationResult& a, const MigrationResult& b,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.assisted, b.assisted);
+  EXPECT_EQ(a.fell_back_unassisted, b.fell_back_unassisted);
+  EXPECT_EQ(a.started_at.nanos(), b.started_at.nanos());
+  EXPECT_EQ(a.paused_at.nanos(), b.paused_at.nanos());
+  EXPECT_EQ(a.resumed_at.nanos(), b.resumed_at.nanos());
+  EXPECT_EQ(a.total_time.nanos(), b.total_time.nanos());
+  EXPECT_EQ(a.vm_bytes, b.vm_bytes);
+  EXPECT_EQ(a.total_wire_bytes, b.total_wire_bytes);
+  EXPECT_EQ(a.pages_sent, b.pages_sent);
+  EXPECT_EQ(a.pages_skipped_dirty, b.pages_skipped_dirty);
+  EXPECT_EQ(a.pages_skipped_bitmap, b.pages_skipped_bitmap);
+  EXPECT_EQ(a.last_iter_pages_sent, b.last_iter_pages_sent);
+  EXPECT_EQ(a.last_iter_pages_skipped_bitmap, b.last_iter_pages_skipped_bitmap);
+  EXPECT_EQ(a.downtime.safepoint_wait.nanos(), b.downtime.safepoint_wait.nanos());
+  EXPECT_EQ(a.downtime.enforced_gc.nanos(), b.downtime.enforced_gc.nanos());
+  EXPECT_EQ(a.downtime.final_bitmap_update.nanos(), b.downtime.final_bitmap_update.nanos());
+  EXPECT_EQ(a.downtime.last_iter_transfer.nanos(), b.downtime.last_iter_transfer.nanos());
+  EXPECT_EQ(a.downtime.resumption.nanos(), b.downtime.resumption.nanos());
+  EXPECT_EQ(a.cpu_time.nanos(), b.cpu_time.nanos());
+  EXPECT_EQ(a.pages_compressed, b.pages_compressed);
+  EXPECT_EQ(a.pages_sent_delta, b.pages_sent_delta);
+  EXPECT_EQ(a.pages_sent_raw, b.pages_sent_raw);
+  EXPECT_EQ(a.lkm_bitmap_bytes, b.lkm_bitmap_bytes);
+  EXPECT_EQ(a.lkm_pfn_cache_bytes, b.lkm_pfn_cache_bytes);
+  EXPECT_EQ(a.verification.ok, b.verification.ok);
+  EXPECT_EQ(a.verification.pages_checked, b.verification.pages_checked);
+  EXPECT_EQ(a.verification.pages_skipped_garbage, b.verification.pages_skipped_garbage);
+  EXPECT_EQ(a.verification.version_mismatches, b.verification.version_mismatches);
+  EXPECT_EQ(a.trace_audit.ran, b.trace_audit.ran);
+  EXPECT_EQ(a.trace_audit.ok, b.trace_audit.ok) << b.trace_audit.ToString();
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    const IterationRecord& x = a.iterations[i];
+    const IterationRecord& y = b.iterations[i];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.duration.nanos(), y.duration.nanos());
+    EXPECT_EQ(x.pages_scanned, y.pages_scanned);
+    EXPECT_EQ(x.pages_sent, y.pages_sent);
+    EXPECT_EQ(x.wire_bytes, y.wire_bytes);
+    EXPECT_EQ(x.pages_skipped_dirty, y.pages_skipped_dirty);
+    EXPECT_EQ(x.pages_skipped_bitmap, y.pages_skipped_bitmap);
+    EXPECT_EQ(x.dirty_pages_after, y.dirty_pages_after);
+  }
+}
+
+void ExpectIdenticalOutputs(const RunOutput& a, const RunOutput& b, const std::string& label) {
+  ExpectIdenticalResults(a.result, b.result, label);
+  EXPECT_EQ(a.young_at_migration, b.young_at_migration);
+  EXPECT_EQ(a.old_at_migration, b.old_at_migration);
+  EXPECT_EQ(a.observed_downtime.nanos(), b.observed_downtime.nanos());
+  EXPECT_EQ(a.demand_faults, b.demand_faults);
+}
+
+std::string JsonOf(const RunReport& report) {
+  std::ostringstream os;
+  report.ExportJsonLines(os);
+  return os.str();
+}
+
+TEST(ScenarioRunnerTest, SameSeedTwiceIsByteIdentical) {
+  const Scenario scenario = FastScenario("derby", /*assisted=*/true, /*seed=*/7);
+  const RunRecord first = ScenarioRunner::RunOne(scenario);
+  const RunRecord second = ScenarioRunner::RunOne(scenario);
+  ASSERT_TRUE(first.ran) << first.error;
+  ASSERT_TRUE(second.ran) << second.error;
+  EXPECT_TRUE(first.output.result.completed);
+  EXPECT_TRUE(first.output.result.verification.ok);
+  ExpectIdenticalOutputs(first.output, second.output, scenario.label);
+
+  RunReport a;
+  a.runs.push_back(first);
+  RunReport b;
+  b.runs.push_back(second);
+  EXPECT_EQ(JsonOf(a), JsonOf(b));
+}
+
+TEST(ScenarioRunnerTest, ParallelBatchMatchesSerialBatch) {
+  std::vector<Scenario> scenarios;
+  for (const char* workload : {"crypto", "mpeg"}) {
+    for (const bool assisted : {false, true}) {
+      for (const uint64_t seed : {1u, 2u}) {
+        scenarios.push_back(FastScenario(workload, assisted, seed));
+      }
+    }
+  }
+  ASSERT_EQ(scenarios.size(), 8u);
+
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+
+  ASSERT_EQ(serial.runs.size(), scenarios.size());
+  ASSERT_EQ(parallel.runs.size(), scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    // Submission order is preserved under both execution modes.
+    EXPECT_EQ(serial.runs[i].scenario.label, scenarios[i].label);
+    EXPECT_EQ(parallel.runs[i].scenario.label, scenarios[i].label);
+    ASSERT_TRUE(serial.runs[i].ran) << serial.runs[i].error;
+    ASSERT_TRUE(parallel.runs[i].ran) << parallel.runs[i].error;
+    ExpectIdenticalOutputs(serial.runs[i].output, parallel.runs[i].output, scenarios[i].label);
+  }
+  EXPECT_EQ(JsonOf(serial), JsonOf(parallel));
+  EXPECT_TRUE(serial.all_ok());
+  EXPECT_EQ(serial.failure_count(), parallel.failure_count());
+  EXPECT_EQ(serial.fallbacks, parallel.fallbacks);
+}
+
+TEST(ScenarioRunnerTest, AbortedRunsAreCountedButNotFailures) {
+  Scenario scenario = FastScenario("crypto", /*assisted=*/true, /*seed=*/3);
+  scenario.options.lab.migration.abort_after_iterations = 2;
+  const RunReport report = ScenarioRunner(/*jobs=*/2).RunAll({scenario, scenario});
+  ASSERT_EQ(report.runs.size(), 2u);
+  for (const RunRecord& rec : report.runs) {
+    ASSERT_TRUE(rec.ran) << rec.error;
+    EXPECT_TRUE(rec.aborted());
+    EXPECT_FALSE(rec.failed());
+    // The trace audit still runs on aborted migrations and must pass.
+    EXPECT_TRUE(rec.output.result.trace_audit.ran);
+    EXPECT_TRUE(rec.output.result.trace_audit.ok) << rec.output.result.trace_audit.ToString();
+  }
+  EXPECT_EQ(report.aborted, 2);
+  EXPECT_EQ(report.failure_count(), 0);
+  EXPECT_TRUE(report.all_ok());
+}
+
+// The per-iteration control round trip is one configuration field consumed by
+// both the engine's metering and the trace auditor; changing it must keep the
+// audit green (no second hardcoded copy to drift).
+TEST(ScenarioRunnerTest, ControlBytesConfigSharedWithAuditor) {
+  Scenario scenario = FastScenario("mpeg", /*assisted=*/false, /*seed=*/5);
+  scenario.options.lab.migration.control_bytes_per_iteration = 2048;
+  const RunRecord rec = ScenarioRunner::RunOne(scenario);
+  ASSERT_TRUE(rec.ran) << rec.error;
+  EXPECT_TRUE(rec.output.result.completed);
+  ASSERT_TRUE(rec.output.result.trace_audit.ran);
+  EXPECT_TRUE(rec.output.result.trace_audit.ok) << rec.output.result.trace_audit.ToString();
+  EXPECT_FALSE(rec.failed());
+}
+
+TEST(ScenarioRunnerTest, JsonExportOneLinePerRunInOrder) {
+  std::vector<Scenario> scenarios = {FastScenario("mpeg", false, 1),
+                                     FastScenario("mpeg", true, 1)};
+  const RunReport report = ScenarioRunner(/*jobs=*/2).RunAll(scenarios);
+  const std::string json = JsonOf(report);
+  std::istringstream is(json);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"label\":\"mpeg/Xen/s1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"engine\":\"Xen\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"label\":\"mpeg/JAVMM/s1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"engine\":\"JAVMM\""), std::string::npos);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"verified\":true"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace javmm
