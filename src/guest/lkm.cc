@@ -261,7 +261,9 @@ void Lkm::RewalkAreasForApp(AppId pid, AppRecord& rec, const VaRangeSet& fresh,
   // and comparing against the PFNs found in the first update. This also
   // handles VPN remapping (case (2) of §3.3.4: p_old -> p_new): the old
   // frame's bit is set, the new frame's bit is cleared.
-  std::unordered_map<Vpn, Pfn> new_cache;
+  // Ordered like AppRecord::pfn_cache: the reconciliation below appends to
+  // revoked_pfns_ while iterating, so the walk must be deterministic.
+  std::map<Vpn, Pfn> new_cache;
   for (const VaRange& range : fresh.Ranges()) {
     int64_t walked = 0;
     const std::vector<Pfn> pfns =

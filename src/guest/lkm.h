@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/time.h"
@@ -163,8 +162,12 @@ class Lkm {
   struct AppRecord {
     VaRangeSet areas;  // Remembered (page-aligned) skip-over ranges.
     // PFN cache: pages whose transfer bits this app had cleared. Keyed by VPN
-    // so shrink notices resolve without page-table walks (§3.3.4).
-    std::unordered_map<Vpn, Pfn> pfn_cache;
+    // so shrink notices resolve without page-table walks (§3.3.4). An ordered
+    // map, deliberately: straggler revocation and the final-rewalk
+    // reconciliation iterate this cache and append to revoked_pfns_, which
+    // the daemon consumes -- hash order here would leak host-dependent
+    // ordering into a migration-visible vector (javmm-lint: unordered-iter).
+    std::map<Vpn, Pfn> pfn_cache;
     bool ready = false;
     SuspensionReadyInfo ready_info;
   };

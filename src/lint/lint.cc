@@ -1,0 +1,351 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "src/lint/rules.h"
+
+namespace javmm {
+namespace lint {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// One parsed `lint: <rule>-ok (reason)` annotation.
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  bool valid = false;     // Known rule and non-empty reason.
+  std::string complaint;  // Why the annotation is malformed, when it is.
+};
+
+// Parses every suppression annotation out of the file's comments. The
+// annotation applies to findings on its own line or the line directly below
+// (so it can sit on its own line above the code it excuses). Only comments
+// that START with `lint:` are annotations; prose that merely mentions the
+// syntax (docs, rule messages) is ignored.
+std::vector<Suppression> ParseSuppressions(const TokenizedSource& src) {
+  std::vector<Suppression> out;
+  for (const Comment& comment : src.comments) {
+    size_t start = 0;
+    while (start < comment.text.size() &&
+           std::isspace(static_cast<unsigned char>(comment.text[start]))) {
+      ++start;
+    }
+    if (comment.text.compare(start, 5, "lint:") != 0) {
+      continue;
+    }
+    size_t pos = start;
+    while ((pos = comment.text.find("lint:", pos)) != std::string::npos) {
+      pos += 5;
+      while (pos < comment.text.size() &&
+             std::isspace(static_cast<unsigned char>(comment.text[pos]))) {
+        ++pos;
+      }
+      size_t word_end = pos;
+      while (word_end < comment.text.size() &&
+             (std::isalnum(static_cast<unsigned char>(comment.text[word_end])) ||
+              comment.text[word_end] == '-' || comment.text[word_end] == '_')) {
+        ++word_end;
+      }
+      Suppression sup;
+      sup.line = comment.line;
+      std::string word = comment.text.substr(pos, word_end - pos);
+      pos = word_end;
+      const std::string kOk = "-ok";
+      if (word.size() <= kOk.size() ||
+          word.compare(word.size() - kOk.size(), kOk.size(), kOk) != 0) {
+        sup.complaint = "suppression '" + word + "' must be of the form '<rule>-ok (reason)'";
+        out.push_back(std::move(sup));
+        continue;
+      }
+      sup.rule = word.substr(0, word.size() - kOk.size());
+      if (!IsKnownRule(sup.rule)) {
+        sup.complaint = "suppression names unknown rule '" + sup.rule + "'";
+        out.push_back(std::move(sup));
+        continue;
+      }
+      // Mandatory parenthesized, non-empty reason.
+      while (pos < comment.text.size() &&
+             std::isspace(static_cast<unsigned char>(comment.text[pos]))) {
+        ++pos;
+      }
+      if (pos >= comment.text.size() || comment.text[pos] != '(') {
+        sup.complaint = "suppression of '" + sup.rule + "' is missing its (reason)";
+        out.push_back(std::move(sup));
+        continue;
+      }
+      const size_t close = comment.text.find(')', pos);
+      std::string reason = close == std::string::npos
+                               ? ""
+                               : comment.text.substr(pos + 1, close - pos - 1);
+      reason.erase(std::remove_if(reason.begin(), reason.end(),
+                                  [](char c) {
+                                    return std::isspace(static_cast<unsigned char>(c));
+                                  }),
+                   reason.end());
+      if (reason.empty()) {
+        sup.complaint = "suppression of '" + sup.rule + "' has an empty (reason)";
+        out.push_back(std::move(sup));
+        continue;
+      }
+      sup.valid = true;
+      out.push_back(std::move(sup));
+      pos = close == std::string::npos ? comment.text.size() : close + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << rule << ": " << message;
+  return os.str();
+}
+
+std::string Diagnostic::ToJson() const {
+  std::ostringstream os;
+  os << "{\"file\":\"" << JsonEscape(file) << "\",\"line\":" << line << ",\"rule\":\""
+     << JsonEscape(rule) << "\",\"message\":\"" << JsonEscape(message) << "\"}";
+  return os.str();
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "banned-call",   "unordered-iter", "uninit-member", "dcheck-side-effect",
+      "include-guard", "float-export",   "suppression"};
+  return kRules;
+}
+
+bool IsKnownRule(const std::string& rule) {
+  const std::vector<std::string>& rules = AllRules();
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+void CollectRegistry(const TokenizedSource& src, LintRegistry* registry) {
+  const std::vector<Token>& toks = src.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // `enum [class|struct] Name` -> Name is scalar for the member-init rule.
+    if (t.IsIdent("enum") && i + 1 < toks.size()) {
+      size_t j = i + 1;
+      if (toks[j].IsIdent("class") || toks[j].IsIdent("struct")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+        registry->enum_types.insert(toks[j].text);
+      }
+      continue;
+    }
+    // `unordered_map<...> name` / `unordered_set<...>& name` -> remember the
+    // declared name so iteration over it is recognized in any file.
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "unordered_map" || t.text == "unordered_set" ||
+         t.text == "unordered_multimap" || t.text == "unordered_multiset") &&
+        i + 1 < toks.size() && toks[i + 1].IsPunct("<")) {
+      size_t j = i + 2;
+      int depth = 1;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].IsPunct("<")) {
+          ++depth;
+        } else if (toks[j].IsPunct(">")) {
+          --depth;
+        } else if (toks[j].IsPunct(">>")) {
+          depth -= 2;
+        } else if (toks[j].IsPunct(";")) {
+          break;
+        }
+        ++j;
+      }
+      while (j < toks.size() &&
+             (toks[j].IsPunct("&") || toks[j].IsPunct("*") || toks[j].IsIdent("const"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+          (j + 1 >= toks.size() || !toks[j + 1].IsPunct("("))) {
+        registry->unordered_names.insert(toks[j].text);
+      }
+    }
+  }
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path, const TokenizedSource& src,
+                                   const LintRegistry& registry, const LintOptions& options) {
+  std::vector<Diagnostic> raw;
+  const RuleContext ctx{path, src, registry, &raw};
+  const auto enabled = [&options](const char* rule) {
+    return options.disabled_rules.count(rule) == 0;
+  };
+  if (enabled("banned-call")) {
+    CheckBannedCalls(ctx);
+  }
+  if (enabled("unordered-iter")) {
+    CheckUnorderedIteration(ctx);
+  }
+  if (enabled("uninit-member")) {
+    CheckUninitializedMembers(ctx);
+  }
+  if (enabled("dcheck-side-effect")) {
+    CheckDcheckSideEffects(ctx);
+  }
+  if (enabled("include-guard")) {
+    CheckIncludeGuard(ctx);
+  }
+  if (enabled("float-export")) {
+    CheckFloatExport(ctx);
+  }
+
+  const std::vector<Suppression> suppressions = ParseSuppressions(src);
+  std::map<int, std::set<std::string>> suppressed_rules_by_line;
+  for (const Suppression& sup : suppressions) {
+    if (sup.valid) {
+      suppressed_rules_by_line[sup.line].insert(sup.rule);
+    } else if (enabled("suppression")) {
+      raw.push_back(Diagnostic{path, sup.line, "suppression", sup.complaint});
+    }
+  }
+
+  std::vector<Diagnostic> out;
+  for (Diagnostic& diag : raw) {
+    bool suppressed = false;
+    for (const int line : {diag.line, diag.line - 1}) {
+      auto it = suppressed_rules_by_line.find(line);
+      if (it != suppressed_rules_by_line.end() && it->second.count(diag.rule) != 0) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) {
+      out.push_back(std::move(diag));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.message < b.message;
+  });
+  return out;
+}
+
+Baseline Baseline::Parse(const std::string& content) {
+  Baseline baseline;
+  std::istringstream is(content);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    baseline.keys_.insert(line);
+  }
+  return baseline;
+}
+
+std::string Baseline::Serialize(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> keys;
+  for (const Diagnostic& diag : diags) {
+    keys.insert(diag.file + "\t" + diag.rule + "\t" + diag.message);
+  }
+  std::string out =
+      "# javmm-lint baseline: grandfathered findings, one per line as\n"
+      "# file<TAB>rule<TAB>message (line numbers excluded so edits elsewhere\n"
+      "# in the file do not churn this list). Regenerate with\n"
+      "#   tools/javmm_lint --write-baseline=tools/lint_baseline.txt src bench tests\n"
+      "# The goal is an EMPTY baseline: fix or annotate findings instead of\n"
+      "# grandfathering new ones.\n";
+  for (const std::string& key : keys) {
+    out += key + "\n";
+  }
+  return out;
+}
+
+bool Baseline::Covers(const Diagnostic& diag) const {
+  return keys_.count(diag.file + "\t" + diag.rule + "\t" + diag.message) != 0;
+}
+
+std::vector<std::string> CollectSourceFiles(const std::vector<std::string>& paths,
+                                            std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+  };
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    const fs::path path(arg);
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(path, fs::directory_options::skip_permission_denied,
+                                          ec);
+      if (ec) {
+        if (error != nullptr) {
+          *error = "cannot walk directory '" + arg + "': " + ec.message();
+        }
+        return {};
+      }
+      for (auto end = fs::recursive_directory_iterator(); it != end; it.increment(ec)) {
+        if (ec) {
+          break;
+        }
+        const std::string name = it->path().filename().string();
+        if (it->is_directory() && (name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+                                   name == ".git")) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && is_source(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path.generic_string());
+    } else {
+      if (error != nullptr) {
+        *error = "no such file or directory: '" + arg + "'";
+      }
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace lint
+}  // namespace javmm

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// javmm-lint: static enforcement of the project's determinism & correctness
+// contract (DESIGN.md §9). Library behind the tools/javmm_lint CLI and the
+// lint_self_test / lint_tree ctest targets.
+//
+// Rules shipped in v1 (rule ids as reported in diagnostics):
+//
+//   banned-call         rand/srand/random_device/system_clock/steady_clock/
+//                       time()/getenv (and the <random>/<chrono>/<ctime>
+//                       includes) outside src/base/ and src/runner/ -- all
+//                       nondeterminism must flow through Rng and SimClock.
+//   unordered-iter      range-for / .begin() iteration over unordered_map /
+//                       unordered_set in result-affecting directories
+//                       (src/migration, src/core, src/jvm, src/mem,
+//                       src/guest, src/stats): hash order can leak into
+//                       results and traces. Suppress a deliberate use with
+//                       `// lint: unordered-iter-ok (reason)`.
+//   uninit-member       scalar (builtin or enum) struct members without a
+//                       default initializer under src/migration, src/stats,
+//                       src/trace -- the bug class behind PR 1's
+//                       uninitialized pause fields.
+//   dcheck-side-effect  ++/--/assignment inside DCHECK* arguments: the whole
+//                       expression is compiled out in NDEBUG builds.
+//   include-guard       headers must carry the project-style
+//                       #ifndef/#define guard whose name matches the path.
+//   float-export        floating-point values flowing into the integer-only
+//                       JSON-lines export paths (src/runner/, bench/common.h).
+//   suppression         malformed suppression comments (unknown rule or
+//                       missing reason); keeps the annotation channel honest.
+//
+// Any rule can be suppressed on a specific line (or the line directly above
+// it) with `// lint: <rule>-ok (reason)`; the reason is mandatory.
+
+#ifndef JAVMM_SRC_LINT_LINT_H_
+#define JAVMM_SRC_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/source.h"
+
+namespace javmm {
+namespace lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  // "file:line: rule-id: message" -- the compiler-style single-line form.
+  std::string ToString() const;
+  // {"file":...,"line":N,"rule":...,"message":...} for --json mode.
+  std::string ToJson() const;
+};
+
+// Every shipped rule id, in catalogue order.
+const std::vector<std::string>& AllRules();
+bool IsKnownRule(const std::string& rule);
+
+// Cross-file state gathered in a first pass over every scanned file, so e.g.
+// a container declared in lkm.h is recognized when lkm.cc iterates it, and
+// enum types declared anywhere count as scalars for the member-init rule.
+struct LintRegistry {
+  std::set<std::string> enum_types;       // `enum [class] Name` declarations.
+  std::set<std::string> unordered_names;  // Variables/members of unordered type.
+};
+
+void CollectRegistry(const TokenizedSource& src, LintRegistry* registry);
+
+struct LintOptions {
+  std::set<std::string> disabled_rules;
+};
+
+// Runs every enabled rule over one tokenized file. `path` decides which rules
+// apply (repo-relative with forward slashes, e.g. "src/mem/page_table.h");
+// suppression comments have already been honoured in the result.
+std::vector<Diagnostic> LintSource(const std::string& path, const TokenizedSource& src,
+                                   const LintRegistry& registry, const LintOptions& options);
+
+// Grandfathered-findings file: one finding per line as `file<TAB>rule<TAB>
+// message` (line numbers intentionally excluded so unrelated edits do not
+// churn the baseline). `#` comments and blank lines are ignored.
+class Baseline {
+ public:
+  static Baseline Parse(const std::string& content);
+  static std::string Serialize(const std::vector<Diagnostic>& diags);
+
+  bool Covers(const Diagnostic& diag) const;
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::set<std::string> keys_;
+};
+
+// Expands files/directories into the sorted list of *.h/*.cc/*.cpp files to
+// lint. Directory walks skip `lint_fixtures` (the linter's own known-bad
+// corpus) and any directory starting with "build"; passing a fixture file
+// directly still works.
+std::vector<std::string> CollectSourceFiles(const std::vector<std::string>& paths,
+                                            std::string* error);
+
+}  // namespace lint
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_LINT_LINT_H_

@@ -1,0 +1,543 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+
+namespace javmm {
+namespace lint {
+
+namespace {
+
+// Directories whose numbers/traces define experiment results: hash-order
+// leaks here become nondeterministic exhibits.
+const char* const kResultDirs[] = {"src/migration/", "src/core/", "src/jvm/",
+                                   "src/mem/",       "src/guest/", "src/stats/"};
+
+// The only directories allowed to touch host entropy/clocks: src/base wraps
+// them (Rng, units), src/runner owns the worker pool and CLI plumbing.
+const char* const kNondeterminismAllowed[] = {"src/base/", "src/runner/"};
+
+// Directories swept by the struct-member initialization rule -- the result
+// and trace carriers, where an indeterminate field silently corrupts tables.
+const char* const kMemberInitDirs[] = {"src/migration/", "src/stats/", "src/trace/"};
+
+bool InAnyDir(const std::string& path, const char* const (&dirs)[6]) {
+  for (const char* dir : dirs) {
+    if (PathInDir(path, dir)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InAnyDir(const std::string& path, const char* const (&dirs)[2]) {
+  return PathInDir(path, dirs[0]) || PathInDir(path, dirs[1]);
+}
+
+bool InAnyDir(const std::string& path, const char* const (&dirs)[3]) {
+  return PathInDir(path, dirs[0]) || PathInDir(path, dirs[1]) || PathInDir(path, dirs[2]);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+size_t SkipBalanced(const std::vector<Token>& toks, size_t i, const char* open,
+                    const char* close) {
+  // `i` indexes the token AFTER the opener. Returns index just past the
+  // matching closer.
+  int depth = 1;
+  while (i < toks.size() && depth > 0) {
+    if (toks[i].IsPunct(open)) {
+      ++depth;
+    } else if (toks[i].IsPunct(close)) {
+      --depth;
+    }
+    ++i;
+  }
+  return i;
+}
+
+bool IsUnorderedContainerName(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" || text == "unordered_multimap" ||
+         text == "unordered_multiset";
+}
+
+const std::set<std::string>& BuiltinScalarTypes() {
+  static const std::set<std::string> kTypes = {
+      "bool",     "char",    "wchar_t",  "char8_t",  "char16_t", "char32_t", "short",
+      "int",      "long",    "float",    "double",   "unsigned", "signed",   "size_t",
+      "ptrdiff_t", "ssize_t", "int8_t",  "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t"};
+  return kTypes;
+}
+
+}  // namespace
+
+bool PathInDir(const std::string& path, const char* dir) {
+  const size_t pos = path.find(dir);
+  return pos == 0 || (pos != std::string::npos && path[pos - 1] == '/');
+}
+
+// ---------------------------------------------------------------------------
+// banned-call
+// ---------------------------------------------------------------------------
+
+void CheckBannedCalls(const RuleContext& ctx) {
+  if (InAnyDir(ctx.path, kNondeterminismAllowed)) {
+    return;
+  }
+  static const std::set<std::string> kBannedAlways = {"srand", "random_device", "system_clock",
+                                                      "steady_clock", "high_resolution_clock",
+                                                      "getenv", "rand"};
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const bool member_access =
+        i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"));
+    if (kBannedAlways.count(t.text) != 0 && !member_access) {
+      ctx.Report(t.line, "banned-call",
+                 "'" + t.text +
+                     "' is a nondeterminism source; only src/base/ and src/runner/ may touch "
+                     "host entropy/clocks (route through Rng / SimClock)");
+    } else if (t.text == "time" && !member_access && i + 1 < toks.size() &&
+               toks[i + 1].IsPunct("(")) {
+      ctx.Report(t.line, "banned-call",
+                 "'time()' reads the wall clock; simulated time must come from SimClock "
+                 "(src/base/, src/runner/ excepted)");
+    }
+  }
+  // Includes of entropy/clock headers outside the allowed dirs are flagged at
+  // the include line, so the dependency is caught even before any call.
+  for (size_t ln = 0; ln < ctx.src.lines.size(); ++ln) {
+    const std::string line = Trimmed(ctx.src.lines[ln]);
+    if (line.empty() || line[0] != '#' || line.find("include") == std::string::npos) {
+      continue;
+    }
+    for (const char* header : {"<random>", "<chrono>", "<ctime>"}) {
+      if (line.find(header) != std::string::npos) {
+        ctx.Report(static_cast<int>(ln + 1), "banned-call",
+                   std::string("#include ") + header +
+                       " outside src/base/ and src/runner/: wrap the dependency behind the "
+                       "deterministic facades instead");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+void CheckUnorderedIteration(const RuleContext& ctx) {
+  if (!InAnyDir(ctx.path, kResultDirs)) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // Range-for whose range expression names an unordered container (declared
+    // anywhere in the scanned tree) or constructs one inline.
+    if (t.IsIdent("for") && i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+      size_t j = i + 2;
+      int depth = 1;
+      size_t colon = 0;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].IsPunct("(")) {
+          ++depth;
+        } else if (toks[j].IsPunct(")")) {
+          --depth;
+        } else if (depth == 1 && toks[j].IsPunct(":") && colon == 0) {
+          colon = j;
+        } else if (depth == 1 && toks[j].IsPunct(";")) {
+          colon = 0;  // Classic three-clause for: the colon was a ternary's.
+          break;
+        }
+        ++j;
+      }
+      if (colon != 0) {
+        for (size_t k = colon + 1; k < j - 1; ++k) {
+          const Token& r = toks[k];
+          if (r.kind != TokenKind::kIdentifier) {
+            continue;
+          }
+          if (ctx.registry.unordered_names.count(r.text) != 0 ||
+              IsUnorderedContainerName(r.text)) {
+            ctx.Report(t.line, "unordered-iter",
+                       "range-for over unordered container '" + r.text +
+                           "' in a result-affecting directory: hash order can reach results "
+                           "or traces; use std::map / a sorted vector, or annotate the loop "
+                           "with `// lint: unordered-iter-ok (reason)`");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // Iterator-style loops: <unordered name>.begin() / ->cbegin() etc.
+    if (t.kind == TokenKind::kIdentifier && ctx.registry.unordered_names.count(t.text) != 0 &&
+        i + 2 < toks.size() && (toks[i + 1].IsPunct(".") || toks[i + 1].IsPunct("->"))) {
+      const std::string& m = toks[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin") {
+        ctx.Report(t.line, "unordered-iter",
+                   "iterator walk over unordered container '" + t.text +
+                       "' in a result-affecting directory: hash order can reach results or "
+                       "traces; use std::map / a sorted vector, or annotate with `// lint: "
+                       "unordered-iter-ok (reason)`");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// uninit-member
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Analyzes one member-declaration statement (tokens between ';'s at struct
+// depth 1) and reports scalars without initializers.
+void AnalyzeMemberStatement(const RuleContext& ctx, const std::string& struct_name,
+                            const std::vector<Token>& stmt) {
+  if (stmt.size() < 2) {
+    return;
+  }
+  static const std::set<std::string> kSkipLead = {
+      "using",  "typedef",  "friend",   "static", "template", "operator",
+      "virtual", "explicit", "constexpr", "inline", "struct",  "class",
+      "enum",   "union",    "public",   "private", "protected"};
+  if (kSkipLead.count(stmt.front().text) != 0) {
+    return;
+  }
+  for (const Token& t : stmt) {
+    if (t.IsPunct("=") || t.IsPunct("(") || t.IsPunct("[") || t.IsPunct(":")) {
+      return;  // Initialized, a function, an array, or a bitfield.
+    }
+  }
+  const Token& name = stmt.back();
+  if (name.kind != TokenKind::kIdentifier) {
+    return;
+  }
+  bool scalar = false;
+  for (size_t i = 0; i + 1 < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.IsPunct("*") || t.IsPunct("&") || t.IsPunct("<")) {
+      return;  // Pointer / reference / template type: out of scope.
+    }
+    if (t.kind == TokenKind::kIdentifier && (BuiltinScalarTypes().count(t.text) != 0 ||
+                                             ctx.registry.enum_types.count(t.text) != 0)) {
+      scalar = true;
+    }
+  }
+  if (scalar) {
+    ctx.Report(name.line, "uninit-member",
+               "scalar member '" + name.text + "' of struct '" + struct_name +
+                   "' has no default initializer: its value is indeterminate unless every "
+                   "construction site remembers to set it (the PR 1 pause-field bug class)");
+  }
+}
+
+}  // namespace
+
+void CheckUninitializedMembers(const RuleContext& ctx) {
+  if (!InAnyDir(ctx.path, kMemberInitDirs)) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("struct") || toks[i + 1].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    // `struct Name ... {` -- skip forward declarations and elaborated uses.
+    const std::string struct_name = toks[i + 1].text;
+    size_t j = i + 2;
+    while (j < toks.size() && !toks[j].IsPunct("{") && !toks[j].IsPunct(";")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].IsPunct(";")) {
+      continue;
+    }
+    // Walk the body at depth 1, collecting member statements. Function bodies
+    // and nested types are skipped wholesale (nested structs are found by the
+    // outer scan on its own pass over their `struct` token).
+    ++j;
+    std::vector<Token> stmt;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.IsPunct("}")) {
+        break;
+      }
+      if (t.IsPunct("{")) {
+        bool is_function = false;
+        bool is_nested_type = false;
+        for (const Token& s : stmt) {
+          if (s.IsPunct("(")) {
+            is_function = true;
+          }
+          if (s.IsIdent("struct") || s.IsIdent("class") || s.IsIdent("enum") ||
+              s.IsIdent("union")) {
+            is_nested_type = true;
+          }
+        }
+        j = SkipBalanced(toks, j + 1, "{", "}");
+        if (is_function || is_nested_type) {
+          // Swallow any trailing `;` (nested type) -- harmless for functions.
+          if (j < toks.size() && toks[j].IsPunct(";")) {
+            ++j;
+          }
+          stmt.clear();
+        } else {
+          // Brace initializer `int x{0};`: counts as initialized.
+          while (j < toks.size() && !toks[j].IsPunct(";")) {
+            ++j;
+          }
+          ++j;
+          stmt.clear();
+        }
+        continue;
+      }
+      if (t.IsPunct(";")) {
+        AnalyzeMemberStatement(ctx, struct_name, stmt);
+        stmt.clear();
+        ++j;
+        continue;
+      }
+      // Access specifiers terminate with ':'; drop them from the statement.
+      if (t.IsPunct(":") && stmt.size() == 1 &&
+          (stmt[0].IsIdent("public") || stmt[0].IsIdent("private") ||
+           stmt[0].IsIdent("protected"))) {
+        stmt.clear();
+        ++j;
+        continue;
+      }
+      stmt.push_back(t);
+      ++j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dcheck-side-effect
+// ---------------------------------------------------------------------------
+
+void CheckDcheckSideEffects(const RuleContext& ctx) {
+  static const std::set<std::string> kMutatingOps = {"++", "--", "=",  "+=", "-=", "*=",
+                                                     "/=", "%=", "&=", "|=", "^=", "<<=",
+                                                     ">>="};
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || t.text.rfind("DCHECK", 0) != 0 ||
+        !toks[i + 1].IsPunct("(")) {
+      continue;
+    }
+    const size_t end = SkipBalanced(toks, i + 2, "(", ")");
+    // Argument tokens span [i + 2, end - 1); end - 1 is the closing ')'.
+    for (size_t j = i + 2; j + 1 < end && j < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kPunct && kMutatingOps.count(toks[j].text) != 0) {
+        ctx.Report(t.line, "dcheck-side-effect",
+                   "'" + toks[j].text + "' inside " + t.text +
+                       "(...) is compiled out in NDEBUG builds, silently dropping the side "
+                       "effect; hoist the mutation out of the check");
+        break;
+      }
+    }
+    i = end > i ? end - 1 : i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Strips any absolute prefix down to the repo-relative path ("/root/repo/
+// src/mem/x.h" -> "src/mem/x.h") so guard names derive identically however
+// the linter was pointed at the tree.
+std::string RepoRelativePath(const std::string& path) {
+  static const char* const kRoots[] = {"src/", "bench/", "tests/", "tools/", "examples/"};
+  size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    if (path.rfind(root, 0) == 0) {
+      return path;
+    }
+    const std::string needle = std::string("/") + root;
+    const size_t pos = path.find(needle);
+    if (pos != std::string::npos && pos + 1 < best) {
+      best = pos + 1;
+    }
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
+// Project guard name: JAVMM_SRC_MEM_PAGE_TABLE_H_ for src/mem/page_table.h.
+std::string ExpectedGuard(const std::string& raw_path) {
+  const std::string path = RepoRelativePath(raw_path);
+  std::string guard = "JAVMM_";
+  for (const char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+}  // namespace
+
+void CheckIncludeGuard(const RuleContext& ctx) {
+  if (!EndsWith(ctx.path, ".h")) {
+    return;
+  }
+  bool in_block_comment = false;
+  int ifndef_line = 0;
+  std::string guard_name;
+  for (size_t ln = 0; ln < ctx.src.lines.size(); ++ln) {
+    std::string line = Trimmed(ctx.src.lines[ln]);
+    if (in_block_comment) {
+      const size_t close = line.find("*/");
+      if (close == std::string::npos) {
+        continue;
+      }
+      line = Trimmed(line.substr(close + 2));
+    }
+    in_block_comment = false;
+    if (line.empty() || line.rfind("//", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("/*", 0) == 0) {
+      if (line.find("*/", 2) == std::string::npos) {
+        in_block_comment = true;
+      }
+      continue;
+    }
+    if (ifndef_line == 0) {
+      if (line.rfind("#ifndef", 0) == 0) {
+        ifndef_line = static_cast<int>(ln + 1);
+        guard_name = Trimmed(line.substr(7));
+        continue;
+      }
+      ctx.Report(static_cast<int>(ln + 1), "include-guard",
+                 "header does not open with an include guard (#ifndef " + ExpectedGuard(ctx.path) +
+                     " / #define ...); every header must be safely re-includable");
+      return;
+    }
+    // First line after #ifndef must be the matching #define.
+    if (line.rfind("#define", 0) == 0 && Trimmed(line.substr(7)) == guard_name) {
+      if (guard_name != ExpectedGuard(ctx.path)) {
+        ctx.Report(ifndef_line, "include-guard",
+                   "include guard '" + guard_name + "' does not match the project convention '" +
+                       ExpectedGuard(ctx.path) + "' derived from the file path");
+      }
+      return;
+    }
+    ctx.Report(ifndef_line, "include-guard",
+               "#ifndef " + guard_name + " is not followed by '#define " + guard_name +
+                   "': the guard never latches");
+    return;
+  }
+  if (ifndef_line == 0 && !ctx.src.lines.empty()) {
+    ctx.Report(1, "include-guard", "header has no include guard (#ifndef/#define)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// float-export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string UnescapeStringToken(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size()) {
+      out += raw[i + 1];
+      ++i;
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+bool LooksLikeJsonEmit(const std::vector<Token>& stmt) {
+  bool has_stream = false;
+  bool has_json_key = false;
+  for (const Token& t : stmt) {
+    if (t.IsPunct("<<")) {
+      has_stream = true;
+    } else if (t.kind == TokenKind::kString) {
+      const std::string text = UnescapeStringToken(t.text);
+      if (text.find("\":") != std::string::npos) {
+        has_json_key = true;
+        if (text.find("%f") != std::string::npos || text.find("%g") != std::string::npos ||
+            text.find("%e") != std::string::npos) {
+          has_stream = true;  // printf-style float into a JSON template.
+        }
+      }
+    }
+  }
+  return has_stream && has_json_key;
+}
+
+}  // namespace
+
+void CheckFloatExport(const RuleContext& ctx) {
+  if (!PathInDir(ctx.path, "src/runner/") && !EndsWith(ctx.path, "bench/common.h")) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.src.tokens;
+  std::vector<Token> stmt;
+  for (const Token& t : toks) {
+    if (!t.IsPunct(";")) {
+      stmt.push_back(t);
+      continue;
+    }
+    if (LooksLikeJsonEmit(stmt)) {
+      for (const Token& s : stmt) {
+        const bool float_call = s.IsIdent("ToSecondsF") || s.IsIdent("ToMillisF");
+        const bool float_type = s.IsIdent("double") || s.IsIdent("float");
+        const bool float_lit = s.kind == TokenKind::kNumber && IsFloatLiteral(s.text);
+        const bool float_fmt =
+            s.kind == TokenKind::kString &&
+            (UnescapeStringToken(s.text).find("%f") != std::string::npos ||
+             UnescapeStringToken(s.text).find("%g") != std::string::npos ||
+             UnescapeStringToken(s.text).find("%e") != std::string::npos);
+        if (float_call || float_type || float_lit || float_fmt) {
+          ctx.Report(s.line, "float-export",
+                     "floating-point value ('" + s.text +
+                         "') flows into the integer-only JSON-lines export: emit exact "
+                         "integer units (nanoseconds / bytes / pages) so serial and "
+                         "parallel runs stay byte-identical");
+        }
+      }
+    }
+    stmt.clear();
+  }
+}
+
+}  // namespace lint
+}  // namespace javmm

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Internal rule implementations for javmm-lint. Each rule is one free
+// function over a RuleContext; LintSource (lint.cc) decides which rules run
+// for a given path and applies suppressions afterwards.
+
+#ifndef JAVMM_SRC_LINT_RULES_H_
+#define JAVMM_SRC_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+#include "src/lint/source.h"
+
+namespace javmm {
+namespace lint {
+
+struct RuleContext {
+  const std::string& path;
+  const TokenizedSource& src;
+  const LintRegistry& registry;
+  std::vector<Diagnostic>* out;
+
+  void Report(int line, const char* rule, std::string message) const {
+    out->push_back(Diagnostic{path, line, rule, std::move(message)});
+  }
+};
+
+// True when `path` lies under directory `dir` ("src/base/" style, trailing
+// slash required). Matches anywhere in the path so absolute and
+// repo-relative spellings classify identically.
+bool PathInDir(const std::string& path, const char* dir);
+
+void CheckBannedCalls(const RuleContext& ctx);       // banned-call
+void CheckUnorderedIteration(const RuleContext& ctx);  // unordered-iter
+void CheckUninitializedMembers(const RuleContext& ctx);  // uninit-member
+void CheckDcheckSideEffects(const RuleContext& ctx);  // dcheck-side-effect
+void CheckIncludeGuard(const RuleContext& ctx);       // include-guard
+void CheckFloatExport(const RuleContext& ctx);        // float-export
+
+}  // namespace lint
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_LINT_RULES_H_

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Lightweight C++ tokenizer for javmm-lint (src/lint/).
+//
+// The linter deliberately avoids libclang: the project contract it enforces
+// (DESIGN.md §9) is lexical -- banned identifiers, iteration syntax over
+// known container names, member declarations inside `struct { ... }` -- so a
+// comment/string-aware token stream plus the raw source lines is enough, and
+// the tool stays a sub-second dependency-free build step.
+//
+// The tokenizer understands line/block comments, string/char literals
+// (including raw strings and digit separators), and multi-character
+// punctuators. Preprocessor directives are *not* tokenized -- their raw lines
+// are kept in TokenizedSource::lines for the rules that need them
+// (include-guard, banned includes) -- so macro bodies never confuse the
+// statement-level rules.
+
+#ifndef JAVMM_SRC_LINT_SOURCE_H_
+#define JAVMM_SRC_LINT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace javmm {
+namespace lint {
+
+enum class TokenKind {
+  kIdentifier,  // Identifiers and keywords (the rules tell them apart).
+  kNumber,      // Integer and floating literals, including 0x / 1'000 / 1e9.
+  kString,      // String literal, text WITHOUT the surrounding quotes.
+  kCharLiteral,
+  kPunct,  // Operators and punctuation, longest-match ("<<=", "::", ...).
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based source line the token starts on.
+
+  bool Is(TokenKind k, const char* t) const { return kind == k && text == t; }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdentifier, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+struct Comment {
+  int line = 0;      // 1-based line the comment starts on.
+  std::string text;  // Body without the // or /* */ markers.
+};
+
+struct TokenizedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  // Raw source lines (index 0 = line 1), preprocessor lines included.
+  std::vector<std::string> lines;
+};
+
+// Tokenizes `content`. Never fails: unrecognized bytes become single-char
+// punct tokens, and an unterminated literal swallows the rest of the file.
+TokenizedSource Tokenize(const std::string& content);
+
+// True when the number literal is floating point (has '.', or a decimal
+// exponent such as 1e9, but not hex like 0xE9).
+bool IsFloatLiteral(const std::string& number_text);
+
+}  // namespace lint
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_LINT_SOURCE_H_

@@ -42,7 +42,7 @@ enum class TraceEventKind : uint8_t {
 // leaves the rest zero. Kept flat (no variants) so recording is a single
 // vector push_back on the hot path.
 struct TraceEvent {
-  TraceEventKind kind;
+  TraceEventKind kind = TraceEventKind::kMigrationStart;
   TimePoint at;
   int32_t iteration = 0;
   int32_t detail = 0;

@@ -1,0 +1,18 @@
+// Known-bad fixture: every banned nondeterminism source, expected to fire
+// banned-call once per construct (6 total) when linted under a non-exempt
+// directory, and zero times under src/base/ or src/runner/.
+#include <random>
+
+int Entropy() {
+  std::random_device rd;              // banned-call: random_device
+  srand(42);                          // banned-call: srand
+  const int r = rand();               // banned-call: rand
+  const long now = time(nullptr);     // banned-call: time(
+  const char* home = getenv("HOME");  // banned-call: getenv
+  (void)home;
+  return static_cast<int>(rd()) + r + static_cast<int>(now);
+}
+
+// Not flagged: banned names inside comments (steady_clock) or strings, and
+// member access spelled obj.time() -- only the global wall-clock read counts.
+const char* kDoc = "system_clock is banned";

@@ -1,0 +1,13 @@
+// Fixture: the same banned constructs as banned_call_bad.cc, each carrying a
+// valid suppression. Expected: zero banned-call findings.
+// lint: banned-call-ok (fixture exercising the suppression channel)
+#include <random>
+
+int Entropy() {
+  // lint: banned-call-ok (fixture exercising the suppression channel)
+  std::random_device rd;
+  srand(42);  // lint: banned-call-ok (trailing-comment form)
+  // lint: banned-call-ok (fixture exercising the suppression channel)
+  const long now = time(nullptr);
+  return static_cast<int>(rd()) + static_cast<int>(now);
+}

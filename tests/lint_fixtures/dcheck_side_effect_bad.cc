@@ -1,0 +1,11 @@
+// Known-bad fixture: DCHECK arguments whose side effects vanish in NDEBUG
+// builds. Expected to fire dcheck-side-effect 3 times.
+#include "src/base/macros.h"
+
+int Consume(int* cursor, int limit) {
+  DCHECK(++*cursor < limit);     // dcheck-side-effect: increment compiled out
+  int written = 0;
+  DCHECK_EQ(written = limit, limit);  // dcheck-side-effect: assignment
+  DCHECK_GE(limit -= 1, 0);      // dcheck-side-effect: compound assignment
+  return written + *cursor + limit;
+}

@@ -1,0 +1,14 @@
+// Negative fixture for dcheck-side-effect: pure predicates only (comparisons
+// and const calls), plus side effects in always-on CHECKs, which survive
+// NDEBUG. Expected: zero findings.
+#include <vector>
+
+#include "src/base/macros.h"
+
+int Inspect(const std::vector<int>& values, int* cursor, int limit) {
+  DCHECK(static_cast<int>(values.size()) <= limit);
+  DCHECK_EQ(values.empty(), values.size() == 0);
+  DCHECK_GE(limit, 0);
+  CHECK(++*cursor < limit);  // CHECK is always compiled in: effects are safe
+  return *cursor;
+}

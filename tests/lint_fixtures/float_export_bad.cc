@@ -1,0 +1,18 @@
+// Known-bad fixture: floating-point values flowing into a JSON-lines export
+// statement. Expected to fire float-export at least 3 times (ToSecondsF,
+// static_cast<double>, float literal) when linted under src/runner/.
+#include <cstdio>
+#include <ostream>
+
+#include "src/base/time.h"
+
+namespace javmm_fixture {
+
+void ExportBad(std::ostream& os, javmm::Duration d, int64_t bytes) {
+  os << "{\"time_s\":" << d.ToSecondsF()                       // float-export
+     << ",\"gib\":" << static_cast<double>(bytes) / 1073741824.0  // float-export (x2)
+     << "}\n";
+  std::fprintf(stderr, "not an export path: %f\n", d.ToSecondsF());  // no ":\" key: clean
+}
+
+}  // namespace javmm_fixture

@@ -1,0 +1,18 @@
+// Negative fixture for float-export: the integer-only export contract as
+// src/runner/runner.cc implements it. Expected: zero findings under
+// src/runner/.
+#include <ostream>
+
+#include "src/base/time.h"
+
+namespace javmm_fixture {
+
+void ExportOk(std::ostream& os, javmm::Duration d, int64_t bytes, int64_t pages) {
+  os << "{\"time_ns\":" << d.nanos() << ",\"bytes\":" << bytes << ",\"pages\":" << pages
+     << "}\n";
+  // Floats outside a JSON-emit statement are fine (tables are humans-only).
+  const double mib = static_cast<double>(bytes) / 1048576.0;
+  (void)mib;
+}
+
+}  // namespace javmm_fixture

@@ -1,0 +1,16 @@
+// Known-bad fixture: guard present but its name does not follow the project
+// convention (JAVMM_<PATH>_H_). Expected to fire include-guard once under
+// the virtual path src/mem/include_guard_mismatch.h.
+
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_RANDOM_GUARD_H
+
+#include <cstdint>
+
+namespace javmm_fixture {
+
+inline int64_t Thrice(int64_t x) { return 3 * x; }
+
+}  // namespace javmm_fixture
+
+#endif  // SOME_RANDOM_GUARD_H

@@ -1,0 +1,10 @@
+// Known-bad fixture: a header with no include guard at all. Expected to fire
+// include-guard once.
+
+#include <cstdint>
+
+namespace javmm_fixture {
+
+inline int64_t Twice(int64_t x) { return 2 * x; }
+
+}  // namespace javmm_fixture

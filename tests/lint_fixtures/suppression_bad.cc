@@ -1,0 +1,19 @@
+// Known-bad fixture: malformed suppression annotations. Expected to fire
+// suppression 3 times (missing reason, empty reason, unknown rule) -- and
+// the malformed annotations must NOT suppress the underlying finding.
+#include <cstdint>
+#include <unordered_map>
+
+int64_t Sum(const std::unordered_map<int64_t, int64_t>& cache) {
+  int64_t sum = 0;
+  // lint: unordered-iter-ok
+  for (const auto& [k, v] : cache) {  // still fires: suppression has no reason
+    sum += k + v;
+  }
+  // lint: unordered-iter-ok ( )
+  for (const auto& [k, v] : cache) {  // still fires: empty reason
+    sum -= k - v;
+  }
+  // lint: no-such-rule-ok (reason text)
+  return sum;
+}

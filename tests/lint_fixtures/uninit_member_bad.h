@@ -1,0 +1,34 @@
+// Known-bad fixture: scalar struct members without default initializers.
+// Expected to fire uninit-member 4 times (flux, ratio, kind, ready) when
+// linted under src/migration, src/stats or src/trace, and zero times
+// elsewhere. Linted under the virtual path src/migration/uninit_member_bad.h.
+
+#ifndef JAVMM_SRC_MIGRATION_UNINIT_MEMBER_BAD_H_
+#define JAVMM_SRC_MIGRATION_UNINIT_MEMBER_BAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace javmm_fixture {
+
+enum class FixtureKind { kAlpha, kBeta };
+
+struct BadRecord {
+  int64_t flux;       // uninit-member: builtin scalar, no initializer
+  double ratio;       // uninit-member: builtin scalar, no initializer
+  FixtureKind kind;   // uninit-member: enum counts as scalar via the registry
+  bool ready;         // uninit-member: builtin scalar, no initializer
+
+  int64_t ok_init = 0;            // initialized: not flagged
+  double ok_braces{0.5};          // brace-initialized: not flagged
+  std::string name;               // class type: out of scope
+  std::vector<int64_t> samples;   // class type: out of scope
+  const char* label = nullptr;    // pointer (and initialized): not flagged
+
+  int64_t Total() const { return flux + ok_init; }  // member function: skipped
+};
+
+}  // namespace javmm_fixture
+
+#endif  // JAVMM_SRC_MIGRATION_UNINIT_MEMBER_BAD_H_

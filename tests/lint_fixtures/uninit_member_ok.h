@@ -1,0 +1,36 @@
+// Negative fixture for uninit-member: every scalar member carries a default
+// initializer (the project contract for result/trace carriers). Expected:
+// zero findings under the virtual path src/migration/uninit_member_ok.h.
+
+#ifndef JAVMM_SRC_MIGRATION_UNINIT_MEMBER_OK_H_
+#define JAVMM_SRC_MIGRATION_UNINIT_MEMBER_OK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace javmm_fixture {
+
+enum class OkKind { kOne, kTwo };
+
+struct OkRecord {
+  int64_t flux = 0;
+  double ratio = 1.0;
+  OkKind kind = OkKind::kOne;
+  bool ready = false;
+  uint32_t mask{0};
+  std::string name;  // class type: default constructor is well-defined
+
+  double Rate() const { return ratio; }
+};
+
+class OkClass {  // classes are out of scope for the struct-member rule
+ public:
+  explicit OkClass(int64_t v) : ctor_set_(v) {}
+
+ private:
+  int64_t ctor_set_;  // initialized by every constructor
+};
+
+}  // namespace javmm_fixture
+
+#endif  // JAVMM_SRC_MIGRATION_UNINIT_MEMBER_OK_H_

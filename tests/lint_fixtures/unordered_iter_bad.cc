@@ -1,0 +1,26 @@
+// Known-bad fixture: iteration over unordered containers. Expected to fire
+// unordered-iter 3 times when linted under a result-affecting directory
+// (range-for over a local, range-for over a member, iterator walk), and zero
+// times under a non-result directory.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Holder {
+  std::unordered_set<int64_t> members;
+};
+
+int64_t SumAll(const Holder& holder) {
+  std::unordered_map<int64_t, int64_t> local;
+  int64_t sum = 0;
+  for (const auto& [key, value] : local) {  // unordered-iter: range-for local
+    sum += key + value;
+  }
+  for (const int64_t m : holder.members) {  // unordered-iter: range-for member
+    sum += m;
+  }
+  for (auto it = local.begin(); it != local.end(); ++it) {  // unordered-iter: iterator walk
+    sum += it->second;
+  }
+  return sum;
+}

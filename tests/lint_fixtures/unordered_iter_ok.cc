@@ -1,0 +1,24 @@
+// Negative fixture: deterministic iteration and order-free point lookups.
+// Expected: zero unordered-iter findings even in a result-affecting
+// directory.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int64_t SumOrdered(const std::map<int64_t, int64_t>& ordered,
+                   const std::unordered_map<int64_t, int64_t>& probe_only,
+                   const std::vector<int64_t>& keys) {
+  int64_t sum = 0;
+  for (const auto& [key, value] : ordered) {  // std::map: deterministic order
+    sum += key + value;
+  }
+  for (const int64_t key : keys) {  // point lookups never expose hash order
+    auto it = probe_only.find(key);
+    if (it != probe_only.end()) {
+      sum += it->second;
+    }
+    sum += static_cast<int64_t>(probe_only.count(key));
+  }
+  return sum;
+}

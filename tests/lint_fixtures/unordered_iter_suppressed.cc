@@ -1,0 +1,13 @@
+// Fixture: unordered iteration carrying the documented suppression syntax.
+// Expected: zero unordered-iter findings.
+#include <cstdint>
+#include <unordered_map>
+
+int64_t SumSuppressed(const std::unordered_map<int64_t, int64_t>& cache) {
+  int64_t sum = 0;
+  // lint: unordered-iter-ok (sum is commutative; order cannot reach the result)
+  for (const auto& [key, value] : cache) {
+    sum += key + value;
+  }
+  return sum;
+}

@@ -1,0 +1,365 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Self-test for javmm-lint (src/lint/): every shipped rule is demonstrated
+// by a known-bad fixture (tests/lint_fixtures/), its negative twin, and its
+// suppression; plus baseline round-trip and the real-tree regression that
+// keeps the whole repository lint-clean.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/lint/lint.h"
+
+namespace javmm {
+namespace lint {
+namespace {
+
+// Supplied by tests/CMakeLists.txt.
+#ifndef JAVMM_LINT_FIXTURE_DIR
+#error "JAVMM_LINT_FIXTURE_DIR must be defined"
+#endif
+#ifndef JAVMM_SOURCE_DIR
+#error "JAVMM_SOURCE_DIR must be defined"
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::string Fixture(const std::string& name) {
+  return ReadFileOrDie(std::string(JAVMM_LINT_FIXTURE_DIR) + "/" + name);
+}
+
+// Lints fixture `content` as if it lived at `virtual_path`, so directory
+// scoping is testable without touching the real tree. The registry is built
+// from the fixture itself (plus any `extra` sources, for cross-file cases).
+std::vector<Diagnostic> LintVirtual(const std::string& virtual_path, const std::string& content,
+                                    const LintOptions& options = {},
+                                    const std::vector<std::string>& extra = {}) {
+  const TokenizedSource src = Tokenize(content);
+  LintRegistry registry;
+  CollectRegistry(src, &registry);
+  for (const std::string& other : extra) {
+    const TokenizedSource other_src = Tokenize(other);
+    CollectRegistry(other_src, &registry);
+  }
+  return LintSource(virtual_path, src, registry, options);
+}
+
+int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    n += d.rule == rule ? 1 : 0;
+  }
+  return n;
+}
+
+// ---- banned-call -----------------------------------------------------------
+
+TEST(BannedCallRule, FiresOncePerConstructOutsideExemptDirs) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("banned_call_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "banned-call"), 6);  // include + 5 constructs.
+}
+
+TEST(BannedCallRule, ExemptInBaseAndRunner) {
+  const std::string content = Fixture("banned_call_bad.cc");
+  EXPECT_EQ(CountRule(LintVirtual("src/base/fixture.cc", content), "banned-call"), 0);
+  EXPECT_EQ(CountRule(LintVirtual("src/runner/fixture.cc", content), "banned-call"), 0);
+}
+
+TEST(BannedCallRule, AppliesToBenchAndTests) {
+  const std::string content = Fixture("banned_call_bad.cc");
+  EXPECT_GT(CountRule(LintVirtual("bench/fixture.cc", content), "banned-call"), 0);
+  EXPECT_GT(CountRule(LintVirtual("tests/fixture.cc", content), "banned-call"), 0);
+}
+
+TEST(BannedCallRule, SuppressionsSilenceEveryFinding) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("banned_call_suppressed.cc"));
+  EXPECT_EQ(CountRule(diags, "banned-call"), 0);
+  EXPECT_EQ(CountRule(diags, "suppression"), 0);  // All annotations well-formed.
+}
+
+TEST(BannedCallRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("banned-call");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("banned_call_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "banned-call"), 0);
+}
+
+// ---- unordered-iter --------------------------------------------------------
+
+TEST(UnorderedIterRule, FiresOnRangeForAndIteratorWalks) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("unordered_iter_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 3);
+}
+
+TEST(UnorderedIterRule, SilentOutsideResultDirs) {
+  const std::string content = Fixture("unordered_iter_bad.cc");
+  EXPECT_EQ(CountRule(LintVirtual("src/workload/fixture.cc", content), "unordered-iter"), 0);
+  EXPECT_EQ(CountRule(LintVirtual("tests/fixture.cc", content), "unordered-iter"), 0);
+}
+
+TEST(UnorderedIterRule, OrderedIterationAndPointLookupsAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("unordered_iter_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 0);
+}
+
+TEST(UnorderedIterRule, AnnotatedLoopIsSuppressed) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("unordered_iter_suppressed.cc"));
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 0);
+}
+
+TEST(UnorderedIterRule, CrossFileDeclarationIsRecognized) {
+  // Container declared in a header (one source), iterated in another file:
+  // the registry carries the name across files, mirroring lkm.h / lkm.cc.
+  const std::string header =
+      "struct Rec { std::unordered_map<int, int> pfn_cache; };\n";
+  const std::string body =
+      "int Sum(const Rec& rec) {\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : rec.pfn_cache) { s += v; }\n"
+      "  return s;\n"
+      "}\n";
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/guest/fixture.cc", body, {}, {header});
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 1);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(UnorderedIterRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("unordered-iter");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("unordered_iter_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 0);
+}
+
+// ---- uninit-member ---------------------------------------------------------
+
+TEST(UninitMemberRule, FiresOnScalarAndEnumMembers) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/uninit_member_bad.h", Fixture("uninit_member_bad.h"));
+  EXPECT_EQ(CountRule(diags, "uninit-member"), 4);
+  std::set<std::string> named;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "uninit-member") {
+      // Member name is quoted first in the message: "scalar member 'x' ...".
+      const size_t a = d.message.find('\'');
+      const size_t b = d.message.find('\'', a + 1);
+      named.insert(d.message.substr(a + 1, b - a - 1));
+    }
+  }
+  EXPECT_EQ(named, (std::set<std::string>{"flux", "ratio", "kind", "ready"}));
+}
+
+TEST(UninitMemberRule, InitializedAndClassMembersAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/uninit_member_ok.h", Fixture("uninit_member_ok.h"));
+  EXPECT_EQ(CountRule(diags, "uninit-member"), 0);
+}
+
+TEST(UninitMemberRule, SilentOutsideTargetDirs) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/jvm/uninit_member_bad.h", Fixture("uninit_member_bad.h"));
+  EXPECT_EQ(CountRule(diags, "uninit-member"), 0);
+}
+
+TEST(UninitMemberRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("uninit-member");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/uninit_member_bad.h", Fixture("uninit_member_bad.h"), options);
+  EXPECT_EQ(CountRule(diags, "uninit-member"), 0);
+}
+
+// ---- dcheck-side-effect ----------------------------------------------------
+
+TEST(DcheckSideEffectRule, FiresOnMutationsInsideDcheck) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("dcheck_side_effect_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "dcheck-side-effect"), 3);
+}
+
+TEST(DcheckSideEffectRule, PurePredicatesAndCheckAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("dcheck_side_effect_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "dcheck-side-effect"), 0);
+}
+
+TEST(DcheckSideEffectRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("dcheck-side-effect");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("dcheck_side_effect_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "dcheck-side-effect"), 0);
+}
+
+// ---- include-guard ---------------------------------------------------------
+
+TEST(IncludeGuardRule, FiresOnMissingGuard) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/include_guard_missing.h", Fixture("include_guard_missing.h"));
+  EXPECT_EQ(CountRule(diags, "include-guard"), 1);
+}
+
+TEST(IncludeGuardRule, FiresOnNonConventionGuardName) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/include_guard_mismatch.h", Fixture("include_guard_mismatch.h"));
+  ASSERT_EQ(CountRule(diags, "include-guard"), 1);
+  EXPECT_NE(diags[0].message.find("JAVMM_SRC_MEM_INCLUDE_GUARD_MISMATCH_H_"),
+            std::string::npos);
+}
+
+TEST(IncludeGuardRule, ProperGuardIsCleanAndSourcesAreExempt) {
+  EXPECT_EQ(CountRule(LintVirtual("src/migration/uninit_member_ok.h",
+                                  Fixture("uninit_member_ok.h")),
+                      "include-guard"),
+            0);
+  // .cc files need no guard.
+  EXPECT_EQ(CountRule(LintVirtual("src/mem/fixture.cc", Fixture("include_guard_missing.h")),
+                      "include-guard"),
+            0);
+}
+
+TEST(IncludeGuardRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("include-guard");
+  const std::vector<Diagnostic> diags = LintVirtual(
+      "src/mem/include_guard_missing.h", Fixture("include_guard_missing.h"), options);
+  EXPECT_EQ(CountRule(diags, "include-guard"), 0);
+}
+
+// ---- float-export ----------------------------------------------------------
+
+TEST(FloatExportRule, FiresOnFloatsInJsonEmitStatements) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/runner/fixture.cc", Fixture("float_export_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 3);
+}
+
+TEST(FloatExportRule, IntegerOnlyExportIsClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/runner/fixture.cc", Fixture("float_export_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
+TEST(FloatExportRule, OnlyExportPathsAreInScope) {
+  // The same float-into-JSON code is out of scope for e.g. src/stats (tables
+  // are human-facing); only src/runner/ and bench/common.h are export paths.
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/stats/fixture.cc", Fixture("float_export_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
+TEST(FloatExportRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("float-export");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/runner/fixture.cc", Fixture("float_export_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
+// ---- suppression hygiene ---------------------------------------------------
+
+TEST(SuppressionRule, MalformedAnnotationsAreReportedAndDoNotSuppress) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("suppression_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "suppression"), 3);
+  // The malformed annotations must not have silenced the real findings.
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 2);
+}
+
+// ---- diagnostics & baseline ------------------------------------------------
+
+TEST(Diagnostics, TextAndJsonForms) {
+  const Diagnostic diag{"src/mem/x.h", 12, "include-guard", "a \"quoted\" message"};
+  EXPECT_EQ(diag.ToString(), "src/mem/x.h:12: include-guard: a \"quoted\" message");
+  EXPECT_EQ(diag.ToJson(),
+            "{\"file\":\"src/mem/x.h\",\"line\":12,\"rule\":\"include-guard\","
+            "\"message\":\"a \\\"quoted\\\" message\"}");
+}
+
+TEST(BaselineTest, RoundTripCoversExactlyTheSerializedFindings) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/core/fixture.cc", Fixture("banned_call_bad.cc"));
+  ASSERT_FALSE(diags.empty());
+  const std::string serialized = Baseline::Serialize(diags);
+  const Baseline baseline = Baseline::Parse(serialized);
+  EXPECT_EQ(baseline.size(), diags.size());  // All distinct (file, rule, msg).
+  for (const Diagnostic& diag : diags) {
+    EXPECT_TRUE(baseline.Covers(diag)) << diag.ToString();
+  }
+  const Diagnostic other{"src/core/other.cc", 1, "banned-call", "not grandfathered"};
+  EXPECT_FALSE(baseline.Covers(other));
+}
+
+TEST(BaselineTest, IgnoresCommentsAndBlankLines) {
+  const Baseline baseline = Baseline::Parse("# comment\n\nsrc/a.cc\tbanned-call\tmsg\n");
+  EXPECT_EQ(baseline.size(), 1u);
+  EXPECT_TRUE(baseline.Covers(Diagnostic{"src/a.cc", 7, "banned-call", "msg"}));
+}
+
+TEST(BaselineTest, CheckedInBaselineIsEmpty) {
+  // The acceptance bar for this repo: no grandfathered findings at all.
+  const std::string content =
+      ReadFileOrDie(std::string(JAVMM_SOURCE_DIR) + "/tools/lint_baseline.txt");
+  EXPECT_EQ(Baseline::Parse(content).size(), 0u);
+}
+
+// ---- whole-tree regression -------------------------------------------------
+
+TEST(TreeRegression, RepositoryIsLintClean) {
+  const std::string root(JAVMM_SOURCE_DIR);
+  std::string error;
+  const std::vector<std::string> files =
+      CollectSourceFiles({root + "/src", root + "/bench", root + "/tests"}, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_GT(files.size(), 100u);  // The walk found the real tree.
+
+  LintRegistry registry;
+  std::vector<TokenizedSource> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    sources.push_back(Tokenize(ReadFileOrDie(file)));
+    CollectRegistry(sources.back(), &registry);
+  }
+  std::vector<std::string> findings;
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (const Diagnostic& diag : LintSource(files[i], sources[i], registry, {})) {
+      findings.push_back(diag.ToString());
+    }
+  }
+  EXPECT_TRUE(findings.empty()) << findings.size() << " finding(s), first: " << findings[0];
+}
+
+TEST(TreeRegression, FixtureCorpusIsSkippedByDirectoryWalks) {
+  const std::string root(JAVMM_SOURCE_DIR);
+  std::string error;
+  const std::vector<std::string> files = CollectSourceFiles({root + "/tests"}, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  for (const std::string& file : files) {
+    EXPECT_EQ(file.find("lint_fixtures"), std::string::npos) << file;
+  }
+  // Passing a fixture file directly still lints it.
+  const std::vector<std::string> direct =
+      CollectSourceFiles({root + "/tests/lint_fixtures/banned_call_bad.cc"}, &error);
+  EXPECT_EQ(direct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace javmm

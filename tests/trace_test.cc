@@ -330,7 +330,9 @@ INSTANTIATE_TEST_SUITE_P(
                       AuditScenario{"fallback", true, false, false, false, /*fallback=*/true},
                       AuditScenario{"fallback_compressed", true, /*compress=*/true, false, false,
                                     /*fallback=*/true}),
-    [](const ::testing::TestParamInfo<AuditScenario>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<AuditScenario>& param_info) {
+      return param_info.param.name;
+    });
 
 // ---- Baseline engines. ----
 

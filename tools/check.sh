@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Pre-commit gate: format check (when clang-format is installed), the
+# javmm-lint static-analysis pass, and the sanitizer-free smoke suites.
+# Usage: tools/check.sh   (from anywhere inside the repo)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+status=0
+
+# --- 1. Format ---------------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== check.sh: clang-format --dry-run =="
+  mapfile -t files < <(git ls-files 'src/*.h' 'src/*.cc' 'bench/*.h' 'bench/*.cpp' \
+                                    'tools/*.cc' 'tests/*.cc' | grep -v '^tests/lint_fixtures/')
+  if ! clang-format --dry-run --Werror "${files[@]}"; then
+    echo "check.sh: FORMAT FAILURES (run clang-format -i on the files above)" >&2
+    status=1
+  fi
+else
+  echo "== check.sh: clang-format not installed; skipping format layer =="
+fi
+
+# --- 2. javmm-lint -----------------------------------------------------------
+echo "== check.sh: javmm-lint =="
+if ! "${repo_root}/tools/javmm_lint" --baseline=tools/lint_baseline.txt src bench tests; then
+  echo "check.sh: LINT FAILURES (annotate with '// lint: <rule>-ok (reason)' only" >&2
+  echo "          when the finding is a deliberate, order-independent use)" >&2
+  status=1
+fi
+
+# --- 3. Smoke ----------------------------------------------------------------
+echo "== check.sh: smoke suites =="
+cmake --build "${repo_root}/build" --target smoke
+
+if [[ ${status} -ne 0 ]]; then
+  echo "check.sh: FAILED" >&2
+else
+  echo "check.sh: OK"
+fi
+exit ${status}

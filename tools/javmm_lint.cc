@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// javmm-lint CLI: scans the given files/directories and reports violations
+// of the project's determinism & correctness contract (DESIGN.md §9).
+//
+//   tools/javmm_lint [options] PATH...
+//
+//   --json                  one JSON object per finding instead of text
+//   --baseline=FILE         suppress findings recorded in FILE
+//   --write-baseline=FILE   write all findings to FILE and exit 0
+//   --disable=RULE          turn one rule off (repeatable)
+//   --list-rules            print the rule catalogue and exit
+//
+// Exit codes: 0 = clean (after baseline), 1 = findings, 2 = usage/IO error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    *error = "cannot read '" + path + "'";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: javmm_lint [--json] [--baseline=FILE] [--write-baseline=FILE]\n"
+               "                  [--disable=RULE]... [--list-rules] PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace javmm::lint;
+
+  bool json = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  LintOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      const std::string rule = arg.substr(10);
+      if (!IsKnownRule(rule)) {
+        std::fprintf(stderr, "javmm_lint: unknown rule '%s' (see --list-rules)\n", rule.c_str());
+        return 2;
+      }
+      options.disabled_rules.insert(rule);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : AllRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  std::string error;
+  const std::vector<std::string> files = CollectSourceFiles(paths, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "javmm_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Pass 1: tokenize everything and build the cross-file registry (enum
+  // types, unordered-container names) so declarations in one file inform
+  // rules in another.
+  std::vector<TokenizedSource> sources;
+  sources.reserve(files.size());
+  LintRegistry registry;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content, &error)) {
+      std::fprintf(stderr, "javmm_lint: %s\n", error.c_str());
+      return 2;
+    }
+    sources.push_back(Tokenize(content));
+    CollectRegistry(sources.back(), &registry);
+  }
+
+  // Pass 2: run the rules.
+  std::vector<Diagnostic> findings;
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::vector<Diagnostic> diags = LintSource(files[i], sources[i], registry, options);
+    findings.insert(findings.end(), diags.begin(), diags.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream os(write_baseline_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "javmm_lint: cannot write '%s'\n", write_baseline_path.c_str());
+      return 2;
+    }
+    os << Baseline::Serialize(findings);
+    std::fprintf(stderr, "javmm_lint: wrote %zu finding(s) to %s\n", findings.size(),
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string content;
+    if (!ReadFile(baseline_path, &content, &error)) {
+      std::fprintf(stderr, "javmm_lint: %s\n", error.c_str());
+      return 2;
+    }
+    baseline = Baseline::Parse(content);
+  }
+
+  int reported = 0;
+  for (const Diagnostic& diag : findings) {
+    if (baseline.Covers(diag)) {
+      continue;
+    }
+    ++reported;
+    std::cout << (json ? diag.ToJson() : diag.ToString()) << "\n";
+  }
+  if (reported > 0 && !json) {
+    std::fprintf(stderr, "javmm_lint: %d finding(s) in %zu file(s) scanned\n", reported,
+                 files.size());
+  }
+  return reported > 0 ? 1 : 0;
+}
