@@ -10,6 +10,7 @@
 //   migrate_cli --workload=xml --engine=xen --young-mib=1536 --repeat=3
 //   migrate_cli --workload=crypto --engine=auto --bandwidth-gbps=2.5 --csv
 //   migrate_cli --workload=derby --engine=postcopy
+//   migrate_cli --workload=crypto --engine=javmm --faults="bw:0s-60s@0.1;loss:0.05"
 //   migrate_cli --list
 
 #include <cstdio>
@@ -21,6 +22,7 @@
 
 #include "src/core/migration_lab.h"
 #include "src/core/policy.h"
+#include "src/faults/faults.h"
 #include "src/migration/baselines.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
@@ -42,6 +44,7 @@ struct CliOptions {
   bool csv = false;
   bool list = false;
   std::string trace_out;  // JSON-lines trace of the last run ("" = off).
+  std::string faults;     // FaultPlan spec for the migration link ("" = healthy).
 };
 
 void PrintUsage() {
@@ -56,6 +59,8 @@ void PrintUsage() {
       "  --young-mib=M         override the young-generation cap (-Xmn)\n"
       "  --warmup-s=S          workload warmup before migrating (default 120)\n"
       "  --compress            enable the compression extension\n"
+      "  --faults=SPEC         deterministic link-fault plan, e.g.\n"
+      "                        \"bw:2s-30s@0.1;lat:0s-5s+10ms;out:4s-5s;loss:0.05\"\n"
       "  --csv                 print per-iteration records as CSV\n"
       "  --trace-out=FILE      write the last run's migration trace as JSON lines\n"
       "  --list                list workloads and exit\n");
@@ -91,6 +96,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->warmup_s = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--trace-out", &value)) {
       options->trace_out = value;
+    } else if (ParseFlag(argv[i], "--faults", &value)) {
+      options->faults = value;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       options->compress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -104,6 +111,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
       return false;
     }
+  }
+  return true;
+}
+
+// Parses --faults into config->migration.faults. Returns false (after
+// printing the parse error) on a malformed spec; an empty spec is a no-op.
+bool ApplyFaults(const CliOptions& options, LabConfig* config) {
+  std::string error;
+  if (!FaultPlan::Parse(options.faults, &config->migration.faults, &error)) {
+    std::fprintf(stderr, "bad --faults spec '%s': %s\n", options.faults.c_str(), error.c_str());
+    return false;
   }
   return true;
 }
@@ -157,6 +175,9 @@ int RunPrecopyStyle(const CliOptions& options) {
     config.seed = options.seed + static_cast<uint64_t>(run);
     config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
     config.migration.compress_pages = options.compress;
+    if (!ApplyFaults(options, &config)) {
+      return 2;
+    }
     bool assisted = options.engine == "javmm";
     MigrationLab lab(spec, config);
     lab.Run(Duration::SecondsF(options.warmup_s));
@@ -168,7 +189,10 @@ int RunPrecopyStyle(const CliOptions& options) {
       std::printf("policy: %s -> %s\n", decision.reason.c_str(),
                   assisted ? "JAVMM" : "plain pre-copy");
     }
-    MigrationConfig mig = config.migration;
+    // Take the lab's copy of the migration config: the lab forks a dedicated
+    // fault_seed off the run seed, so the Bernoulli control-loss draws are
+    // reproducible per --seed without perturbing the OS/app streams.
+    MigrationConfig mig = lab.config().migration;
     mig.application_assisted = assisted;
     MigrationEngine engine(&lab.guest(), mig);
     MigrationResult result = engine.Migrate();
@@ -205,6 +229,18 @@ int RunPrecopyStyle(const CliOptions& options) {
   table.Row().Cell("network traffic").Cell(traffic_gib.ToString(1.0, " GiB"));
   table.Row().Cell("downtime").Cell(downtime_s.ToString(1.0, " s"));
   table.Row().Cell("iterations").Cell(static_cast<int64_t>(last.iteration_count()));
+  if (!options.faults.empty()) {
+    char faults[96];
+    std::snprintf(faults, sizeof(faults), "%lld ctl-loss, %lld burst, %lld round-timeout",
+                  static_cast<long long>(last.control_losses),
+                  static_cast<long long>(last.burst_faults),
+                  static_cast<long long>(last.round_timeouts));
+    table.Row().Cell("faults survived").Cell(faults);
+    table.Row().Cell("retry traffic").Cell(FormatBytes(last.retry_wire_bytes));
+    table.Row().Cell("backoff").Cell(last.backoff_time.ToString());
+    table.Row().Cell("degraded").Cell(
+        last.degraded ? DegradeReasonName(last.degrade_reason) : "no");
+  }
   table.Row().Cell("verified").Cell("yes");
   table.Print(std::cout);
   if (last.assisted) {
@@ -229,11 +265,14 @@ int RunBaseline(const CliOptions& options) {
   config.vm_bytes = options.vm_mib * kMiB;
   config.seed = options.seed;
   config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
+  if (!ApplyFaults(options, &config)) {
+    return 2;
+  }
   MigrationLab lab(spec, config);
   lab.Run(Duration::SecondsF(options.warmup_s));
   Table table({"metric", "value"});
   if (options.engine == "stopcopy") {
-    StopAndCopyEngine engine(&lab.guest(), config.migration);
+    StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
     const MigrationResult result = engine.Migrate();
     WarnIfAuditFailed(result);
     if (!MaybeExportTrace(options, engine.trace())) {
@@ -248,7 +287,7 @@ int RunBaseline(const CliOptions& options) {
     return result.verification.ok ? 0 : 1;
   }
   PostcopyEngine::Config pc;
-  pc.base = config.migration;
+  pc.base = lab.config().migration;
   PostcopyEngine engine(&lab.guest(), pc);
   const PostcopyResult result = engine.Migrate();
   WarnIfAuditFailed(result.common);

@@ -25,6 +25,10 @@ MigrationLab::MigrationLab(const WorkloadSpec& spec, const LabConfig& config)
   Rng rng(config_.seed);
   os_ = std::make_unique<OsBackgroundProcess>(kernel_.get(), config_.os, rng.Fork());
   app_ = std::make_unique<JavaApplication>(kernel_.get(), spec_, rng.Fork(), config_.agent);
+  // The engine's control-loss stream forks off AFTER the existing consumers,
+  // so enabling fault injection cannot perturb the OS/app streams of a
+  // fault-free run with the same lab seed.
+  config_.migration.fault_seed = rng.Fork().Next();
   analyzer_ = std::make_unique<ThroughputAnalyzer>(&clock_, app_.get());
 
   java_liveness_ = std::make_unique<JavaLivenessSource>(kernel_.get(), app_.get());

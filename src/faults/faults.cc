@@ -1,0 +1,244 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/faults/faults.h"
+
+#include <cstdlib>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+namespace {
+
+// Parses "<number><unit>" with unit in {ns, us, ms, s}; returns false on
+// anything else (including trailing garbage).
+bool ParseDurationToken(const std::string& text, Duration* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* rest = nullptr;
+  const double value = std::strtod(text.c_str(), &rest);
+  if (rest == text.c_str() || value < 0) {
+    return false;
+  }
+  const std::string unit(rest);
+  double nanos_per_unit = 0;
+  if (unit == "ns") {
+    nanos_per_unit = 1.0;
+  } else if (unit == "us") {
+    nanos_per_unit = 1e3;
+  } else if (unit == "ms") {
+    nanos_per_unit = 1e6;
+  } else if (unit == "s") {
+    nanos_per_unit = 1e9;
+  } else {
+    return false;
+  }
+  *out = Duration::SecondsF(value * nanos_per_unit / 1e9);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* rest = nullptr;
+  *out = std::strtod(text.c_str(), &rest);
+  return rest == text.c_str() + text.size();
+}
+
+// Splits "START-END" (both duration tokens) out of `text`.
+bool ParseWindowSpan(const std::string& text, Duration* start, Duration* end) {
+  const size_t dash = text.find('-');
+  if (dash == std::string::npos) {
+    return false;
+  }
+  return ParseDurationToken(text.substr(0, dash), start) &&
+         ParseDurationToken(text.substr(dash + 1), end);
+}
+
+template <typename Window>
+std::string ValidateWindows(const std::vector<Window>& windows, const char* what) {
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].end <= windows[i].start) {
+      return std::string(what) + " window " + std::to_string(i) + " is empty or inverted";
+    }
+    if (i > 0 && windows[i].start < windows[i - 1].end) {
+      return std::string(what) + " windows " + std::to_string(i - 1) + " and " +
+             std::to_string(i) + " overlap or are out of order";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string FaultPlan::Validate() const {
+  std::string err = ValidateWindows(bandwidth, "bandwidth");
+  if (!err.empty()) {
+    return err;
+  }
+  for (size_t i = 0; i < bandwidth.size(); ++i) {
+    if (bandwidth[i].multiplier <= 0.0 || bandwidth[i].multiplier > 1.0) {
+      return "bandwidth window " + std::to_string(i) +
+             " multiplier must be in (0, 1] (use an outage for a dead link)";
+    }
+  }
+  err = ValidateWindows(latency, "latency");
+  if (!err.empty()) {
+    return err;
+  }
+  for (size_t i = 0; i < latency.size(); ++i) {
+    if (latency[i].extra < Duration::Zero()) {
+      return "latency spike " + std::to_string(i) + " has negative extra latency";
+    }
+  }
+  err = ValidateWindows(outages, "outage");
+  if (!err.empty()) {
+    return err;
+  }
+  if (control_loss_p < 0.0 || control_loss_p > 1.0) {
+    return "control_loss_p must be in [0, 1]";
+  }
+  return "";
+}
+
+bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan, std::string* error) {
+  CHECK(plan != nullptr);
+  CHECK(error != nullptr);
+  FaultPlan parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) {
+      sep = spec.size();
+    }
+    const std::string clause = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      *error = "clause '" + clause + "' has no ':'";
+      return false;
+    }
+    const std::string kind = clause.substr(0, colon);
+    const std::string body = clause.substr(colon + 1);
+    if (kind == "bw") {
+      const size_t at = body.find('@');
+      BandwidthWindow window;
+      if (at == std::string::npos || !ParseWindowSpan(body.substr(0, at), &window.start, &window.end) ||
+          !ParseDouble(body.substr(at + 1), &window.multiplier)) {
+        *error = "bad bandwidth clause '" + clause + "' (want bw:START-END@MULT)";
+        return false;
+      }
+      parsed.bandwidth.push_back(window);
+    } else if (kind == "lat") {
+      const size_t plus = body.find('+');
+      LatencySpike spike;
+      if (plus == std::string::npos ||
+          !ParseWindowSpan(body.substr(0, plus), &spike.start, &spike.end) ||
+          !ParseDurationToken(body.substr(plus + 1), &spike.extra)) {
+        *error = "bad latency clause '" + clause + "' (want lat:START-END+EXTRA)";
+        return false;
+      }
+      parsed.latency.push_back(spike);
+    } else if (kind == "out") {
+      OutageWindow window;
+      if (!ParseWindowSpan(body, &window.start, &window.end)) {
+        *error = "bad outage clause '" + clause + "' (want out:START-END)";
+        return false;
+      }
+      parsed.outages.push_back(window);
+    } else if (kind == "loss") {
+      if (!ParseDouble(body, &parsed.control_loss_p)) {
+        *error = "bad loss clause '" + clause + "' (want loss:P)";
+        return false;
+      }
+    } else {
+      *error = "unknown clause kind '" + kind + "' (want bw|lat|out|loss)";
+      return false;
+    }
+  }
+  const std::string validation = parsed.Validate();
+  if (!validation.empty()) {
+    *error = validation;
+    return false;
+  }
+  *plan = parsed;
+  error->clear();
+  return true;
+}
+
+FaultPlan FaultPlan::MustParse(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  if (!Parse(spec, &plan, &error)) {
+    CheckFailure("FaultPlan::MustParse", 0, spec.c_str(), error);
+  }
+  return plan;
+}
+
+FaultSchedule::FaultSchedule(const FaultPlan& plan, TimePoint origin)
+    : plan_(plan), origin_(origin) {
+  const std::string error = plan.Validate();
+  if (!error.empty()) {
+    CheckFailure("FaultSchedule", 0, "plan.Validate().empty()", error);
+  }
+}
+
+double FaultSchedule::BandwidthMultiplierAt(TimePoint t) const {
+  for (const BandwidthWindow& window : plan_.bandwidth) {
+    if (origin_ + window.start <= t && t < origin_ + window.end) {
+      return window.multiplier;
+    }
+  }
+  return 1.0;
+}
+
+Duration FaultSchedule::ExtraLatencyAt(TimePoint t) const {
+  for (const LatencySpike& spike : plan_.latency) {
+    if (origin_ + spike.start <= t && t < origin_ + spike.end) {
+      return spike.extra;
+    }
+  }
+  return Duration::Zero();
+}
+
+bool FaultSchedule::InOutage(TimePoint t) const {
+  for (const OutageWindow& window : plan_.outages) {
+    if (origin_ + window.start <= t && t < origin_ + window.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TimePoint FaultSchedule::OutageEndAt(TimePoint t) const {
+  for (const OutageWindow& window : plan_.outages) {
+    if (origin_ + window.start <= t && t < origin_ + window.end) {
+      return origin_ + window.end;
+    }
+  }
+  CheckFailure("FaultSchedule::OutageEndAt", 0, "InOutage(t)", "no outage covers t");
+}
+
+TimePoint FaultSchedule::NextTransferBoundaryAfter(TimePoint t) const {
+  TimePoint next = TimePoint::Max();
+  const auto consider = [&next, t](TimePoint candidate) {
+    if (candidate > t && candidate < next) {
+      next = candidate;
+    }
+  };
+  for (const BandwidthWindow& window : plan_.bandwidth) {
+    consider(origin_ + window.start);
+    consider(origin_ + window.end);
+  }
+  for (const OutageWindow& window : plan_.outages) {
+    consider(origin_ + window.start);
+  }
+  return next;
+}
+
+}  // namespace javmm

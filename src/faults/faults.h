@@ -1,0 +1,131 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Deterministic link-fault injection (DESIGN.md §10).
+//
+// A FaultPlan is a pure description of what goes wrong on the migration link:
+// bandwidth-degradation windows, one-way latency spikes, full outages, and a
+// per-control-message Bernoulli loss probability. It is data, parsed from a
+// compact scenario spec string and carried by value inside MigrationConfig,
+// so a (seed, configuration) pair still fully determines a run -- the only
+// randomness the plan introduces is drawn from the run's own Rng stream.
+//
+// A FaultSchedule anchors a plan's relative windows at the migration start
+// instant and answers the point queries the NetworkLink and MigrationEngine
+// need while converting bytes to durations: the bandwidth multiplier at a
+// time, the extra one-way latency at a time, whether the link is down, and
+// where the next rate-changing boundary lies.
+
+#ifndef JAVMM_SRC_FAULTS_FAULTS_H_
+#define JAVMM_SRC_FAULTS_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace javmm {
+
+// Goodput multiplier over [start, end) relative to migration start.
+struct BandwidthWindow {
+  Duration start = Duration::Zero();
+  Duration end = Duration::Zero();
+  double multiplier = 1.0;  // In (0, 1]; 1.0 = nominal line rate.
+};
+
+// Extra one-way latency over [start, end) relative to migration start.
+struct LatencySpike {
+  Duration start = Duration::Zero();
+  Duration end = Duration::Zero();
+  Duration extra = Duration::Zero();
+};
+
+// Full link outage over [start, end) relative to migration start: nothing
+// gets through; transfers in flight at `start` are lost.
+struct OutageWindow {
+  Duration start = Duration::Zero();
+  Duration end = Duration::Zero();
+};
+
+// Complete fault description for one migration. Windows within each category
+// must be sorted by start and non-overlapping (adjacency is allowed);
+// Validate() enforces this.
+struct FaultPlan {
+  std::vector<BandwidthWindow> bandwidth;
+  std::vector<LatencySpike> latency;
+  std::vector<OutageWindow> outages;
+  // Probability that one control round trip is lost (request or reply never
+  // arrives). Each loss is an independent Bernoulli draw from the run's Rng.
+  double control_loss_p = 0.0;
+
+  bool enabled() const {
+    return !bandwidth.empty() || !latency.empty() || !outages.empty() || control_loss_p > 0.0;
+  }
+  // Bandwidth windows and outages change transfer durations; latency spikes
+  // and control loss only affect the control path.
+  bool affects_transfers() const { return !bandwidth.empty() || !outages.empty(); }
+
+  // Empty string when the plan is well-formed, else a description of the
+  // first problem found.
+  std::string Validate() const;
+
+  // Parses the compact scenario spec, e.g.
+  //   "bw:2s-30s@0.1;lat:1s-2s+30ms;out:7s-8s;loss:0.05"
+  // Clauses are ';'-separated, times are relative to migration start and
+  // accept ns/us/ms/s suffixes. Returns false (and sets *error) on a
+  // malformed spec or a plan that fails Validate(); `plan` is untouched then.
+  static bool Parse(const std::string& spec, FaultPlan* plan, std::string* error);
+
+  // CHECK-failing convenience for literals in tests and benches.
+  static FaultPlan MustParse(const std::string& spec);
+};
+
+// A FaultPlan anchored at an absolute instant (the migration start). Pure
+// point queries; all methods are O(#windows) linear scans, which is fine for
+// the handful of windows a scenario declares.
+class FaultSchedule {
+ public:
+  FaultSchedule(const FaultPlan& plan, TimePoint origin);
+
+  const FaultPlan& plan() const { return plan_; }
+  TimePoint origin() const { return origin_; }
+  double control_loss_p() const { return plan_.control_loss_p; }
+  bool affects_transfers() const { return plan_.affects_transfers(); }
+
+  // Goodput multiplier in effect at `t` (1.0 outside every window).
+  double BandwidthMultiplierAt(TimePoint t) const;
+
+  // Extra one-way latency in effect at `t` (zero outside every spike).
+  Duration ExtraLatencyAt(TimePoint t) const;
+
+  // True when `t` falls inside an outage window [start, end).
+  bool InOutage(TimePoint t) const;
+
+  // End of the outage window covering `t`; CHECK-fails when InOutage(t) is
+  // false.
+  TimePoint OutageEndAt(TimePoint t) const;
+
+  // Earliest instant strictly after `t` where the transfer rate may change
+  // (a bandwidth-window edge or an outage start); TimePoint::Max() when the
+  // rate is constant from `t` on.
+  TimePoint NextTransferBoundaryAfter(TimePoint t) const;
+
+ private:
+  FaultPlan plan_;
+  TimePoint origin_;
+};
+
+// Nominal bounded exponential backoff before retry `attempt` (1-based):
+// min(base * 2^(attempt-1), cap). Shared by the MigrationEngine (which waits
+// it out) and the TraceAuditor (which re-derives it from the trace), so the
+// two cannot drift apart.
+inline Duration NominalBackoff(Duration base, Duration cap, int attempt) {
+  Duration nominal = base;
+  for (int i = 1; i < attempt && nominal < cap; ++i) {
+    nominal = nominal * int64_t{2};
+  }
+  return nominal < cap ? nominal : cap;
+}
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_FAULTS_FAULTS_H_

@@ -6,9 +6,19 @@
 #include <cstdint>
 
 #include "src/base/time.h"
+#include "src/faults/faults.h"
 #include "src/net/link.h"
 
 namespace javmm {
+
+// What the daemon does when a fault-retry budget is exhausted mid-pre-copy.
+enum class DegradeMode {
+  // Stop iterating and take the stop-and-copy path immediately: longer
+  // downtime, but the migration still lands (the recommended default).
+  kStopAndCopy = 0,
+  // Abort cleanly: the source VM keeps running, the LKM is reset.
+  kAbort = 1,
+};
 
 // Pre-copy migration daemon configuration. Defaults mirror Xen 4.1's
 // xc_domain_save: up to 30 live iterations, stop-and-copy once fewer than 50
@@ -58,6 +68,33 @@ struct MigrationConfig {
   // (e.g. the destination died or the operator cancelled). The source VM
   // keeps running; the LKM is told to reset. Negative = disabled.
   int abort_after_iterations = -1;
+
+  // ---- Link-fault injection & recovery (src/faults/, DESIGN.md §10). ----
+  // The fault plan for this migration; empty = healthy link, in which case
+  // the engine takes exactly the pre-fault code paths (no Rng draws, no
+  // piecewise integration) so existing runs stay bit-identical.
+  FaultPlan faults;
+  // Seed for the engine's private fault Rng (Bernoulli control-loss draws).
+  // MigrationLab forks it from the lab seed so (seed, config) still fully
+  // determines a run.
+  uint64_t fault_seed = 0;
+  // Simulated time a lost control round costs before the daemon notices
+  // (its protocol ack timeout).
+  Duration control_loss_timeout = Duration::Millis(250);
+  // Retry budgets: consecutive losses of one control round / consecutive
+  // failed attempts of one burst before the daemon degrades.
+  int max_control_retries = 5;
+  int max_burst_retries = 5;
+  // Bounded exponential backoff between retries:
+  // min(retry_backoff_base * 2^(attempt-1), retry_backoff_cap).
+  Duration retry_backoff_base = Duration::Millis(50);
+  Duration retry_backoff_cap = Duration::Seconds(2);
+  // Wall-clock budget for one live iteration; when exceeded the remaining
+  // pages carry over to the next round. Duration::Max() = no budget.
+  Duration round_timeout = Duration::Max();
+  // Live iterations allowed to hit round_timeout before the daemon degrades.
+  int max_round_timeouts = 3;
+  DegradeMode degrade_mode = DegradeMode::kStopAndCopy;
 
   // ---- CPU accounting model (reported, never advances the clock). ----
   Duration cpu_per_page_sent = Duration::Micros(4);

@@ -33,6 +33,7 @@ void MigrationEngine::SendPage(Pfn pfn, DestinationVm* dest, Burst* burst,
     payload = static_cast<int64_t>(static_cast<double>(kPageSize) * config_.delta_ratio);
     cpu += config_.cpu_per_page_delta;
     ++result->pages_sent_delta;
+    ++burst->delta;
   } else if (config_.compress_pages) {
     CompressionClass cls = CompressionClass::kNormal;
     if (config_.use_compression_classes && hint_source_ != nullptr) {
@@ -44,32 +45,173 @@ void MigrationEngine::SendPage(Pfn pfn, DestinationVm* dest, Burst* burst,
                                        config_.compression_ratio);
         cpu += config_.cpu_per_page_compressed;
         ++result->pages_compressed;
+        ++burst->compressed;
         break;
       case CompressionClass::kHighlyCompressible:
         payload = static_cast<int64_t>(static_cast<double>(kPageSize) *
                                        config_.compression_high_ratio);
         cpu += config_.cpu_per_page_high;
         ++result->pages_compressed;
+        ++burst->compressed;
         break;
       case CompressionClass::kIncompressible:
         // Hinted as not worth compressing: send raw, skip the trial.
         cpu += config_.cpu_per_page_incompressible;
         ++result->pages_sent_raw;
+        ++burst->raw;
         break;
     }
   } else {
     ++result->pages_sent_raw;
+    ++burst->raw;
   }
-  dest->ReceivePage(pfn, guest_->memory().version(pfn));
+  // Delivery is deferred to the successful flush (the version is captured
+  // now; the clock does not advance while a burst accumulates).
+  burst->deliveries.emplace_back(pfn, guest_->memory().version(pfn));
   burst->wire_bytes += payload + config_.link.per_page_overhead;
   burst->send_cpu += cpu;
   ++burst->pages;
 }
 
-void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationResult* result) {
+void MigrationEngine::RequestDegrade(DegradeReason reason) {
+  if (degrade_ == DegradeReason::kNone) {
+    degrade_ = reason;
+  }
+}
+
+void MigrationEngine::CarryOver(const std::vector<Pfn>& pending, size_t from) {
+  for (size_t i = from; i < pending.size(); ++i) {
+    carryover_.push_back(pending[i]);
+  }
+}
+
+void MigrationEngine::WaitBackoff(int index, int attempt, TimePoint min_until,
+                                  MigrationResult* result) {
+  SimClock& clock = guest_->clock();
+  const Duration nominal =
+      NominalBackoff(config_.retry_backoff_base, config_.retry_backoff_cap, attempt);
+  TimePoint target = clock.now() + nominal;
+  if (min_until > target) {
+    // The outage that killed the attempt outlives the nominal backoff:
+    // retrying earlier would deterministically fail again, so wait it out.
+    target = min_until;
+  }
+  const Duration waited = target - clock.now();
+  if (!waited.IsZero()) {
+    clock.Advance(waited);
+  }
+  result->backoff_time += waited;
+  trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, clock.now(), index, attempt,
+                           nominal.nanos(), 0, 0, waited});
+}
+
+bool MigrationEngine::ControlRoundTrip(int index, MigrationResult* result) {
+  SimClock& clock = guest_->clock();
+  const int64_t bytes = config_.control_bytes_per_iteration;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    const TimePoint now = clock.now();
+    bool lost = false;
+    bool lost_to_outage = false;
+    TimePoint outage_end;
+    if (fault_schedule_.has_value()) {
+      if (fault_schedule_->InOutage(now)) {
+        // A dead link loses the round deterministically -- no Rng draw, so
+        // the draw sequence is a pure function of the rounds that reach the
+        // Bernoulli stage.
+        lost = true;
+        lost_to_outage = true;
+        outage_end = fault_schedule_->OutageEndAt(now);
+      } else if (fault_schedule_->control_loss_p() > 0.0) {
+        lost = fault_rng_->Chance(fault_schedule_->control_loss_p());
+      }
+    }
+    if (!lost) {
+      link_.RecordControlBytes(bytes);
+      trace_.Record(
+          TraceEvent{TraceEventKind::kControlBytes, now, index, 0, 0, bytes, 0, Duration::Zero()});
+      Duration extra = Duration::Zero();
+      if (fault_schedule_.has_value()) {
+        extra = fault_schedule_->ExtraLatencyAt(now);
+      }
+      clock.Advance((config_.link.latency + extra) * int64_t{2});
+      ++result->control_rounds_ok;
+      return true;
+    }
+    // Lost round: the request still burned wire bytes, and the daemon only
+    // notices after its ack timeout.
+    ++result->control_losses;
+    link_.RecordRetryBytes(bytes);
+    result->retry_wire_bytes += bytes;
+    clock.Advance(config_.control_loss_timeout);
+    trace_.Record(TraceEvent{TraceEventKind::kControlLost, clock.now(), index, attempt, 0, bytes,
+                             0, Duration::Zero()});
+    if (attempt > config_.max_control_retries) {
+      RequestDegrade(DegradeReason::kControlRetries);
+      return false;
+    }
+    WaitBackoff(index, attempt, lost_to_outage ? outage_end : TimePoint::Epoch(), result);
+  }
+}
+
+bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRecord* rec,
+                                 MigrationResult* result) {
+  // Scanning the pending set (dirty-bitmap test, transfer-bitmap test) costs
+  // daemon CPU even for pages that are skipped; it pipelines with the wire,
+  // so a fault-free burst takes max(wire, scan) -- this is what keeps
+  // skip-heavy iterations from completing in zero time.
+  const Duration scan_time = config_.cpu_per_page_scanned * burst->scanned;
+  result->cpu_time += scan_time;
   Duration wire_time = Duration::Zero();
+  int attempt = 0;
   if (burst->pages > 0) {
-    wire_time = link_.TransferTime(burst->wire_bytes);
+    const FaultSchedule* faults =
+        fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
+    for (;;) {
+      const TransferAttempt try_result =
+          link_.TryTransfer(burst->wire_bytes, guest_->clock().now(), faults);
+      if (try_result.ok) {
+        wire_time = try_result.duration;
+        break;
+      }
+      // An outage cut the stream: the partial transfer still took simulated
+      // time and wire bytes, but delivered nothing.
+      ++attempt;
+      ++result->burst_faults;
+      link_.RecordRetryBytes(try_result.wasted_bytes);
+      result->retry_wire_bytes += try_result.wasted_bytes;
+      if (!try_result.duration.IsZero()) {
+        guest_->clock().Advance(try_result.duration);
+      }
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, guest_->clock().now(), rec->index,
+                               attempt, burst->pages, try_result.wasted_bytes, 0,
+                               Duration::Zero()});
+      if (!in_stop_and_copy_ && attempt > config_.max_burst_retries) {
+        // Budget exhausted mid-pre-copy: abandon the burst. Nothing was
+        // delivered or metered as useful traffic; the pages return via
+        // carryover_ and the per-class counters roll back so the
+        // pages_sent == raw + compressed + delta identity stays exact. The
+        // compression CPU was genuinely burned, so it stays charged.
+        RequestDegrade(DegradeReason::kBurstRetries);
+        result->cpu_time += burst->send_cpu;
+        result->pages_sent_raw -= burst->raw;
+        result->pages_compressed -= burst->compressed;
+        result->pages_sent_delta -= burst->delta;
+        for (const auto& [pfn, version] : burst->deliveries) {
+          (void)version;
+          carryover_.push_back(pfn);
+        }
+        // The scan genuinely happened even though nothing shipped: record a
+        // scan-only burst (like an all-skipped one) so the per-iteration
+        // "sum of burst scanned == pages_scanned" audit identity holds.
+        trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0, 0,
+                                 0, burst->scanned, burst->send_cpu + scan_time});
+        *burst = Burst{};
+        return false;
+      }
+      WaitBackoff(rec->index, attempt, try_result.blocked_until, result);
+    }
     // Page traffic advances both link meters. Compression and delta bursts
     // are smaller than PageWireBytes would predict, so record the actual
     // wire size rather than deriving it from the page count.
@@ -77,14 +219,14 @@ void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationRe
     rec->wire_bytes += burst->wire_bytes;
     rec->pages_sent += burst->pages;
     result->cpu_time += burst->send_cpu;
+    for (const auto& [pfn, version] : burst->deliveries) {
+      dest->ReceivePage(pfn, version);
+    }
   }
-  // Scanning the pending set (dirty-bitmap test, transfer-bitmap test) costs
-  // daemon CPU even for pages that are skipped; it pipelines with the wire,
-  // so the burst takes max(wire, scan) -- this is what keeps skip-heavy
-  // iterations from completing in zero time.
-  const Duration scan_time = config_.cpu_per_page_scanned * burst->scanned;
-  result->cpu_time += scan_time;
-  const Duration advance = std::max(wire_time, scan_time);
+  // With no failed attempt the scan overlapped this (only) transfer; after
+  // failures the scan already overlapped the first attempt, whose time has
+  // been charged, so only the successful wire time advances the clock here.
+  const Duration advance = attempt == 0 ? std::max(wire_time, scan_time) : wire_time;
   if (!advance.IsZero()) {
     guest_->clock().Advance(advance);
   }
@@ -94,6 +236,7 @@ void MigrationEngine::FlushBurst(Burst* burst, IterationRecord* rec, MigrationRe
                              burst->send_cpu + scan_time});
   }
   *burst = Burst{};
+  return true;
 }
 
 IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>& pending,
@@ -108,11 +251,17 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
                            Duration::Zero()});
 
   // Per-iteration control round trip (request dirty bitmap, sync with the
-  // receiver); keeps even all-skip iterations from taking zero time.
-  link_.RecordControlBytes(config_.control_bytes_per_iteration);
-  trace_.Record(TraceEvent{TraceEventKind::kControlBytes, iter_start, index, 0, 0,
-                           config_.control_bytes_per_iteration, 0, Duration::Zero()});
-  guest_->clock().Advance(config_.link.latency * int64_t{2});
+  // receiver); keeps even all-skip iterations from taking zero time. When the
+  // retry budget for it runs out the whole pending set carries over: none of
+  // these pages were examined, and none are in the dirty log.
+  if (!ControlRoundTrip(index, result)) {
+    CarryOver(pending, 0);
+    rec.duration = guest_->clock().now() - iter_start;
+    trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, guest_->clock().now(), index, 0,
+                             rec.pages_sent, rec.wire_bytes, rec.pages_scanned,
+                             Duration::Zero()});
+    return rec;
+  }
 
   size_t i = 0;
   Burst burst;
@@ -136,7 +285,27 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
       }
       SendPage(pfn, dest, &burst, result);
     }
-    FlushBurst(&burst, &rec, result);
+    if (!FlushBurst(&burst, dest, &rec, result)) {
+      // Burst retry budget exhausted; its pages are already in carryover_.
+      // The unexamined tail joins them.
+      CarryOver(pending, i);
+      break;
+    }
+    if (degrade_ == DegradeReason::kNone && config_.round_timeout != Duration::Max() &&
+        guest_->clock().now() - iter_start > config_.round_timeout && i < pending.size()) {
+      // The round blew its wall-clock budget (a degraded link can stretch
+      // one iteration indefinitely); hand the rest to the next round so the
+      // dirty-log harvest stays fresh.
+      ++result->round_timeouts;
+      trace_.Record(TraceEvent{TraceEventKind::kRoundTimeout, guest_->clock().now(), index, 0,
+                               static_cast<int64_t>(pending.size() - i), 0, 0,
+                               Duration::Zero()});
+      CarryOver(pending, i);
+      if (result->round_timeouts > config_.max_round_timeouts) {
+        RequestDegrade(DegradeReason::kRoundTimeouts);
+      }
+      break;
+    }
   }
   rec.duration = guest_->clock().now() - iter_start;
   trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, guest_->clock().now(), index, 0,
@@ -154,6 +323,18 @@ MigrationResult MigrationEngine::Migrate() {
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
   link_.ResetMeters();
+  // Fault-recovery state is per-migration: anchor the plan's relative
+  // windows at this start instant and reseed the private loss stream, so
+  // back-to-back migrations of one engine see identical fault behaviour.
+  degrade_ = DegradeReason::kNone;
+  in_stop_and_copy_ = false;
+  carryover_.clear();
+  fault_schedule_.reset();
+  fault_rng_.reset();
+  if (config_.faults.enabled()) {
+    fault_schedule_.emplace(config_.faults, result.started_at);
+    fault_rng_.emplace(config_.fault_seed);
+  }
   trace_.set_enabled(config_.record_trace);
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
@@ -216,6 +397,22 @@ MigrationResult MigrationEngine::Migrate() {
     IterationRecord rec =
         RunIteration(iter, pending, &log, &dest, transfer_bitmap, &ever_skipped, &result);
     pending = log.CollectAndClear();
+    if (!carryover_.empty()) {
+      // An early-terminated round left scanned-but-undelivered pages behind;
+      // fold them into the next round's input, deduplicated against the
+      // fresh dirty harvest (a carried page re-dirtied meanwhile is sent
+      // once, with its newest content).
+      PageBitmap merged(frames);
+      for (Pfn pfn : pending) {
+        merged.Set(pfn);
+      }
+      for (Pfn pfn : carryover_) {
+        merged.Set(pfn);
+      }
+      carryover_.clear();
+      pending.clear();
+      merged.CollectSetBits(&pending);
+    }
     rec.dirty_pages_after = static_cast<int64_t>(pending.size());
     total_sent += rec.pages_sent;
     result.pages_skipped_dirty += rec.pages_skipped_dirty;
@@ -223,9 +420,19 @@ MigrationResult MigrationEngine::Migrate() {
     result.iterations.push_back(rec);
 
     // Fault injection: the migration is cancelled (destination failure,
-    // operator abort). The guest never pauses; the LKM resets; applications
-    // are released and continue at the source.
-    if (config_.abort_after_iterations >= 0 && iter >= config_.abort_after_iterations) {
+    // operator abort, or an exhausted retry budget under degrade_mode =
+    // kAbort). The guest never pauses; the LKM resets; applications are
+    // released and continue at the source.
+    const bool degrade_abort = degrade_ != DegradeReason::kNone &&
+                               config_.degrade_mode == DegradeMode::kAbort;
+    if ((config_.abort_after_iterations >= 0 && iter >= config_.abort_after_iterations) ||
+        degrade_abort) {
+      if (degrade_ != DegradeReason::kNone) {
+        result.degraded = true;
+        result.degrade_reason = degrade_;
+        trace_.Record(TraceEvent{TraceEventKind::kDegrade, clock.now(), 0,
+                                 static_cast<int32_t>(degrade_), 0, 0, 0, Duration::Zero()});
+      }
       if (assisted) {
         NotifyLkm(DaemonToLkm::kMigrationAborted);
       }
@@ -246,6 +453,17 @@ MigrationResult MigrationEngine::Migrate() {
       hint_source_ = nullptr;
       RunAudit(&result);
       return result;
+    }
+
+    if (degrade_ != DegradeReason::kNone) {
+      // Retry budget exhausted and degrade_mode is stop-and-copy: stop
+      // trying to converge live and take the downtime hit now. The final
+      // copy below waits outages out instead of giving up.
+      result.degraded = true;
+      result.degrade_reason = degrade_;
+      trace_.Record(TraceEvent{TraceEventKind::kDegrade, clock.now(), 0,
+                               static_cast<int32_t>(degrade_), 0, 0, 0, Duration::Zero()});
+      break;
     }
 
     // xc_domain_save stop conditions.
@@ -291,6 +509,9 @@ MigrationResult MigrationEngine::Migrate() {
   guest_->PauseVm();
   result.paused_at = clock.now();
   TracePhase(TraceEventKind::kPause);
+  // From here on a burst never degrades: the VM is paused, so the engine
+  // rides out any remaining outage rather than abandoning the migration.
+  in_stop_and_copy_ = true;
   {
     // Merge everything still dirty (including pages dirtied by the enforced
     // GC's copying) with the carried-over pending set.
@@ -301,6 +522,12 @@ MigrationResult MigrationEngine::Migrate() {
     for (Pfn pfn : log.CollectAndClear()) {
       final_set.Set(pfn);
     }
+    // Defensive: fault carryover is normally folded into `pending` after
+    // each round, but a page parked here must never be dropped.
+    for (Pfn pfn : carryover_) {
+      final_set.Set(pfn);
+    }
+    carryover_.clear();
     // Pages whose skip listing the LKM re-enabled *after* the fact (straggler
     // revocation, deferred final-update reconciliation) may have been dirtied
     // while skip-listed and then dropped from the dirty log; re-send them.
@@ -340,10 +567,10 @@ MigrationResult MigrationEngine::Migrate() {
       }
       SendPage(pfn, &dest, &burst, &result);
       if (burst.pages == config_.batch_pages) {
-        FlushBurst(&burst, &rec, &result);
+        FlushBurst(&burst, &dest, &rec, &result);
       }
     }
-    FlushBurst(&burst, &rec, &result);
+    FlushBurst(&burst, &dest, &rec, &result);
     rec.duration = clock.now() - last_start;
     trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
                              rec.pages_sent, rec.wire_bytes, rec.pages_scanned,
@@ -406,9 +633,14 @@ void MigrationEngine::RunAudit(MigrationResult* result) {
   if (!config_.record_trace || !config_.audit_trace) {
     return;
   }
-  result->trace_audit =
-      TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result, link_.total_wire_bytes(),
-                          link_.total_pages_sent(), config_.control_bytes_per_iteration);
+  AuditInputs inputs;
+  inputs.link_wire_bytes = link_.total_wire_bytes();
+  inputs.link_pages_sent = link_.total_pages_sent();
+  inputs.link_retry_bytes = link_.total_retry_bytes();
+  inputs.control_bytes_per_iteration = config_.control_bytes_per_iteration;
+  inputs.retry_backoff_base = config_.retry_backoff_base;
+  inputs.retry_backoff_cap = config_.retry_backoff_cap;
+  result->trace_audit = TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result, inputs);
 }
 
 VerificationReport MigrationEngine::Verify(const DestinationVm& dest,

@@ -12,8 +12,13 @@
 #ifndef JAVMM_SRC_MIGRATION_ENGINE_H_
 #define JAVMM_SRC_MIGRATION_ENGINE_H_
 
+#include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "src/base/rng.h"
+#include "src/faults/faults.h"
 #include "src/guest/guest_kernel.h"
 #include "src/migration/config.h"
 #include "src/migration/destination.h"
@@ -43,12 +48,22 @@ class MigrationEngine {
   const TraceRecorder& trace() const { return trace_; }
 
  private:
-  // Accumulates one send burst before the clock advances.
+  // Accumulates one send burst before the clock advances. Delivery to the
+  // destination is deferred to the successful flush: a burst lost to a link
+  // outage must leave the destination (and the per-class send counters)
+  // untouched, so the pages can carry over and be re-sent exactly.
   struct Burst {
     int64_t pages = 0;
     int64_t scanned = 0;
     int64_t wire_bytes = 0;
     Duration send_cpu = Duration::Zero();
+    // Per-class counts mirrored from the result so an abandoned burst can
+    // roll them back (pages_sent == raw + compressed + delta must stay exact).
+    int64_t raw = 0;
+    int64_t compressed = 0;
+    int64_t delta = 0;
+    // (pfn, source version at send time) delivered on successful flush.
+    std::vector<std::pair<Pfn, uint64_t>> deliveries;
   };
 
   // Sends one pre-copy iteration over `pending`; returns its record.
@@ -56,13 +71,36 @@ class MigrationEngine {
                                DestinationVm* dest, const PageBitmap* transfer_bitmap,
                                PageBitmap* ever_skipped, MigrationResult* result);
 
-  // Delivers one page to the destination and accounts its wire/CPU cost into
-  // `burst` (per-page compression class, delta retransmission).
+  // Stages one page into `burst` and accounts its wire/CPU cost (per-page
+  // compression class, delta retransmission).
   void SendPage(Pfn pfn, DestinationVm* dest, Burst* burst, MigrationResult* result);
 
-  // Advances the clock for a finished burst: wire time pipelined with the
-  // bitmap-scan CPU time of the pages examined.
-  void FlushBurst(Burst* burst, IterationRecord* rec, MigrationResult* result);
+  // Pushes a finished burst over the (possibly faulty) link, retrying with
+  // bounded exponential backoff when an outage cuts the transfer, then
+  // delivers its pages and advances the clock (wire time pipelined with the
+  // bitmap-scan CPU time of the pages examined). Returns false when the
+  // retry budget ran out: the burst is abandoned, its pages moved to
+  // carryover_ and a degrade requested (never happens during stop-and-copy,
+  // where the engine waits outages out instead).
+  bool FlushBurst(Burst* burst, DestinationVm* dest, IterationRecord* rec,
+                  MigrationResult* result);
+
+  // One per-iteration control round trip (request the dirty bitmap, sync
+  // with the receiver), retrying lost rounds with bounded exponential
+  // backoff. Returns false when the retry budget ran out (degrade requested).
+  bool ControlRoundTrip(int index, MigrationResult* result);
+
+  // Backs off before retry `attempt` (1-based): waits
+  // max(NominalBackoff(...), until an outage known to block retries ends).
+  void WaitBackoff(int index, int attempt, TimePoint min_until, MigrationResult* result);
+
+  // Records the first exhausted retry budget; the migration loop then
+  // degrades to stop-and-copy or aborts per config.degrade_mode.
+  void RequestDegrade(DegradeReason reason);
+
+  // Moves the unprocessed tail of `pending` (from `from` on) plus any
+  // undelivered burst pages into carryover_ for the next round.
+  void CarryOver(const std::vector<Pfn>& pending, size_t from);
 
   VerificationReport Verify(const DestinationVm& dest,
                             const std::vector<uint64_t>& pause_versions,
@@ -84,6 +122,23 @@ class MigrationEngine {
   bool suspension_ready_ = false;
   // Set during an assisted migration: per-page compression hints (§6).
   const Lkm* hint_source_ = nullptr;
+
+  // ---- Per-Migrate() fault-recovery state (reset at migration start). ----
+  // The fault plan anchored at this migration's start; nullopt on a healthy
+  // link, in which case every fault branch short-circuits and the engine is
+  // bit-identical to its pre-fault behaviour.
+  std::optional<FaultSchedule> fault_schedule_;
+  // Private stream for the Bernoulli control-loss draws; drawn from only
+  // when the plan has control_loss_p > 0 and the link is not in an outage.
+  std::optional<Rng> fault_rng_;
+  DegradeReason degrade_ = DegradeReason::kNone;
+  // During the final stop-and-copy transfer the engine never abandons a
+  // burst (aborting a paused VM would be worse than waiting the outage out).
+  bool in_stop_and_copy_ = false;
+  // Pages scanned-but-undelivered when an iteration ended early (lost burst,
+  // control failure, round timeout); merged into the next round's pending
+  // set or the stop-and-copy final set, deduplicated against the dirty log.
+  std::vector<Pfn> carryover_;
 };
 
 }  // namespace javmm

@@ -89,6 +89,29 @@ struct VerificationReport {
   std::string detail;
 };
 
+// Why a migration left the live pre-copy loop early (fault-recovery budget
+// exhausted). kNone when no degradation happened.
+enum class DegradeReason {
+  kNone = 0,
+  kControlRetries = 1,  // One control round lost max_control_retries+1 times.
+  kBurstRetries = 2,    // One burst failed max_burst_retries+1 times.
+  kRoundTimeouts = 3,   // max_round_timeouts+1 iterations blew round_timeout.
+};
+
+inline const char* DegradeReasonName(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kControlRetries:
+      return "control_retries";
+    case DegradeReason::kBurstRetries:
+      return "burst_retries";
+    case DegradeReason::kRoundTimeouts:
+      return "round_timeouts";
+  }
+  return "unknown";
+}
+
 struct MigrationResult {
   bool completed = false;
   bool assisted = false;
@@ -118,6 +141,16 @@ struct MigrationResult {
   int64_t pages_sent_delta = 0;       // Retransmissions shipped as deltas.
   int64_t pages_sent_raw = 0;         // Sent uncompressed (incompressible or
                                       // compression disabled).
+
+  // ---- Fault-recovery accounting (src/faults/, DESIGN.md §10). ----
+  int64_t control_losses = 0;     // Control round trips that were lost.
+  int64_t control_rounds_ok = 0;  // Control round trips that succeeded.
+  int64_t burst_faults = 0;       // Burst transfer attempts cut by an outage.
+  int64_t round_timeouts = 0;     // Live iterations that blew round_timeout.
+  int64_t retry_wire_bytes = 0;   // Wire bytes that bought no progress.
+  Duration backoff_time = Duration::Zero();  // Total time spent backing off.
+  bool degraded = false;          // A retry budget was exhausted.
+  DegradeReason degrade_reason = DegradeReason::kNone;
 
   // Framework memory overhead at pause time (§5.3: "at most 1 MB").
   int64_t lkm_bitmap_bytes = 0;

@@ -2,6 +2,8 @@
 
 #include "src/net/link.h"
 
+#include <cmath>
+
 #include "src/base/macros.h"
 
 namespace javmm {
@@ -33,6 +35,51 @@ Duration NetworkLink::TransferTime(int64_t bytes) const {
   return Duration::SecondsF(secs);
 }
 
+TransferAttempt NetworkLink::TryTransfer(int64_t bytes, TimePoint start,
+                                         const FaultSchedule* faults) const {
+  CHECK_GE(bytes, 0);
+  TransferAttempt attempt;
+  if (faults == nullptr || !faults->affects_transfers()) {
+    // Fault-free fast path: one SecondsF conversion, exactly TransferTime, so
+    // runs without transfer faults stay bit-identical to the pre-fault code.
+    attempt.ok = true;
+    attempt.duration = TransferTime(bytes);
+    return attempt;
+  }
+  if (bytes == 0) {
+    attempt.ok = !faults->InOutage(start);
+    if (!attempt.ok) {
+      attempt.blocked_until = faults->OutageEndAt(start);
+    }
+    return attempt;
+  }
+  // Integrate the piecewise-constant goodput from `start` until the last byte
+  // lands or an outage begins. Boundaries are strictly increasing, so the
+  // loop takes at most one step per window edge.
+  double remaining = static_cast<double>(bytes);
+  TimePoint now = start;
+  while (true) {
+    if (faults->InOutage(now)) {
+      attempt.ok = false;
+      attempt.duration = now - start;
+      attempt.wasted_bytes = bytes - static_cast<int64_t>(std::llround(remaining));
+      attempt.blocked_until = faults->OutageEndAt(now);
+      return attempt;
+    }
+    const double rate = config_.GoodputBytesPerSec() * faults->BandwidthMultiplierAt(now);
+    const TimePoint boundary = faults->NextTransferBoundaryAfter(now);
+    const TimePoint finish = now + Duration::SecondsF(remaining / rate);
+    if (boundary == TimePoint::Max() || finish <= boundary) {
+      attempt.ok = true;
+      attempt.duration = finish - start;
+      return attempt;
+    }
+    const double sent = rate * (boundary - now).ToSecondsF();
+    remaining = remaining > sent ? remaining - sent : 0.0;
+    now = boundary;
+  }
+}
+
 void NetworkLink::RecordPages(int64_t page_count) {
   total_pages_sent_ += page_count;
   total_wire_bytes_ += PageWireBytes(page_count);
@@ -45,9 +92,12 @@ void NetworkLink::RecordPageBytes(int64_t page_count, int64_t wire_bytes) {
 
 void NetworkLink::RecordControlBytes(int64_t bytes) { total_wire_bytes_ += bytes; }
 
+void NetworkLink::RecordRetryBytes(int64_t bytes) { total_retry_bytes_ += bytes; }
+
 void NetworkLink::ResetMeters() {
   total_wire_bytes_ = 0;
   total_pages_sent_ = 0;
+  total_retry_bytes_ = 0;
 }
 
 }  // namespace javmm

@@ -7,6 +7,7 @@
 
 #include "src/base/time.h"
 #include "src/base/units.h"
+#include "src/faults/faults.h"
 
 namespace javmm {
 
@@ -31,6 +32,21 @@ struct LinkConfig {
   double GoodputBytesPerSec() const { return bandwidth_bps * efficiency / 8.0; }
 };
 
+// Outcome of one fault-aware transfer attempt (NetworkLink::TryTransfer).
+struct TransferAttempt {
+  bool ok = false;
+  // Simulated time the attempt consumed: the full transfer on success, the
+  // time until the link dropped on failure.
+  Duration duration = Duration::Zero();
+  // Bytes that made it onto the wire before the drop (0 on success -- the
+  // caller meters successful bytes itself). They bought nothing and are
+  // metered into the retry-bytes bucket.
+  int64_t wasted_bytes = 0;
+  // Earliest instant a retry can possibly succeed (end of the outage that
+  // killed this attempt); only meaningful when !ok.
+  TimePoint blocked_until;
+};
+
 // Models the source->destination migration link: converts byte counts into
 // simulated transfer durations and meters cumulative traffic.
 class NetworkLink {
@@ -46,6 +62,14 @@ class NetworkLink {
   // Time for `bytes` of non-page control traffic.
   Duration TransferTime(int64_t bytes) const;
 
+  // Fault-aware transfer of `bytes` starting at `start`: integrates the
+  // goodput piecewise over the schedule's bandwidth windows and fails the
+  // attempt if an outage begins before the last byte lands. With a null or
+  // transfer-neutral schedule this is exactly TransferTime(bytes) -- the
+  // fault-free path stays bit-identical. Pure; does not meter.
+  TransferAttempt TryTransfer(int64_t bytes, TimePoint start,
+                              const FaultSchedule* faults) const;
+
   // Wire bytes for `page_count` pages.
   int64_t PageWireBytes(int64_t page_count) const;
 
@@ -55,9 +79,15 @@ class NetworkLink {
   // delta retransmission): advances both the page and the byte meter.
   void RecordPageBytes(int64_t page_count, int64_t wire_bytes);
   void RecordControlBytes(int64_t bytes);
+  // Wire bytes that bought no progress: failed transfer attempts cut short by
+  // an outage and lost control rounds. Kept out of total_wire_bytes so the
+  // auditor's useful-traffic identities survive; the sum of the two meters is
+  // everything the link carried.
+  void RecordRetryBytes(int64_t bytes);
 
   int64_t total_wire_bytes() const { return total_wire_bytes_; }
   int64_t total_pages_sent() const { return total_pages_sent_; }
+  int64_t total_retry_bytes() const { return total_retry_bytes_; }
 
   void ResetMeters();
 
@@ -65,6 +95,7 @@ class NetworkLink {
   LinkConfig config_;
   int64_t total_wire_bytes_ = 0;
   int64_t total_pages_sent_ = 0;
+  int64_t total_retry_bytes_ = 0;
 };
 
 }  // namespace javmm

@@ -63,6 +63,11 @@ void AppendRecordJson(const RunRecord& rec, std::ostream& os) {
      << ",\"pages_skipped_dirty\":" << r.pages_skipped_dirty
      << ",\"pages_skipped_bitmap\":" << r.pages_skipped_bitmap
      << ",\"cpu_ns\":" << r.cpu_time.nanos()
+     << ",\"control_losses\":" << r.control_losses << ",\"burst_faults\":" << r.burst_faults
+     << ",\"round_timeouts\":" << r.round_timeouts
+     << ",\"retry_wire_bytes\":" << r.retry_wire_bytes
+     << ",\"backoff_ns\":" << r.backoff_time.nanos()
+     << ",\"degraded\":" << (r.degraded ? "true" : "false")
      << ",\"young_at_migration_bytes\":" << rec.output.young_at_migration
      << ",\"old_at_migration_bytes\":" << rec.output.old_at_migration
      << ",\"observed_downtime_ns\":" << rec.output.observed_downtime.nanos()
@@ -147,6 +152,9 @@ RunReport ScenarioRunner::RunAll(const std::vector<Scenario>& scenarios) const {
     }
     if (rec.fell_back()) {
       ++report.fallbacks;
+    }
+    if (rec.degraded()) {
+      ++report.degraded;
     }
   }
   return report;

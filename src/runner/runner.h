@@ -46,6 +46,9 @@ struct RunRecord {
   bool audit_failed() const {
     return ran && output.result.trace_audit.ran && !output.result.trace_audit.ok;
   }
+  // A fault-retry budget ran out and the engine degraded (stop-and-copy
+  // early, or a clean abort). Intentional under fault injection.
+  bool degraded() const { return ran && output.result.degraded; }
   bool failed() const { return !ran || verification_failed() || audit_failed(); }
 };
 
@@ -59,6 +62,7 @@ struct RunReport {
   int64_t errors = 0;     // Runs that threw before producing a result.
   int64_t aborted = 0;    // Intentional fault-injection outcomes.
   int64_t fallbacks = 0;  // Completed via the unassisted safety path.
+  int64_t degraded = 0;   // Fault-retry budget exhausted (see RunRecord).
 
   int64_t failure_count() const { return verification_failures + audit_failures + errors; }
   bool all_ok() const { return failure_count() == 0; }

@@ -2,6 +2,8 @@
 
 #include "src/runner/scenario.h"
 
+#include <stdexcept>
+
 #include "src/migration/baselines.h"
 
 namespace javmm {
@@ -24,6 +26,15 @@ RunOutput RunScenario(const Scenario& scenario) {
   LabConfig config = scenario.options.lab;
   config.seed = scenario.options.seed;
   config.migration.application_assisted = scenario.engine == EngineKind::kJavmm;
+  if (!scenario.options.fault_spec.empty()) {
+    std::string error;
+    FaultPlan plan;
+    if (!FaultPlan::Parse(scenario.options.fault_spec, &plan, &error)) {
+      throw std::runtime_error("bad fault spec '" + scenario.options.fault_spec +
+                               "': " + error);
+    }
+    config.migration.faults = plan;
+  }
 
   MigrationLab lab(scenario.spec, config);
   lab.Run(scenario.options.warmup);

@@ -40,6 +40,11 @@ struct RunOptions {
   Duration cooldown = Duration::Seconds(40);
   uint64_t seed = 1;
   LabConfig lab;
+  // Link-fault plan in FaultPlan::Parse syntax, e.g.
+  // "bw:2s-30s@0.1;loss:0.05" (times relative to migration start). Parsed by
+  // RunScenario into lab.migration.faults; a malformed spec throws, which the
+  // ScenarioRunner captures as a run error. Empty = the lab config's plan.
+  std::string fault_spec;
 };
 
 struct Scenario {

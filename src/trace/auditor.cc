@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/faults/faults.h"
+
 namespace javmm {
 
 namespace {
@@ -52,9 +54,10 @@ std::string N(int64_t v) { return std::to_string(v); }
 }  // namespace
 
 TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
-                                     const MigrationResult& result, int64_t link_wire_bytes,
-                                     int64_t link_pages_sent,
-                                     int64_t control_bytes_per_iteration) {
+                                     const MigrationResult& result, const AuditInputs& inputs) {
+  const int64_t link_wire_bytes = inputs.link_wire_bytes;
+  const int64_t link_pages_sent = inputs.link_pages_sent;
+  const int64_t control_bytes_per_iteration = inputs.control_bytes_per_iteration;
   TraceAuditReport report;
   report.ran = true;
   auto fail = [&report](std::string msg) {
@@ -77,6 +80,14 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
   int64_t resumes = 0;
   int64_t aborts = 0;
   int64_t completes = 0;
+  // Fault-recovery events (src/faults/, DESIGN.md §10).
+  int64_t control_losses = 0;
+  int64_t control_lost_bytes = 0;
+  int64_t transfer_faults = 0;
+  int64_t transfer_fault_bytes = 0;
+  int64_t round_timeouts = 0;
+  std::vector<TraceEvent> backoffs;
+  std::vector<int32_t> degrades;  // detail (= DegradeReason) per kDegrade.
 
   for (const TraceEvent& event : trace.events()) {
     switch (event.kind) {
@@ -142,6 +153,32 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
       case TraceEventKind::kComplete:
         ++completes;
         break;
+      case TraceEventKind::kControlLost:
+        ++control_losses;
+        control_lost_bytes += event.wire_bytes;
+        if (event.detail < 1) {
+          fail("control_lost event with attempt " + N(event.detail) + " < 1");
+        }
+        break;
+      case TraceEventKind::kTransferFault:
+        ++transfer_faults;
+        transfer_fault_bytes += event.wire_bytes;
+        if (event.detail < 1) {
+          fail("transfer_fault event with attempt " + N(event.detail) + " < 1");
+        }
+        if (event.wire_bytes < 0) {
+          fail("transfer_fault event with negative wasted bytes");
+        }
+        break;
+      case TraceEventKind::kRetryBackoff:
+        backoffs.push_back(event);
+        break;
+      case TraceEventKind::kRoundTimeout:
+        ++round_timeouts;
+        break;
+      case TraceEventKind::kDegrade:
+        degrades.push_back(event.detail);
+        break;
     }
   }
 
@@ -169,9 +206,10 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
          ") + compressed (" + N(result.pages_compressed) + ") + delta (" +
          N(result.pages_sent_delta) + ")");
   }
-  // Control traffic: one round trip of the configured size per live
-  // iteration (a completed run's final IterationRecord is the stop-and-copy
-  // transfer, which performs no bitmap-request round trip).
+  // Control traffic: one successful round trip of the configured size per
+  // live iteration (a completed run's final IterationRecord is the
+  // stop-and-copy transfer, which performs no bitmap-request round trip, and
+  // an iteration whose control round terminally failed never completed one).
   if (mode == AuditMode::kPrecopy && control_bytes_per_iteration > 0) {
     for (const int64_t bytes : control_events) {
       if (bytes != control_bytes_per_iteration) {
@@ -181,9 +219,94 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
     }
     const int64_t live_iterations =
         static_cast<int64_t>(result.iterations.size()) - (result.completed ? 1 : 0);
-    if (static_cast<int64_t>(control_events.size()) != live_iterations) {
+    const int64_t expected_rounds =
+        live_iterations -
+        (result.degrade_reason == DegradeReason::kControlRetries ? 1 : 0);
+    if (static_cast<int64_t>(control_events.size()) != expected_rounds) {
       fail("control round trips (" + N(static_cast<int64_t>(control_events.size())) +
-           ") != live iterations (" + N(live_iterations) + ")");
+           ") != live iterations minus terminally-failed rounds (" + N(expected_rounds) + ")");
+    }
+    if (static_cast<int64_t>(control_events.size()) != result.control_rounds_ok) {
+      fail("control round trips (" + N(static_cast<int64_t>(control_events.size())) +
+           ") != result.control_rounds_ok (" + N(result.control_rounds_ok) + ")");
+    }
+  }
+
+  // ---- Fault-recovery accounting (all modes; trivially zero when the link
+  // was healthy). ----
+  if (control_losses != result.control_losses) {
+    fail("control_lost events (" + N(control_losses) + ") != result.control_losses (" +
+         N(result.control_losses) + ")");
+  }
+  if (transfer_faults != result.burst_faults) {
+    fail("transfer_fault events (" + N(transfer_faults) + ") != result.burst_faults (" +
+         N(result.burst_faults) + ")");
+  }
+  if (round_timeouts != result.round_timeouts) {
+    fail("round_timeout events (" + N(round_timeouts) + ") != result.round_timeouts (" +
+         N(result.round_timeouts) + ")");
+  }
+  if (control_lost_bytes + transfer_fault_bytes != result.retry_wire_bytes) {
+    fail("wasted wire in fault events (" + N(control_lost_bytes) + " control + " +
+         N(transfer_fault_bytes) + " transfer) != result.retry_wire_bytes (" +
+         N(result.retry_wire_bytes) + ")");
+  }
+  if (result.retry_wire_bytes != inputs.link_retry_bytes) {
+    fail("result.retry_wire_bytes (" + N(result.retry_wire_bytes) + ") != link retry meter (" +
+         N(inputs.link_retry_bytes) + ")");
+  }
+  {
+    // Every non-terminal loss/fault backs off exactly once; the loss that
+    // exhausts a retry budget is never retried, so it has no backoff event.
+    const int64_t unretried = (result.degrade_reason == DegradeReason::kControlRetries ||
+                               result.degrade_reason == DegradeReason::kBurstRetries)
+                                  ? 1
+                                  : 0;
+    if (static_cast<int64_t>(backoffs.size()) != control_losses + transfer_faults - unretried) {
+      fail("retry_backoff events (" + N(static_cast<int64_t>(backoffs.size())) +
+           ") != retried losses (" + N(control_losses + transfer_faults - unretried) + ")");
+    }
+    Duration backoff_sum = Duration::Zero();
+    for (const TraceEvent& event : backoffs) {
+      backoff_sum += event.cpu;
+      if (event.detail < 1) {
+        fail("retry_backoff event with attempt " + N(event.detail) + " < 1");
+      }
+      if (event.cpu.nanos() < event.pages) {
+        fail("retry_backoff waited " + N(event.cpu.nanos()) + "ns < its nominal " +
+             N(event.pages) + "ns");
+      }
+      if (inputs.retry_backoff_base > Duration::Zero()) {
+        const Duration nominal =
+            NominalBackoff(inputs.retry_backoff_base, inputs.retry_backoff_cap, event.detail);
+        if (nominal.nanos() != event.pages) {
+          fail("retry_backoff attempt " + N(event.detail) + " nominal " + N(event.pages) +
+               "ns != derived min(base*2^(attempt-1), cap) = " + N(nominal.nanos()) + "ns");
+        }
+      }
+    }
+    if (backoff_sum.nanos() != result.backoff_time.nanos()) {
+      fail("sum of retry_backoff waits (" + N(backoff_sum.nanos()) +
+           "ns) != result.backoff_time (" + N(result.backoff_time.nanos()) + "ns)");
+    }
+  }
+  if (result.degraded) {
+    if (result.degrade_reason == DegradeReason::kNone) {
+      fail("degraded run reports reason none");
+    }
+    if (degrades.size() != 1) {
+      fail("degraded run must trace exactly one degrade event, has " +
+           N(static_cast<int64_t>(degrades.size())));
+    } else if (degrades[0] != static_cast<int32_t>(result.degrade_reason)) {
+      fail("degrade event reason " + N(degrades[0]) + " != result.degrade_reason (" +
+           N(static_cast<int32_t>(result.degrade_reason)) + ")");
+    }
+  } else {
+    if (!degrades.empty()) {
+      fail("degrade event traced in a non-degraded run");
+    }
+    if (result.degrade_reason != DegradeReason::kNone) {
+      fail("non-degraded run reports a degrade reason");
     }
   }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "src/base/time.h"
 #include "src/migration/stats.h"
 #include "src/trace/trace.h"
 
@@ -39,21 +40,43 @@ enum class AuditMode {
   kPostcopy,     // PostcopyEngine: no iterations; bursts are faults/prepaging.
 };
 
+// Everything the auditor needs from outside the trace/result pair.
+// `link_*` are the NetworkLink meters after the run (the engines reset them
+// at migration start). `control_bytes_per_iteration` (> 0, pre-copy mode
+// only) is the engine's configured per-iteration control round trip: the
+// auditor then requires exactly one control-bytes event of exactly that size
+// per successful live-iteration round, so the engine's metering and the
+// audit share one constant by construction; 0 disables the check (baseline
+// engines meter control traffic differently). `retry_backoff_base` /
+// `retry_backoff_cap` (base > 0) let the auditor re-derive every backoff
+// event's nominal wait via NominalBackoff; base 0 disables that check.
+struct AuditInputs {
+  int64_t link_wire_bytes = 0;
+  int64_t link_pages_sent = 0;
+  int64_t link_retry_bytes = 0;
+  int64_t control_bytes_per_iteration = 0;
+  Duration retry_backoff_base = Duration::Zero();
+  Duration retry_backoff_cap = Duration::Zero();
+};
+
 class TraceAuditor {
  public:
   // Checks every applicable invariant; each failure appends one violation.
-  // `link_wire_bytes` / `link_pages_sent` are the NetworkLink meters after
-  // the run (the engines reset them at migration start).
-  // `control_bytes_per_iteration` (> 0, pre-copy mode only) is the engine's
-  // configured per-iteration control round trip: the auditor then requires
-  // exactly one control-bytes event of exactly that size per live iteration,
-  // so the engine's metering and the audit share one constant by
-  // construction. 0 disables the check (baseline engines meter control
-  // traffic differently).
+  static TraceAuditReport Audit(AuditMode mode, const TraceRecorder& trace,
+                                const MigrationResult& result, const AuditInputs& inputs);
+
+  // Legacy convenience for fault-free engines (the baselines and older
+  // tests): zero retry meter, no backoff re-derivation.
   static TraceAuditReport Audit(AuditMode mode, const TraceRecorder& trace,
                                 const MigrationResult& result, int64_t link_wire_bytes,
                                 int64_t link_pages_sent,
-                                int64_t control_bytes_per_iteration = 0);
+                                int64_t control_bytes_per_iteration = 0) {
+    AuditInputs inputs;
+    inputs.link_wire_bytes = link_wire_bytes;
+    inputs.link_pages_sent = link_pages_sent;
+    inputs.control_bytes_per_iteration = control_bytes_per_iteration;
+    return Audit(mode, trace, result, inputs);
+  }
 };
 
 }  // namespace javmm

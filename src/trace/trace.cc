@@ -57,6 +57,16 @@ const char* TraceRecorder::KindName(TraceEventKind kind) {
       return "abort";
     case TraceEventKind::kComplete:
       return "complete";
+    case TraceEventKind::kControlLost:
+      return "control_lost";
+    case TraceEventKind::kTransferFault:
+      return "transfer_fault";
+    case TraceEventKind::kRetryBackoff:
+      return "retry_backoff";
+    case TraceEventKind::kRoundTimeout:
+      return "round_timeout";
+    case TraceEventKind::kDegrade:
+      return "degrade";
   }
   return "unknown";
 }
@@ -115,6 +125,35 @@ void TraceRecorder::ExportJsonLines(std::ostream& os) const {
         break;
       case TraceEventKind::kProtocolViolation:
         std::snprintf(buffer, sizeof(buffer), ",\"detail\":%d", event.detail);
+        os << buffer;
+        break;
+      case TraceEventKind::kControlLost:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"attempt\":%d,\"wasted_bytes\":%" PRId64, event.iteration,
+                      event.detail, event.wire_bytes);
+        os << buffer;
+        break;
+      case TraceEventKind::kTransferFault:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"attempt\":%d,\"pages\":%" PRId64
+                      ",\"wasted_bytes\":%" PRId64,
+                      event.iteration, event.detail, event.pages, event.wire_bytes);
+        os << buffer;
+        break;
+      case TraceEventKind::kRetryBackoff:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"attempt\":%d,\"nominal_ns\":%" PRId64
+                      ",\"waited_ns\":%" PRId64,
+                      event.iteration, event.detail, event.pages, event.cpu.nanos());
+        os << buffer;
+        break;
+      case TraceEventKind::kRoundTimeout:
+        std::snprintf(buffer, sizeof(buffer), ",\"iter\":%d,\"carried_pages\":%" PRId64,
+                      event.iteration, event.pages);
+        os << buffer;
+        break;
+      case TraceEventKind::kDegrade:
+        std::snprintf(buffer, sizeof(buffer), ",\"reason\":%d", event.detail);
         os << buffer;
         break;
       case TraceEventKind::kPause:

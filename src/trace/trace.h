@@ -36,6 +36,15 @@ enum class TraceEventKind : uint8_t {
   kFallback,        // LKM timeout: reverting to unassisted behaviour.
   kAbort,           // Migration cancelled; guest keeps running at the source.
   kComplete,        // Migration finished (verification may still fail).
+  // ---- Fault-injection & recovery (src/faults/, DESIGN.md §10). ----
+  kControlLost,     // iteration, detail = attempt, wire_bytes wasted.
+  kTransferFault,   // iteration, detail = attempt, pages in the lost burst,
+                    // wire_bytes that reached the wire before the drop.
+  kRetryBackoff,    // iteration, detail = attempt, pages = nominal backoff in
+                    // ns, cpu = time actually waited (>= nominal when an
+                    // outage pinned the retry later).
+  kRoundTimeout,    // iteration, pages = pending pages carried to next round.
+  kDegrade,         // detail = DegradeReason; retry budget exhausted.
 };
 
 // One trace event. Sparse: each kind populates the fields listed above and

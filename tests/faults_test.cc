@@ -1,0 +1,430 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for the deterministic fault-injection subsystem (src/faults/) and the
+// MigrationEngine's recovery path: FaultPlan parsing/validation, the
+// FaultSchedule point queries, NetworkLink::TryTransfer's piecewise goodput
+// integration, and the engine-level retry / backoff / carryover / degrade
+// behaviour with its exact accounting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/base/units.h"
+#include "src/faults/faults.h"
+#include "src/migration/engine.h"
+#include "src/net/link.h"
+
+namespace javmm {
+namespace {
+
+// ---- FaultPlan parsing & validation. ----
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("bw:2s-30s@0.1;lat:1s-2s+30ms;out:7s-8s;loss:0.05", &plan, &error))
+      << error;
+  ASSERT_EQ(plan.bandwidth.size(), 1u);
+  EXPECT_EQ(plan.bandwidth[0].start.nanos(), Duration::Seconds(2).nanos());
+  EXPECT_EQ(plan.bandwidth[0].end.nanos(), Duration::Seconds(30).nanos());
+  EXPECT_DOUBLE_EQ(plan.bandwidth[0].multiplier, 0.1);
+  ASSERT_EQ(plan.latency.size(), 1u);
+  EXPECT_EQ(plan.latency[0].extra.nanos(), Duration::Millis(30).nanos());
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].start.nanos(), Duration::Seconds(7).nanos());
+  EXPECT_DOUBLE_EQ(plan.control_loss_p, 0.05);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.affects_transfers());
+}
+
+TEST(FaultPlanTest, EmptySpecIsHealthyLink) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("", &plan, &error)) << error;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.affects_transfers());
+}
+
+TEST(FaultPlanTest, LossOnlyPlanDoesNotAffectTransfers) {
+  const FaultPlan plan = FaultPlan::MustParse("loss:0.2");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.affects_transfers());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecsAndLeavesPlanUntouched) {
+  const char* bad_specs[] = {
+      "bw:2s-1s@0.5",            // Inverted window.
+      "bw:1s-1s@0.5",            // Empty window.
+      "bw:1s-2s@0",              // Multiplier must be > 0 (use an outage).
+      "bw:1s-2s@1.5",            // Multiplier must be <= 1.
+      "bw:1s-2s",                // Missing @MULT.
+      "bw:1s-2s@0.5;bw:1.5s-3s@0.5",  // Overlapping windows.
+      "bw:2s-3s@0.5;bw:1s-1.5s@0.5",  // Out of order.
+      "lat:1s-2s",               // Missing +EXTRA.
+      "out:1s",                  // Missing span end.
+      "out:2x-3x",               // Unknown duration unit.
+      "loss:1.5",                // Probability above 1.
+      "loss:-0.1",               // Negative probability.
+      "loss:abc",                // Not a number.
+      "frob:1s-2s",              // Unknown clause kind.
+      "noclausecolon",           // No ':' separator.
+  };
+  for (const char* spec : bad_specs) {
+    SCOPED_TRACE(spec);
+    FaultPlan plan = FaultPlan::MustParse("loss:0.5");
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(spec, &plan, &error));
+    EXPECT_FALSE(error.empty());
+    // A failed parse must not leak partial state into the caller's plan.
+    EXPECT_DOUBLE_EQ(plan.control_loss_p, 0.5);
+    EXPECT_TRUE(plan.bandwidth.empty());
+  }
+}
+
+TEST(FaultPlanTest, AdjacentWindowsAreAllowed) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("out:1s-2s;out:2s-3s", &plan, &error)) << error;
+  ASSERT_EQ(plan.outages.size(), 2u);
+}
+
+TEST(FaultPlanTest, NominalBackoffDoublesUpToCap) {
+  const Duration base = Duration::Millis(50);
+  const Duration cap = Duration::Seconds(2);
+  EXPECT_EQ(NominalBackoff(base, cap, 1).nanos(), Duration::Millis(50).nanos());
+  EXPECT_EQ(NominalBackoff(base, cap, 2).nanos(), Duration::Millis(100).nanos());
+  EXPECT_EQ(NominalBackoff(base, cap, 3).nanos(), Duration::Millis(200).nanos());
+  EXPECT_EQ(NominalBackoff(base, cap, 6).nanos(), Duration::Millis(1600).nanos());
+  EXPECT_EQ(NominalBackoff(base, cap, 7).nanos(), Duration::Seconds(2).nanos());
+  EXPECT_EQ(NominalBackoff(base, cap, 20).nanos(), Duration::Seconds(2).nanos());
+  // A base at or above the cap saturates immediately.
+  EXPECT_EQ(NominalBackoff(Duration::Seconds(3), cap, 1).nanos(), Duration::Seconds(2).nanos());
+}
+
+// ---- FaultSchedule point queries (anchored windows, half-open semantics). ----
+
+TEST(FaultScheduleTest, PointQueriesRespectAnchorAndHalfOpenWindows) {
+  const TimePoint origin = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("bw:1s-2s@0.5;lat:0s-1s+10ms;out:4s-5s"),
+                            origin);
+
+  EXPECT_DOUBLE_EQ(sched.BandwidthMultiplierAt(origin), 1.0);
+  EXPECT_DOUBLE_EQ(sched.BandwidthMultiplierAt(origin + Duration::Seconds(1)), 0.5);
+  EXPECT_DOUBLE_EQ(
+      sched.BandwidthMultiplierAt(origin + Duration::Seconds(2) - Duration::Nanos(1)), 0.5);
+  // End is exclusive.
+  EXPECT_DOUBLE_EQ(sched.BandwidthMultiplierAt(origin + Duration::Seconds(2)), 1.0);
+  // Relative times anchor at the origin, not the epoch.
+  EXPECT_DOUBLE_EQ(sched.BandwidthMultiplierAt(TimePoint::Epoch() + Duration::Seconds(1)), 1.0);
+
+  EXPECT_EQ(sched.ExtraLatencyAt(origin).nanos(), Duration::Millis(10).nanos());
+  EXPECT_EQ(sched.ExtraLatencyAt(origin + Duration::Seconds(1)).nanos(), 0);
+
+  EXPECT_FALSE(sched.InOutage(origin));
+  EXPECT_TRUE(sched.InOutage(origin + Duration::Seconds(4)));
+  EXPECT_TRUE(sched.InOutage(origin + Duration::Millis(4500)));
+  EXPECT_FALSE(sched.InOutage(origin + Duration::Seconds(5)));
+  EXPECT_EQ(sched.OutageEndAt(origin + Duration::Millis(4500)).nanos(),
+            (origin + Duration::Seconds(5)).nanos());
+}
+
+TEST(FaultScheduleTest, NextTransferBoundaryIsStrictlyAfter) {
+  const TimePoint origin = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("bw:1s-2s@0.5;out:4s-5s"), origin);
+  EXPECT_EQ(sched.NextTransferBoundaryAfter(origin).nanos(),
+            (origin + Duration::Seconds(1)).nanos());
+  // Strictly after: standing on a boundary yields the next one.
+  EXPECT_EQ(sched.NextTransferBoundaryAfter(origin + Duration::Seconds(1)).nanos(),
+            (origin + Duration::Seconds(2)).nanos());
+  // An outage start is a rate boundary the integration must stop at.
+  EXPECT_EQ(sched.NextTransferBoundaryAfter(origin + Duration::Seconds(2)).nanos(),
+            (origin + Duration::Seconds(4)).nanos());
+  // Past the last boundary the rate is constant forever.
+  EXPECT_EQ(sched.NextTransferBoundaryAfter(origin + Duration::Seconds(4)).nanos(),
+            TimePoint::Max().nanos());
+}
+
+// ---- NetworkLink::TryTransfer piecewise integration. ----
+// 8 Mbit/s at efficiency 1.0 = exactly 1e6 payload bytes per second, so every
+// expected duration below is an exact integer nanosecond count.
+
+LinkConfig MegabyteLink() {
+  LinkConfig config;
+  config.bandwidth_bps = 8e6;
+  config.efficiency = 1.0;
+  config.per_page_overhead = 0;
+  return config;
+}
+
+TEST(TryTransferTest, NullOrTransferNeutralScheduleEqualsTransferTime) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint start = TimePoint::Epoch() + Duration::Seconds(100);
+  const TransferAttempt bare = link.TryTransfer(123456, start, nullptr);
+  EXPECT_TRUE(bare.ok);
+  EXPECT_EQ(bare.duration.nanos(), link.TransferTime(123456).nanos());
+  EXPECT_EQ(bare.wasted_bytes, 0);
+
+  // Control loss does not touch the data path: same fast path.
+  const FaultSchedule loss_only(FaultPlan::MustParse("loss:0.5"), start);
+  const TransferAttempt neutral = link.TryTransfer(123456, start, &loss_only);
+  EXPECT_TRUE(neutral.ok);
+  EXPECT_EQ(neutral.duration.nanos(), link.TransferTime(123456).nanos());
+}
+
+TEST(TryTransferTest, IntegratesAcrossHalfRateWindow) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint start = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("bw:1s-2s@0.5"), start);
+  // 1.5e6 bytes: the first second moves 1e6 at full rate, the remaining 5e5
+  // take a full second at half rate -- exactly 2 s end to end.
+  const TransferAttempt attempt = link.TryTransfer(1500000, start, &sched);
+  EXPECT_TRUE(attempt.ok);
+  EXPECT_EQ(attempt.duration.nanos(), Duration::Seconds(2).nanos());
+}
+
+TEST(TryTransferTest, TransferFinishingAtOutageStartSucceeds) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint start = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("out:1s-2s"), start);
+  const TransferAttempt attempt = link.TryTransfer(1000000, start, &sched);
+  EXPECT_TRUE(attempt.ok);
+  EXPECT_EQ(attempt.duration.nanos(), Duration::Seconds(1).nanos());
+}
+
+TEST(TryTransferTest, OutageCutsTransferAndReportsWasteExactly) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint start = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("out:1s-2s"), start);
+  // 2e6 bytes: 1e6 reach the wire in the first second, then the link dies.
+  const TransferAttempt attempt = link.TryTransfer(2000000, start, &sched);
+  EXPECT_FALSE(attempt.ok);
+  EXPECT_EQ(attempt.duration.nanos(), Duration::Seconds(1).nanos());
+  EXPECT_EQ(attempt.wasted_bytes, 1000000);
+  EXPECT_EQ(attempt.blocked_until.nanos(), (start + Duration::Seconds(2)).nanos());
+}
+
+TEST(TryTransferTest, StartInsideOutageFailsImmediately) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint origin = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("out:1s-2s"), origin);
+  const TransferAttempt attempt =
+      link.TryTransfer(2000000, origin + Duration::Millis(1500), &sched);
+  EXPECT_FALSE(attempt.ok);
+  EXPECT_EQ(attempt.duration.nanos(), 0);
+  EXPECT_EQ(attempt.wasted_bytes, 0);
+  EXPECT_EQ(attempt.blocked_until.nanos(), (origin + Duration::Seconds(2)).nanos());
+}
+
+TEST(TryTransferTest, ZeroByteTransferOnlyFailsInOutage) {
+  const NetworkLink link(MegabyteLink());
+  const TimePoint origin = TimePoint::Epoch() + Duration::Seconds(100);
+  const FaultSchedule sched(FaultPlan::MustParse("out:1s-2s"), origin);
+  EXPECT_TRUE(link.TryTransfer(0, origin, &sched).ok);
+  const TransferAttempt blocked = link.TryTransfer(0, origin + Duration::Millis(1500), &sched);
+  EXPECT_FALSE(blocked.ok);
+  EXPECT_EQ(blocked.blocked_until.nanos(), (origin + Duration::Seconds(2)).nanos());
+}
+
+// ---- Engine-level recovery behaviour (bare kernel, no workload). ----
+// Nothing dirties memory in these tests, so page accounting is exact: every
+// frame must be sent exactly once no matter how the faults reorder the work,
+// and a fault-free baseline run gives the reference totals.
+
+class FaultEngineTest : public ::testing::Test {
+ protected:
+  FaultEngineTest() : memory_(64 * kMiB), kernel_(&memory_, &clock_) {}
+
+  MigrationResult Run(const MigrationConfig& config) {
+    MigrationEngine engine(&kernel_, config);
+    return engine.Migrate();
+  }
+
+  SimClock clock_;
+  GuestPhysicalMemory memory_;
+  GuestKernel kernel_;
+};
+
+TEST_F(FaultEngineTest, TotalControlLossDegradesToStopAndCopy) {
+  const MigrationResult baseline = Run(MigrationConfig{});
+  ASSERT_TRUE(baseline.completed);
+
+  MigrationConfig config;
+  config.faults = FaultPlan::MustParse("loss:1.0");
+  config.fault_seed = 7;
+  const MigrationResult result = Run(config);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degrade_reason, DegradeReason::kControlRetries);
+  EXPECT_EQ(result.control_losses, config.max_control_retries + 1);
+  EXPECT_EQ(result.control_rounds_ok, 0);
+  EXPECT_EQ(result.retry_wire_bytes,
+            result.control_losses * config.control_bytes_per_iteration);
+  EXPECT_GT(result.backoff_time, Duration::Zero());
+  // Stop-and-copy still lands every frame exactly once (the failed live round
+  // carried its whole pending set over).
+  EXPECT_EQ(result.pages_sent, baseline.pages_sent);
+  EXPECT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+}
+
+TEST_F(FaultEngineTest, TotalControlLossAbortsCleanlyInAbortMode) {
+  MigrationConfig config;
+  config.faults = FaultPlan::MustParse("loss:1.0");
+  config.fault_seed = 7;
+  config.degrade_mode = DegradeMode::kAbort;
+  const MigrationResult result = Run(config);
+
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degrade_reason, DegradeReason::kControlRetries);
+  EXPECT_EQ(result.iteration_count(), 1);
+  EXPECT_EQ(result.pages_sent, 0);
+  // Abort leaves a well-defined empty pause window.
+  EXPECT_EQ(result.paused_at.nanos(), result.resumed_at.nanos());
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+}
+
+TEST_F(FaultEngineTest, OutageKilledBurstRetriesAndCompletes) {
+  const MigrationResult baseline = Run(MigrationConfig{});
+  ASSERT_TRUE(baseline.completed);
+
+  MigrationConfig config;
+  config.faults = FaultPlan::MustParse("out:5ms-20ms");
+  MigrationEngine engine(&kernel_, config);
+  const MigrationResult result = engine.Migrate();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_GE(result.burst_faults, 1);
+  EXPECT_GT(result.retry_wire_bytes, 0);
+  EXPECT_GT(result.backoff_time, Duration::Zero());
+  // Already-sent pages are not re-sent: the lost burst's pages carried over
+  // and went out exactly once, so the useful page count matches the baseline.
+  EXPECT_EQ(result.pages_sent, baseline.pages_sent);
+  EXPECT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+
+  // Every fault and recovery action is visible in the trace.
+  EXPECT_EQ(engine.trace().CountOf(TraceEventKind::kTransferFault), result.burst_faults);
+  EXPECT_EQ(engine.trace().CountOf(TraceEventKind::kRetryBackoff),
+            result.burst_faults + result.control_losses);
+  std::ostringstream os;
+  engine.trace().ExportJsonLines(os);
+  EXPECT_NE(os.str().find("\"event\":\"transfer_fault\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"event\":\"retry_backoff\""), std::string::npos);
+}
+
+TEST_F(FaultEngineTest, RepeatedOutagesExhaustBurstBudgetThenStopAndCopyWaitsThemOut) {
+  const MigrationResult baseline = Run(MigrationConfig{});
+  ASSERT_TRUE(baseline.completed);
+
+  MigrationConfig config;
+  // Outage gaps shorter than one burst's wire time (~9 ms at the default
+  // link): every retry runs into the next outage until the budget is gone.
+  config.faults = FaultPlan::MustParse(
+      "out:5ms-6ms;out:10ms-11ms;out:15ms-16ms;out:20ms-21ms;out:25ms-26ms;out:30ms-31ms");
+  config.retry_backoff_base = Duration::Millis(1);
+  config.retry_backoff_cap = Duration::Millis(4);
+  MigrationEngine engine(&kernel_, config);
+  const MigrationResult result = engine.Migrate();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degrade_reason, DegradeReason::kBurstRetries);
+  EXPECT_GE(result.burst_faults, config.max_burst_retries + 1);
+  // The abandoned burst rolled back and carried over; nothing is double-sent
+  // and nothing is lost.
+  EXPECT_EQ(result.pages_sent, baseline.pages_sent);
+  EXPECT_EQ(result.pages_sent,
+            result.pages_sent_raw + result.pages_compressed + result.pages_sent_delta);
+  EXPECT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+  EXPECT_EQ(engine.trace().CountOf(TraceEventKind::kDegrade), 1);
+}
+
+TEST_F(FaultEngineTest, RoundTimeoutsCarryOverThenDegrade) {
+  const MigrationResult baseline = Run(MigrationConfig{});
+  ASSERT_TRUE(baseline.completed);
+
+  MigrationConfig config;
+  config.round_timeout = Duration::Millis(4);  // One ~9 ms burst blows it.
+  config.max_round_timeouts = 2;
+  MigrationEngine engine(&kernel_, config);
+  const MigrationResult result = engine.Migrate();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degrade_reason, DegradeReason::kRoundTimeouts);
+  EXPECT_EQ(result.round_timeouts, 3);
+  // Three truncated live rounds plus the final stop-and-copy record.
+  ASSERT_EQ(result.iteration_count(), 4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.iterations[static_cast<size_t>(i)].pages_sent, config.batch_pages);
+  }
+  EXPECT_EQ(engine.trace().CountOf(TraceEventKind::kRoundTimeout), 3);
+  // Carryover never re-sends: one burst per truncated round plus the final
+  // stop-and-copy remainder still covers every frame exactly once.
+  EXPECT_EQ(result.pages_sent, baseline.pages_sent);
+  EXPECT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+}
+
+TEST_F(FaultEngineTest, SameSeedSameFaultPlanIsDeterministic) {
+  MigrationConfig config;
+  config.faults = FaultPlan::MustParse("bw:0s-50ms@0.5;out:5ms-20ms;loss:0.25");
+  config.fault_seed = 99;
+
+  MigrationEngine first_engine(&kernel_, config);
+  const MigrationResult first = first_engine.Migrate();
+  const int64_t first_events = static_cast<int64_t>(first_engine.trace().events().size());
+  MigrationEngine second_engine(&kernel_, config);
+  const MigrationResult second = second_engine.Migrate();
+
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.degraded, second.degraded);
+  EXPECT_EQ(first.degrade_reason, second.degrade_reason);
+  EXPECT_EQ(first.total_time.nanos(), second.total_time.nanos());
+  EXPECT_EQ(first.pages_sent, second.pages_sent);
+  EXPECT_EQ(first.total_wire_bytes, second.total_wire_bytes);
+  EXPECT_EQ(first.retry_wire_bytes, second.retry_wire_bytes);
+  EXPECT_EQ(first.control_losses, second.control_losses);
+  EXPECT_EQ(first.control_rounds_ok, second.control_rounds_ok);
+  EXPECT_EQ(first.burst_faults, second.burst_faults);
+  EXPECT_EQ(first.backoff_time.nanos(), second.backoff_time.nanos());
+  EXPECT_EQ(first.iteration_count(), second.iteration_count());
+  EXPECT_EQ(first_events, static_cast<int64_t>(second_engine.trace().events().size()));
+  ASSERT_TRUE(first.trace_audit.ran);
+  EXPECT_TRUE(first.trace_audit.ok) << first.trace_audit.ToString();
+  ASSERT_TRUE(second.trace_audit.ran);
+  EXPECT_TRUE(second.trace_audit.ok) << second.trace_audit.ToString();
+}
+
+// The ISSUE acceptance scenario: a bandwidth collapse plus 5% control loss
+// must complete via retry/backoff (or degrade to stop-and-copy) with the
+// trace audit green.
+TEST_F(FaultEngineTest, BandwidthCollapseWithControlLossStillLands) {
+  const MigrationResult baseline = Run(MigrationConfig{});
+  ASSERT_TRUE(baseline.completed);
+
+  MigrationConfig config;
+  config.faults = FaultPlan::MustParse("bw:0s-60s@0.1;loss:0.05");
+  config.fault_seed = 3;
+  const MigrationResult result = Run(config);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.total_time.nanos(), baseline.total_time.nanos());
+  EXPECT_EQ(result.pages_sent, baseline.pages_sent);
+  EXPECT_TRUE(result.verification.ok) << result.verification.detail;
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+}
+
+}  // namespace
+}  // namespace javmm

@@ -58,6 +58,14 @@ void ExpectIdenticalResults(const MigrationResult& a, const MigrationResult& b,
   EXPECT_EQ(a.pages_sent_raw, b.pages_sent_raw);
   EXPECT_EQ(a.lkm_bitmap_bytes, b.lkm_bitmap_bytes);
   EXPECT_EQ(a.lkm_pfn_cache_bytes, b.lkm_pfn_cache_bytes);
+  EXPECT_EQ(a.control_losses, b.control_losses);
+  EXPECT_EQ(a.control_rounds_ok, b.control_rounds_ok);
+  EXPECT_EQ(a.burst_faults, b.burst_faults);
+  EXPECT_EQ(a.round_timeouts, b.round_timeouts);
+  EXPECT_EQ(a.retry_wire_bytes, b.retry_wire_bytes);
+  EXPECT_EQ(a.backoff_time.nanos(), b.backoff_time.nanos());
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.degrade_reason, b.degrade_reason);
   EXPECT_EQ(a.verification.ok, b.verification.ok);
   EXPECT_EQ(a.verification.pages_checked, b.verification.pages_checked);
   EXPECT_EQ(a.verification.pages_skipped_garbage, b.verification.pages_skipped_garbage);
@@ -170,6 +178,73 @@ TEST(ScenarioRunnerTest, ControlBytesConfigSharedWithAuditor) {
   ASSERT_TRUE(rec.output.result.trace_audit.ran);
   EXPECT_TRUE(rec.output.result.trace_audit.ok) << rec.output.result.trace_audit.ToString();
   EXPECT_FALSE(rec.failed());
+}
+
+// With an active FaultPlan the per-run Rng streams (lab seed + forked fault
+// seed) must still make results a pure function of the Scenario: the same
+// faulty scenarios executed serially and on a 4-worker pool are byte
+// identical, including every retry/backoff/degrade counter.
+TEST(ScenarioRunnerTest, FaultyScenariosParallelMatchesSerial) {
+  std::vector<Scenario> scenarios;
+  for (const bool assisted : {false, true}) {
+    for (const uint64_t seed : {11u, 12u}) {
+      Scenario scenario = FastScenario("crypto", assisted, seed);
+      scenario.label += "/faulty";
+      // An outage early in the migration guarantees at least one burst fault;
+      // the bandwidth window and Bernoulli loss exercise the other paths.
+      scenario.options.fault_spec = "bw:1s-3s@0.4;lat:0s-2s+5ms;out:500ms-650ms;loss:0.05";
+      scenarios.push_back(scenario);
+    }
+  }
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  ASSERT_EQ(serial.runs.size(), scenarios.size());
+  ASSERT_EQ(parallel.runs.size(), scenarios.size());
+  int64_t faults_seen = 0;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(serial.runs[i].ran) << serial.runs[i].error;
+    ASSERT_TRUE(parallel.runs[i].ran) << parallel.runs[i].error;
+    ExpectIdenticalOutputs(serial.runs[i].output, parallel.runs[i].output, scenarios[i].label);
+    const MigrationResult& r = serial.runs[i].output.result;
+    EXPECT_TRUE(r.trace_audit.ran);
+    EXPECT_TRUE(r.trace_audit.ok) << scenarios[i].label << ": " << r.trace_audit.ToString();
+    faults_seen += r.burst_faults + r.control_losses;
+  }
+  EXPECT_GT(faults_seen, 0);  // The plan actually fired.
+  EXPECT_EQ(JsonOf(serial), JsonOf(parallel));
+}
+
+TEST(ScenarioRunnerTest, DegradedRunsAreTalliedAndExported) {
+  Scenario scenario = FastScenario("mpeg", /*assisted=*/true, /*seed=*/9);
+  scenario.options.fault_spec = "loss:1.0";  // Every control round is lost.
+  const RunReport report = ScenarioRunner(/*jobs=*/1).RunAll({scenario});
+  ASSERT_EQ(report.runs.size(), 1u);
+  const RunRecord& rec = report.runs[0];
+  ASSERT_TRUE(rec.ran) << rec.error;
+  // Default degrade mode: the migration still lands via stop-and-copy.
+  EXPECT_TRUE(rec.output.result.completed);
+  EXPECT_TRUE(rec.degraded());
+  EXPECT_FALSE(rec.failed());
+  EXPECT_TRUE(rec.output.result.trace_audit.ok) << rec.output.result.trace_audit.ToString();
+  EXPECT_EQ(report.degraded, 1);
+  EXPECT_TRUE(report.all_ok());
+  const std::string json = JsonOf(report);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"control_losses\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"retry_wire_bytes\":"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, MalformedFaultSpecIsARunError) {
+  Scenario scenario = FastScenario("mpeg", /*assisted=*/false, /*seed=*/1);
+  scenario.options.fault_spec = "bw:oops";
+  const RunRecord rec = ScenarioRunner::RunOne(scenario);
+  EXPECT_FALSE(rec.ran);
+  EXPECT_TRUE(rec.failed());
+  EXPECT_NE(rec.error.find("bad fault spec"), std::string::npos);
+  const RunReport report = ScenarioRunner(/*jobs=*/1).RunAll({scenario});
+  EXPECT_EQ(report.errors, 1);
+  EXPECT_EQ(report.failure_count(), 1);
+  EXPECT_FALSE(report.all_ok());
 }
 
 TEST(ScenarioRunnerTest, JsonExportOneLinePerRunInOrder) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/migration_lab.h"
+#include "src/faults/faults.h"
 #include "src/migration/baselines.h"
 #include "src/migration/engine.h"
 #include "src/trace/auditor.h"
@@ -188,6 +189,129 @@ TEST_F(TraceAuditorTest, DetectsForgedProtocolTraffic) {
   TraceRecorder corrupted = trace_;
   corrupted.Record(TraceEvent{TraceEventKind::kLkmToDaemon, result_.resumed_at, 0, 0, 0, 0, 0,
                               Duration::Zero()});
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);
+}
+
+// ---- Fault-recovery audit: corrupted retry traces must be rejected. ----
+
+class FaultAuditorTest : public TraceEngineTest {
+ protected:
+  // Runs a migration under `spec` and keeps the trace, result and config for
+  // re-auditing with the full fault-aware inputs.
+  void RunFaulty(const std::string& spec) {
+    config_ = MigrationConfig{};
+    config_.faults = FaultPlan::MustParse(spec);
+    config_.fault_seed = 17;
+    MigrationEngine engine(&kernel_, config_);
+    result_ = engine.Migrate();
+    trace_ = engine.trace();
+    ASSERT_TRUE(result_.trace_audit.ran);
+    ASSERT_TRUE(result_.trace_audit.ok) << result_.trace_audit.ToString();
+  }
+
+  TraceAuditReport Reaudit(const TraceRecorder& trace) {
+    // On a clean run the result aggregates equal the link meters, so they
+    // stand in here -- including the separate retry-bytes meter.
+    AuditInputs inputs;
+    inputs.link_wire_bytes = result_.total_wire_bytes;
+    inputs.link_pages_sent = result_.pages_sent;
+    inputs.link_retry_bytes = result_.retry_wire_bytes;
+    inputs.control_bytes_per_iteration = config_.control_bytes_per_iteration;
+    inputs.retry_backoff_base = config_.retry_backoff_base;
+    inputs.retry_backoff_cap = config_.retry_backoff_cap;
+    return TraceAuditor::Audit(AuditMode::kPrecopy, trace, result_, inputs);
+  }
+
+  // Copies the trace with the first event of `kind` rewritten by `tamper`.
+  TraceRecorder TamperFirst(TraceEventKind kind, void (*tamper)(TraceEvent*)) {
+    TraceRecorder corrupted;
+    bool tampered = false;
+    for (TraceEvent event : trace_.events()) {
+      if (!tampered && event.kind == kind) {
+        tamper(&event);
+        tampered = true;
+      }
+      corrupted.Record(event);
+    }
+    EXPECT_TRUE(tampered);
+    return corrupted;
+  }
+
+  MigrationConfig config_;
+  TraceRecorder trace_;
+  MigrationResult result_;
+};
+
+TEST_F(FaultAuditorTest, FaultyTraceReauditsOk) {
+  RunFaulty("out:5ms-20ms");
+  ASSERT_GE(result_.burst_faults, 1);
+  const TraceAuditReport report = Reaudit(trace_);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST_F(FaultAuditorTest, DetectsTamperedBackoffNominal) {
+  RunFaulty("out:5ms-20ms");
+  const TraceRecorder corrupted = TamperFirst(
+      TraceEventKind::kRetryBackoff, [](TraceEvent* event) { ++event->pages; });
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);  // Nominal wait no longer matches NominalBackoff.
+}
+
+TEST_F(FaultAuditorTest, DetectsTamperedBackoffAttempt) {
+  RunFaulty("out:5ms-20ms");
+  const TraceRecorder corrupted = TamperFirst(
+      TraceEventKind::kRetryBackoff, [](TraceEvent* event) { event->detail = 0; });
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);  // Attempts are 1-based.
+}
+
+TEST_F(FaultAuditorTest, DetectsTamperedTransferFaultWaste) {
+  RunFaulty("out:5ms-20ms");
+  const TraceRecorder corrupted = TamperFirst(
+      TraceEventKind::kTransferFault, [](TraceEvent* event) { ++event->wire_bytes; });
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);  // Retry-byte sum no longer matches the meter.
+}
+
+TEST_F(FaultAuditorTest, DetectsForgedDegradeEvent) {
+  RunFaulty("out:5ms-20ms");
+  ASSERT_FALSE(result_.degraded);
+  TraceRecorder corrupted = trace_;
+  corrupted.Record(TraceEvent{TraceEventKind::kDegrade, result_.resumed_at, 0,
+                              static_cast<int32_t>(DegradeReason::kBurstRetries), 0, 0, 0,
+                              Duration::Zero()});
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(FaultAuditorTest, DetectsDroppedControlLossEvents) {
+  RunFaulty("loss:1.0");  // Degrades: 6 losses, 5 backoffs, one kDegrade.
+  ASSERT_TRUE(result_.degraded);
+  ASSERT_GT(result_.control_losses, 0);
+  TraceRecorder corrupted;
+  bool dropped = false;
+  for (const TraceEvent& event : trace_.events()) {
+    if (!dropped && event.kind == TraceEventKind::kControlLost) {
+      dropped = true;
+      continue;
+    }
+    corrupted.Record(event);
+  }
+  ASSERT_TRUE(dropped);
+  const TraceAuditReport report = Reaudit(corrupted);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(FaultAuditorTest, DetectsDroppedDegradeEvent) {
+  RunFaulty("loss:1.0");
+  ASSERT_TRUE(result_.degraded);
+  TraceRecorder corrupted;
+  for (const TraceEvent& event : trace_.events()) {
+    if (event.kind != TraceEventKind::kDegrade) {
+      corrupted.Record(event);
+    }
+  }
   const TraceAuditReport report = Reaudit(corrupted);
   EXPECT_FALSE(report.ok);
 }

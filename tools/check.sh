@@ -17,8 +17,13 @@ if command -v clang-format >/dev/null 2>&1; then
     echo "check.sh: FORMAT FAILURES (run clang-format -i on the files above)" >&2
     status=1
   fi
+elif [[ -n "${CI:-}" ]]; then
+  # CI must never silently drop a gate: a runner image missing clang-format
+  # would otherwise pass while enforcing two of the three layers.
+  echo "check.sh: clang-format is REQUIRED in CI but not installed" >&2
+  status=1
 else
-  echo "== check.sh: clang-format not installed; skipping format layer =="
+  echo "== check.sh: clang-format not installed; skipping format layer (local run) =="
 fi
 
 # --- 2. javmm-lint -----------------------------------------------------------
