@@ -3,11 +3,16 @@
 // Ablation (fault tolerance): the paper's evaluation assumes a healthy
 // dedicated migration link; this exhibit asks what each engine pays when the
 // link misbehaves. A matrix of deterministic fault regimes (FaultPlan specs,
-// src/faults/) crosses plain pre-copy and JAVMM: bandwidth collapse, lossy
-// control channel, a mid-migration outage, and the combined worst case. The
-// recovery path (retry/backoff/degrade, src/migration/engine.cc) must land
-// every run -- memory verification and the trace audit gate the exit code --
-// and the fault counters show what the landing cost.
+// src/faults/) crosses all four engines -- plain pre-copy, JAVMM,
+// stop-and-copy and post-copy: bandwidth collapse, lossy control channel, a
+// mid-migration outage, and the combined worst case. The recovery paths
+// (retry/backoff/degrade in src/migration/engine.cc and the baseline
+// equivalents in src/migration/baselines.cc) must land every run -- memory
+// verification and the trace audit gate the exit code -- and the fault
+// counters show what the landing cost. Post-copy pays in downtime (device
+// state waits outages out) and in the degradation window (demand-fetch
+// stalls, pre-paging retries); the pre-copy family pays in total time and
+// retry traffic.
 
 #include <cstdio>
 #include <iostream>
@@ -34,6 +39,9 @@ constexpr FaultRegime kRegimes[] = {
     {"combined", "bw:0s-120s@0.5;loss:0.4;out:2s-2500ms"},
 };
 
+constexpr EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
+                                   EngineKind::kStopAndCopy, EngineKind::kPostcopy};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,27 +49,35 @@ int main(int argc, char** argv) {
 
   ExperimentSet set(ParseBenchArgs(argc, argv));
   for (const FaultRegime& regime : kRegimes) {
-    for (const bool assisted : {false, true}) {
+    for (const EngineKind kind : kEngines) {
       RunOptions options;
       options.warmup = Duration::Seconds(30);  // Short warmup: faults, not GC, star here.
       options.fault_spec = regime.spec;
+      Scenario scenario;
       char label[64];
-      std::snprintf(label, sizeof(label), "%s/%s", regime.name, EngineName(assisted).c_str());
-      set.Add(label, Workloads::Get("crypto"), assisted, options);
+      std::snprintf(label, sizeof(label), "%s/%s", regime.name, EngineKindName(kind));
+      scenario.label = label;
+      scenario.spec = Workloads::Get("crypto");
+      scenario.engine = kind;
+      scenario.options = options;
+      set.Add(std::move(scenario));
     }
   }
   set.Run();
 
-  Table table({"regime", "engine", "time(s)", "traffic(GiB)", "retry(MiB)", "backoff(s)",
-               "losses", "bursts", "degraded", "verified"});
+  Table table({"regime", "engine", "time(s)", "down(s)", "dwindow(s)", "traffic(GiB)",
+               "retry(MiB)", "backoff(s)", "losses", "bursts", "degraded", "verified"});
   size_t i = 0;
   for (const FaultRegime& regime : kRegimes) {
-    for (const bool assisted : {false, true}) {
-      const MigrationResult& r = set.result(i++);
+    for (const EngineKind kind : kEngines) {
+      const RunOutput& out = set.out(i++);
+      const MigrationResult& r = out.result;
       table.Row()
           .Cell(regime.name)
-          .Cell(EngineName(assisted))
+          .Cell(EngineKindName(kind))
           .Cell(r.total_time.ToSecondsF(), 1)
+          .Cell(r.downtime.Total().ToSecondsF(), 3)
+          .Cell(out.degradation_window.ToSecondsF(), 2)
           .Cell(GiBOf(r.total_wire_bytes), 2)
           .Cell(MiBOf(r.retry_wire_bytes), 2)
           .Cell(r.backoff_time.ToSecondsF(), 2)
@@ -73,9 +89,11 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
   std::printf("\nshape check: every row must verify -- recovery may cost time, traffic and\n"
-              "backoff, never pages. The healthy row pins the baseline; bw-collapse slows\n"
-              "both engines proportionally; lossy-ctl charges per-iteration control retries\n"
-              "(so Xen, with more live rounds, pays more often); the outage rows show the\n"
-              "retry/backoff machinery waiting the link out or degrading to stop-and-copy.\n");
+              "backoff, never pages. The healthy rows pin the baseline; bw-collapse slows\n"
+              "every engine proportionally; lossy-ctl charges control retries (Xen's live\n"
+              "rounds and post-copy's demand fetches); the outage rows show the machinery\n"
+              "waiting the link out or degrading (pre-copy to stop-and-copy, post-copy to\n"
+              "pure demand paging). Post-copy pays outages inside the pause as downtime\n"
+              "and pays losses as demand-fetch stall inside the degradation window.\n");
   return set.ExitCode();
 }

@@ -58,7 +58,8 @@ void PrintUsage() {
       "  --vm-mib=M            guest memory (default 2048)\n"
       "  --young-mib=M         override the young-generation cap (-Xmn)\n"
       "  --warmup-s=S          workload warmup before migrating (default 120)\n"
-      "  --compress            enable the compression extension\n"
+      "  --compress            enable the compression extension (all engines\n"
+      "                        except postcopy, which ships pages raw)\n"
       "  --faults=SPEC         deterministic link-fault plan, e.g.\n"
       "                        \"bw:2s-30s@0.1;lat:0s-5s+10ms;out:4s-5s;loss:0.05\"\n"
       "  --csv                 print per-iteration records as CSV\n"
@@ -256,51 +257,105 @@ int RunPrecopyStyle(const CliOptions& options) {
   return 0;
 }
 
-int RunBaseline(const CliOptions& options) {
-  WorkloadSpec spec = Workloads::Get(options.workload);
-  if (options.young_mib > 0) {
-    spec = Workloads::WithYoungCap(spec, options.young_mib * kMiB);
+// Fault-recovery rows shared by every engine table; `stream_fallbacks` < 0
+// hides the post-copy-only row.
+void AddFaultRows(Table* table, const MigrationResult& last, int64_t stream_fallbacks) {
+  char faults[96];
+  std::snprintf(faults, sizeof(faults), "%lld ctl-loss, %lld burst",
+                static_cast<long long>(last.control_losses),
+                static_cast<long long>(last.burst_faults));
+  table->Row().Cell("faults survived").Cell(faults);
+  table->Row().Cell("retry traffic").Cell(FormatBytes(last.retry_wire_bytes));
+  table->Row().Cell("backoff").Cell(last.backoff_time.ToString());
+  if (stream_fallbacks >= 0) {
+    table->Row().Cell("stream fallbacks").Cell(stream_fallbacks);
   }
-  LabConfig config;
-  config.vm_bytes = options.vm_mib * kMiB;
-  config.seed = options.seed;
-  config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
-  if (!ApplyFaults(options, &config)) {
+  table->Row().Cell("degraded").Cell(
+      last.degraded ? DegradeReasonName(last.degrade_reason) : "no");
+}
+
+int RunBaseline(const CliOptions& options) {
+  const bool stopcopy = options.engine == "stopcopy";
+  if (!stopcopy && options.compress) {
+    std::fprintf(stderr,
+                 "--compress is not implemented for post-copy (pages ship raw over the "
+                 "demand/pre-paging streams); drop the flag or use --engine=stopcopy\n");
     return 2;
   }
-  MigrationLab lab(spec, config);
-  lab.Run(Duration::SecondsF(options.warmup_s));
-  Table table({"metric", "value"});
-  if (options.engine == "stopcopy") {
-    StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
-    const MigrationResult result = engine.Migrate();
-    WarnIfAuditFailed(result);
-    if (!MaybeExportTrace(options, engine.trace())) {
-      return 1;
+  Summary time_s;
+  Summary traffic_gib;
+  Summary downtime_s;
+  Summary dwindow_s;
+  Summary stall_s;
+  MigrationResult last;
+  PostcopyResult last_pc;
+  for (int run = 0; run < options.repeat; ++run) {
+    WorkloadSpec spec = Workloads::Get(options.workload);
+    if (options.young_mib > 0) {
+      spec = Workloads::WithYoungCap(spec, options.young_mib * kMiB);
     }
-    table.Row().Cell("engine").Cell("stop-and-copy");
-    table.Row().Cell("completion time").Cell(result.total_time.ToString());
-    table.Row().Cell("network traffic").Cell(FormatBytes(result.total_wire_bytes));
-    table.Row().Cell("downtime").Cell(result.downtime.Total().ToString());
-    table.Row().Cell("verified").Cell(result.verification.ok ? "yes" : "NO");
-    table.Print(std::cout);
-    return result.verification.ok ? 0 : 1;
+    LabConfig config;
+    config.vm_bytes = options.vm_mib * kMiB;
+    config.seed = options.seed + static_cast<uint64_t>(run);
+    config.migration.link.bandwidth_bps = options.bandwidth_gbps * 1e9;
+    config.migration.compress_pages = options.compress;
+    if (!ApplyFaults(options, &config)) {
+      return 2;
+    }
+    MigrationLab lab(spec, config);
+    lab.Run(Duration::SecondsF(options.warmup_s));
+    // Take the lab's copy of the migration config: the lab forks a dedicated
+    // fault_seed off the run seed, so the fault process is reproducible per
+    // --seed without perturbing the OS/app streams.
+    if (stopcopy) {
+      StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+      const MigrationResult result = engine.Migrate();
+      WarnIfAuditFailed(result);
+      if (run + 1 == options.repeat && !MaybeExportTrace(options, engine.trace())) {
+        return 1;
+      }
+      if (!result.verification.ok) {
+        std::fprintf(stderr, "VERIFICATION FAILED\n");
+        return 1;
+      }
+      time_s.Add(result.total_time.ToSecondsF());
+      traffic_gib.Add(static_cast<double>(result.total_wire_bytes) / static_cast<double>(kGiB));
+      downtime_s.Add(result.downtime.Total().ToSecondsF());
+      last = result;
+    } else {
+      PostcopyEngine::Config pc;
+      pc.base = lab.config().migration;
+      PostcopyEngine engine(&lab.guest(), pc);
+      const PostcopyResult result = engine.Migrate();
+      WarnIfAuditFailed(result.common);
+      if (run + 1 == options.repeat && !MaybeExportTrace(options, engine.trace())) {
+        return 1;
+      }
+      time_s.Add(result.common.total_time.ToSecondsF());
+      traffic_gib.Add(static_cast<double>(result.common.total_wire_bytes) /
+                      static_cast<double>(kGiB));
+      downtime_s.Add(result.common.downtime.Total().ToSecondsF());
+      dwindow_s.Add(result.degradation_window.ToSecondsF());
+      stall_s.Add(result.fault_stall.ToSecondsF());
+      last = result.common;
+      last_pc = result;
+    }
   }
-  PostcopyEngine::Config pc;
-  pc.base = lab.config().migration;
-  PostcopyEngine engine(&lab.guest(), pc);
-  const PostcopyResult result = engine.Migrate();
-  WarnIfAuditFailed(result.common);
-  if (!MaybeExportTrace(options, engine.trace())) {
-    return 1;
+
+  Table table({"metric", options.repeat > 1 ? "mean ± 90% CI" : "value"});
+  table.Row().Cell("engine").Cell(stopcopy ? "stop-and-copy" : "post-copy");
+  table.Row().Cell("completion time").Cell(time_s.ToString(1.0, " s"));
+  table.Row().Cell("network traffic").Cell(traffic_gib.ToString(1.0, " GiB"));
+  table.Row().Cell("downtime").Cell(downtime_s.ToString(1.0, " s"));
+  if (!stopcopy) {
+    table.Row().Cell("degradation window").Cell(dwindow_s.ToString(1.0, " s"));
+    table.Row().Cell("demand faults").Cell(last_pc.demand_faults);
+    table.Row().Cell("fault stall").Cell(stall_s.ToString(1.0, " s"));
   }
-  table.Row().Cell("engine").Cell("post-copy");
-  table.Row().Cell("completion time").Cell(result.common.total_time.ToString());
-  table.Row().Cell("network traffic").Cell(FormatBytes(result.common.total_wire_bytes));
-  table.Row().Cell("downtime").Cell(result.common.downtime.Total().ToString());
-  table.Row().Cell("degradation window").Cell(result.degradation_window.ToString());
-  table.Row().Cell("demand faults").Cell(result.demand_faults);
-  table.Row().Cell("fault stall").Cell(result.fault_stall.ToString());
+  if (!options.faults.empty()) {
+    AddFaultRows(&table, last, stopcopy ? int64_t{-1} : last_pc.stream_fallback_fetches);
+  }
+  table.Row().Cell("verified").Cell("yes");
   table.Print(std::cout);
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include "src/migration/baselines.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/macros.h"
 #include "src/mem/bitmap.h"
 #include "src/trace/auditor.h"
@@ -13,6 +16,27 @@ namespace javmm {
 StopAndCopyEngine::StopAndCopyEngine(GuestKernel* guest, const MigrationConfig& config)
     : guest_(guest), config_(config), link_(config.link) {
   CHECK(guest != nullptr);
+  CHECK_GT(config.batch_pages, 0);
+}
+
+void StopAndCopyEngine::WaitBackoff(int index, int attempt, TimePoint min_until,
+                                    MigrationResult* result) {
+  SimClock& clock = guest_->clock();
+  const Duration nominal =
+      NominalBackoff(config_.retry_backoff_base, config_.retry_backoff_cap, attempt);
+  TimePoint target = clock.now() + nominal;
+  if (min_until > target) {
+    // The outage outlives the nominal backoff: retrying earlier would
+    // deterministically fail again, so wait it out.
+    target = min_until;
+  }
+  const Duration waited = target - clock.now();
+  if (!waited.IsZero()) {
+    clock.Advance(waited);
+  }
+  result->backoff_time += waited;
+  trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, clock.now(), index, attempt,
+                           nominal.nanos(), 0, 0, waited});
 }
 
 MigrationResult StopAndCopyEngine::Migrate() {
@@ -28,12 +52,28 @@ MigrationResult StopAndCopyEngine::Migrate() {
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
                            Duration::Zero()});
+  fault_schedule_.reset();
+  if (config_.faults.enabled()) {
+    fault_schedule_.emplace(config_.faults, result.started_at);
+  }
+  const FaultSchedule* faults = fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
 
   guest_->PauseVm();
   result.paused_at = clock.now();
   trace_.Record(
       TraceEvent{TraceEventKind::kPause, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   const std::vector<uint64_t> pause_versions = memory.versions();
+
+  // Whole-memory copy inside the pause. With compression every page pays the
+  // compression CPU and ships at the kNormal ratio (no hint source exists for
+  // a paused, unassisted guest).
+  const int64_t page_payload =
+      config_.compress_pages
+          ? static_cast<int64_t>(static_cast<double>(kPageSize) * config_.compression_ratio)
+          : kPageSize;
+  const Duration cpu_per_page =
+      config_.cpu_per_page_sent +
+      (config_.compress_pages ? config_.cpu_per_page_compressed : Duration::Zero());
 
   DestinationVm dest(frames);
   IterationRecord rec;
@@ -42,17 +82,38 @@ MigrationResult StopAndCopyEngine::Migrate() {
                            Duration::Zero()});
   for (Pfn pfn = 0; pfn < frames; pfn += config_.batch_pages) {
     const int64_t burst = std::min(config_.batch_pages, frames - pfn);
-    for (int64_t i = 0; i < burst; ++i) {
-      dest.ReceivePage(pfn + i, memory.version(pfn + i));
+    const int64_t wire = burst * (page_payload + config_.link.per_page_overhead);
+    int attempt = 0;
+    for (;;) {
+      const TransferAttempt try_result = link_.TryTransfer(wire, clock.now(), faults);
+      if (try_result.ok) {
+        for (int64_t i = 0; i < burst; ++i) {
+          dest.ReceivePage(pfn + i, memory.version(pfn + i));
+        }
+        link_.RecordPageBytes(burst, wire);
+        rec.pages_sent += burst;
+        rec.pages_scanned += burst;
+        rec.wire_bytes += wire;
+        clock.Advance(try_result.duration);
+        trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), rec.index, 0, burst, wire,
+                                 burst, cpu_per_page * burst});
+        break;
+      }
+      // An outage cut the burst: the partial transfer burned time and wire
+      // bytes but delivered nothing. The VM is paused and the destination
+      // owns nothing yet, so there is no degrade path -- wait the fault out
+      // and retry until the burst lands (downtime absorbs the cost).
+      ++attempt;
+      ++result.burst_faults;
+      link_.RecordRetryBytes(try_result.wasted_bytes);
+      result.retry_wire_bytes += try_result.wasted_bytes;
+      if (!try_result.duration.IsZero()) {
+        clock.Advance(try_result.duration);
+      }
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), rec.index, attempt,
+                               burst, try_result.wasted_bytes, 0, Duration::Zero()});
+      WaitBackoff(rec.index, attempt, try_result.blocked_until, &result);
     }
-    link_.RecordPages(burst);
-    rec.pages_sent += burst;
-    rec.pages_scanned += burst;
-    rec.wire_bytes += link_.PageWireBytes(burst);
-    clock.Advance(link_.PageTransferTime(burst));
-    trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), rec.index, 0, burst,
-                             link_.PageWireBytes(burst), burst,
-                             config_.cpu_per_page_sent * burst});
   }
   rec.duration = clock.now() - result.paused_at;
   trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
@@ -61,7 +122,12 @@ MigrationResult StopAndCopyEngine::Migrate() {
   result.iterations.push_back(rec);
   result.pages_sent = rec.pages_sent;
   result.last_iter_pages_sent = rec.pages_sent;
-  result.cpu_time = config_.cpu_per_page_sent * rec.pages_sent;
+  if (config_.compress_pages) {
+    result.pages_compressed = rec.pages_sent;
+  } else {
+    result.pages_sent_raw = rec.pages_sent;
+  }
+  result.cpu_time = cpu_per_page * rec.pages_sent;
 
   clock.Advance(config_.resumption_time);
   result.downtime.resumption = config_.resumption_time;
@@ -84,8 +150,13 @@ MigrationResult StopAndCopyEngine::Migrate() {
   }
   v.ok = v.version_mismatches == 0;
   if (config_.record_trace && config_.audit_trace) {
-    result.trace_audit = TraceAuditor::Audit(AuditMode::kStopAndCopy, trace_, result,
-                                             link_.total_wire_bytes(), link_.total_pages_sent());
+    AuditInputs inputs;
+    inputs.link_wire_bytes = link_.total_wire_bytes();
+    inputs.link_pages_sent = link_.total_pages_sent();
+    inputs.link_retry_bytes = link_.total_retry_bytes();
+    inputs.retry_backoff_base = config_.retry_backoff_base;
+    inputs.retry_backoff_cap = config_.retry_backoff_cap;
+    result.trace_audit = TraceAuditor::Audit(AuditMode::kStopAndCopy, trace_, result, inputs);
   }
   return result;
 }
@@ -93,13 +164,18 @@ MigrationResult StopAndCopyEngine::Migrate() {
 // ---- Post-copy. ----
 
 // Marks pages resident and accounts demand faults as the (resumed) guest
-// touches pages that have not arrived yet.
+// touches pages that have not arrived yet. Under a fault schedule each
+// demand fetch simulates the actual express round trip on a virtual timeline
+// starting at now() + the stall debt earlier faults already accrued: losses
+// and outage cuts are retried with NominalBackoff while the vCPU stays
+// stalled, so stall time -- not stream throughput -- absorbs the fault.
 class PostcopyEngine::FaultTracker : public WriteObserver {
  public:
-  FaultTracker(int64_t frames, Duration per_fault_stall, NetworkLink* link, SimClock* clock,
-               TraceRecorder* trace)
-      : resident_(frames), per_fault_stall_(per_fault_stall), link_(link), clock_(clock),
-        trace_(trace) {}
+  FaultTracker(int64_t frames, Duration base_stall, const PostcopyEngine::Config& config,
+               const FaultSchedule* schedule, Rng* rng, NetworkLink* link, SimClock* clock,
+               TraceRecorder* trace, PostcopyResult* result)
+      : resident_(frames), base_stall_(base_stall), config_(config), schedule_(schedule),
+        rng_(rng), link_(link), clock_(clock), trace_(trace), result_(result) {}
 
   void OnGuestWrite(Pfn pfn) override {
     if (resident_.Test(pfn)) {
@@ -110,30 +186,54 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
     resident_.Set(pfn);
     ++resident_count_;
     ++faults_;
-    stall_debt_ += per_fault_stall_;
+    const Duration stall = FetchStall();
+    stall_debt_ += stall;
     link_->RecordPages(1);
     trace_->Record(TraceEvent{TraceEventKind::kBurst, clock_->now(), 0, 1, 1,
-                              link_->PageWireBytes(1), 0, Duration::Zero()});
+                              link_->PageWireBytes(1), 0, stall});
   }
 
-  // Background pre-paging: makes up to `max_pages` lowest non-resident pages
-  // resident; returns how many were fetched.
-  int64_t PrepageBatch(int64_t max_pages) {
-    int64_t fetched = 0;
-    while (fetched < max_pages && cursor_ < resident_.size()) {
+  // Background pre-paging: marks up to `max_pages` lowest non-resident pages
+  // resident and returns them (the caller meters and pays for the transfer,
+  // and may roll the batch back if it terminally fails).
+  std::vector<Pfn> CollectPrepageBatch(int64_t max_pages) {
+    std::vector<Pfn> batch;
+    cursor_checkpoint_ = cursor_;
+    while (static_cast<int64_t>(batch.size()) < max_pages && cursor_ < resident_.size()) {
       if (!resident_.Test(cursor_)) {
         resident_.Set(cursor_);
         ++resident_count_;
-        ++fetched;
+        batch.push_back(cursor_);
       }
       ++cursor_;
     }
-    link_->RecordPages(fetched);
-    if (fetched > 0) {
-      trace_->Record(TraceEvent{TraceEventKind::kBurst, clock_->now(), 0, 0, fetched,
-                                link_->PageWireBytes(fetched), 0, Duration::Zero()});
+    return batch;
+  }
+
+  // Undoes CollectPrepageBatch after a terminally failed burst: the pages
+  // never arrived, so they must fault or be re-fetched later.
+  void RollbackPrepageBatch(const std::vector<Pfn>& batch) {
+    for (const Pfn pfn : batch) {
+      resident_.Clear(pfn);
     }
-    return fetched;
+    resident_count_ -= static_cast<int64_t>(batch.size());
+    cursor_ = cursor_checkpoint_;
+  }
+
+  // Lowest non-resident page, marked resident for the caller to deliver;
+  // -1 when everything is resident. Used by the post-degrade demand trickle.
+  Pfn TakeNextNonResident() {
+    while (cursor_ < resident_.size() && resident_.Test(cursor_)) {
+      ++cursor_;
+    }
+    if (cursor_ >= resident_.size()) {
+      return -1;
+    }
+    const Pfn pfn = cursor_;
+    resident_.Set(pfn);
+    ++resident_count_;
+    ++cursor_;
+    return pfn;
   }
 
   bool AllResident() const { return resident_count_ == resident_.size(); }
@@ -146,20 +246,147 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
   }
 
  private:
+  // Total vCPU stall for one demand fetch under the fault schedule.
+  Duration FetchStall() {
+    if (schedule_ == nullptr) {
+      return base_stall_;
+    }
+    const MigrationConfig& base = config_.base;
+    MigrationResult& common = result_->common;
+    // Virtual timeline of the stalled vCPU: the fetch starts at now() plus
+    // the stall debt earlier faults in this quantum already accrued.
+    const TimePoint vstart = clock_->now() + stall_debt_;
+    TimePoint vnow = vstart;
+    int attempt = 0;
+    bool stream_mode = false;
+    for (;;) {
+      if (!stream_mode) {
+        bool lost = false;
+        bool lost_to_outage = false;
+        TimePoint outage_end;
+        if (schedule_->InOutage(vnow)) {
+          // A dead link loses the fetch deterministically -- no Rng draw, so
+          // the draw sequence is a pure function of the fetches that reach
+          // the Bernoulli stage.
+          lost = true;
+          lost_to_outage = true;
+          outage_end = schedule_->OutageEndAt(vnow);
+        } else if (schedule_->control_loss_p() > 0.0) {
+          lost = rng_->Chance(schedule_->control_loss_p());
+        }
+        if (!lost) {
+          // Express fetch: one round trip under the latency in effect, then
+          // the page under the bandwidth in effect.
+          const Duration round_trip =
+              (base.link.latency + schedule_->ExtraLatencyAt(vnow)) * int64_t{2};
+          const TransferAttempt page =
+              link_->TryTransfer(link_->PageWireBytes(1), vnow + round_trip, schedule_);
+          if (page.ok) {
+            vnow += round_trip + page.duration + config_.extra_fault_latency;
+            return vnow - vstart;
+          }
+          // The page was cut mid-flight: a transfer fault on the demand
+          // channel, paid in stall time.
+          ++attempt;
+          ++common.burst_faults;
+          link_->RecordRetryBytes(page.wasted_bytes);
+          common.retry_wire_bytes += page.wasted_bytes;
+          vnow += round_trip + page.duration;
+          trace_->Record(TraceEvent{TraceEventKind::kTransferFault, clock_->now(), 0, attempt, 1,
+                                    page.wasted_bytes, 0, Duration::Zero()});
+          vnow = Backoff(attempt, page.blocked_until, vnow);
+          continue;
+        }
+        // Lost request/reply: the destination only notices at the ack
+        // timeout, then backs off before re-requesting.
+        ++attempt;
+        ++common.control_losses;
+        link_->RecordRetryBytes(base.control_bytes_per_iteration);
+        common.retry_wire_bytes += base.control_bytes_per_iteration;
+        vnow += base.control_loss_timeout;
+        trace_->Record(TraceEvent{TraceEventKind::kControlLost, clock_->now(), 0, attempt, 0,
+                                  base.control_bytes_per_iteration, 0, Duration::Zero()});
+        vnow = Backoff(attempt, lost_to_outage ? outage_end : TimePoint::Epoch(), vnow);
+        if (attempt > base.max_control_retries) {
+          // Express-channel budget exhausted. Post-copy cannot abandon the
+          // fetch -- the vCPU is stalled on this page -- so it falls back to
+          // the bulk stream, which waits outages out instead of racing the
+          // loss process.
+          stream_mode = true;
+          ++result_->stream_fallback_fetches;
+        }
+        continue;
+      }
+      // Stream fallback: deterministic -- TryTransfer either lands the page
+      // or reports the outage that cut it; retry once the outage ends.
+      const TransferAttempt page = link_->TryTransfer(link_->PageWireBytes(1), vnow, schedule_);
+      if (page.ok) {
+        vnow += page.duration + config_.extra_fault_latency;
+        return vnow - vstart;
+      }
+      ++attempt;
+      ++common.burst_faults;
+      link_->RecordRetryBytes(page.wasted_bytes);
+      common.retry_wire_bytes += page.wasted_bytes;
+      vnow += page.duration;
+      trace_->Record(TraceEvent{TraceEventKind::kTransferFault, clock_->now(), 0, attempt, 1,
+                                page.wasted_bytes, 0, Duration::Zero()});
+      vnow = Backoff(attempt, page.blocked_until, vnow);
+    }
+  }
+
+  // Stall-absorbed backoff on the virtual timeline; returns the new vnow.
+  TimePoint Backoff(int attempt, TimePoint min_until, TimePoint vnow) {
+    const Duration nominal = NominalBackoff(config_.base.retry_backoff_base,
+                                            config_.base.retry_backoff_cap, attempt);
+    TimePoint target = vnow + nominal;
+    if (min_until > target) {
+      target = min_until;
+    }
+    const Duration waited = target - vnow;
+    result_->common.backoff_time += waited;
+    trace_->Record(TraceEvent{TraceEventKind::kRetryBackoff, clock_->now(), 0, attempt,
+                              nominal.nanos(), 0, 0, waited});
+    return target;
+  }
+
   PageBitmap resident_;
   int64_t resident_count_ = 0;
-  Duration per_fault_stall_;
+  Duration base_stall_;
+  const PostcopyEngine::Config& config_;
+  const FaultSchedule* schedule_;
+  Rng* rng_;
   NetworkLink* link_;
   SimClock* clock_;
   TraceRecorder* trace_;
+  PostcopyResult* result_;
   int64_t faults_ = 0;
   Duration stall_debt_ = Duration::Zero();
   Pfn cursor_ = 0;
+  Pfn cursor_checkpoint_ = 0;
 };
 
 PostcopyEngine::PostcopyEngine(GuestKernel* guest, const Config& config)
     : guest_(guest), config_(config), link_(config.base.link) {
   CHECK(guest != nullptr);
+  CHECK_GT(config.prepage_batch_pages, 0);
+}
+
+void PostcopyEngine::WaitBackoff(int attempt, TimePoint min_until, MigrationResult* common) {
+  SimClock& clock = guest_->clock();
+  const Duration nominal = NominalBackoff(config_.base.retry_backoff_base,
+                                          config_.base.retry_backoff_cap, attempt);
+  TimePoint target = clock.now() + nominal;
+  if (min_until > target) {
+    target = min_until;
+  }
+  const Duration waited = target - clock.now();
+  if (!waited.IsZero()) {
+    clock.Advance(waited);
+  }
+  common->backoff_time += waited;
+  trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, clock.now(), 0, attempt,
+                           nominal.nanos(), 0, 0, waited});
 }
 
 PostcopyResult PostcopyEngine::Migrate() {
@@ -175,18 +402,46 @@ PostcopyResult PostcopyEngine::Migrate() {
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0,
                            memory.frame_count(), 0, 0, Duration::Zero()});
+  fault_schedule_.reset();
+  fault_rng_.reset();
+  if (config_.base.faults.enabled()) {
+    fault_schedule_.emplace(config_.base.faults, common.started_at);
+    fault_rng_.emplace(config_.base.fault_seed);
+  }
+  const FaultSchedule* faults = fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
 
   // Stop-and-transfer of vCPU/device state only (a few MiB), then resume at
-  // the destination immediately.
+  // the destination immediately. An outage during the pause is waited out
+  // with the usual backoff -- downtime grows, the flip still happens.
   guest_->PauseVm();
   common.paused_at = clock.now();
   trace_.Record(
       TraceEvent{TraceEventKind::kPause, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   constexpr int64_t kDeviceStateBytes = 4 * kMiB;
-  link_.RecordControlBytes(kDeviceStateBytes);
-  trace_.Record(TraceEvent{TraceEventKind::kControlBytes, clock.now(), 0, 0, 0,
-                           kDeviceStateBytes, 0, Duration::Zero()});
-  clock.Advance(link_.TransferTime(kDeviceStateBytes));
+  {
+    int attempt = 0;
+    for (;;) {
+      const TransferAttempt try_result =
+          link_.TryTransfer(kDeviceStateBytes, clock.now(), faults);
+      if (try_result.ok) {
+        link_.RecordControlBytes(kDeviceStateBytes);
+        trace_.Record(TraceEvent{TraceEventKind::kControlBytes, clock.now(), 0, 0, 0,
+                                 kDeviceStateBytes, 0, Duration::Zero()});
+        clock.Advance(try_result.duration);
+        break;
+      }
+      ++attempt;
+      ++common.burst_faults;
+      link_.RecordRetryBytes(try_result.wasted_bytes);
+      common.retry_wire_bytes += try_result.wasted_bytes;
+      if (!try_result.duration.IsZero()) {
+        clock.Advance(try_result.duration);
+      }
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), 0, attempt, 0,
+                               try_result.wasted_bytes, 0, Duration::Zero()});
+      WaitBackoff(attempt, try_result.blocked_until, &common);
+    }
+  }
   common.downtime.last_iter_transfer = clock.now() - common.paused_at;
   clock.Advance(config_.base.resumption_time);
   common.downtime.resumption = config_.base.resumption_time;
@@ -198,10 +453,13 @@ PostcopyResult PostcopyEngine::Migrate() {
   // Degradation window: the guest executes while pages stream in; writes to
   // non-resident pages fault and stall the guest. A fault's stall is applied
   // at the next quantum boundary (the guest "loses" that execution time).
-  const Duration per_fault_stall = config_.base.link.latency * int64_t{2} +
-                                   link_.PageTransferTime(1) + config_.extra_fault_latency;
-  FaultTracker tracker(memory.frame_count(), per_fault_stall, &link_, &clock, &trace_);
+  const Duration base_stall = config_.base.link.latency * int64_t{2} +
+                              link_.PageTransferTime(1) + config_.extra_fault_latency;
+  FaultTracker tracker(memory.frame_count(), base_stall, config_, faults,
+                       fault_rng_.has_value() ? &*fault_rng_ : nullptr, &link_, &clock, &trace_,
+                       &result);
   memory.AttachWriteObserver(&tracker);
+  bool prepage_degraded = false;
   while (!tracker.AllResident()) {
     const Duration stall = tracker.TakeStallDebt();
     if (!stall.IsZero()) {
@@ -210,9 +468,86 @@ PostcopyResult PostcopyEngine::Migrate() {
       clock.Advance(stall);
       guest_->ResumeVm();
     }
-    const int64_t fetched = tracker.PrepageBatch(config_.prepage_batch_pages);
-    if (fetched > 0) {
-      clock.Advance(link_.PageTransferTime(fetched));
+    if (!prepage_degraded) {
+      // Pipelined pre-paging burst: mark-then-transfer, with the same
+      // outage-cut/wasted-bytes semantics as pre-copy's FlushBurst. A
+      // terminally failed burst rolls back and drops pre-paging entirely.
+      const std::vector<Pfn> batch =
+          tracker.CollectPrepageBatch(config_.prepage_batch_pages);
+      const int64_t fetched = static_cast<int64_t>(batch.size());
+      if (fetched == 0) {
+        continue;
+      }
+      int attempt = 0;
+      for (;;) {
+        const TransferAttempt try_result =
+            link_.TryTransfer(link_.PageWireBytes(fetched), clock.now(), faults);
+        if (try_result.ok) {
+          link_.RecordPages(fetched);
+          result.prepage_pages += fetched;
+          trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), 0, 0, fetched,
+                                   link_.PageWireBytes(fetched), 0, Duration::Zero()});
+          clock.Advance(try_result.duration);
+          break;
+        }
+        ++attempt;
+        ++common.burst_faults;
+        link_.RecordRetryBytes(try_result.wasted_bytes);
+        common.retry_wire_bytes += try_result.wasted_bytes;
+        if (!try_result.duration.IsZero()) {
+          clock.Advance(try_result.duration);
+        }
+        trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), 0, attempt,
+                                 fetched, try_result.wasted_bytes, 0, Duration::Zero()});
+        if (attempt > config_.base.max_burst_retries) {
+          // Budget exhausted: abandon pre-paging, not the migration -- the
+          // destination is already authoritative, so aborting is impossible.
+          // The remaining pages trickle in one demand round trip at a time
+          // (the terminal fault is never retried, so no backoff here).
+          tracker.RollbackPrepageBatch(batch);
+          prepage_degraded = true;
+          common.degraded = true;
+          common.degrade_reason = DegradeReason::kBurstRetries;
+          trace_.Record(TraceEvent{TraceEventKind::kDegrade, clock.now(), 0,
+                                   static_cast<int32_t>(DegradeReason::kBurstRetries), 0, 0, 0,
+                                   Duration::Zero()});
+          break;
+        }
+        WaitBackoff(attempt, try_result.blocked_until, &common);
+      }
+      continue;
+    }
+    // Pure demand paging: one page per un-pipelined round trip, outages
+    // waited out. Measurably slower than bursts, but always terminates.
+    const Pfn pfn = tracker.TakeNextNonResident();
+    if (pfn < 0) {
+      continue;  // A demand fault beat us to the last page; re-check debt.
+    }
+    int attempt = 0;
+    for (;;) {
+      const TimePoint now = clock.now();
+      const TransferAttempt try_result =
+          link_.TryTransfer(link_.PageWireBytes(1), now, faults);
+      if (try_result.ok) {
+        const Duration round_trip =
+            (config_.base.link.latency + faults->ExtraLatencyAt(now)) * int64_t{2};
+        link_.RecordPages(1);
+        ++result.prepage_pages;
+        trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), 0, 0, 1,
+                                 link_.PageWireBytes(1), 0, Duration::Zero()});
+        clock.Advance(round_trip + try_result.duration);
+        break;
+      }
+      ++attempt;
+      ++common.burst_faults;
+      link_.RecordRetryBytes(try_result.wasted_bytes);
+      common.retry_wire_bytes += try_result.wasted_bytes;
+      if (!try_result.duration.IsZero()) {
+        clock.Advance(try_result.duration);
+      }
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), 0, attempt, 1,
+                               try_result.wasted_bytes, 0, Duration::Zero()});
+      WaitBackoff(attempt, try_result.blocked_until, &common);
     }
   }
   // Flush any stall accrued by the very last batch.
@@ -238,8 +573,15 @@ PostcopyResult PostcopyEngine::Migrate() {
   trace_.Record(
       TraceEvent{TraceEventKind::kComplete, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   if (config_.base.record_trace && config_.base.audit_trace) {
-    common.trace_audit = TraceAuditor::Audit(AuditMode::kPostcopy, trace_, common,
-                                             link_.total_wire_bytes(), link_.total_pages_sent());
+    AuditInputs inputs;
+    inputs.link_wire_bytes = link_.total_wire_bytes();
+    inputs.link_pages_sent = link_.total_pages_sent();
+    inputs.link_retry_bytes = link_.total_retry_bytes();
+    inputs.retry_backoff_base = config_.base.retry_backoff_base;
+    inputs.retry_backoff_cap = config_.base.retry_backoff_cap;
+    inputs.expected_demand_faults = result.demand_faults;
+    inputs.expected_fault_stall_ns = result.fault_stall.nanos();
+    common.trace_audit = TraceAuditor::Audit(AuditMode::kPostcopy, trace_, common, inputs);
   }
   return result;
 }

@@ -10,10 +10,23 @@
 //     fault stalls the guest a network round trip) while a background
 //     pre-paging stream pulls the rest. Tiny downtime, but a performance-
 //     degradation window until the working set is resident.
+//
+// Both engines consume MigrationConfig::faults (DESIGN.md §10). Stop-and-copy
+// recovery is throughput-critical and happens entirely inside the pause:
+// outage-cut bursts are retried with bounded exponential backoff until they
+// land (the VM is down either way, so downtime absorbs the fault).
+// Post-copy recovery is latency-critical: a lost demand fetch stalls the
+// destination vCPU, so losses/outages are paid in stall time while the
+// pre-paging stream degrades to pure demand paging -- never an abort -- when
+// its burst-retry budget runs out (the destination is already authoritative).
 
 #ifndef JAVMM_SRC_MIGRATION_BASELINES_H_
 #define JAVMM_SRC_MIGRATION_BASELINES_H_
 
+#include <optional>
+
+#include "src/base/rng.h"
+#include "src/faults/faults.h"
 #include "src/guest/guest_kernel.h"
 #include "src/migration/config.h"
 #include "src/migration/destination.h"
@@ -24,12 +37,20 @@
 namespace javmm {
 
 // Outcome of a post-copy run; extends the common metrics with the
-// degradation-window accounting pre-copy approaches do not have.
+// degradation-window accounting pre-copy approaches do not have. The common
+// fault counters (control_losses, burst_faults, retry_wire_bytes,
+// backoff_time, degraded) live in `common`.
 struct PostcopyResult {
   MigrationResult common;
   int64_t demand_faults = 0;          // Page faults served from the source.
   Duration fault_stall = Duration::Zero();  // Guest time lost to faults.
   Duration degradation_window = Duration::Zero();  // Resume -> all resident.
+  // Pages delivered by the background stream (pre-paging bursts, plus the
+  // one-page demand trickle after a pre-paging degrade).
+  int64_t prepage_pages = 0;
+  // Demand fetches that exhausted the express-channel retry budget and fell
+  // back to the bulk stream.
+  int64_t stream_fallback_fetches = 0;
 };
 
 class StopAndCopyEngine {
@@ -42,10 +63,16 @@ class StopAndCopyEngine {
   const TraceRecorder& trace() const { return trace_; }
 
  private:
+  // Waits out the backoff before retry `attempt` (at least until `min_until`,
+  // the end of the outage that killed the attempt), advancing the clock.
+  void WaitBackoff(int index, int attempt, TimePoint min_until, MigrationResult* result);
+
   GuestKernel* guest_;
   MigrationConfig config_;
   NetworkLink link_;
   TraceRecorder trace_;
+  // Present only while Migrate() runs with a non-empty fault plan.
+  std::optional<FaultSchedule> fault_schedule_;
 };
 
 class PostcopyEngine {
@@ -71,10 +98,18 @@ class PostcopyEngine {
  private:
   class FaultTracker;
 
+  // Clock-advancing backoff for the background paths (device-state transfer,
+  // pre-paging bursts, post-degrade demand trickle).
+  void WaitBackoff(int attempt, TimePoint min_until, MigrationResult* common);
+
   GuestKernel* guest_;
   Config config_;
   NetworkLink link_;
   TraceRecorder trace_;
+  // Present only while Migrate() runs with a non-empty fault plan; the Rng
+  // drives the Bernoulli control-loss draws off base.fault_seed.
+  std::optional<FaultSchedule> fault_schedule_;
+  std::optional<Rng> fault_rng_;
 };
 
 }  // namespace javmm

@@ -71,7 +71,9 @@ void AppendRecordJson(const RunRecord& rec, std::ostream& os) {
      << ",\"young_at_migration_bytes\":" << rec.output.young_at_migration
      << ",\"old_at_migration_bytes\":" << rec.output.old_at_migration
      << ",\"observed_downtime_ns\":" << rec.output.observed_downtime.nanos()
-     << ",\"demand_faults\":" << rec.output.demand_faults << "}\n";
+     << ",\"demand_faults\":" << rec.output.demand_faults
+     << ",\"fault_stall_ns\":" << rec.output.fault_stall.nanos()
+     << ",\"degradation_window_ns\":" << rec.output.degradation_window.nanos() << "}\n";
 }
 
 }  // namespace

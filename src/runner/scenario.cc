@@ -49,14 +49,19 @@ RunOutput RunScenario(const Scenario& scenario) {
     case EngineKind::kJavmm:
       out.result = lab.Migrate();
       break;
+    // The baselines take the lab's copy of the migration config: the lab
+    // forks a dedicated fault_seed off the run seed, so the Bernoulli
+    // control-loss draws are reproducible per seed without perturbing the
+    // OS/app streams (healthy runs are unaffected -- the seed is only read
+    // when a fault plan is enabled).
     case EngineKind::kStopAndCopy: {
-      StopAndCopyEngine engine(&lab.guest(), config.migration);
+      StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
       out.result = engine.Migrate();
       break;
     }
     case EngineKind::kPostcopy: {
       PostcopyEngine::Config pc;
-      pc.base = config.migration;
+      pc.base = lab.config().migration;
       PostcopyEngine engine(&lab.guest(), pc);
       const PostcopyResult r = engine.Migrate();
       out.result = r.common;

@@ -88,6 +88,9 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
   int64_t round_timeouts = 0;
   std::vector<TraceEvent> backoffs;
   std::vector<int32_t> degrades;  // detail (= DegradeReason) per kDegrade.
+  // Post-copy demand-fault bursts (kBurst with detail == 1).
+  int64_t demand_bursts = 0;
+  Duration demand_stall = Duration::Zero();
 
   for (const TraceEvent& event : trace.events()) {
     switch (event.kind) {
@@ -119,6 +122,14 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
         burst_total.pages += event.pages;
         burst_total.wire_bytes += event.wire_bytes;
         burst_total.scanned += event.scanned;
+        if (mode == AuditMode::kPostcopy && event.detail == 1) {
+          // Demand-fault burst: one page, cpu = the fetch's total vCPU stall.
+          ++demand_bursts;
+          demand_stall += event.cpu;
+          if (event.pages != 1) {
+            fail("demand-fault burst carries " + N(event.pages) + " pages != 1");
+          }
+        }
         break;
       }
       case TraceEventKind::kControlBytes:
@@ -199,7 +210,9 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
     fail("link wire meter (" + N(link_wire_bytes) + ") != result.total_wire_bytes (" +
          N(result.total_wire_bytes) + ")");
   }
-  if (mode == AuditMode::kPrecopy &&
+  // Post-copy pages all ship raw over the demand/pre-paging streams and are
+  // not classified; the other modes must account every page to a class.
+  if (mode != AuditMode::kPostcopy &&
       result.pages_sent !=
           result.pages_sent_raw + result.pages_compressed + result.pages_sent_delta) {
     fail("pages_sent (" + N(result.pages_sent) + ") != raw (" + N(result.pages_sent_raw) +
@@ -307,6 +320,42 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
     }
     if (result.degrade_reason != DegradeReason::kNone) {
       fail("non-degraded run reports a degrade reason");
+    }
+  }
+
+  // ---- Baseline-specific fault identities. ----
+  if (mode == AuditMode::kStopAndCopy) {
+    // The whole copy happens inside the pause: there is no control channel
+    // to lose, no live rounds to time out, and no cheaper mode to degrade to
+    // (outages are waited out with unbounded burst retries).
+    if (control_losses != 0) {
+      fail("stop-and-copy traced " + N(control_losses) +
+           " control_lost events but has no control channel");
+    }
+    if (round_timeouts != 0) {
+      fail("stop-and-copy traced " + N(round_timeouts) +
+           " round_timeout events but has no live rounds");
+    }
+    if (result.degraded) {
+      fail("stop-and-copy cannot degrade: burst retries are unbounded");
+    }
+  }
+  if (mode == AuditMode::kPostcopy) {
+    if (round_timeouts != 0) {
+      fail("post-copy traced " + N(round_timeouts) +
+           " round_timeout events but has no live rounds");
+    }
+    // Stall-debt accounting: every demand fetch emits exactly one demand
+    // burst whose cpu is the fetch's total vCPU stall, so the trace-side
+    // sums must equal PostcopyResult::{demand_faults, fault_stall}.
+    if (inputs.expected_demand_faults >= 0 && demand_bursts != inputs.expected_demand_faults) {
+      fail("demand-fault bursts (" + N(demand_bursts) + ") != result.demand_faults (" +
+           N(inputs.expected_demand_faults) + ")");
+    }
+    if (inputs.expected_fault_stall_ns >= 0 &&
+        demand_stall.nanos() != inputs.expected_fault_stall_ns) {
+      fail("sum of demand-burst stall (" + N(demand_stall.nanos()) +
+           "ns) != result.fault_stall (" + N(inputs.expected_fault_stall_ns) + "ns)");
     }
   }
 

@@ -50,6 +50,11 @@ enum class AuditMode {
 // engines meter control traffic differently). `retry_backoff_base` /
 // `retry_backoff_cap` (base > 0) let the auditor re-derive every backoff
 // event's nominal wait via NominalBackoff; base 0 disables that check.
+// `expected_demand_faults` / `expected_fault_stall_ns` (post-copy mode only)
+// carry the PostcopyResult-side demand-fault counters, which the common
+// MigrationResult does not: the auditor then checks the count of demand
+// bursts (kBurst with detail == 1) and the sum of their stall time against
+// them; negative disables the corresponding identity.
 struct AuditInputs {
   int64_t link_wire_bytes = 0;
   int64_t link_pages_sent = 0;
@@ -57,6 +62,8 @@ struct AuditInputs {
   int64_t control_bytes_per_iteration = 0;
   Duration retry_backoff_base = Duration::Zero();
   Duration retry_backoff_cap = Duration::Zero();
+  int64_t expected_demand_faults = -1;
+  int64_t expected_fault_stall_ns = -1;
 };
 
 class TraceAuditor {

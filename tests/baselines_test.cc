@@ -1,10 +1,12 @@
 // Copyright (c) 2026 The JAVMM Reproduction Authors.
-// Tests for the related-work baseline engines (stop-and-copy, post-copy) and
-// the kFinalRewalk LKM update mode (§3.3.4 alternative approach).
+// Tests for the related-work baseline engines (stop-and-copy, post-copy),
+// their fault-recovery paths (DESIGN.md §10), and the kFinalRewalk LKM
+// update mode (§3.3.4 alternative approach).
 
 #include <gtest/gtest.h>
 
 #include "src/core/migration_lab.h"
+#include "src/faults/faults.h"
 #include "src/migration/baselines.h"
 
 namespace javmm {
@@ -58,6 +60,36 @@ TEST(StopAndCopyTest, GuestMakesNoProgressDuringMigration) {
   EXPECT_GT(lab.app().ops_completed(), ops_before);
 }
 
+TEST(StopAndCopyTest, CompressionShrinksWireBytesAndCostsCpu) {
+  MigrationResult raw;
+  {
+    MigrationLab lab(SmallDerby(), SmallLab());
+    lab.Run(Duration::Seconds(5));
+    StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+    raw = engine.Migrate();
+    ASSERT_TRUE(raw.verification.ok);
+    EXPECT_EQ(raw.pages_compressed, 0);
+    EXPECT_EQ(raw.pages_sent_raw, raw.pages_sent);
+  }
+  LabConfig config = SmallLab();
+  config.migration.compress_pages = true;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(5));
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.verification.ok);
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+  EXPECT_EQ(result.pages_sent, raw.pages_sent);
+  EXPECT_EQ(result.pages_compressed, result.pages_sent);
+  EXPECT_EQ(result.pages_sent_raw, 0);
+  // ~0.55 payload ratio: well under the raw wire volume, at a CPU premium,
+  // and the smaller transfer shortens the pause.
+  EXPECT_LT(result.total_wire_bytes, raw.total_wire_bytes * 7 / 10);
+  EXPECT_GT(result.cpu_time.nanos(), raw.cpu_time.nanos());
+  EXPECT_LT(result.downtime.Total().nanos(), raw.downtime.Total().nanos());
+}
+
 // ---- Post-copy. ----
 
 TEST(PostcopyTest, TinyDowntimeButDegradationWindow) {
@@ -102,6 +134,164 @@ TEST(PostcopyTest, IdleGuestHasNoFaults) {
   EXPECT_EQ(result.demand_faults, 0);
   EXPECT_TRUE(result.fault_stall.IsZero());
   EXPECT_TRUE(result.common.verification.ok);
+}
+
+// ---- Fault-aware baselines (DESIGN.md §10). ----
+//
+// Regression coverage for the bug where both baseline engines silently
+// ignored MigrationConfig::faults: a non-neutral plan must measurably change
+// what they report, and every recovery path must hold the accounting
+// identities the trace auditor enforces.
+
+TEST(PostcopyConfigDeathTest, RejectsNonPositivePrepageBatch) {
+  SimClock clock;
+  GuestPhysicalMemory memory(4 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  PostcopyEngine::Config config;
+  config.prepage_batch_pages = 0;
+  EXPECT_DEATH_IF_SUPPORTED(PostcopyEngine(&kernel, config), "prepage_batch_pages");
+}
+
+TEST(StopAndCopyFaultTest, OutageIsWaitedOutInsideThePause) {
+  MigrationResult healthy;
+  {
+    MigrationLab lab(SmallDerby(), SmallLab());
+    lab.Run(Duration::Seconds(10));
+    StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+    healthy = engine.Migrate();
+    ASSERT_TRUE(healthy.verification.ok);
+  }
+  LabConfig config = SmallLab();
+  config.migration.faults = FaultPlan::MustParse("out:1s-2s");
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(10));
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  const MigrationResult result = engine.Migrate();
+  EXPECT_TRUE(result.completed);
+  ASSERT_TRUE(result.verification.ok);
+  ASSERT_TRUE(result.trace_audit.ran);
+  EXPECT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+  // The outage cuts one burst mid-transfer; the engine waits it out and
+  // resends, so downtime absorbs the outage while the page count stays put.
+  EXPECT_GE(result.burst_faults, 1);
+  EXPECT_GT(result.retry_wire_bytes, 0);
+  EXPECT_GT(result.backoff_time.nanos(), 0);
+  EXPECT_EQ(result.pages_sent, healthy.pages_sent);
+  EXPECT_GT(result.downtime.Total().nanos(),
+            healthy.downtime.Total().nanos() + Duration::Millis(900).nanos());
+  EXPECT_FALSE(result.degraded);  // Stop-and-copy never degrades; it waits.
+}
+
+TEST(PostcopyFaultTest, OutageDuringPauseGrowsDowntime) {
+  // An outage covering the device-state transfer: the engine waits it out
+  // inside the pause and retries, so the paper's "tiny downtime" claim bends
+  // exactly by the outage length.
+  SimClock clock;
+  GuestPhysicalMemory memory(64 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  PostcopyEngine::Config config;
+  config.base.faults = FaultPlan::MustParse("out:0s-1s");
+  config.base.fault_seed = 7;
+  PostcopyEngine engine(&kernel, config);
+  const PostcopyResult result = engine.Migrate();
+  EXPECT_TRUE(result.common.completed);
+  EXPECT_TRUE(result.common.verification.ok);
+  ASSERT_TRUE(result.common.trace_audit.ran);
+  EXPECT_TRUE(result.common.trace_audit.ok) << result.common.trace_audit.ToString();
+  EXPECT_GE(result.common.burst_faults, 1);
+  // Healthy downtime is device state + resumption, ~0.2 s; the outage adds
+  // its full second.
+  EXPECT_GT(result.common.downtime.Total().ToSecondsF(), 1.0);
+  EXPECT_LT(result.common.downtime.Total().ToSecondsF(), 1.5);
+  EXPECT_EQ(result.demand_faults, 0);  // Idle guest either way.
+}
+
+TEST(PostcopyFaultTest, LatencySpikeIsPaidPerDemandFetch) {
+  PostcopyResult healthy;
+  {
+    MigrationLab lab(SmallDerby(), SmallLab());
+    lab.Run(Duration::Seconds(10));
+    PostcopyEngine::Config config;
+    config.base = lab.config().migration;
+    PostcopyEngine engine(&lab.guest(), config);
+    healthy = engine.Migrate();
+    ASSERT_GT(healthy.demand_faults, 0);
+  }
+  LabConfig lab_config = SmallLab();
+  // The window must outlive the whole (stall-stretched) degradation window,
+  // so every demand fetch pays the spike.
+  lab_config.migration.faults = FaultPlan::MustParse("lat:0s-3600s+10ms");
+  MigrationLab lab(SmallDerby(), lab_config);
+  lab.Run(Duration::Seconds(10));
+  PostcopyEngine::Config config;
+  config.base = lab.config().migration;
+  PostcopyEngine engine(&lab.guest(), config);
+  const PostcopyResult result = engine.Migrate();
+  ASSERT_TRUE(result.common.verification.ok);
+  ASSERT_TRUE(result.common.trace_audit.ran);
+  EXPECT_TRUE(result.common.trace_audit.ok) << result.common.trace_audit.ToString();
+  ASSERT_GT(result.demand_faults, 0);
+  // Every demand fetch rides the inflated round trip: at least 20 ms extra
+  // per fault (10 ms each way) on top of the healthy sub-millisecond stall.
+  EXPECT_GT(result.fault_stall.nanos(),
+            result.demand_faults * Duration::Millis(20).nanos());
+  EXPECT_GT(result.fault_stall.nanos(), healthy.fault_stall.nanos());
+  // A latency-only plan never loses packets or cuts transfers.
+  EXPECT_EQ(result.common.control_losses, 0);
+  EXPECT_EQ(result.common.burst_faults, 0);
+}
+
+TEST(PostcopyFaultTest, ControlLossStallsAndRetriesDemandFetches) {
+  LabConfig lab_config = SmallLab();
+  lab_config.migration.faults = FaultPlan::MustParse("loss:0.25");
+  MigrationLab lab(SmallDerby(), lab_config);
+  lab.Run(Duration::Seconds(10));
+  PostcopyEngine::Config config;
+  config.base = lab.config().migration;
+  PostcopyEngine engine(&lab.guest(), config);
+  const PostcopyResult result = engine.Migrate();
+  ASSERT_TRUE(result.common.verification.ok);
+  ASSERT_TRUE(result.common.trace_audit.ran);
+  EXPECT_TRUE(result.common.trace_audit.ok) << result.common.trace_audit.ToString();
+  ASSERT_GT(result.demand_faults, 0);
+  EXPECT_GT(result.common.control_losses, 0);
+  EXPECT_GT(result.common.retry_wire_bytes, 0);
+  EXPECT_GT(result.common.backoff_time.nanos(), 0);
+  // Each lost fetch stalls the vCPU for the loss timeout plus the backoff.
+  EXPECT_GT(result.fault_stall.nanos(),
+            result.common.control_losses * config.base.control_loss_timeout.nanos());
+  EXPECT_FALSE(result.common.degraded);  // Losses stall; they never degrade.
+}
+
+TEST(PostcopyFaultTest, PrepageBudgetExhaustionDegradesToDemandPaging) {
+  // Bandwidth collapse stretches every pre-paging burst to ~0.9 s while a
+  // chain of 2.5 s outages with 100 ms gaps guarantees each retry is cut
+  // again: six straight failures exhaust max_burst_retries (5) and the
+  // stream degrades to the one-page demand trickle. The migration must still
+  // land with every page resident -- degrade is a mode switch, not an abort.
+  SimClock clock;
+  GuestPhysicalMemory memory(64 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  PostcopyEngine::Config config;
+  config.base.faults = FaultPlan::MustParse(
+      "bw:300ms-60s@0.01;out:400ms-2900ms;out:3s-5500ms;out:5600ms-8100ms;"
+      "out:8200ms-10700ms;out:10800ms-13300ms;out:13400ms-15900ms");
+  config.base.fault_seed = 7;
+  PostcopyEngine engine(&kernel, config);
+  const PostcopyResult result = engine.Migrate();
+  EXPECT_TRUE(result.common.completed);
+  EXPECT_TRUE(result.common.verification.ok);
+  ASSERT_TRUE(result.common.trace_audit.ran);
+  EXPECT_TRUE(result.common.trace_audit.ok) << result.common.trace_audit.ToString();
+  EXPECT_TRUE(result.common.degraded);
+  EXPECT_EQ(result.common.degrade_reason, DegradeReason::kBurstRetries);
+  EXPECT_GE(result.common.burst_faults, 6);
+  // Idle guest: every page still arrives via the background stream, one page
+  // at a time after the degrade, and the window stretches past the outages.
+  EXPECT_EQ(result.demand_faults, 0);
+  EXPECT_EQ(result.common.pages_sent, memory.frame_count());
+  EXPECT_EQ(result.prepage_pages, memory.frame_count());
+  EXPECT_GT(result.degradation_window.ToSecondsF(), 30.0);
 }
 
 // ---- Write observers. ----

@@ -93,6 +93,8 @@ void ExpectIdenticalOutputs(const RunOutput& a, const RunOutput& b, const std::s
   EXPECT_EQ(a.old_at_migration, b.old_at_migration);
   EXPECT_EQ(a.observed_downtime.nanos(), b.observed_downtime.nanos());
   EXPECT_EQ(a.demand_faults, b.demand_faults);
+  EXPECT_EQ(a.fault_stall.nanos(), b.fault_stall.nanos());
+  EXPECT_EQ(a.degradation_window.nanos(), b.degradation_window.nanos());
 }
 
 std::string JsonOf(const RunReport& report) {
@@ -211,6 +213,86 @@ TEST(ScenarioRunnerTest, FaultyScenariosParallelMatchesSerial) {
     faults_seen += r.burst_faults + r.control_losses;
   }
   EXPECT_GT(faults_seen, 0);  // The plan actually fired.
+  EXPECT_EQ(JsonOf(serial), JsonOf(parallel));
+}
+
+// Regression for the bug where fault plans were silently ignored by the
+// baseline engines: a non-neutral spec on kStopAndCopy/kPostcopy must
+// measurably change the reported results, and the faulted runs must still
+// verify and audit clean.
+TEST(ScenarioRunnerTest, FaultSpecChangesBaselineResults) {
+  for (const EngineKind kind : {EngineKind::kStopAndCopy, EngineKind::kPostcopy}) {
+    Scenario healthy = FastScenario("crypto", /*assisted=*/false, /*seed=*/21);
+    healthy.engine = kind;
+    healthy.label = std::string(EngineKindName(kind)) + "/healthy";
+    Scenario faulted = healthy;
+    faulted.label = std::string(EngineKindName(kind)) + "/faulted";
+    faulted.options.fault_spec = "lat:0s-60s+5ms;out:1s-1500ms;loss:0.2";
+    const RunRecord h = ScenarioRunner::RunOne(healthy);
+    const RunRecord f = ScenarioRunner::RunOne(faulted);
+    ASSERT_TRUE(h.ran) << h.error;
+    ASSERT_TRUE(f.ran) << f.error;
+    SCOPED_TRACE(faulted.label);
+    const MigrationResult& hr = h.output.result;
+    const MigrationResult& fr = f.output.result;
+    EXPECT_TRUE(fr.completed);
+    EXPECT_TRUE(fr.verification.ok);
+    ASSERT_TRUE(fr.trace_audit.ran);
+    EXPECT_TRUE(fr.trace_audit.ok) << fr.trace_audit.ToString();
+    // The healthy run must see no fault machinery at all.
+    EXPECT_EQ(hr.burst_faults + hr.control_losses, 0);
+    EXPECT_EQ(hr.retry_wire_bytes, 0);
+    if (kind == EngineKind::kStopAndCopy) {
+      // The outage lands inside the single paused copy: downtime grows.
+      EXPECT_GE(fr.burst_faults, 1);
+      EXPECT_GT(fr.retry_wire_bytes, 0);
+      EXPECT_GT(fr.downtime.Total().nanos(), hr.downtime.Total().nanos());
+    } else {
+      // Post-copy pays in demand-fetch stall and a longer window. (The
+      // outage may be straddled by a stall-debt clock jump rather than
+      // cutting a pre-paging burst, so no burst-fault count is asserted.)
+      EXPECT_GT(f.output.demand_faults, 0);
+      EXPECT_GT(fr.control_losses, 0);
+      EXPECT_GT(f.output.fault_stall.nanos(), h.output.fault_stall.nanos());
+      EXPECT_GT(f.output.degradation_window.nanos(), h.output.degradation_window.nanos());
+    }
+  }
+}
+
+// Same determinism contract as FaultyScenariosParallelMatchesSerial, but for
+// the baseline engines: faulted stop-and-copy and post-copy runs (including
+// the Bernoulli demand-fetch loss draws off the forked fault seed) must be
+// byte-identical between serial and 4-worker execution.
+TEST(ScenarioRunnerTest, FaultyBaselinesParallelMatchesSerial) {
+  std::vector<Scenario> scenarios;
+  for (const EngineKind kind : {EngineKind::kStopAndCopy, EngineKind::kPostcopy}) {
+    for (const uint64_t seed : {31u, 32u}) {
+      Scenario scenario = FastScenario("crypto", /*assisted=*/false, seed);
+      scenario.engine = kind;
+      scenario.label =
+          std::string(EngineKindName(kind)) + "/faulty/s" + std::to_string(seed);
+      scenario.options.fault_spec = "bw:2s-4s@0.4;lat:0s-3s+5ms;out:1s-1200ms;loss:0.1";
+      scenarios.push_back(scenario);
+    }
+  }
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  ASSERT_EQ(serial.runs.size(), scenarios.size());
+  ASSERT_EQ(parallel.runs.size(), scenarios.size());
+  int64_t faults_seen = 0;
+  Duration postcopy_stall = Duration::Zero();
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(serial.runs[i].ran) << serial.runs[i].error;
+    ASSERT_TRUE(parallel.runs[i].ran) << parallel.runs[i].error;
+    ExpectIdenticalOutputs(serial.runs[i].output, parallel.runs[i].output, scenarios[i].label);
+    const MigrationResult& r = serial.runs[i].output.result;
+    EXPECT_TRUE(r.trace_audit.ran);
+    EXPECT_TRUE(r.trace_audit.ok) << scenarios[i].label << ": " << r.trace_audit.ToString();
+    faults_seen += r.burst_faults + r.control_losses;
+    postcopy_stall += serial.runs[i].output.fault_stall;
+  }
+  EXPECT_GT(faults_seen, 0);                 // The plan actually fired.
+  EXPECT_GT(postcopy_stall.nanos(), 0);      // Including the demand channel.
   EXPECT_EQ(JsonOf(serial), JsonOf(parallel));
 }
 

@@ -316,6 +316,121 @@ TEST_F(FaultAuditorTest, DetectsDroppedDegradeEvent) {
   EXPECT_FALSE(report.ok);
 }
 
+// ---- Baseline fault-audit: the post-copy / stop-and-copy identities. ----
+
+struct PostcopyRun {
+  PostcopyResult result;
+  TraceRecorder trace;
+  MigrationConfig config;
+};
+
+// Runs a faulted post-copy migration on a small lab and keeps everything
+// needed to re-audit the trace with the full fault-aware inputs.
+PostcopyRun RunFaultyPostcopy(const std::string& spec) {
+  LabConfig lab_config = SmallLab(/*assisted=*/false, 31);
+  lab_config.migration.faults = FaultPlan::MustParse(spec);
+  MigrationLab lab(SmallDerby(), lab_config);
+  lab.Run(Duration::Seconds(10));
+  PostcopyEngine::Config config;
+  config.base = lab.config().migration;
+  PostcopyEngine engine(&lab.guest(), config);
+  PostcopyRun run;
+  run.result = engine.Migrate();
+  run.trace = engine.trace();
+  run.config = config.base;
+  return run;
+}
+
+TraceAuditReport ReauditPostcopy(const PostcopyRun& run, const TraceRecorder& trace) {
+  // Clean-run aggregates stand in for the link meters, as in FaultAuditorTest.
+  AuditInputs inputs;
+  inputs.link_wire_bytes = run.result.common.total_wire_bytes;
+  inputs.link_pages_sent = run.result.common.pages_sent;
+  inputs.link_retry_bytes = run.result.common.retry_wire_bytes;
+  inputs.control_bytes_per_iteration = run.config.control_bytes_per_iteration;
+  inputs.retry_backoff_base = run.config.retry_backoff_base;
+  inputs.retry_backoff_cap = run.config.retry_backoff_cap;
+  inputs.expected_demand_faults = run.result.demand_faults;
+  inputs.expected_fault_stall_ns = run.result.fault_stall.nanos();
+  return TraceAuditor::Audit(AuditMode::kPostcopy, trace, run.result.common, inputs);
+}
+
+constexpr char kPostcopyFaultSpec[] = "lat:0s-30s+2ms;loss:0.1;out:1s-1200ms";
+
+TEST(PostcopyAuditTest, FaultyTraceReauditsOk) {
+  const PostcopyRun run = RunFaultyPostcopy(kPostcopyFaultSpec);
+  ASSERT_TRUE(run.result.common.trace_audit.ok) << run.result.common.trace_audit.ToString();
+  ASSERT_GT(run.result.demand_faults, 0);
+  ASSERT_GT(run.result.common.control_losses, 0);
+  const TraceAuditReport report = ReauditPostcopy(run, run.trace);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(PostcopyAuditTest, DetectsTamperedDemandFaultStall) {
+  const PostcopyRun run = RunFaultyPostcopy(kPostcopyFaultSpec);
+  // Inflate the stall recorded on the first demand-fault burst (detail == 1);
+  // the per-event stall sum no longer matches the result's fault_stall.
+  TraceRecorder corrupted;
+  bool tampered = false;
+  for (TraceEvent event : run.trace.events()) {
+    if (!tampered && event.kind == TraceEventKind::kBurst && event.detail == 1) {
+      event.cpu = event.cpu + Duration::Nanos(1);
+      tampered = true;
+    }
+    corrupted.Record(event);
+  }
+  ASSERT_TRUE(tampered);
+  const TraceAuditReport report = ReauditPostcopy(run, corrupted);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(PostcopyAuditTest, DetectsDroppedDemandFaultBurst) {
+  const PostcopyRun run = RunFaultyPostcopy(kPostcopyFaultSpec);
+  TraceRecorder corrupted;
+  bool dropped = false;
+  for (const TraceEvent& event : run.trace.events()) {
+    if (!dropped && event.kind == TraceEventKind::kBurst && event.detail == 1) {
+      dropped = true;
+      continue;
+    }
+    corrupted.Record(event);
+  }
+  ASSERT_TRUE(dropped);
+  const TraceAuditReport report = ReauditPostcopy(run, corrupted);
+  EXPECT_FALSE(report.ok);  // Demand-burst count != result.demand_faults.
+}
+
+TEST(StopAndCopyAuditTest, ForgedControlLossRejected) {
+  // Stop-and-copy has no control channel: a kControlLost event in its trace
+  // can only be a forgery and the mode-specific identity must flag it.
+  LabConfig lab_config = SmallLab(/*assisted=*/false, 31);
+  lab_config.migration.faults = FaultPlan::MustParse("out:1s-2s");
+  MigrationLab lab(SmallDerby(), lab_config);
+  lab.Run(Duration::Seconds(10));
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  const MigrationResult result = engine.Migrate();
+  ASSERT_TRUE(result.trace_audit.ok) << result.trace_audit.ToString();
+  ASSERT_GE(result.burst_faults, 1);
+
+  AuditInputs inputs;
+  inputs.link_wire_bytes = result.total_wire_bytes;
+  inputs.link_pages_sent = result.pages_sent;
+  inputs.link_retry_bytes = result.retry_wire_bytes;
+  inputs.control_bytes_per_iteration = lab.config().migration.control_bytes_per_iteration;
+  inputs.retry_backoff_base = lab.config().migration.retry_backoff_base;
+  inputs.retry_backoff_cap = lab.config().migration.retry_backoff_cap;
+  const TraceAuditReport clean =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, engine.trace(), result, inputs);
+  EXPECT_TRUE(clean.ok) << clean.ToString();
+
+  TraceRecorder corrupted = engine.trace();
+  corrupted.Record(TraceEvent{TraceEventKind::kControlLost, result.resumed_at, 0, 1, 0, 0, 0,
+                              Duration::Zero()});
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, corrupted, result, inputs);
+  EXPECT_FALSE(report.ok);
+}
+
 // ---- Daemon-handler binding regression (scoped unbind on every exit). ----
 
 TEST(TraceBindingTest, DaemonHandlerUnboundAfterCompletedMigrate) {
