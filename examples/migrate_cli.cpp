@@ -43,6 +43,7 @@ struct CliOptions {
   bool compress = false;
   bool csv = false;
   bool list = false;
+  int channels = 1;       // Migration data-plane sub-links (DESIGN.md §11).
   std::string trace_out;  // JSON-lines trace of the last run ("" = off).
   std::string faults;     // FaultPlan spec for the migration link ("" = healthy).
 };
@@ -60,8 +61,12 @@ void PrintUsage() {
       "  --warmup-s=S          workload warmup before migrating (default 120)\n"
       "  --compress            enable the compression extension (all engines\n"
       "                        except postcopy, which ships pages raw)\n"
+      "  --channels=N          stripe the migration data plane over N\n"
+      "                        fault-isolated sub-links (default 1)\n"
       "  --faults=SPEC         deterministic link-fault plan, e.g.\n"
-      "                        \"bw:2s-30s@0.1;lat:0s-5s+10ms;out:4s-5s;loss:0.05\"\n"
+      "                        \"bw:2s-30s@0.1;lat:0s-5s+10ms;out:4s-5s;loss:0.05\";\n"
+      "                        prefix a clause with chK: to pin it to sub-link K,\n"
+      "                        e.g. \"ch1:out:7s-8s;loss:0.05\" (needs --channels>K)\n"
       "  --csv                 print per-iteration records as CSV\n"
       "  --trace-out=FILE      write the last run's migration trace as JSON lines\n"
       "  --list                list workloads and exit\n");
@@ -99,6 +104,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->trace_out = value;
     } else if (ParseFlag(argv[i], "--faults", &value)) {
       options->faults = value;
+    } else if (ParseFlag(argv[i], "--channels", &value)) {
+      options->channels = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       options->compress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -116,15 +123,37 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
-// Parses --faults into config->migration.faults. Returns false (after
-// printing the parse error) on a malformed spec; an empty spec is a no-op.
+// Applies --channels and parses --faults into config->migration.{faults,
+// channel_faults}. Returns false (after printing the parse error) on a
+// malformed spec -- including a chK: clause naming a channel >= --channels;
+// an empty spec only sets the channel count.
 bool ApplyFaults(const CliOptions& options, LabConfig* config) {
+  config->migration.channels = options.channels;
   std::string error;
-  if (!FaultPlan::Parse(options.faults, &config->migration.faults, &error)) {
+  if (!FaultPlan::ParseMulti(options.faults, options.channels, &config->migration.faults,
+                             &config->migration.channel_faults, &error)) {
     std::fprintf(stderr, "bad --faults spec '%s': %s\n", options.faults.c_str(), error.c_str());
     return false;
   }
   return true;
+}
+
+// Per-channel traffic rows, shown only when the data plane was striped.
+void AddChannelRows(Table* table, const MigrationResult& last) {
+  if (last.channels <= 1) {
+    return;
+  }
+  for (int c = 0; c < last.channels; ++c) {
+    const size_t i = static_cast<size_t>(c);
+    char label[32];
+    std::snprintf(label, sizeof(label), "channel %d", c);
+    char cell[96];
+    std::snprintf(cell, sizeof(cell), "%s wire, %lld pages, %s retry",
+                  FormatBytes(last.channel_wire_bytes[i]).c_str(),
+                  static_cast<long long>(last.channel_pages_sent[i]),
+                  FormatBytes(last.channel_retry_bytes[i]).c_str());
+    table->Row().Cell(label).Cell(cell);
+  }
 }
 
 // Writes `trace` to options.trace_out as JSON lines; returns false on I/O
@@ -242,6 +271,7 @@ int RunPrecopyStyle(const CliOptions& options) {
     table.Row().Cell("degraded").Cell(
         last.degraded ? DegradeReasonName(last.degrade_reason) : "no");
   }
+  AddChannelRows(&table, last);
   table.Row().Cell("verified").Cell("yes");
   table.Print(std::cout);
   if (last.assisted) {
@@ -355,6 +385,7 @@ int RunBaseline(const CliOptions& options) {
   if (!options.faults.empty()) {
     AddFaultRows(&table, last, stopcopy ? int64_t{-1} : last_pc.stream_fallback_fetches);
   }
+  AddChannelRows(&table, last);
   table.Row().Cell("verified").Cell("yes");
   table.Print(std::cout);
   return 0;
@@ -383,6 +414,10 @@ int main(int argc, char** argv) {
       (options.engine != "xen" && options.engine != "javmm" && options.engine != "auto" &&
        options.engine != "postcopy" && options.engine != "stopcopy")) {
     PrintUsage();
+    return 2;
+  }
+  if (options.channels <= 0) {
+    std::fprintf(stderr, "--channels must be >= 1, got %d\n", options.channels);
     return 2;
   }
   if (options.engine == "postcopy" || options.engine == "stopcopy") {

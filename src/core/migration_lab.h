@@ -41,6 +41,12 @@ struct LabConfig {
   TiAgentConfig agent;
   bool load_lkm = true;
 
+  // Route the throughput analyser's probe traffic through the migration
+  // fault plan (channel 0's effective plan when the spec is per-channel):
+  // probes landing in an outage window observe zero throughput. Off by
+  // default -- existing faulted exports assume a lossless probe path.
+  bool analyzer_probe_faults = false;
+
   // Keeps the heap inside the VM: the old generation's cap is reduced when
   // young_max + old_max + OS would not fit in vm_bytes (with this guard of
   // uncommitted headroom).
@@ -65,6 +71,7 @@ class MigrationLab {
   GuestKernel& guest() { return *kernel_; }
   JavaApplication& app() { return *app_; }
   const ThroughputAnalyzer& analyzer() const { return *analyzer_; }
+  ThroughputAnalyzer& mutable_analyzer() { return *analyzer_; }
   const LabConfig& config() const { return config_; }
   const WorkloadSpec& spec() const { return spec_; }
 

@@ -2,6 +2,7 @@
 
 #include "src/faults/faults.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/base/macros.h"
@@ -103,6 +104,95 @@ std::string FaultPlan::Validate() const {
   return "";
 }
 
+namespace {
+
+// Parses one "kind:body" clause into *plan; `clause` is the full original
+// text for error messages. Sets *saw_loss when the clause set control_loss_p,
+// so ParseMulti can tell a per-channel loss override from "inherit shared".
+bool ParseClause(const std::string& kind, const std::string& body,
+                 const std::string& clause, FaultPlan* plan, bool* saw_loss,
+                 std::string* error) {
+  if (kind == "bw") {
+    const size_t at = body.find('@');
+    BandwidthWindow window;
+    if (at == std::string::npos ||
+        !ParseWindowSpan(body.substr(0, at), &window.start, &window.end) ||
+        !ParseDouble(body.substr(at + 1), &window.multiplier)) {
+      *error = "bad bandwidth clause '" + clause + "' (want bw:START-END@MULT)";
+      return false;
+    }
+    plan->bandwidth.push_back(window);
+  } else if (kind == "lat") {
+    const size_t plus = body.find('+');
+    LatencySpike spike;
+    if (plus == std::string::npos ||
+        !ParseWindowSpan(body.substr(0, plus), &spike.start, &spike.end) ||
+        !ParseDurationToken(body.substr(plus + 1), &spike.extra)) {
+      *error = "bad latency clause '" + clause + "' (want lat:START-END+EXTRA)";
+      return false;
+    }
+    plan->latency.push_back(spike);
+  } else if (kind == "out") {
+    OutageWindow window;
+    if (!ParseWindowSpan(body, &window.start, &window.end)) {
+      *error = "bad outage clause '" + clause + "' (want out:START-END)";
+      return false;
+    }
+    plan->outages.push_back(window);
+  } else if (kind == "loss") {
+    if (!ParseDouble(body, &plan->control_loss_p)) {
+      *error = "bad loss clause '" + clause + "' (want loss:P)";
+      return false;
+    }
+    *saw_loss = true;
+  } else {
+    *error = "unknown clause kind '" + kind + "' (want bw|lat|out|loss)";
+    return false;
+  }
+  return true;
+}
+
+// Recognizes a "chK" channel-scope token; K must be all digits.
+bool ParseChannelToken(const std::string& kind, int* channel) {
+  if (kind.size() < 3 || kind.compare(0, 2, "ch") != 0) {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = 2; i < kind.size(); ++i) {
+    if (kind[i] < '0' || kind[i] > '9') {
+      return false;
+    }
+    value = value * 10 + (kind[i] - '0');
+  }
+  *channel = value;
+  return true;
+}
+
+template <typename Window>
+void SortWindows(std::vector<Window>* windows) {
+  std::sort(windows->begin(), windows->end(),
+            [](const Window& a, const Window& b) { return a.start < b.start; });
+}
+
+// Effective plan for one channel: the shared windows plus the channel's
+// overlays, re-sorted. Overlaps surface in the caller's Validate() pass.
+FaultPlan MergePlans(const FaultPlan& shared, const FaultPlan& overlay, bool overlay_has_loss) {
+  FaultPlan merged = shared;
+  merged.bandwidth.insert(merged.bandwidth.end(), overlay.bandwidth.begin(),
+                          overlay.bandwidth.end());
+  merged.latency.insert(merged.latency.end(), overlay.latency.begin(), overlay.latency.end());
+  merged.outages.insert(merged.outages.end(), overlay.outages.begin(), overlay.outages.end());
+  SortWindows(&merged.bandwidth);
+  SortWindows(&merged.latency);
+  SortWindows(&merged.outages);
+  if (overlay_has_loss) {
+    merged.control_loss_p = overlay.control_loss_p;
+  }
+  return merged;
+}
+
+}  // namespace
+
 bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan, std::string* error) {
   CHECK(plan != nullptr);
   CHECK(error != nullptr);
@@ -125,39 +215,14 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan, std::string* err
     }
     const std::string kind = clause.substr(0, colon);
     const std::string body = clause.substr(colon + 1);
-    if (kind == "bw") {
-      const size_t at = body.find('@');
-      BandwidthWindow window;
-      if (at == std::string::npos || !ParseWindowSpan(body.substr(0, at), &window.start, &window.end) ||
-          !ParseDouble(body.substr(at + 1), &window.multiplier)) {
-        *error = "bad bandwidth clause '" + clause + "' (want bw:START-END@MULT)";
-        return false;
-      }
-      parsed.bandwidth.push_back(window);
-    } else if (kind == "lat") {
-      const size_t plus = body.find('+');
-      LatencySpike spike;
-      if (plus == std::string::npos ||
-          !ParseWindowSpan(body.substr(0, plus), &spike.start, &spike.end) ||
-          !ParseDurationToken(body.substr(plus + 1), &spike.extra)) {
-        *error = "bad latency clause '" + clause + "' (want lat:START-END+EXTRA)";
-        return false;
-      }
-      parsed.latency.push_back(spike);
-    } else if (kind == "out") {
-      OutageWindow window;
-      if (!ParseWindowSpan(body, &window.start, &window.end)) {
-        *error = "bad outage clause '" + clause + "' (want out:START-END)";
-        return false;
-      }
-      parsed.outages.push_back(window);
-    } else if (kind == "loss") {
-      if (!ParseDouble(body, &parsed.control_loss_p)) {
-        *error = "bad loss clause '" + clause + "' (want loss:P)";
-        return false;
-      }
-    } else {
-      *error = "unknown clause kind '" + kind + "' (want bw|lat|out|loss)";
+    int channel = 0;
+    if (ParseChannelToken(kind, &channel)) {
+      *error = "per-channel clause '" + clause +
+               "' needs a multi-channel plan (parse with ParseMulti / --channels)";
+      return false;
+    }
+    bool saw_loss = false;
+    if (!ParseClause(kind, body, clause, &parsed, &saw_loss, error)) {
       return false;
     }
   }
@@ -167,6 +232,84 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan, std::string* err
     return false;
   }
   *plan = parsed;
+  error->clear();
+  return true;
+}
+
+bool FaultPlan::ParseMulti(const std::string& spec, int channels, FaultPlan* shared,
+                           std::vector<FaultPlan>* per_channel, std::string* error) {
+  CHECK(shared != nullptr);
+  CHECK(per_channel != nullptr);
+  CHECK(error != nullptr);
+  CHECK_GT(channels, 0);
+  FaultPlan shared_parsed;
+  std::vector<FaultPlan> overlays(static_cast<size_t>(channels));
+  std::vector<bool> overlay_has_loss(static_cast<size_t>(channels), false);
+  bool any_overlay = false;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) {
+      sep = spec.size();
+    }
+    const std::string clause = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (clause.empty()) {
+      continue;
+    }
+    size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      *error = "clause '" + clause + "' has no ':'";
+      return false;
+    }
+    std::string kind = clause.substr(0, colon);
+    std::string rest = clause.substr(colon + 1);
+    FaultPlan* target = &shared_parsed;
+    bool saw_loss = false;
+    int channel = 0;
+    if (ParseChannelToken(kind, &channel)) {
+      if (channel >= channels) {
+        *error = "clause '" + clause + "' names channel " + std::to_string(channel) +
+                 " but only " + std::to_string(channels) + " channels exist (0-indexed)";
+        return false;
+      }
+      colon = rest.find(':');
+      if (colon == std::string::npos) {
+        *error = "per-channel clause '" + clause + "' has no fault kind after the channel";
+        return false;
+      }
+      kind = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+      target = &overlays[static_cast<size_t>(channel)];
+      any_overlay = true;
+    }
+    if (!ParseClause(kind, rest, clause, target, &saw_loss, error)) {
+      return false;
+    }
+    if (saw_loss && target != &shared_parsed) {
+      overlay_has_loss[static_cast<size_t>(channel)] = true;
+    }
+  }
+  std::string validation = shared_parsed.Validate();
+  if (!validation.empty()) {
+    *error = validation;
+    return false;
+  }
+  std::vector<FaultPlan> merged;
+  if (any_overlay) {
+    merged.reserve(static_cast<size_t>(channels));
+    for (int c = 0; c < channels; ++c) {
+      merged.push_back(MergePlans(shared_parsed, overlays[static_cast<size_t>(c)],
+                                  overlay_has_loss[static_cast<size_t>(c)]));
+      validation = merged.back().Validate();
+      if (!validation.empty()) {
+        *error = "channel " + std::to_string(c) + ": " + validation;
+        return false;
+      }
+    }
+  }
+  *shared = shared_parsed;
+  *per_channel = std::move(merged);
   error->clear();
   return true;
 }

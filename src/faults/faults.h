@@ -73,7 +73,21 @@ struct FaultPlan {
   // Clauses are ';'-separated, times are relative to migration start and
   // accept ns/us/ms/s suffixes. Returns false (and sets *error) on a
   // malformed spec or a plan that fails Validate(); `plan` is untouched then.
+  // Per-channel "chK:" clauses are rejected here -- they only make sense
+  // against a channel count, which ParseMulti takes.
   static bool Parse(const std::string& spec, FaultPlan* plan, std::string* error);
+
+  // Multi-channel variant: a clause may carry a "chK:" prefix (0-indexed),
+  // e.g. "bw:0s-9s@0.5;ch1:out:7s-8s", scoping it to sub-link K of a
+  // `channels`-wide data plane. Unprefixed clauses land in *shared (the plan
+  // every channel inherits). When at least one chK: clause appears,
+  // *per_channel gets `channels` entries, each the merged effective plan
+  // (shared windows plus that channel's overlays, re-sorted; an overlay
+  // loss clause overrides the shared loss); otherwise *per_channel is left
+  // empty, meaning "all channels follow *shared". K >= channels, malformed
+  // clauses, and merged plans whose windows overlap all fail with *error.
+  static bool ParseMulti(const std::string& spec, int channels, FaultPlan* shared,
+                         std::vector<FaultPlan>* per_channel, std::string* error);
 
   // CHECK-failing convenience for literals in tests and benches.
   static FaultPlan MustParse(const std::string& spec);

@@ -11,32 +11,51 @@
 
 namespace javmm {
 
+namespace {
+
+// Anything in the shared plan or any channel overlay that can fire.
+bool AnyFaultsEnabled(const MigrationConfig& config) {
+  if (config.faults.enabled()) {
+    return true;
+  }
+  for (const FaultPlan& plan : config.channel_faults) {
+    if (plan.enabled()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FillChannelMeters(const ChannelSet& channels, MigrationResult* result) {
+  result->channels = channels.count();
+  if (channels.count() > 1) {
+    result->channel_wire_bytes = channels.WireBytesPerChannel();
+    result->channel_pages_sent = channels.PagesSentPerChannel();
+    result->channel_retry_bytes = channels.RetryBytesPerChannel();
+  }
+}
+
+void FillChannelAuditInputs(const ChannelSet& channels, AuditInputs* inputs) {
+  inputs->link_wire_bytes = channels.total_wire_bytes();
+  inputs->link_pages_sent = channels.total_pages_sent();
+  inputs->link_retry_bytes = channels.total_retry_bytes();
+  if (channels.count() > 1) {
+    inputs->channel_wire_bytes = channels.WireBytesPerChannel();
+    inputs->channel_pages_sent = channels.PagesSentPerChannel();
+    inputs->channel_retry_bytes = channels.RetryBytesPerChannel();
+  }
+}
+
+}  // namespace
+
 // ---- Stop-and-copy. ----
 
 StopAndCopyEngine::StopAndCopyEngine(GuestKernel* guest, const MigrationConfig& config)
-    : guest_(guest), config_(config), link_(config.link) {
+    : guest_(guest), config_(config), channels_(config.link, config.channels) {
   CHECK(guest != nullptr);
   CHECK_GT(config.batch_pages, 0);
-}
-
-void StopAndCopyEngine::WaitBackoff(int index, int attempt, TimePoint min_until,
-                                    MigrationResult* result) {
-  SimClock& clock = guest_->clock();
-  const Duration nominal =
-      NominalBackoff(config_.retry_backoff_base, config_.retry_backoff_cap, attempt);
-  TimePoint target = clock.now() + nominal;
-  if (min_until > target) {
-    // The outage outlives the nominal backoff: retrying earlier would
-    // deterministically fail again, so wait it out.
-    target = min_until;
-  }
-  const Duration waited = target - clock.now();
-  if (!waited.IsZero()) {
-    clock.Advance(waited);
-  }
-  result->backoff_time += waited;
-  trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, clock.now(), index, attempt,
-                           nominal.nanos(), 0, 0, waited});
+  CHECK(config.channel_faults.empty() ||
+        static_cast<int>(config.channel_faults.size()) == config.channels);
 }
 
 MigrationResult StopAndCopyEngine::Migrate() {
@@ -47,16 +66,15 @@ MigrationResult StopAndCopyEngine::Migrate() {
   MigrationResult result;
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
-  link_.ResetMeters();
+  channels_.ResetMeters();
   trace_.set_enabled(config_.record_trace);
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
                            Duration::Zero()});
-  fault_schedule_.reset();
-  if (config_.faults.enabled()) {
-    fault_schedule_.emplace(config_.faults, result.started_at);
+  channels_.ClearSchedules();
+  if (AnyFaultsEnabled(config_)) {
+    channels_.Anchor(config_.faults, config_.channel_faults, result.started_at);
   }
-  const FaultSchedule* faults = fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
 
   guest_->PauseVm();
   result.paused_at = clock.now();
@@ -83,37 +101,54 @@ MigrationResult StopAndCopyEngine::Migrate() {
   for (Pfn pfn = 0; pfn < frames; pfn += config_.batch_pages) {
     const int64_t burst = std::min(config_.batch_pages, frames - pfn);
     const int64_t wire = burst * (page_payload + config_.link.per_page_overhead);
-    int attempt = 0;
-    for (;;) {
-      const TransferAttempt try_result = link_.TryTransfer(wire, clock.now(), faults);
-      if (try_result.ok) {
-        for (int64_t i = 0; i < burst; ++i) {
-          dest.ReceivePage(pfn + i, memory.version(pfn + i));
-        }
-        link_.RecordPageBytes(burst, wire);
-        rec.pages_sent += burst;
-        rec.pages_scanned += burst;
-        rec.wire_bytes += wire;
-        clock.Advance(try_result.duration);
-        trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), rec.index, 0, burst, wire,
-                                 burst, cpu_per_page * burst});
-        break;
-      }
-      // An outage cut the burst: the partial transfer burned time and wire
-      // bytes but delivered nothing. The VM is paused and the destination
-      // owns nothing yet, so there is no degrade path -- wait the fault out
-      // and retry until the burst lands (downtime absorbs the cost).
-      ++attempt;
+    // An outage cuts a channel's slice: the partial transfer burned time and
+    // wire bytes but delivered nothing. The VM is paused and the destination
+    // owns nothing yet, so there is no degrade path -- each channel waits the
+    // fault out and retries until its slice lands (downtime absorbs the
+    // cost), hence the unbounded retry budget.
+    const auto on_fault = [&](int channel, int attempt, const TransferAttempt& try_result,
+                              TimePoint vnow) {
       ++result.burst_faults;
-      link_.RecordRetryBytes(try_result.wasted_bytes);
+      channels_.channel(channel).RecordRetryBytes(try_result.wasted_bytes);
       result.retry_wire_bytes += try_result.wasted_bytes;
-      if (!try_result.duration.IsZero()) {
-        clock.Advance(try_result.duration);
-      }
-      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), rec.index, attempt,
-                               burst, try_result.wasted_bytes, 0, Duration::Zero()});
-      WaitBackoff(rec.index, attempt, try_result.blocked_until, &result);
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, vnow, rec.index, attempt, burst,
+                               try_result.wasted_bytes, 0, Duration::Zero()});
+    };
+    const auto on_backoff = [&](int channel, int attempt, Duration nominal, Duration waited,
+                                TimePoint vtarget) {
+      (void)channel;
+      result.backoff_time += waited;
+      trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, vtarget, rec.index, attempt,
+                               nominal.nanos(), 0, 0, waited});
+    };
+    const TimePoint start = clock.now();
+    const StripedOutcome outcome = channels_.TryStripedTransfer(
+        burst, wire, start, /*max_retries=*/-1, config_.retry_backoff_base,
+        config_.retry_backoff_cap, on_fault, on_backoff);
+    CHECK(outcome.ok);
+    for (int64_t i = 0; i < burst; ++i) {
+      dest.ReceivePage(pfn + i, memory.version(pfn + i));
     }
+    for (const ChannelShare& share : outcome.shares) {
+      if (share.pages == 0) {
+        continue;
+      }
+      channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
+      if (channels_.count() > 1) {
+        trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, rec.index,
+                                 share.channel, share.pages, share.wire_bytes, 0,
+                                 Duration::Zero()});
+      }
+    }
+    rec.pages_sent += burst;
+    rec.pages_scanned += burst;
+    rec.wire_bytes += wire;
+    const Duration elapsed = outcome.completes_at - start;
+    if (!elapsed.IsZero()) {
+      clock.Advance(elapsed);
+    }
+    trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), rec.index, 0, burst, wire,
+                             burst, cpu_per_page * burst});
   }
   rec.duration = clock.now() - result.paused_at;
   trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
@@ -136,7 +171,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
   trace_.Record(
       TraceEvent{TraceEventKind::kResume, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   result.total_time = result.resumed_at - result.started_at;
-  result.total_wire_bytes = link_.total_wire_bytes();
+  result.total_wire_bytes = channels_.total_wire_bytes();
   result.completed = true;
   trace_.Record(
       TraceEvent{TraceEventKind::kComplete, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
@@ -149,11 +184,10 @@ MigrationResult StopAndCopyEngine::Migrate() {
     }
   }
   v.ok = v.version_mismatches == 0;
+  FillChannelMeters(channels_, &result);
   if (config_.record_trace && config_.audit_trace) {
     AuditInputs inputs;
-    inputs.link_wire_bytes = link_.total_wire_bytes();
-    inputs.link_pages_sent = link_.total_pages_sent();
-    inputs.link_retry_bytes = link_.total_retry_bytes();
+    FillChannelAuditInputs(channels_, &inputs);
     inputs.retry_backoff_base = config_.retry_backoff_base;
     inputs.retry_backoff_cap = config_.retry_backoff_cap;
     result.trace_audit = TraceAuditor::Audit(AuditMode::kStopAndCopy, trace_, result, inputs);
@@ -166,16 +200,25 @@ MigrationResult StopAndCopyEngine::Migrate() {
 // Marks pages resident and accounts demand faults as the (resumed) guest
 // touches pages that have not arrived yet. Under a fault schedule each
 // demand fetch simulates the actual express round trip on a virtual timeline
-// starting at now() + the stall debt earlier faults already accrued: losses
-// and outage cuts are retried with NominalBackoff while the vCPU stays
-// stalled, so stall time -- not stream throughput -- absorbs the fault.
+// starting at now() + the stall debt its channel already accrued: losses and
+// outage cuts are retried with NominalBackoff while the vCPU stays stalled,
+// so stall time -- not stream throughput -- absorbs the fault.
+//
+// Fetches are striped round-robin over the channel set and each channel
+// keeps its own stall-debt timeline. This is the serialization fix: before,
+// one debt counter queued every fetch behind every other, so a latency spike
+// on the link stalled the guest once per fetch, in series. Now concurrent
+// fetches on different channels overlap; the guest only loses the slowest
+// channel's debt (TakeStallDebt takes the max), and a fault pinned to one
+// channel ("ch1:lat:...") taxes only the fetches sharded onto it.
 class PostcopyEngine::FaultTracker : public WriteObserver {
  public:
   FaultTracker(int64_t frames, Duration base_stall, const PostcopyEngine::Config& config,
-               const FaultSchedule* schedule, Rng* rng, NetworkLink* link, SimClock* clock,
-               TraceRecorder* trace, PostcopyResult* result)
-      : resident_(frames), base_stall_(base_stall), config_(config), schedule_(schedule),
-        rng_(rng), link_(link), clock_(clock), trace_(trace), result_(result) {}
+               ChannelSet* channels, Rng* rng, SimClock* clock, TraceRecorder* trace,
+               PostcopyResult* result)
+      : resident_(frames), base_stall_(base_stall), config_(config), channels_(channels),
+        rng_(rng), clock_(clock), trace_(trace), result_(result),
+        channel_debt_(static_cast<size_t>(channels->count()), Duration::Zero()) {}
 
   void OnGuestWrite(Pfn pfn) override {
     if (resident_.Test(pfn)) {
@@ -186,11 +229,18 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
     resident_.Set(pfn);
     ++resident_count_;
     ++faults_;
-    const Duration stall = FetchStall();
-    stall_debt_ += stall;
-    link_->RecordPages(1);
+    const int channel = next_channel_;
+    next_channel_ = (next_channel_ + 1) % channels_->count();
+    NetworkLink& link = channels_->channel(channel);
+    const Duration stall = FetchStall(channel);
+    channel_debt_[static_cast<size_t>(channel)] += stall;
+    link.RecordPages(1);
     trace_->Record(TraceEvent{TraceEventKind::kBurst, clock_->now(), 0, 1, 1,
-                              link_->PageWireBytes(1), 0, stall});
+                              link.PageWireBytes(1), 0, stall});
+    if (channels_->count() > 1) {
+      trace_->Record(TraceEvent{TraceEventKind::kChannelTransfer, clock_->now(), 0, channel, 1,
+                                link.PageWireBytes(1), 0, Duration::Zero()});
+    }
   }
 
   // Background pre-paging: marks up to `max_pages` lowest non-resident pages
@@ -239,23 +289,33 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
   bool AllResident() const { return resident_count_ == resident_.size(); }
   int64_t faults() const { return faults_; }
 
+  // Fetches queued on the same channel serialize; fetches on different
+  // channels overlap. The guest therefore loses only the slowest channel's
+  // accrued debt when the quantum boundary applies the stall.
   Duration TakeStallDebt() {
-    const Duration debt = stall_debt_;
-    stall_debt_ = Duration::Zero();
+    Duration debt = Duration::Zero();
+    for (Duration& d : channel_debt_) {
+      if (debt < d) {
+        debt = d;
+      }
+      d = Duration::Zero();
+    }
     return debt;
   }
 
  private:
-  // Total vCPU stall for one demand fetch under the fault schedule.
-  Duration FetchStall() {
-    if (schedule_ == nullptr) {
+  // Total vCPU stall for one demand fetch riding `channel`.
+  Duration FetchStall(int channel) {
+    const FaultSchedule* schedule = channels_->faults(channel);
+    if (schedule == nullptr) {
       return base_stall_;
     }
+    NetworkLink& link = channels_->channel(channel);
     const MigrationConfig& base = config_.base;
     MigrationResult& common = result_->common;
     // Virtual timeline of the stalled vCPU: the fetch starts at now() plus
-    // the stall debt earlier faults in this quantum already accrued.
-    const TimePoint vstart = clock_->now() + stall_debt_;
+    // the stall debt earlier faults already queued on this channel.
+    const TimePoint vstart = clock_->now() + channel_debt_[static_cast<size_t>(channel)];
     TimePoint vnow = vstart;
     int attempt = 0;
     bool stream_mode = false;
@@ -264,23 +324,23 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
         bool lost = false;
         bool lost_to_outage = false;
         TimePoint outage_end;
-        if (schedule_->InOutage(vnow)) {
+        if (schedule->InOutage(vnow)) {
           // A dead link loses the fetch deterministically -- no Rng draw, so
           // the draw sequence is a pure function of the fetches that reach
           // the Bernoulli stage.
           lost = true;
           lost_to_outage = true;
-          outage_end = schedule_->OutageEndAt(vnow);
-        } else if (schedule_->control_loss_p() > 0.0) {
-          lost = rng_->Chance(schedule_->control_loss_p());
+          outage_end = schedule->OutageEndAt(vnow);
+        } else if (schedule->control_loss_p() > 0.0) {
+          lost = rng_->Chance(schedule->control_loss_p());
         }
         if (!lost) {
           // Express fetch: one round trip under the latency in effect, then
           // the page under the bandwidth in effect.
           const Duration round_trip =
-              (base.link.latency + schedule_->ExtraLatencyAt(vnow)) * int64_t{2};
+              (base.link.latency + schedule->ExtraLatencyAt(vnow)) * int64_t{2};
           const TransferAttempt page =
-              link_->TryTransfer(link_->PageWireBytes(1), vnow + round_trip, schedule_);
+              link.TryTransfer(link.PageWireBytes(1), vnow + round_trip, schedule);
           if (page.ok) {
             vnow += round_trip + page.duration + config_.extra_fault_latency;
             return vnow - vstart;
@@ -289,7 +349,7 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
           // channel, paid in stall time.
           ++attempt;
           ++common.burst_faults;
-          link_->RecordRetryBytes(page.wasted_bytes);
+          link.RecordRetryBytes(page.wasted_bytes);
           common.retry_wire_bytes += page.wasted_bytes;
           vnow += round_trip + page.duration;
           trace_->Record(TraceEvent{TraceEventKind::kTransferFault, clock_->now(), 0, attempt, 1,
@@ -301,7 +361,7 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
         // timeout, then backs off before re-requesting.
         ++attempt;
         ++common.control_losses;
-        link_->RecordRetryBytes(base.control_bytes_per_iteration);
+        link.RecordRetryBytes(base.control_bytes_per_iteration);
         common.retry_wire_bytes += base.control_bytes_per_iteration;
         vnow += base.control_loss_timeout;
         trace_->Record(TraceEvent{TraceEventKind::kControlLost, clock_->now(), 0, attempt, 0,
@@ -319,14 +379,14 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
       }
       // Stream fallback: deterministic -- TryTransfer either lands the page
       // or reports the outage that cut it; retry once the outage ends.
-      const TransferAttempt page = link_->TryTransfer(link_->PageWireBytes(1), vnow, schedule_);
+      const TransferAttempt page = link.TryTransfer(link.PageWireBytes(1), vnow, schedule);
       if (page.ok) {
         vnow += page.duration + config_.extra_fault_latency;
         return vnow - vstart;
       }
       ++attempt;
       ++common.burst_faults;
-      link_->RecordRetryBytes(page.wasted_bytes);
+      link.RecordRetryBytes(page.wasted_bytes);
       common.retry_wire_bytes += page.wasted_bytes;
       vnow += page.duration;
       trace_->Record(TraceEvent{TraceEventKind::kTransferFault, clock_->now(), 0, attempt, 1,
@@ -354,22 +414,25 @@ class PostcopyEngine::FaultTracker : public WriteObserver {
   int64_t resident_count_ = 0;
   Duration base_stall_;
   const PostcopyEngine::Config& config_;
-  const FaultSchedule* schedule_;
+  ChannelSet* channels_;
   Rng* rng_;
-  NetworkLink* link_;
   SimClock* clock_;
   TraceRecorder* trace_;
   PostcopyResult* result_;
   int64_t faults_ = 0;
-  Duration stall_debt_ = Duration::Zero();
+  // Per-channel queued stall; index = channel. Drained by TakeStallDebt.
+  std::vector<Duration> channel_debt_;
+  int next_channel_ = 0;
   Pfn cursor_ = 0;
   Pfn cursor_checkpoint_ = 0;
 };
 
 PostcopyEngine::PostcopyEngine(GuestKernel* guest, const Config& config)
-    : guest_(guest), config_(config), link_(config.base.link) {
+    : guest_(guest), config_(config), channels_(config.base.link, config.base.channels) {
   CHECK(guest != nullptr);
   CHECK_GT(config.prepage_batch_pages, 0);
+  CHECK(config.base.channel_faults.empty() ||
+        static_cast<int>(config.base.channel_faults.size()) == config.base.channels);
 }
 
 void PostcopyEngine::WaitBackoff(int attempt, TimePoint min_until, MigrationResult* common) {
@@ -397,49 +460,68 @@ PostcopyResult PostcopyEngine::Migrate() {
   MigrationResult& common = result.common;
   common.vm_bytes = memory.bytes();
   common.started_at = clock.now();
-  link_.ResetMeters();
+  channels_.ResetMeters();
   trace_.set_enabled(config_.base.record_trace);
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0,
                            memory.frame_count(), 0, 0, Duration::Zero()});
-  fault_schedule_.reset();
+  channels_.ClearSchedules();
   fault_rng_.reset();
-  if (config_.base.faults.enabled()) {
-    fault_schedule_.emplace(config_.base.faults, common.started_at);
+  if (AnyFaultsEnabled(config_.base)) {
+    channels_.Anchor(config_.base.faults, config_.base.channel_faults, common.started_at);
     fault_rng_.emplace(config_.base.fault_seed);
   }
-  const FaultSchedule* faults = fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
 
-  // Stop-and-transfer of vCPU/device state only (a few MiB), then resume at
-  // the destination immediately. An outage during the pause is waited out
-  // with the usual backoff -- downtime grows, the flip still happens.
+  // Stop-and-transfer of vCPU/device state only (a few MiB), striped across
+  // the channels, then resume at the destination immediately. An outage
+  // during the pause is waited out with the usual backoff -- downtime grows,
+  // the flip still happens -- so retries are unbounded.
   guest_->PauseVm();
   common.paused_at = clock.now();
   trace_.Record(
       TraceEvent{TraceEventKind::kPause, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
   constexpr int64_t kDeviceStateBytes = 4 * kMiB;
   {
-    int attempt = 0;
-    for (;;) {
-      const TransferAttempt try_result =
-          link_.TryTransfer(kDeviceStateBytes, clock.now(), faults);
-      if (try_result.ok) {
-        link_.RecordControlBytes(kDeviceStateBytes);
-        trace_.Record(TraceEvent{TraceEventKind::kControlBytes, clock.now(), 0, 0, 0,
-                                 kDeviceStateBytes, 0, Duration::Zero()});
-        clock.Advance(try_result.duration);
-        break;
-      }
-      ++attempt;
+    const TimePoint start = clock.now();
+    // Where the landing attempt began: after every backoff the retry starts
+    // at the backoff target, and the kControlBytes event is stamped there
+    // (the clock does not move until the whole stripe lands).
+    TimePoint event_at = start;
+    const auto on_fault = [&](int channel, int attempt, const TransferAttempt& try_result,
+                              TimePoint vnow) {
       ++common.burst_faults;
-      link_.RecordRetryBytes(try_result.wasted_bytes);
+      channels_.channel(channel).RecordRetryBytes(try_result.wasted_bytes);
       common.retry_wire_bytes += try_result.wasted_bytes;
-      if (!try_result.duration.IsZero()) {
-        clock.Advance(try_result.duration);
-      }
-      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), 0, attempt, 0,
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, vnow, 0, attempt, 0,
                                try_result.wasted_bytes, 0, Duration::Zero()});
-      WaitBackoff(attempt, try_result.blocked_until, &common);
+    };
+    const auto on_backoff = [&](int channel, int attempt, Duration nominal, Duration waited,
+                                TimePoint vtarget) {
+      (void)channel;
+      common.backoff_time += waited;
+      trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, vtarget, 0, attempt,
+                               nominal.nanos(), 0, 0, waited});
+      event_at = vtarget;
+    };
+    const StripedOutcome outcome = channels_.TryStripedTransfer(
+        /*pages=*/0, kDeviceStateBytes, start, /*max_retries=*/-1,
+        config_.base.retry_backoff_base, config_.base.retry_backoff_cap, on_fault, on_backoff);
+    CHECK(outcome.ok);
+    trace_.Record(TraceEvent{TraceEventKind::kControlBytes, event_at, 0, 0, 0,
+                             kDeviceStateBytes, 0, Duration::Zero()});
+    for (const ChannelShare& share : outcome.shares) {
+      if (share.wire_bytes == 0) {
+        continue;
+      }
+      channels_.channel(share.channel).RecordControlBytes(share.wire_bytes);
+      if (channels_.count() > 1) {
+        trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, 0, share.channel,
+                                 0, share.wire_bytes, 0, Duration::Zero()});
+      }
+    }
+    const Duration elapsed = outcome.completes_at - start;
+    if (!elapsed.IsZero()) {
+      clock.Advance(elapsed);
     }
   }
   common.downtime.last_iter_transfer = clock.now() - common.paused_at;
@@ -453,13 +535,18 @@ PostcopyResult PostcopyEngine::Migrate() {
   // Degradation window: the guest executes while pages stream in; writes to
   // non-resident pages fault and stall the guest. A fault's stall is applied
   // at the next quantum boundary (the guest "loses" that execution time).
+  // A demand fetch rides one sub-link, so the page-transfer leg of the stall
+  // is paid at the per-channel (1/N) bandwidth -- striping wins by
+  // overlapping fetches, not by pretending each one sees the full pipe.
   const Duration base_stall = config_.base.link.latency * int64_t{2} +
-                              link_.PageTransferTime(1) + config_.extra_fault_latency;
-  FaultTracker tracker(memory.frame_count(), base_stall, config_, faults,
-                       fault_rng_.has_value() ? &*fault_rng_ : nullptr, &link_, &clock, &trace_,
+                              channels_.channel(0).PageTransferTime(1) +
+                              config_.extra_fault_latency;
+  FaultTracker tracker(memory.frame_count(), base_stall, config_, &channels_,
+                       fault_rng_.has_value() ? &*fault_rng_ : nullptr, &clock, &trace_,
                        &result);
   memory.AttachWriteObserver(&tracker);
   bool prepage_degraded = false;
+  int trickle_channel = 0;
   while (!tracker.AllResident()) {
     const Duration stall = tracker.TakeStallDebt();
     if (!stall.IsZero()) {
@@ -469,78 +556,113 @@ PostcopyResult PostcopyEngine::Migrate() {
       guest_->ResumeVm();
     }
     if (!prepage_degraded) {
-      // Pipelined pre-paging burst: mark-then-transfer, with the same
-      // outage-cut/wasted-bytes semantics as pre-copy's FlushBurst. A
-      // terminally failed burst rolls back and drops pre-paging entirely.
+      // Pipelined pre-paging burst: mark-then-transfer, striped across the
+      // channels with the same outage-cut/wasted-bytes semantics as
+      // pre-copy's FlushBurst. A terminally failed burst rolls back and
+      // drops pre-paging entirely.
       const std::vector<Pfn> batch =
           tracker.CollectPrepageBatch(config_.prepage_batch_pages);
       const int64_t fetched = static_cast<int64_t>(batch.size());
       if (fetched == 0) {
         continue;
       }
-      int attempt = 0;
-      for (;;) {
-        const TransferAttempt try_result =
-            link_.TryTransfer(link_.PageWireBytes(fetched), clock.now(), faults);
-        if (try_result.ok) {
-          link_.RecordPages(fetched);
-          result.prepage_pages += fetched;
-          trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), 0, 0, fetched,
-                                   link_.PageWireBytes(fetched), 0, Duration::Zero()});
-          clock.Advance(try_result.duration);
-          break;
-        }
-        ++attempt;
+      const TimePoint start = clock.now();
+      const int64_t wire = channels_.channel(0).PageWireBytes(fetched);
+      // The burst event is stamped where the landing attempt began (after
+      // the last backoff); the clock does not move until the stripe lands.
+      TimePoint event_at = start;
+      const auto on_fault = [&](int channel, int attempt, const TransferAttempt& try_result,
+                                TimePoint vnow) {
         ++common.burst_faults;
-        link_.RecordRetryBytes(try_result.wasted_bytes);
+        channels_.channel(channel).RecordRetryBytes(try_result.wasted_bytes);
         common.retry_wire_bytes += try_result.wasted_bytes;
-        if (!try_result.duration.IsZero()) {
-          clock.Advance(try_result.duration);
+        trace_.Record(TraceEvent{TraceEventKind::kTransferFault, vnow, 0, attempt, fetched,
+                                 try_result.wasted_bytes, 0, Duration::Zero()});
+      };
+      const auto on_backoff = [&](int channel, int attempt, Duration nominal, Duration waited,
+                                  TimePoint vtarget) {
+        (void)channel;
+        common.backoff_time += waited;
+        trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, vtarget, 0, attempt,
+                                 nominal.nanos(), 0, 0, waited});
+        event_at = vtarget;
+      };
+      const StripedOutcome outcome = channels_.TryStripedTransfer(
+          fetched, wire, start, config_.base.max_burst_retries,
+          config_.base.retry_backoff_base, config_.base.retry_backoff_cap, on_fault,
+          on_backoff);
+      const Duration elapsed = outcome.completes_at - start;
+      if (!outcome.ok) {
+        // Budget exhausted: abandon pre-paging, not the migration -- the
+        // destination is already authoritative, so aborting is impossible.
+        // The remaining pages trickle in one demand round trip at a time
+        // (the terminal fault is never retried, so no backoff here).
+        if (!elapsed.IsZero()) {
+          clock.Advance(elapsed);
         }
-        trace_.Record(TraceEvent{TraceEventKind::kTransferFault, clock.now(), 0, attempt,
-                                 fetched, try_result.wasted_bytes, 0, Duration::Zero()});
-        if (attempt > config_.base.max_burst_retries) {
-          // Budget exhausted: abandon pre-paging, not the migration -- the
-          // destination is already authoritative, so aborting is impossible.
-          // The remaining pages trickle in one demand round trip at a time
-          // (the terminal fault is never retried, so no backoff here).
-          tracker.RollbackPrepageBatch(batch);
-          prepage_degraded = true;
-          common.degraded = true;
-          common.degrade_reason = DegradeReason::kBurstRetries;
-          trace_.Record(TraceEvent{TraceEventKind::kDegrade, clock.now(), 0,
-                                   static_cast<int32_t>(DegradeReason::kBurstRetries), 0, 0, 0,
+        tracker.RollbackPrepageBatch(batch);
+        prepage_degraded = true;
+        common.degraded = true;
+        common.degrade_reason = DegradeReason::kBurstRetries;
+        trace_.Record(TraceEvent{TraceEventKind::kDegrade, clock.now(), 0,
+                                 static_cast<int32_t>(DegradeReason::kBurstRetries), 0, 0, 0,
+                                 Duration::Zero()});
+        continue;
+      }
+      result.prepage_pages += fetched;
+      trace_.Record(TraceEvent{TraceEventKind::kBurst, event_at, 0, 0, fetched, wire, 0,
+                               Duration::Zero()});
+      for (const ChannelShare& share : outcome.shares) {
+        if (share.pages == 0) {
+          continue;
+        }
+        channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
+        if (channels_.count() > 1) {
+          trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, 0,
+                                   share.channel, share.pages, share.wire_bytes, 0,
                                    Duration::Zero()});
-          break;
         }
-        WaitBackoff(attempt, try_result.blocked_until, &common);
+      }
+      if (!elapsed.IsZero()) {
+        clock.Advance(elapsed);
       }
       continue;
     }
     // Pure demand paging: one page per un-pipelined round trip, outages
     // waited out. Measurably slower than bursts, but always terminates.
+    // Round-robin over the channels so a fault pinned to one sub-link only
+    // taxes every count()-th trickle fetch.
     const Pfn pfn = tracker.TakeNextNonResident();
     if (pfn < 0) {
       continue;  // A demand fault beat us to the last page; re-check debt.
     }
+    const int channel = trickle_channel;
+    trickle_channel = (trickle_channel + 1) % channels_.count();
+    NetworkLink& link = channels_.channel(channel);
+    const FaultSchedule* sched = channels_.faults(channel);
     int attempt = 0;
     for (;;) {
       const TimePoint now = clock.now();
       const TransferAttempt try_result =
-          link_.TryTransfer(link_.PageWireBytes(1), now, faults);
+          link.TryTransfer(link.PageWireBytes(1), now, sched);
       if (try_result.ok) {
-        const Duration round_trip =
-            (config_.base.link.latency + faults->ExtraLatencyAt(now)) * int64_t{2};
-        link_.RecordPages(1);
+        const Duration extra =
+            sched != nullptr ? sched->ExtraLatencyAt(now) : Duration::Zero();
+        const Duration round_trip = (config_.base.link.latency + extra) * int64_t{2};
+        link.RecordPages(1);
         ++result.prepage_pages;
         trace_.Record(TraceEvent{TraceEventKind::kBurst, clock.now(), 0, 0, 1,
-                                 link_.PageWireBytes(1), 0, Duration::Zero()});
+                                 link.PageWireBytes(1), 0, Duration::Zero()});
+        if (channels_.count() > 1) {
+          trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, clock.now(), 0, channel, 1,
+                                   link.PageWireBytes(1), 0, Duration::Zero()});
+        }
         clock.Advance(round_trip + try_result.duration);
         break;
       }
       ++attempt;
       ++common.burst_faults;
-      link_.RecordRetryBytes(try_result.wasted_bytes);
+      link.RecordRetryBytes(try_result.wasted_bytes);
       common.retry_wire_bytes += try_result.wasted_bytes;
       if (!try_result.duration.IsZero()) {
         clock.Advance(try_result.duration);
@@ -563,8 +685,8 @@ PostcopyResult PostcopyEngine::Migrate() {
   result.demand_faults = tracker.faults();
   result.degradation_window = clock.now() - common.resumed_at;
   common.total_time = clock.now() - common.started_at;
-  common.total_wire_bytes = link_.total_wire_bytes();
-  common.pages_sent = link_.total_pages_sent();
+  common.total_wire_bytes = channels_.total_wire_bytes();
+  common.pages_sent = channels_.total_pages_sent();
   common.completed = true;
   // Every page becomes resident exactly once; content correctness is by
   // construction (the destination is authoritative after the flip).
@@ -572,11 +694,10 @@ PostcopyResult PostcopyEngine::Migrate() {
   common.verification.pages_checked = memory.frame_count();
   trace_.Record(
       TraceEvent{TraceEventKind::kComplete, clock.now(), 0, 0, 0, 0, 0, Duration::Zero()});
+  FillChannelMeters(channels_, &common);
   if (config_.base.record_trace && config_.base.audit_trace) {
     AuditInputs inputs;
-    inputs.link_wire_bytes = link_.total_wire_bytes();
-    inputs.link_pages_sent = link_.total_pages_sent();
-    inputs.link_retry_bytes = link_.total_retry_bytes();
+    FillChannelAuditInputs(channels_, &inputs);
     inputs.retry_backoff_base = config_.base.retry_backoff_base;
     inputs.retry_backoff_cap = config_.base.retry_backoff_cap;
     inputs.expected_demand_faults = result.demand_faults;

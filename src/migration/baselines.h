@@ -31,6 +31,7 @@
 #include "src/migration/config.h"
 #include "src/migration/destination.h"
 #include "src/migration/stats.h"
+#include "src/net/channel_set.h"
 #include "src/net/link.h"
 #include "src/trace/trace.h"
 
@@ -63,16 +64,10 @@ class StopAndCopyEngine {
   const TraceRecorder& trace() const { return trace_; }
 
  private:
-  // Waits out the backoff before retry `attempt` (at least until `min_until`,
-  // the end of the outage that killed the attempt), advancing the clock.
-  void WaitBackoff(int index, int attempt, TimePoint min_until, MigrationResult* result);
-
   GuestKernel* guest_;
   MigrationConfig config_;
-  NetworkLink link_;
+  ChannelSet channels_;
   TraceRecorder trace_;
-  // Present only while Migrate() runs with a non-empty fault plan.
-  std::optional<FaultSchedule> fault_schedule_;
 };
 
 class PostcopyEngine {
@@ -98,17 +93,16 @@ class PostcopyEngine {
  private:
   class FaultTracker;
 
-  // Clock-advancing backoff for the background paths (device-state transfer,
-  // pre-paging bursts, post-degrade demand trickle).
+  // Clock-advancing backoff for the post-degrade demand trickle.
   void WaitBackoff(int attempt, TimePoint min_until, MigrationResult* common);
 
   GuestKernel* guest_;
   Config config_;
-  NetworkLink link_;
+  ChannelSet channels_;
   TraceRecorder trace_;
   // Present only while Migrate() runs with a non-empty fault plan; the Rng
-  // drives the Bernoulli control-loss draws off base.fault_seed.
-  std::optional<FaultSchedule> fault_schedule_;
+  // drives the Bernoulli control-loss draws off base.fault_seed. Per-channel
+  // schedules live inside channels_.
   std::optional<Rng> fault_rng_;
 };
 

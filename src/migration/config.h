@@ -4,6 +4,7 @@
 #define JAVMM_SRC_MIGRATION_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/time.h"
 #include "src/faults/faults.h"
@@ -46,6 +47,19 @@ struct MigrationConfig {
   Duration poll_quantum = Duration::Millis(5);
 
   LinkConfig link;
+
+  // ---- Multi-channel data plane (src/net/channel_set.h, DESIGN.md §11). ----
+  // Number of parallel sub-links the migration stream is striped over; each
+  // gets bandwidth_bps / channels. 1 = the paper's single-stream testbed and
+  // is bit-identical to the pre-channel engines.
+  int channels = 1;
+  // Per-channel effective fault plans from FaultPlan::ParseMulti. Empty =
+  // every channel follows `faults`; otherwise must hold `channels` entries.
+  std::vector<FaultPlan> channel_faults;
+  // Compression pipeline workers feeding the channels (PMigrate's slave_num).
+  // 0 = one worker per channel. Only engaged when channels > 1 -- the
+  // single-channel compression model stays the legacy payload-ratio one.
+  int compression_workers = 0;
 
   // Control traffic per live iteration (request the dirty bitmap, sync with
   // the receiver). The engine both meters this on the link and records it in

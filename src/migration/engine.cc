@@ -12,11 +12,30 @@
 
 namespace javmm {
 
+namespace {
+
+// Anything in the shared plan or any channel overlay that can fire.
+bool AnyFaultsEnabled(const MigrationConfig& config) {
+  if (config.faults.enabled()) {
+    return true;
+  }
+  for (const FaultPlan& plan : config.channel_faults) {
+    if (plan.enabled()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 MigrationEngine::MigrationEngine(GuestKernel* guest, const MigrationConfig& config)
-    : guest_(guest), config_(config), link_(config.link) {
+    : guest_(guest), config_(config), channels_(config.link, config.channels) {
   CHECK(guest != nullptr);
   CHECK_GT(config.batch_pages, 0);
   CHECK_GE(config.max_iterations, 1);
+  CHECK(config.channel_faults.empty() ||
+        static_cast<int>(config.channel_faults.size()) == config.channels);
 }
 
 void MigrationEngine::AddRequiredPfnSource(const RequiredPfnSource* source) {
@@ -70,6 +89,7 @@ void MigrationEngine::SendPage(Pfn pfn, DestinationVm* dest, Burst* burst,
   burst->deliveries.emplace_back(pfn, guest_->memory().version(pfn));
   burst->wire_bytes += payload + config_.link.per_page_overhead;
   burst->send_cpu += cpu;
+  burst->compress_cpu += cpu - config_.cpu_per_page_sent;
   ++burst->pages;
 }
 
@@ -108,6 +128,8 @@ void MigrationEngine::WaitBackoff(int index, int attempt, TimePoint min_until,
 bool MigrationEngine::ControlRoundTrip(int index, MigrationResult* result) {
   SimClock& clock = guest_->clock();
   const int64_t bytes = config_.control_bytes_per_iteration;
+  // Control traffic rides channel 0 (the protocol needs one ordered stream).
+  const FaultSchedule* faults = channels_.faults(0);
   int attempt = 0;
   for (;;) {
     ++attempt;
@@ -115,25 +137,29 @@ bool MigrationEngine::ControlRoundTrip(int index, MigrationResult* result) {
     bool lost = false;
     bool lost_to_outage = false;
     TimePoint outage_end;
-    if (fault_schedule_.has_value()) {
-      if (fault_schedule_->InOutage(now)) {
+    if (faults != nullptr) {
+      if (faults->InOutage(now)) {
         // A dead link loses the round deterministically -- no Rng draw, so
         // the draw sequence is a pure function of the rounds that reach the
         // Bernoulli stage.
         lost = true;
         lost_to_outage = true;
-        outage_end = fault_schedule_->OutageEndAt(now);
-      } else if (fault_schedule_->control_loss_p() > 0.0) {
-        lost = fault_rng_->Chance(fault_schedule_->control_loss_p());
+        outage_end = faults->OutageEndAt(now);
+      } else if (faults->control_loss_p() > 0.0) {
+        lost = fault_rng_->Chance(faults->control_loss_p());
       }
     }
     if (!lost) {
-      link_.RecordControlBytes(bytes);
+      channels_.channel(0).RecordControlBytes(bytes);
       trace_.Record(
           TraceEvent{TraceEventKind::kControlBytes, now, index, 0, 0, bytes, 0, Duration::Zero()});
+      if (channels_.count() > 1) {
+        trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, now, index, 0, 0, bytes, 0,
+                                 Duration::Zero()});
+      }
       Duration extra = Duration::Zero();
-      if (fault_schedule_.has_value()) {
-        extra = fault_schedule_->ExtraLatencyAt(now);
+      if (faults != nullptr) {
+        extra = faults->ExtraLatencyAt(now);
       }
       clock.Advance((config_.link.latency + extra) * int64_t{2});
       ++result->control_rounds_ok;
@@ -142,7 +168,7 @@ bool MigrationEngine::ControlRoundTrip(int index, MigrationResult* result) {
     // Lost round: the request still burned wire bytes, and the daemon only
     // notices after its ack timeout.
     ++result->control_losses;
-    link_.RecordRetryBytes(bytes);
+    channels_.channel(0).RecordRetryBytes(bytes);
     result->retry_wire_bytes += bytes;
     clock.Advance(config_.control_loss_timeout);
     trace_.Record(TraceEvent{TraceEventKind::kControlLost, clock.now(), index, attempt, 0, bytes,
@@ -164,58 +190,91 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
   const Duration scan_time = config_.cpu_per_page_scanned * burst->scanned;
   result->cpu_time += scan_time;
   Duration wire_time = Duration::Zero();
-  int attempt = 0;
+  bool clean = true;
   if (burst->pages > 0) {
-    const FaultSchedule* faults =
-        fault_schedule_.has_value() ? &*fault_schedule_ : nullptr;
-    for (;;) {
-      const TransferAttempt try_result =
-          link_.TryTransfer(burst->wire_bytes, guest_->clock().now(), faults);
-      if (try_result.ok) {
-        wire_time = try_result.duration;
-        break;
-      }
+    const TimePoint start = guest_->clock().now();
+    // Each channel runs its slice's retry loop on its own virtual timeline;
+    // the callbacks meter failed attempts and backoffs at the instants they
+    // (will) happen, and the clock advances once below.
+    const auto on_fault = [&](int channel, int attempt, const TransferAttempt& try_result,
+                              TimePoint vnow) {
       // An outage cut the stream: the partial transfer still took simulated
       // time and wire bytes, but delivered nothing.
-      ++attempt;
+      (void)channel;
+      clean = false;
       ++result->burst_faults;
-      link_.RecordRetryBytes(try_result.wasted_bytes);
+      channels_.channel(channel).RecordRetryBytes(try_result.wasted_bytes);
       result->retry_wire_bytes += try_result.wasted_bytes;
-      if (!try_result.duration.IsZero()) {
-        guest_->clock().Advance(try_result.duration);
+      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, vnow, rec->index, attempt,
+                               burst->pages, try_result.wasted_bytes, 0, Duration::Zero()});
+    };
+    const auto on_backoff = [&](int channel, int attempt, Duration nominal, Duration waited,
+                                TimePoint vtarget) {
+      (void)channel;
+      result->backoff_time += waited;
+      trace_.Record(TraceEvent{TraceEventKind::kRetryBackoff, vtarget, rec->index, attempt,
+                               nominal.nanos(), 0, 0, waited});
+    };
+    const int max_retries = in_stop_and_copy_ ? -1 : config_.max_burst_retries;
+    const StripedOutcome outcome = channels_.TryStripedTransfer(
+        burst->pages, burst->wire_bytes, start, max_retries, config_.retry_backoff_base,
+        config_.retry_backoff_cap, on_fault, on_backoff);
+    if (!outcome.ok) {
+      // Budget exhausted mid-pre-copy: abandon the burst. Nothing was
+      // delivered or metered as useful traffic; the pages return via
+      // carryover_ and the per-class counters roll back so the
+      // pages_sent == raw + compressed + delta identity stays exact. The
+      // compression CPU was genuinely burned, so it stays charged.
+      RequestDegrade(DegradeReason::kBurstRetries);
+      result->cpu_time += burst->send_cpu;
+      result->pages_sent_raw -= burst->raw;
+      result->pages_compressed -= burst->compressed;
+      result->pages_sent_delta -= burst->delta;
+      for (const auto& [pfn, version] : burst->deliveries) {
+        (void)version;
+        carryover_.push_back(pfn);
       }
-      trace_.Record(TraceEvent{TraceEventKind::kTransferFault, guest_->clock().now(), rec->index,
-                               attempt, burst->pages, try_result.wasted_bytes, 0,
-                               Duration::Zero()});
-      if (!in_stop_and_copy_ && attempt > config_.max_burst_retries) {
-        // Budget exhausted mid-pre-copy: abandon the burst. Nothing was
-        // delivered or metered as useful traffic; the pages return via
-        // carryover_ and the per-class counters roll back so the
-        // pages_sent == raw + compressed + delta identity stays exact. The
-        // compression CPU was genuinely burned, so it stays charged.
-        RequestDegrade(DegradeReason::kBurstRetries);
-        result->cpu_time += burst->send_cpu;
-        result->pages_sent_raw -= burst->raw;
-        result->pages_compressed -= burst->compressed;
-        result->pages_sent_delta -= burst->delta;
-        for (const auto& [pfn, version] : burst->deliveries) {
-          (void)version;
-          carryover_.push_back(pfn);
-        }
-        // The scan genuinely happened even though nothing shipped: record a
-        // scan-only burst (like an all-skipped one) so the per-iteration
-        // "sum of burst scanned == pages_scanned" audit identity holds.
-        trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0, 0,
-                                 0, burst->scanned, burst->send_cpu + scan_time});
-        *burst = Burst{};
-        return false;
+      const Duration spent = outcome.completes_at - start;
+      if (!spent.IsZero()) {
+        guest_->clock().Advance(spent);
       }
-      WaitBackoff(rec->index, attempt, try_result.blocked_until, result);
+      // The scan genuinely happened even though nothing shipped: record a
+      // scan-only burst (like an all-skipped one) so the per-iteration
+      // "sum of burst scanned == pages_scanned" audit identity holds.
+      trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0, 0,
+                               0, burst->scanned, burst->send_cpu + scan_time});
+      *burst = Burst{};
+      return false;
     }
-    // Page traffic advances both link meters. Compression and delta bursts
-    // are smaller than PageWireBytes would predict, so record the actual
-    // wire size rather than deriving it from the page count.
-    link_.RecordPageBytes(burst->pages, burst->wire_bytes);
+    wire_time = outcome.completes_at - start;
+    if (channels_.count() > 1 && !burst->compress_cpu.IsZero()) {
+      // Producer/consumer pipeline occupancy: the compressor stage (workers
+      // feeding the channels, PMigrate's slave_num) has a makespan; when it
+      // exceeds the wire stage, the channels sit idle waiting on it.
+      const int workers =
+          config_.compression_workers > 0 ? config_.compression_workers : channels_.count();
+      const Duration makespan = burst->compress_cpu / static_cast<int64_t>(workers);
+      result->pipeline_compress_busy += makespan;
+      result->pipeline_wire_busy += wire_time;
+      if (makespan > wire_time) {
+        result->pipeline_stall += makespan - wire_time;
+        wire_time = makespan;
+      }
+    }
+    // Page traffic advances each channel's meters. Compression and delta
+    // bursts are smaller than PageWireBytes would predict, so record the
+    // actual wire size rather than deriving it from the page count.
+    for (const ChannelShare& share : outcome.shares) {
+      if (share.pages == 0) {
+        continue;
+      }
+      channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
+      if (channels_.count() > 1) {
+        trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, rec->index,
+                                 share.channel, share.pages, share.wire_bytes, 0,
+                                 Duration::Zero()});
+      }
+    }
     rec->wire_bytes += burst->wire_bytes;
     rec->pages_sent += burst->pages;
     result->cpu_time += burst->send_cpu;
@@ -223,10 +282,10 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
       dest->ReceivePage(pfn, version);
     }
   }
-  // With no failed attempt the scan overlapped this (only) transfer; after
-  // failures the scan already overlapped the first attempt, whose time has
-  // been charged, so only the successful wire time advances the clock here.
-  const Duration advance = attempt == 0 ? std::max(wire_time, scan_time) : wire_time;
+  // With no failed attempt the scan overlapped the transfer; after failures
+  // the scan already overlapped the first attempt, whose time is inside
+  // wire_time along with the backoffs, so it advances the clock unstretched.
+  const Duration advance = clean ? std::max(wire_time, scan_time) : wire_time;
   if (!advance.IsZero()) {
     guest_->clock().Advance(advance);
   }
@@ -322,17 +381,17 @@ MigrationResult MigrationEngine::Migrate() {
   result.assisted = config_.application_assisted;
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
-  link_.ResetMeters();
-  // Fault-recovery state is per-migration: anchor the plan's relative
+  channels_.ResetMeters();
+  // Fault-recovery state is per-migration: anchor the plans' relative
   // windows at this start instant and reseed the private loss stream, so
   // back-to-back migrations of one engine see identical fault behaviour.
   degrade_ = DegradeReason::kNone;
   in_stop_and_copy_ = false;
   carryover_.clear();
-  fault_schedule_.reset();
+  channels_.ClearSchedules();
   fault_rng_.reset();
-  if (config_.faults.enabled()) {
-    fault_schedule_.emplace(config_.faults, result.started_at);
+  if (AnyFaultsEnabled(config_)) {
+    channels_.Anchor(config_.faults, config_.channel_faults, result.started_at);
     fault_rng_.emplace(config_.fault_seed);
   }
   trace_.set_enabled(config_.record_trace);
@@ -447,10 +506,11 @@ MigrationResult MigrationEngine::Migrate() {
       result.last_iter_pages_sent = 0;
       result.last_iter_pages_skipped_bitmap = 0;
       result.pages_sent = total_sent;
-      result.total_wire_bytes = link_.total_wire_bytes();
+      result.total_wire_bytes = channels_.total_wire_bytes();
       result.completed = false;
       TracePhase(TraceEventKind::kAbort);
       hint_source_ = nullptr;
+      FillChannelMeters(&result);
       RunAudit(&result);
       return result;
     }
@@ -608,12 +668,13 @@ MigrationResult MigrationEngine::Migrate() {
 
   result.total_time = result.resumed_at - result.started_at;
   result.pages_sent = total_sent;
-  result.total_wire_bytes = link_.total_wire_bytes();
+  result.total_wire_bytes = channels_.total_wire_bytes();
   result.completed = true;
   TracePhase(TraceEventKind::kComplete);
   result.verification =
       Verify(dest, pause_versions, allocated_at_pause, &skip_allowed, pause_time);
   hint_source_ = nullptr;
+  FillChannelMeters(&result);
   RunAudit(&result);
   return result;
 }
@@ -629,17 +690,31 @@ void MigrationEngine::NotifyLkm(DaemonToLkm msg) {
   guest_->event_channel().NotifyGuest(msg);
 }
 
+void MigrationEngine::FillChannelMeters(MigrationResult* result) const {
+  result->channels = channels_.count();
+  if (channels_.count() > 1) {
+    result->channel_wire_bytes = channels_.WireBytesPerChannel();
+    result->channel_pages_sent = channels_.PagesSentPerChannel();
+    result->channel_retry_bytes = channels_.RetryBytesPerChannel();
+  }
+}
+
 void MigrationEngine::RunAudit(MigrationResult* result) {
   if (!config_.record_trace || !config_.audit_trace) {
     return;
   }
   AuditInputs inputs;
-  inputs.link_wire_bytes = link_.total_wire_bytes();
-  inputs.link_pages_sent = link_.total_pages_sent();
-  inputs.link_retry_bytes = link_.total_retry_bytes();
+  inputs.link_wire_bytes = channels_.total_wire_bytes();
+  inputs.link_pages_sent = channels_.total_pages_sent();
+  inputs.link_retry_bytes = channels_.total_retry_bytes();
   inputs.control_bytes_per_iteration = config_.control_bytes_per_iteration;
   inputs.retry_backoff_base = config_.retry_backoff_base;
   inputs.retry_backoff_cap = config_.retry_backoff_cap;
+  if (channels_.count() > 1) {
+    inputs.channel_wire_bytes = channels_.WireBytesPerChannel();
+    inputs.channel_pages_sent = channels_.PagesSentPerChannel();
+    inputs.channel_retry_bytes = channels_.RetryBytesPerChannel();
+  }
   result->trace_audit = TraceAuditor::Audit(AuditMode::kPrecopy, trace_, *result, inputs);
 }
 

@@ -23,6 +23,7 @@
 #include "src/migration/config.h"
 #include "src/migration/destination.h"
 #include "src/migration/stats.h"
+#include "src/net/channel_set.h"
 #include "src/net/link.h"
 #include "src/trace/trace.h"
 
@@ -57,6 +58,9 @@ class MigrationEngine {
     int64_t scanned = 0;
     int64_t wire_bytes = 0;
     Duration send_cpu = Duration::Zero();
+    // Compression-attributable share of send_cpu; feeds the multi-channel
+    // pipeline-occupancy model (the compressor stage's work for this burst).
+    Duration compress_cpu = Duration::Zero();
     // Per-class counts mirrored from the result so an abandoned burst can
     // roll them back (pages_sent == raw + compressed + delta must stay exact).
     int64_t raw = 0;
@@ -75,11 +79,12 @@ class MigrationEngine {
   // compression class, delta retransmission).
   void SendPage(Pfn pfn, DestinationVm* dest, Burst* burst, MigrationResult* result);
 
-  // Pushes a finished burst over the (possibly faulty) link, retrying with
-  // bounded exponential backoff when an outage cuts the transfer, then
-  // delivers its pages and advances the clock (wire time pipelined with the
-  // bitmap-scan CPU time of the pages examined). Returns false when the
-  // retry budget ran out: the burst is abandoned, its pages moved to
+  // Pushes a finished burst striped over the channel set, each channel
+  // retrying its slice with bounded exponential backoff when an outage cuts
+  // the transfer, then delivers its pages and advances the clock once by the
+  // slowest channel's completion (wire time pipelined with the bitmap-scan
+  // CPU time of the pages examined). Returns false when any channel's retry
+  // budget ran out: the whole burst is abandoned, its pages moved to
   // carryover_ and a degrade requested (never happens during stop-and-copy,
   // where the engine waits outages out instead).
   bool FlushBurst(Burst* burst, DestinationVm* dest, IterationRecord* rec,
@@ -111,12 +116,15 @@ class MigrationEngine {
   void TracePhase(TraceEventKind kind);
   // Records a daemon->LKM notification and delivers it.
   void NotifyLkm(DaemonToLkm msg);
+  // Copies channel count and per-channel meter snapshots into the result
+  // (per-channel vectors only when more than one channel exists).
+  void FillChannelMeters(MigrationResult* result) const;
   // Runs the TraceAuditor over the finished run when configured.
   void RunAudit(MigrationResult* result);
 
   GuestKernel* guest_;
   MigrationConfig config_;
-  NetworkLink link_;
+  ChannelSet channels_;
   TraceRecorder trace_;
   std::vector<const RequiredPfnSource*> required_sources_;
   bool suspension_ready_ = false;
@@ -124,10 +132,10 @@ class MigrationEngine {
   const Lkm* hint_source_ = nullptr;
 
   // ---- Per-Migrate() fault-recovery state (reset at migration start). ----
-  // The fault plan anchored at this migration's start; nullopt on a healthy
-  // link, in which case every fault branch short-circuits and the engine is
-  // bit-identical to its pre-fault behaviour.
-  std::optional<FaultSchedule> fault_schedule_;
+  // Per-channel fault schedules live inside channels_, anchored at each
+  // migration's start; a healthy channel carries no schedule, so every fault
+  // branch short-circuits and the engine stays bit-identical to its
+  // pre-fault behaviour. The control path follows channel 0.
   // Private stream for the Bernoulli control-loss draws; drawn from only
   // when the plan has control_loss_p > 0 and the link is not in an outage.
   std::optional<Rng> fault_rng_;

@@ -152,6 +152,21 @@ struct MigrationResult {
   bool degraded = false;          // A retry budget was exhausted.
   DegradeReason degrade_reason = DegradeReason::kNone;
 
+  // ---- Multi-channel data plane (src/net/channel_set.h, DESIGN.md §11). ----
+  int channels = 1;
+  // Per-channel meter snapshots; empty when channels == 1 (the aggregate
+  // fields above already tell the whole story). When filled, each vector has
+  // `channels` entries and its sum equals the matching aggregate.
+  std::vector<int64_t> channel_wire_bytes;
+  std::vector<int64_t> channel_pages_sent;
+  std::vector<int64_t> channel_retry_bytes;
+  // Compression-pipeline occupancy (channels > 1 with compression): total
+  // compressor-stage busy time, wire-stage busy time, and time the wire sat
+  // idle waiting on the compressors.
+  Duration pipeline_compress_busy = Duration::Zero();
+  Duration pipeline_wire_busy = Duration::Zero();
+  Duration pipeline_stall = Duration::Zero();
+
   // Framework memory overhead at pause time (§5.3: "at most 1 MB").
   int64_t lkm_bitmap_bytes = 0;
   int64_t lkm_pfn_cache_bytes = 0;

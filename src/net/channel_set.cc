@@ -1,0 +1,178 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/net/channel_set.h"
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+ChannelSet::ChannelSet(const LinkConfig& base, int count) {
+  CHECK_GT(count, 0);
+  LinkConfig per_channel = base;
+  // Dividing by 1.0 is exact, so a one-channel set carries the base config
+  // bit-for-bit.
+  per_channel.bandwidth_bps = base.bandwidth_bps / static_cast<double>(count);
+  links_.reserve(static_cast<size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    links_.emplace_back(per_channel);
+  }
+  schedules_.resize(static_cast<size_t>(count));
+}
+
+void ChannelSet::Anchor(const FaultPlan& shared, const std::vector<FaultPlan>& per_channel,
+                        TimePoint origin) {
+  if (!per_channel.empty()) {
+    CHECK_EQ(static_cast<int>(per_channel.size()), count());
+  }
+  for (int c = 0; c < count(); ++c) {
+    const FaultPlan& plan =
+        per_channel.empty() ? shared : per_channel[static_cast<size_t>(c)];
+    if (plan.enabled()) {
+      schedules_[static_cast<size_t>(c)].emplace(plan, origin);
+    } else {
+      schedules_[static_cast<size_t>(c)].reset();
+    }
+  }
+}
+
+void ChannelSet::ClearSchedules() {
+  for (auto& schedule : schedules_) {
+    schedule.reset();
+  }
+}
+
+const FaultSchedule* ChannelSet::faults(int c) const {
+  const auto& schedule = schedules_[static_cast<size_t>(c)];
+  return schedule ? &*schedule : nullptr;
+}
+
+std::vector<ChannelShare> ChannelSet::Shard(int64_t pages, int64_t wire_bytes) const {
+  CHECK_GE(pages, 0);
+  CHECK_GE(wire_bytes, 0);
+  const int64_t n = count();
+  std::vector<ChannelShare> shares(static_cast<size_t>(n));
+  for (int64_t c = 0; c < n; ++c) {
+    ChannelShare& share = shares[static_cast<size_t>(c)];
+    share.channel = static_cast<int>(c);
+    if (pages > 0) {
+      const int64_t page_lo = pages * c / n;
+      const int64_t page_hi = pages * (c + 1) / n;
+      share.pages = page_hi - page_lo;
+      share.wire_bytes = wire_bytes * page_hi / pages - wire_bytes * page_lo / pages;
+    } else {
+      share.pages = 0;
+      share.wire_bytes = wire_bytes * (c + 1) / n - wire_bytes * c / n;
+    }
+  }
+  return shares;
+}
+
+StripedOutcome ChannelSet::TryStripedTransfer(
+    int64_t pages, int64_t wire_bytes, TimePoint start, int max_retries,
+    Duration backoff_base, Duration backoff_cap,
+    const std::function<void(int, int, const TransferAttempt&, TimePoint)>& on_fault,
+    const std::function<void(int, int, Duration, Duration, TimePoint)>& on_backoff) const {
+  StripedOutcome outcome;
+  outcome.shares = Shard(pages, wire_bytes);
+  outcome.completes_at = start;
+  for (ChannelShare& share : outcome.shares) {
+    if (share.wire_bytes == 0 && share.pages == 0) {
+      share.done = start;
+      continue;
+    }
+    const NetworkLink& link = links_[static_cast<size_t>(share.channel)];
+    const FaultSchedule* schedule = faults(share.channel);
+    TimePoint vnow = start;
+    int attempt = 0;
+    while (true) {
+      const TransferAttempt result = link.TryTransfer(share.wire_bytes, vnow, schedule);
+      if (result.ok) {
+        share.done = vnow + result.duration;
+        if (share.done > outcome.completes_at) {
+          outcome.completes_at = share.done;
+        }
+        break;
+      }
+      ++attempt;
+      vnow = vnow + result.duration;
+      on_fault(share.channel, attempt, result, vnow);
+      if (max_retries >= 0 && attempt > max_retries) {
+        // Retry budget exhausted: the whole burst is abandoned. No backoff
+        // after the terminal fault, matching the engines' degrade paths.
+        if (vnow > outcome.completes_at) {
+          outcome.completes_at = vnow;
+        }
+        outcome.ok = false;
+        return outcome;
+      }
+      const Duration nominal = NominalBackoff(backoff_base, backoff_cap, attempt);
+      TimePoint target = vnow + nominal;
+      if (result.blocked_until > target) {
+        target = result.blocked_until;
+      }
+      on_backoff(share.channel, attempt, nominal, target - vnow, target);
+      vnow = target;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+int64_t ChannelSet::total_wire_bytes() const {
+  int64_t total = 0;
+  for (const NetworkLink& link : links_) {
+    total += link.total_wire_bytes();
+  }
+  return total;
+}
+
+int64_t ChannelSet::total_pages_sent() const {
+  int64_t total = 0;
+  for (const NetworkLink& link : links_) {
+    total += link.total_pages_sent();
+  }
+  return total;
+}
+
+int64_t ChannelSet::total_retry_bytes() const {
+  int64_t total = 0;
+  for (const NetworkLink& link : links_) {
+    total += link.total_retry_bytes();
+  }
+  return total;
+}
+
+std::vector<int64_t> ChannelSet::WireBytesPerChannel() const {
+  std::vector<int64_t> out;
+  out.reserve(links_.size());
+  for (const NetworkLink& link : links_) {
+    out.push_back(link.total_wire_bytes());
+  }
+  return out;
+}
+
+std::vector<int64_t> ChannelSet::PagesSentPerChannel() const {
+  std::vector<int64_t> out;
+  out.reserve(links_.size());
+  for (const NetworkLink& link : links_) {
+    out.push_back(link.total_pages_sent());
+  }
+  return out;
+}
+
+std::vector<int64_t> ChannelSet::RetryBytesPerChannel() const {
+  std::vector<int64_t> out;
+  out.reserve(links_.size());
+  for (const NetworkLink& link : links_) {
+    out.push_back(link.total_retry_bytes());
+  }
+  return out;
+}
+
+void ChannelSet::ResetMeters() {
+  for (NetworkLink& link : links_) {
+    link.ResetMeters();
+  }
+}
+
+}  // namespace javmm

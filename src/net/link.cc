@@ -59,6 +59,14 @@ TransferAttempt NetworkLink::TryTransfer(int64_t bytes, TimePoint start,
   double remaining = static_cast<double>(bytes);
   TimePoint now = start;
   while (true) {
+    // Window-edge arithmetic can drive `remaining` to exactly 0 at a boundary
+    // that is also an outage start; everything was delivered, so the outage
+    // must not fail the attempt.
+    if (remaining <= 0.0) {
+      attempt.ok = true;
+      attempt.duration = now - start;
+      return attempt;
+    }
     if (faults->InOutage(now)) {
       attempt.ok = false;
       attempt.duration = now - start;

@@ -73,7 +73,29 @@ void AppendRecordJson(const RunRecord& rec, std::ostream& os) {
      << ",\"observed_downtime_ns\":" << rec.output.observed_downtime.nanos()
      << ",\"demand_faults\":" << rec.output.demand_faults
      << ",\"fault_stall_ns\":" << rec.output.fault_stall.nanos()
-     << ",\"degradation_window_ns\":" << rec.output.degradation_window.nanos() << "}\n";
+     << ",\"degradation_window_ns\":" << rec.output.degradation_window.nanos();
+  // Multi-channel columns only when the data plane was actually striped, so
+  // a channels=1 export stays byte-identical to the single-link format.
+  if (r.channels > 1) {
+    os << ",\"channels\":" << r.channels;
+    const auto append_vector = [&os](const char* key, const std::vector<int64_t>& v) {
+      os << ",\"" << key << "\":[";
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) {
+          os << ',';
+        }
+        os << v[i];
+      }
+      os << ']';
+    };
+    append_vector("channel_wire_bytes", r.channel_wire_bytes);
+    append_vector("channel_pages_sent", r.channel_pages_sent);
+    append_vector("channel_retry_bytes", r.channel_retry_bytes);
+    os << ",\"pipeline_compress_busy_ns\":" << r.pipeline_compress_busy.nanos()
+       << ",\"pipeline_wire_busy_ns\":" << r.pipeline_wire_busy.nanos()
+       << ",\"pipeline_stall_ns\":" << r.pipeline_stall.nanos();
+  }
+  os << "}\n";
 }
 
 }  // namespace

@@ -26,14 +26,22 @@ RunOutput RunScenario(const Scenario& scenario) {
   LabConfig config = scenario.options.lab;
   config.seed = scenario.options.seed;
   config.migration.application_assisted = scenario.engine == EngineKind::kJavmm;
+  if (scenario.options.channels <= 0) {
+    throw std::runtime_error("channels must be >= 1, got " +
+                             std::to_string(scenario.options.channels));
+  }
+  config.migration.channels = scenario.options.channels;
   if (!scenario.options.fault_spec.empty()) {
     std::string error;
-    FaultPlan plan;
-    if (!FaultPlan::Parse(scenario.options.fault_spec, &plan, &error)) {
+    FaultPlan shared;
+    std::vector<FaultPlan> per_channel;
+    if (!FaultPlan::ParseMulti(scenario.options.fault_spec, scenario.options.channels, &shared,
+                               &per_channel, &error)) {
       throw std::runtime_error("bad fault spec '" + scenario.options.fault_spec +
                                "': " + error);
     }
-    config.migration.faults = plan;
+    config.migration.faults = shared;
+    config.migration.channel_faults = per_channel;
   }
 
   MigrationLab lab(scenario.spec, config);
@@ -43,6 +51,17 @@ RunOutput RunScenario(const Scenario& scenario) {
   out.young_at_migration = lab.app().heap().young_committed_bytes();
   out.old_at_migration = lab.app().heap().old_used_bytes();
   const TimePoint migration_start = lab.clock().now();
+
+  if (config.analyzer_probe_faults) {
+    // The analyser's probes ride channel 0 of the migration network; under a
+    // per-channel spec that channel's merged plan is the one they see.
+    const FaultPlan& probe_plan = config.migration.channel_faults.empty()
+                                      ? config.migration.faults
+                                      : config.migration.channel_faults.front();
+    if (probe_plan.enabled()) {
+      lab.mutable_analyzer().AttachProbeFaults(probe_plan, migration_start);
+    }
+  }
 
   switch (scenario.engine) {
     case EngineKind::kXenPrecopy:

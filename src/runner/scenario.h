@@ -40,11 +40,16 @@ struct RunOptions {
   Duration cooldown = Duration::Seconds(40);
   uint64_t seed = 1;
   LabConfig lab;
-  // Link-fault plan in FaultPlan::Parse syntax, e.g.
-  // "bw:2s-30s@0.1;loss:0.05" (times relative to migration start). Parsed by
-  // RunScenario into lab.migration.faults; a malformed spec throws, which the
-  // ScenarioRunner captures as a run error. Empty = the lab config's plan.
+  // Link-fault plan in FaultPlan::ParseMulti syntax, e.g.
+  // "bw:2s-30s@0.1;loss:0.05" or "ch1:out:7s-8s;loss:0.05" (times relative
+  // to migration start; chK: clauses pin a fault to one sub-link). Parsed by
+  // RunScenario into lab.migration.{faults, channel_faults}; a malformed
+  // spec throws, which the ScenarioRunner captures as a run error. Empty =
+  // the lab config's plan.
   std::string fault_spec;
+  // Migration data-plane sub-links (DESIGN.md §11). 1 = the classic single
+  // link, bit-identical to the pre-channel code. <= 0 throws.
+  int channels = 1;
 };
 
 struct Scenario {

@@ -44,6 +44,12 @@ struct BurstSums {
   int64_t scanned = 0;
 };
 
+// Per-channel sums over kChannelTransfer events, keyed by channel id.
+struct ChannelSums {
+  int64_t pages = 0;
+  int64_t wire_bytes = 0;
+};
+
 struct Message {
   bool to_lkm = false;  // true: daemon -> LKM; false: LKM -> daemon.
   int32_t detail = 0;
@@ -91,6 +97,11 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
   // Post-copy demand-fault bursts (kBurst with detail == 1).
   int64_t demand_bursts = 0;
   Duration demand_stall = Duration::Zero();
+  // Multi-channel decomposition events (kChannelTransfer); traffic already
+  // counted by kBurst/kControlBytes, so these stay out of burst_total and
+  // control_wire and are checked against the per-channel meters instead.
+  std::map<int32_t, ChannelSums> channel_sums;
+  int64_t channel_event_count = 0;
 
   for (const TraceEvent& event : trace.events()) {
     switch (event.kind) {
@@ -190,8 +201,16 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
       case TraceEventKind::kDegrade:
         degrades.push_back(event.detail);
         break;
+      case TraceEventKind::kChannelTransfer: {
+        ++channel_event_count;
+        ChannelSums& sums = channel_sums[event.detail];
+        sums.pages += event.pages;
+        sums.wire_bytes += event.wire_bytes;
+        break;
+      }
     }
   }
+  const int64_t channel_count = static_cast<int64_t>(inputs.channel_wire_bytes.size());
 
   // ---- Accounting identities (all modes). ----
   if (burst_total.pages != link_pages_sent) {
@@ -323,6 +342,70 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
     }
   }
 
+  // ---- Multi-channel decomposition (DESIGN.md §11). ----
+  if (channel_count == 0) {
+    if (channel_event_count > 0) {
+      fail("trace has " + N(channel_event_count) +
+           " channel_transfer events but the run used a single channel");
+    }
+  } else {
+    if (static_cast<int64_t>(inputs.channel_pages_sent.size()) != channel_count ||
+        static_cast<int64_t>(inputs.channel_retry_bytes.size()) != channel_count) {
+      fail("per-channel meter vectors disagree on the channel count");
+    }
+    for (const auto& [channel, sums] : channel_sums) {
+      if (channel < 0 || channel >= channel_count) {
+        fail("channel_transfer event names channel " + N(channel) + " but only " +
+             N(channel_count) + " channels exist");
+      }
+    }
+    int64_t wire_sum = 0;
+    int64_t pages_sum = 0;
+    int64_t retry_sum = 0;
+    for (int64_t c = 0; c < channel_count; ++c) {
+      const size_t i = static_cast<size_t>(c);
+      wire_sum += inputs.channel_wire_bytes[i];
+      pages_sum += c < static_cast<int64_t>(inputs.channel_pages_sent.size())
+                       ? inputs.channel_pages_sent[i]
+                       : 0;
+      retry_sum += c < static_cast<int64_t>(inputs.channel_retry_bytes.size())
+                       ? inputs.channel_retry_bytes[i]
+                       : 0;
+      const auto it = channel_sums.find(static_cast<int32_t>(c));
+      const ChannelSums sums = it != channel_sums.end() ? it->second : ChannelSums{};
+      if (sums.wire_bytes != inputs.channel_wire_bytes[i]) {
+        fail("channel " + N(c) + ": event wire sum (" + N(sums.wire_bytes) +
+             ") != channel wire meter (" + N(inputs.channel_wire_bytes[i]) + ")");
+      }
+      if (i < inputs.channel_pages_sent.size() &&
+          sums.pages != inputs.channel_pages_sent[i]) {
+        fail("channel " + N(c) + ": event page sum (" + N(sums.pages) +
+             ") != channel page meter (" + N(inputs.channel_pages_sent[i]) + ")");
+      }
+    }
+    if (wire_sum != link_wire_bytes) {
+      fail("per-channel wire meters sum to " + N(wire_sum) + " != aggregate link wire meter (" +
+           N(link_wire_bytes) + ")");
+    }
+    if (pages_sum != link_pages_sent) {
+      fail("per-channel page meters sum to " + N(pages_sum) + " != aggregate link page meter (" +
+           N(link_pages_sent) + ")");
+    }
+    if (retry_sum != inputs.link_retry_bytes) {
+      fail("per-channel retry meters sum to " + N(retry_sum) +
+           " != aggregate link retry meter (" + N(inputs.link_retry_bytes) + ")");
+    }
+    if (result.channels != channel_count) {
+      fail("result.channels (" + N(result.channels) + ") != audited channel count (" +
+           N(channel_count) + ")");
+    }
+    if (result.channel_wire_bytes != inputs.channel_wire_bytes ||
+        result.channel_pages_sent != inputs.channel_pages_sent ||
+        result.channel_retry_bytes != inputs.channel_retry_bytes) {
+      fail("result per-channel meters do not match the link per-channel meters");
+    }
+  }
+
   // ---- Baseline-specific fault identities. ----
   if (mode == AuditMode::kStopAndCopy) {
     // The whole copy happens inside the pause: there is no control channel
@@ -352,10 +435,17 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
       fail("demand-fault bursts (" + N(demand_bursts) + ") != result.demand_faults (" +
            N(inputs.expected_demand_faults) + ")");
     }
-    if (inputs.expected_fault_stall_ns >= 0 &&
-        demand_stall.nanos() != inputs.expected_fault_stall_ns) {
-      fail("sum of demand-burst stall (" + N(demand_stall.nanos()) +
-           "ns) != result.fault_stall (" + N(inputs.expected_fault_stall_ns) + "ns)");
+    if (inputs.expected_fault_stall_ns >= 0) {
+      // Single channel: the applied stall is exactly the sum of per-fetch
+      // stalls. Multi-channel: fetches on different channels overlap and
+      // only the slowest channel's debt becomes wall time, so the per-fetch
+      // sum bounds the applied stall from above.
+      if (channel_count == 0 ? demand_stall.nanos() != inputs.expected_fault_stall_ns
+                             : demand_stall.nanos() < inputs.expected_fault_stall_ns) {
+        fail("sum of demand-burst stall (" + N(demand_stall.nanos()) +
+             "ns) vs result.fault_stall (" + N(inputs.expected_fault_stall_ns) +
+             "ns): must be equal (1 channel) or an upper bound (striped)");
+      }
     }
   }
 

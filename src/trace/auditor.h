@@ -26,6 +26,7 @@
 #define JAVMM_SRC_TRACE_AUDITOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/time.h"
 #include "src/migration/stats.h"
@@ -64,6 +65,19 @@ struct AuditInputs {
   Duration retry_backoff_cap = Duration::Zero();
   int64_t expected_demand_faults = -1;
   int64_t expected_fault_stall_ns = -1;
+  // Per-channel link meters (src/net/channel_set.h); non-empty only for a
+  // multi-channel run, where all three have one entry per channel. The
+  // auditor then requires every channel_transfer event to name a live
+  // channel, the per-channel event sums to reproduce these meters, the
+  // meters to sum to the aggregate `link_*` fields above, and the
+  // MigrationResult per-channel mirrors to match. Empty = single channel:
+  // any channel_transfer event is itself a violation. In multi-channel
+  // post-copy mode the demand-stall identity relaxes from == to >= (the
+  // applied stall is the max over per-channel debts, while the events carry
+  // each fetch's own stall).
+  std::vector<int64_t> channel_wire_bytes;
+  std::vector<int64_t> channel_pages_sent;
+  std::vector<int64_t> channel_retry_bytes;
 };
 
 class TraceAuditor {

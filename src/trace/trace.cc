@@ -67,6 +67,8 @@ const char* TraceRecorder::KindName(TraceEventKind kind) {
       return "round_timeout";
     case TraceEventKind::kDegrade:
       return "degrade";
+    case TraceEventKind::kChannelTransfer:
+      return "channel_transfer";
   }
   return "unknown";
 }
@@ -154,6 +156,13 @@ void TraceRecorder::ExportJsonLines(std::ostream& os) const {
         break;
       case TraceEventKind::kDegrade:
         std::snprintf(buffer, sizeof(buffer), ",\"reason\":%d", event.detail);
+        os << buffer;
+        break;
+      case TraceEventKind::kChannelTransfer:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"channel\":%d,\"pages\":%" PRId64
+                      ",\"wire_bytes\":%" PRId64,
+                      event.iteration, event.detail, event.pages, event.wire_bytes);
         os << buffer;
         break;
       case TraceEventKind::kPause:

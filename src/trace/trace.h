@@ -45,6 +45,13 @@ enum class TraceEventKind : uint8_t {
                     // outage pinned the retry later).
   kRoundTimeout,    // iteration, pages = pending pages carried to next round.
   kDegrade,         // detail = DegradeReason; retry budget exhausted.
+  // ---- Multi-channel data plane (src/net/channel_set.h, DESIGN.md §11). ----
+  kChannelTransfer,  // detail = channel, pages, wire_bytes: one channel's
+                     // slice of a striped transfer. A decomposition of
+                     // traffic already counted by kBurst/kControlBytes, so
+                     // the auditor keeps it out of the aggregate sums and
+                     // instead checks per-channel sums against the
+                     // per-channel meters. Only recorded when channels > 1.
 };
 
 // One trace event. Sparse: each kind populates the fields listed above and

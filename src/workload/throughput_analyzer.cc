@@ -17,12 +17,26 @@ ThroughputAnalyzer::~ThroughputAnalyzer() {
 }
 
 void ThroughputAnalyzer::Sample() {
+  if (probe_faults_.has_value() && probe_faults_->InOutage(clock_->now())) {
+    // The probe never reaches the analyser: it reads zero ops this interval.
+    // last_ops_ is left untouched, so the ops completed during the outage
+    // surface as a catch-up spike in the first post-outage sample.
+    series_.Add(clock_->now(), 0.0);
+    timer_ = clock_->events().Schedule(clock_->now() + interval_, [this] { Sample(); });
+    return;
+  }
   const double ops = app_->ops_completed();
   const double per_sec = (ops - last_ops_) / interval_.ToSecondsF();
   last_ops_ = ops;
   series_.Add(clock_->now(), per_sec);
   timer_ = clock_->events().Schedule(clock_->now() + interval_, [this] { Sample(); });
 }
+
+void ThroughputAnalyzer::AttachProbeFaults(const FaultPlan& plan, TimePoint origin) {
+  probe_faults_.emplace(plan, origin);
+}
+
+void ThroughputAnalyzer::DetachProbeFaults() { probe_faults_.reset(); }
 
 Duration ThroughputAnalyzer::ObservedDowntime(TimePoint from, TimePoint to) const {
   // "Near zero": below 5% of the mean rate before `from`.

@@ -3,6 +3,9 @@
 #ifndef JAVMM_SRC_WORKLOAD_THROUGHPUT_ANALYZER_H_
 #define JAVMM_SRC_WORKLOAD_THROUGHPUT_ANALYZER_H_
 
+#include <optional>
+
+#include "src/faults/faults.h"
 #include "src/sim/clock.h"
 #include "src/stats/time_series.h"
 #include "src/workload/java_application.h"
@@ -30,6 +33,15 @@ class ThroughputAnalyzer {
   // the paper's externally-visible workload downtime (Fig 10(c)).
   Duration ObservedDowntime(TimePoint from, TimePoint to) const;
 
+  // Routes the analyser's probe traffic through a faulted network path: a
+  // probe landing inside one of `plan`'s outage windows (anchored at
+  // `origin`) observes zero throughput, and the ops it missed show up as a
+  // catch-up spike in the first healthy sample after the outage. The real
+  // analyser's probes share the migration network, so an outage blinds it
+  // even though the VM keeps executing. Detach to restore lossless probes.
+  void AttachProbeFaults(const FaultPlan& plan, TimePoint origin);
+  void DetachProbeFaults();
+
  private:
   void Sample();
 
@@ -40,6 +52,7 @@ class ThroughputAnalyzer {
   double last_ops_ = 0;
   EventQueue::EventId timer_ = 0;
   bool stopped_ = false;
+  std::optional<FaultSchedule> probe_faults_;
 };
 
 }  // namespace javmm

@@ -1,0 +1,452 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for the multi-channel migration data plane (DESIGN.md §11): the
+// deterministic sharder, the per-channel fault grammar (chK: clauses), the
+// striped-transfer determinism contract (serial == parallel, channels == 1
+// bit-identical to the single-link seed export), the auditor's per-channel
+// decomposition identities, and the TryTransfer outage-boundary regression
+// that motivated the striped retry loop's virtual timelines.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/migration_lab.h"
+#include "src/migration/baselines.h"
+#include "src/net/channel_set.h"
+#include "src/runner/runner.h"
+#include "src/trace/auditor.h"
+
+namespace javmm {
+namespace {
+
+LabConfig SmallLab(uint64_t seed = 1) {
+  LabConfig config;
+  config.vm_bytes = 512 * kMiB;
+  config.seed = seed;
+  config.os.resident_bytes = 64 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  return config;
+}
+
+WorkloadSpec SmallDerby() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 100 * kMiB;
+  spec.old_baseline_bytes = 32 * kMiB;
+  spec.heap.young_max_bytes = 256 * kMiB;
+  spec.heap.old_max_bytes = 128 * kMiB;
+  return spec;
+}
+
+Scenario FastScenario(EngineKind kind, const std::string& label) {
+  Scenario scenario;
+  scenario.label = label;
+  scenario.spec = Workloads::Get("crypto");
+  scenario.engine = kind;
+  scenario.options.warmup = Duration::Seconds(10);
+  scenario.options.cooldown = Duration::Seconds(5);
+  return scenario;
+}
+
+bool HasViolation(const TraceAuditReport& report, const std::string& needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- NetworkLink::TryTransfer outage-boundary regression. ----
+
+// At 1/3 byte per second, 3002400 bytes nominally take 9007200 s -- about
+// 9.0072e15 ns, past 2^53 where a double no longer resolves single
+// nanoseconds. The bandwidth window below ends 1 ns before the computed
+// finish, so the first-window finish estimate overshoots the edge while the
+// payload integrated up to the edge rounds to the full burst: `remaining`
+// clamps to exactly 0 at a boundary that is also an outage start. The old
+// code classified that attempt as outage-cut -- the whole burst "wasted",
+// the retry pushed past a 5 s outage -- although every byte had landed. The
+// fix completes it on the spot.
+TEST(TryTransferEdgeTest, VanishingRemainderAtOutageBoundaryCompletes) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8.0;  // GoodputBytesPerSec() == 1.0.
+  cfg.efficiency = 1.0;
+  cfg.per_page_overhead = 0;
+  const int64_t kBytes = 3002400;
+  const int64_t kBoundaryNs = 9007199999999999;
+
+  FaultPlan plan;
+  plan.bandwidth.push_back({Duration::Zero(), Duration::Nanos(kBoundaryNs), 1.0 / 3.0});
+  plan.outages.push_back(
+      {Duration::Nanos(kBoundaryNs), Duration::Nanos(kBoundaryNs) + Duration::Seconds(5)});
+  ASSERT_EQ(plan.Validate(), "");
+
+  ChannelSet channels(cfg, 1);
+  channels.Anchor(plan, {}, TimePoint::Epoch());
+  const FaultSchedule* schedule = channels.faults(0);
+  ASSERT_NE(schedule, nullptr);
+
+  const TransferAttempt attempt =
+      channels.channel(0).TryTransfer(kBytes, TimePoint::Epoch(), schedule);
+  EXPECT_TRUE(attempt.ok);
+  EXPECT_EQ(attempt.duration.nanos(), kBoundaryNs);
+  EXPECT_EQ(attempt.wasted_bytes, 0);
+}
+
+// ---- Deterministic sharder. ----
+
+TEST(ChannelSetTest, ShardPartitionsPagesAndBytesExactly) {
+  ChannelSet channels(LinkConfig{}, 4);
+  const int64_t pages = 1003;                  // Not a multiple of 4.
+  const int64_t wire = pages * 4174 + 57;      // Nor byte-aligned to pages.
+  const std::vector<ChannelShare> shares = channels.Shard(pages, wire);
+  ASSERT_EQ(shares.size(), 4u);
+  int64_t page_sum = 0;
+  int64_t wire_sum = 0;
+  for (const ChannelShare& share : shares) {
+    page_sum += share.pages;
+    wire_sum += share.wire_bytes;
+    EXPECT_GE(share.pages, pages / 4);
+    EXPECT_LE(share.pages, pages / 4 + 1);
+  }
+  EXPECT_EQ(page_sum, pages);
+  EXPECT_EQ(wire_sum, wire);
+}
+
+TEST(ChannelSetTest, ShardSplitsPagelessPayloadEvenly) {
+  ChannelSet channels(LinkConfig{}, 3);
+  const std::vector<ChannelShare> shares = channels.Shard(0, 1000);
+  ASSERT_EQ(shares.size(), 3u);
+  int64_t wire_sum = 0;
+  for (const ChannelShare& share : shares) {
+    EXPECT_EQ(share.pages, 0);
+    EXPECT_GE(share.wire_bytes, 333);
+    EXPECT_LE(share.wire_bytes, 334);
+    wire_sum += share.wire_bytes;
+  }
+  EXPECT_EQ(wire_sum, 1000);
+}
+
+TEST(ChannelSetTest, SingleChannelShardIsIdentity) {
+  ChannelSet channels(LinkConfig{}, 1);
+  const std::vector<ChannelShare> shares = channels.Shard(77, 321987);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0].channel, 0);
+  EXPECT_EQ(shares[0].pages, 77);
+  EXPECT_EQ(shares[0].wire_bytes, 321987);
+}
+
+// ---- Per-channel fault grammar. ----
+
+TEST(ParseMultiTest, SharedOnlySpecLeavesPerChannelEmpty) {
+  FaultPlan shared;
+  std::vector<FaultPlan> per_channel;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::ParseMulti("lat:0s-2s+5ms;loss:0.1", 4, &shared, &per_channel, &error))
+      << error;
+  EXPECT_TRUE(per_channel.empty());
+  EXPECT_EQ(shared.latency.size(), 1u);
+  EXPECT_DOUBLE_EQ(shared.control_loss_p, 0.1);
+}
+
+TEST(ParseMultiTest, ChannelClauseOverlaysSharedPlan) {
+  FaultPlan shared;
+  std::vector<FaultPlan> per_channel;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::ParseMulti("lat:0s-2s+5ms;ch1:out:7s-8s", 2, &shared, &per_channel,
+                                    &error))
+      << error;
+  ASSERT_EQ(per_channel.size(), 2u);
+  // Every channel inherits the shared latency spike; only channel 1 gets the
+  // outage overlay.
+  EXPECT_EQ(per_channel[0].latency.size(), 1u);
+  EXPECT_EQ(per_channel[1].latency.size(), 1u);
+  EXPECT_TRUE(per_channel[0].outages.empty());
+  ASSERT_EQ(per_channel[1].outages.size(), 1u);
+  EXPECT_EQ(per_channel[1].outages[0].start.nanos(), Duration::Seconds(7).nanos());
+}
+
+TEST(ParseMultiTest, ChannelIndexOutOfRangeFails) {
+  FaultPlan shared;
+  std::vector<FaultPlan> per_channel;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::ParseMulti("ch5:out:1s-2s", 2, &shared, &per_channel, &error));
+  EXPECT_NE(error.find("names channel 5"), std::string::npos) << error;
+}
+
+TEST(ParseMultiTest, SingleLinkParseRejectsChannelPrefix) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("ch1:out:1s-2s", &plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- Auditor: per-channel decomposition identities. ----
+
+// A healthy 2-channel stop-and-copy run whose trace/result pair we can
+// corrupt in controlled ways. The inputs reconstructed from the result's
+// per-channel mirrors must reproduce the engine's own passing audit.
+struct AuditFixture {
+  MigrationResult result;
+  TraceRecorder trace;
+  AuditInputs inputs;
+};
+
+AuditFixture RunStopCopyFixture(int channel_count) {
+  LabConfig config = SmallLab();
+  config.migration.channels = channel_count;
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(5));
+  StopAndCopyEngine engine(&lab.guest(), lab.config().migration);
+  AuditFixture fx;
+  fx.result = engine.Migrate();
+  fx.trace = engine.trace();
+  fx.inputs.link_wire_bytes = fx.result.total_wire_bytes;
+  fx.inputs.link_pages_sent = fx.result.pages_sent;
+  fx.inputs.link_retry_bytes = fx.result.retry_wire_bytes;
+  fx.inputs.channel_wire_bytes = fx.result.channel_wire_bytes;
+  fx.inputs.channel_pages_sent = fx.result.channel_pages_sent;
+  fx.inputs.channel_retry_bytes = fx.result.channel_retry_bytes;
+  return fx;
+}
+
+TEST(ChannelAuditTest, ReconstructedInputsReproduceAPassingAudit) {
+  const AuditFixture fx = RunStopCopyFixture(2);
+  ASSERT_TRUE(fx.result.trace_audit.ran);
+  ASSERT_TRUE(fx.result.trace_audit.ok) << fx.result.trace_audit.ToString();
+  ASSERT_EQ(fx.inputs.channel_wire_bytes.size(), 2u);
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(ChannelAuditTest, ForgedPerChannelMetersAreRejected) {
+  AuditFixture fx = RunStopCopyFixture(2);
+  // Shift wire bytes between the channels: the aggregate sum still matches,
+  // so only the per-channel identities can catch the forgery.
+  fx.inputs.channel_wire_bytes[0] += 512;
+  fx.inputs.channel_wire_bytes[1] -= 512;
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "event wire sum")) << report.ToString();
+}
+
+TEST(ChannelAuditTest, ChannelEventNamingDeadChannelIsRejected) {
+  AuditFixture fx = RunStopCopyFixture(2);
+  TraceEvent event;
+  event.kind = TraceEventKind::kChannelTransfer;
+  event.at = fx.trace.events().back().at;
+  event.detail = 7;  // Only channels 0 and 1 exist.
+  fx.trace.Record(event);
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "names channel 7")) << report.ToString();
+}
+
+TEST(ChannelAuditTest, ChannelEventInSingleChannelTraceIsRejected) {
+  AuditFixture fx = RunStopCopyFixture(1);
+  ASSERT_TRUE(fx.inputs.channel_wire_bytes.empty());
+  ASSERT_TRUE(fx.result.trace_audit.ok) << fx.result.trace_audit.ToString();
+  TraceEvent event;
+  event.kind = TraceEventKind::kChannelTransfer;
+  event.at = fx.trace.events().back().at;
+  event.detail = 0;
+  fx.trace.Record(event);
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kStopAndCopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "single channel")) << report.ToString();
+}
+
+// ---- Determinism: striped runs, serial vs 4-worker pool. ----
+
+TEST(ChannelRunnerTest, StripedFaultyParallelMatchesSerial) {
+  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
+                                 EngineKind::kStopAndCopy, EngineKind::kPostcopy};
+  std::vector<Scenario> scenarios;
+  for (const int channels : {2, 4}) {
+    for (const EngineKind kind : kEngines) {
+      Scenario scenario = FastScenario(
+          kind, std::string(EngineKindName(kind)) + "/" + std::to_string(channels) + "ch");
+      scenario.options.channels = channels;
+      scenario.options.fault_spec = "lat:0s-10s+2ms;ch1:out:1s-2200ms;loss:0.1";
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  ASSERT_EQ(serial.runs.size(), scenarios.size());
+  ASSERT_EQ(parallel.runs.size(), scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].label);
+    const RunRecord& s = serial.runs[i];
+    const RunRecord& p = parallel.runs[i];
+    ASSERT_TRUE(s.ran) << s.error;
+    ASSERT_TRUE(p.ran) << p.error;
+    const MigrationResult& r = s.output.result;
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.verification.ok);
+    ASSERT_TRUE(r.trace_audit.ran);
+    EXPECT_TRUE(r.trace_audit.ok) << r.trace_audit.ToString();
+    // The per-channel meters are exported and partition the aggregates.
+    ASSERT_EQ(r.channel_wire_bytes.size(), static_cast<size_t>(r.channels));
+    int64_t wire_sum = 0;
+    int64_t page_sum = 0;
+    for (int c = 0; c < r.channels; ++c) {
+      wire_sum += r.channel_wire_bytes[static_cast<size_t>(c)];
+      page_sum += r.channel_pages_sent[static_cast<size_t>(c)];
+    }
+    EXPECT_EQ(wire_sum, r.total_wire_bytes);
+    EXPECT_EQ(page_sum, r.pages_sent);
+    // Byte identity between the execution modes.
+    EXPECT_EQ(r.total_time.nanos(), p.output.result.total_time.nanos());
+    EXPECT_EQ(r.total_wire_bytes, p.output.result.total_wire_bytes);
+    EXPECT_EQ(r.retry_wire_bytes, p.output.result.retry_wire_bytes);
+    EXPECT_EQ(r.channel_wire_bytes, p.output.result.channel_wire_bytes);
+    EXPECT_EQ(r.channel_pages_sent, p.output.result.channel_pages_sent);
+    EXPECT_EQ(r.channel_retry_bytes, p.output.result.channel_retry_bytes);
+    EXPECT_EQ(s.output.fault_stall.nanos(), p.output.fault_stall.nanos());
+    EXPECT_EQ(s.output.observed_downtime.nanos(), p.output.observed_downtime.nanos());
+  }
+  std::ostringstream serial_json;
+  std::ostringstream parallel_json;
+  serial.ExportJsonLines(serial_json);
+  parallel.ExportJsonLines(parallel_json);
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+// ---- The headline bugfix: striping shortens the post-copy stall. ----
+
+// At one channel every demand fetch queues behind the same spiked link; with
+// the spike pinned to sub-link 1 of four, only the fetches sharded onto it
+// pay the extra latency and the rest overlap.
+TEST(ChannelRunnerTest, StripingReducesPostcopyStallUnderPinnedSpike) {
+  Scenario single = FastScenario(EngineKind::kPostcopy, "postcopy/1ch");
+  single.options.fault_spec = "lat:0s-30s+20ms";
+  Scenario striped = FastScenario(EngineKind::kPostcopy, "postcopy/4ch");
+  striped.options.channels = 4;
+  striped.options.fault_spec = "ch1:lat:0s-30s+20ms";
+
+  const RunRecord one = ScenarioRunner::RunOne(single);
+  const RunRecord four = ScenarioRunner::RunOne(striped);
+  ASSERT_TRUE(one.ran) << one.error;
+  ASSERT_TRUE(four.ran) << four.error;
+  EXPECT_TRUE(one.output.result.verification.ok);
+  EXPECT_TRUE(four.output.result.verification.ok);
+  EXPECT_TRUE(one.output.result.trace_audit.ok) << one.output.result.trace_audit.ToString();
+  EXPECT_TRUE(four.output.result.trace_audit.ok) << four.output.result.trace_audit.ToString();
+  EXPECT_GT(one.output.fault_stall.nanos(), 0);
+  EXPECT_LT(four.output.fault_stall.nanos(), one.output.fault_stall.nanos());
+  EXPECT_LT(four.output.result.total_time.nanos(), one.output.result.total_time.nanos());
+}
+
+// ---- Analyzer probe faults (LabConfig::analyzer_probe_faults). ----
+
+TEST(AnalyzerProbeFaultsTest, ProbesInOutageObserveZeroThroughput) {
+  MigrationLab lab(SmallDerby(), SmallLab());
+  lab.Run(Duration::Seconds(20));
+  const TimePoint origin = lab.clock().now();
+  lab.mutable_analyzer().AttachProbeFaults(FaultPlan::MustParse("out:2s-7s"), origin);
+  lab.Run(Duration::Seconds(15));
+  // No migration ran: the app never stopped, so everything the analyser
+  // "observes" is probe loss inside the 5 s outage.
+  const Duration observed = lab.analyzer().ObservedDowntime(origin, lab.clock().now());
+  EXPECT_GE(observed.ToSecondsF(), 4.0);
+  EXPECT_LE(observed.ToSecondsF(), 7.0);
+}
+
+TEST(AnalyzerProbeFaultsTest, ScenarioFlagRoutesChannelZeroPlanToProbes) {
+  Scenario off = FastScenario(EngineKind::kXenPrecopy, "probe/off");
+  off.options.warmup = Duration::Seconds(20);
+  off.options.channels = 2;
+  off.options.fault_spec = "ch0:out:1s-6s";
+  Scenario on = off;
+  on.label = "probe/on";
+  on.options.lab.analyzer_probe_faults = true;
+
+  const RunRecord r_off = ScenarioRunner::RunOne(off);
+  const RunRecord r_on = ScenarioRunner::RunOne(on);
+  ASSERT_TRUE(r_off.ran) << r_off.error;
+  ASSERT_TRUE(r_on.ran) << r_on.error;
+  // The probe path never feeds back into the engines: the migration itself
+  // is byte-identical with the flag on.
+  EXPECT_EQ(r_on.output.result.total_time.nanos(), r_off.output.result.total_time.nanos());
+  EXPECT_EQ(r_on.output.result.total_wire_bytes, r_off.output.result.total_wire_bytes);
+  EXPECT_EQ(r_on.output.result.channel_wire_bytes, r_off.output.result.channel_wire_bytes);
+  // But the analyser now loses its probes inside channel 0's outage, so the
+  // observed (external) downtime grows past the real one.
+  EXPECT_GE(r_on.output.observed_downtime.ToSecondsF(), 4.0);
+  EXPECT_GT(r_on.output.observed_downtime.nanos(), r_off.output.observed_downtime.nanos());
+}
+
+// ---- channels == 1 bit-identity against the single-link seed export. ----
+
+// JSON-lines export of the 6-regime x 4-engine battery captured from the
+// seed tree (before the multi-channel data plane existed), crypto workload,
+// warmup 10 s, cooldown 5 s, seed 1, default lab. Re-running the battery
+// through the striped code at channels == 1 must reproduce it byte for byte.
+const char kGoldenSeedExport[] = R"gold({"label":"healthy/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":57885589784,"downtime_ns":1972921901,"wire_bytes":6852566216,"pages_sent":1641724,"pages_skipped_dirty":158458,"pages_skipped_bitmap":0,"cpu_ns":6836923300,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":15567336868,"downtime_ns":597796796,"wire_bytes":1755319312,"pages_sent":420536,"pages_skipped_dirty":463,"pages_skipped_bitmap":215444,"cpu_ns":1777610450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":60523624133,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":45090743685,"degradation_window_ns":60318303678}
+{"label":"bw-collapse/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":25,"total_time_ns":99470117713,"downtime_ns":1962798853,"wire_bytes":6803394370,"pages_sent":1629943,"pages_skipped_dirty":339431,"pages_skipped_bitmap":0,"cpu_ns":6815178100,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":4,"total_time_ns":50162326816,"downtime_ns":222121502,"wire_bytes":1776664636,"pages_sent":425650,"pages_skipped_dirty":1237,"pages_skipped_bitmap":241156,"cpu_ns":1802806450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":60598447520,"downtime_ns":60598447520,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":60000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":79038187045,"downtime_ns":287734849,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6000000000,"demand_faults":107596,"fault_stall_ns":61164514716,"degradation_window_ns":78750452196}
+{"label":"lossy-ctl/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":16,"total_time_ns":62420853968,"downtime_ns":3375174963,"wire_bytes":7130113786,"pages_sent":1708219,"pages_skipped_dirty":181651,"pages_skipped_bitmap":0,"cpu_ns":7116356500,"control_losses":7,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":3584,"backoff_ns":450000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":16625647035,"downtime_ns":372904387,"wire_bytes":1756860542,"pages_sent":420905,"pages_skipped_dirty":582,"pages_skipped_bitmap":236004,"cpu_ns":1782243650,"control_losses":3,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1536,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21416435704847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59288,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30355456,"backoff_ns":6534750000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19469000000000,"demand_faults":89553,"fault_stall_ns":21400949678397,"degradation_window_ns":21416230384392}
+{"label":"outage/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":22,"total_time_ns":58082808479,"downtime_ns":1766067254,"wire_bytes":6757094826,"pages_sent":1618851,"pages_skipped_dirty":159938,"pages_skipped_bitmap":0,"cpu_ns":6742222350,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":16982215811,"downtime_ns":415871838,"wire_bytes":1757406312,"pages_sent":421036,"pages_skipped_dirty":506,"pages_skipped_bitmap":234260,"cpu_ns":1782514300,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":19599639305,"downtime_ns":19599639305,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":141619,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":61523571184,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":1,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":512,"backoff_ns":749947051,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":46090690736,"degradation_window_ns":61318250729}
+{"label":"lat-spike/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":58594640298,"downtime_ns":1890426089,"wire_bytes":6831078464,"pages_sent":1636576,"pages_skipped_dirty":178180,"pages_skipped_bitmap":0,"cpu_ns":6818517400,"control_losses":2,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1024,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":8,"total_time_ns":15548160588,"downtime_ns":205355381,"wire_bytes":1751130152,"pages_sent":419532,"pages_skipped_dirty":481,"pages_skipped_bitmap":214788,"cpu_ns":1773348150,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":7215085764847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":22570,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":11555840,"backoff_ns":1503200000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6511000000000,"demand_faults":89554,"fault_stall_ns":7199599773546,"degradation_window_ns":7214880444392}
+{"label":"combined/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":24,"total_time_ns":94181311713,"downtime_ns":2427545181,"wire_bytes":6934565982,"pages_sent":1661369,"pages_skipped_dirty":665839,"pages_skipped_bitmap":0,"cpu_ns":6994557200,"control_losses":18,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":943293,"backoff_ns":2950000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":32685665303,"downtime_ns":435132962,"wire_bytes":1771686590,"pages_sent":424457,"pages_skipped_dirty":1164,"pages_skipped_bitmap":238756,"cpu_ns":1797484550,"control_losses":3,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":935613,"backoff_ns":1650000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":38537086283,"downtime_ns":38537086283,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":605078,"backoff_ns":1500000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":38000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21467845450509,"downtime_ns":240640909,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59427,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30426624,"backoff_ns":6551239771663,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19525000000000,"demand_faults":89809,"fault_stall_ns":21452324103604,"degradation_window_ns":21467604809600}
+)gold";
+
+TEST(ChannelGoldenTest, SingleChannelBatteryMatchesSeedExport) {
+  struct Regime {
+    const char* name;
+    const char* spec;
+  };
+  const Regime kRegimes[] = {
+      {"healthy", ""},
+      {"bw-collapse", "bw:0s-60s@0.3"},
+      {"lossy-ctl", "loss:0.4"},
+      {"outage", "out:1s-2s"},
+      {"lat-spike", "lat:0s-30s+20ms;loss:0.2"},
+      {"combined", "bw:0s-60s@0.5;loss:0.4;out:1s-2500ms"},
+  };
+  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
+                                 EngineKind::kStopAndCopy, EngineKind::kPostcopy};
+  std::vector<Scenario> scenarios;
+  for (const Regime& regime : kRegimes) {
+    for (const EngineKind kind : kEngines) {
+      Scenario scenario =
+          FastScenario(kind, std::string(regime.name) + "/" + EngineKindName(kind));
+      scenario.options.fault_spec = regime.spec;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const RunReport report = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.verification_failures, 0);
+  EXPECT_EQ(report.audit_failures, 0);
+  std::ostringstream os;
+  report.ExportJsonLines(os);
+  EXPECT_EQ(os.str(), std::string(kGoldenSeedExport));
+}
+
+}  // namespace
+}  // namespace javmm
