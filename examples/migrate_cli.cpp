@@ -46,6 +46,8 @@ struct CliOptions {
   int channels = 1;       // Migration data-plane sub-links (DESIGN.md §11).
   std::string trace_out;  // JSON-lines trace of the last run ("" = off).
   std::string faults;     // FaultPlan spec for the migration link ("" = healthy).
+  std::string hotness;    // HotnessConfig spec, pre-copy only ("" = off).
+  HotnessConfig hotness_config;  // Parsed + validated in main().
 };
 
 void PrintUsage() {
@@ -67,6 +69,10 @@ void PrintUsage() {
       "                        \"bw:2s-30s@0.1;lat:0s-5s+10ms;out:4s-5s;loss:0.05\";\n"
       "                        prefix a clause with chK: to pin it to sub-link K,\n"
       "                        e.g. \"ch1:out:7s-8s;loss:0.05\" (needs --channels>K)\n"
+      "  --hotness=SPEC        hotness-scored coldest-first ordering with\n"
+      "                        hot-page deferral (pre-copy engines only):\n"
+      "                        \"on\" for defaults or e.g.\n"
+      "                        \"rate:2,score:8,decay:1,budget:500ms\"\n"
       "  --csv                 print per-iteration records as CSV\n"
       "  --trace-out=FILE      write the last run's migration trace as JSON lines\n"
       "  --list                list workloads and exit\n");
@@ -106,6 +112,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->faults = value;
     } else if (ParseFlag(argv[i], "--channels", &value)) {
       options->channels = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--hotness", &value)) {
+      options->hotness = value;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       options->compress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -224,6 +232,7 @@ int RunPrecopyStyle(const CliOptions& options) {
     // reproducible per --seed without perturbing the OS/app streams.
     MigrationConfig mig = lab.config().migration;
     mig.application_assisted = assisted;
+    mig.hotness = options.hotness_config;
     MigrationEngine engine(&lab.guest(), mig);
     MigrationResult result = engine.Migrate();
     // Enrich the downtime breakdown with the JVM-side components (as
@@ -270,6 +279,10 @@ int RunPrecopyStyle(const CliOptions& options) {
     table.Row().Cell("backoff").Cell(last.backoff_time.ToString());
     table.Row().Cell("degraded").Cell(
         last.degraded ? DegradeReasonName(last.degrade_reason) : "no");
+  }
+  if (last.hotness) {
+    table.Row().Cell("hot pages deferred").Cell(last.pages_deferred_hot);
+    table.Row().Cell("re-sends avoided").Cell(last.resend_pages_avoided);
   }
   AddChannelRows(&table, last);
   table.Row().Cell("verified").Cell("yes");
@@ -419,6 +432,22 @@ int main(int argc, char** argv) {
   if (options.channels <= 0) {
     std::fprintf(stderr, "--channels must be >= 1, got %d\n", options.channels);
     return 2;
+  }
+  {
+    std::string error;
+    if (!HotnessConfig::Parse(options.hotness, &options.hotness_config, &error)) {
+      std::fprintf(stderr, "bad --hotness spec '%s': %s\n", options.hotness.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (options.hotness_config.enabled &&
+        (options.engine == "postcopy" || options.engine == "stopcopy")) {
+      std::fprintf(stderr,
+                   "--hotness orders pre-copy rounds; --engine=%s has none. Drop the flag "
+                   "or use a pre-copy engine (xen, javmm, auto)\n",
+                   options.engine.c_str());
+      return 2;
+    }
   }
   if (options.engine == "postcopy" || options.engine == "stopcopy") {
     return RunBaseline(options);

@@ -506,6 +506,31 @@ bool LooksLikeJsonEmit(const std::vector<Token>& stmt) {
 }  // namespace
 
 void CheckFloatExport(const RuleContext& ctx) {
+  // The hotness score path (src/mem/hotness.*) is integer-only end to end:
+  // its scores order pages and flow into trace counters, so any float
+  // arithmetic (e.g. rewriting the >> decay as a multiply by 0.5) would make
+  // ordering depend on rounding mode and break serial-vs-parallel identity.
+  // Unlike the JSON-emit scope below, the whole file is in scope: every float
+  // token fires, not just ones inside an export statement.
+  if (ctx.path.find("src/mem/hotness") != std::string::npos) {
+    for (const Token& s : ctx.src.tokens) {
+      const bool float_call = s.IsIdent("ToSecondsF") || s.IsIdent("ToMillisF");
+      const bool float_type = s.IsIdent("double") || s.IsIdent("float");
+      const bool float_lit = s.kind == TokenKind::kNumber && IsFloatLiteral(s.text);
+      const bool float_fmt = s.kind == TokenKind::kString &&
+                             (UnescapeStringToken(s.text).find("%f") != std::string::npos ||
+                              UnescapeStringToken(s.text).find("%g") != std::string::npos ||
+                              UnescapeStringToken(s.text).find("%e") != std::string::npos);
+      if (float_call || float_type || float_lit || float_fmt) {
+        ctx.Report(s.line, "float-export",
+                   "floating-point token ('" + s.text +
+                       "') in the hotness score path: scores must use integer "
+                       "arithmetic only (exponential decay is a right shift), or "
+                       "page ordering stops being deterministic");
+      }
+    }
+    return;
+  }
   if (!PathInDir(ctx.path, "src/runner/") && !EndsWith(ctx.path, "bench/common.h")) {
     return;
   }

@@ -1,0 +1,161 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/mem/hotness.h"
+
+#include <cstdlib>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+namespace {
+
+// Parses a non-negative decimal integer covering all of [begin, end).
+// Returns false on empty input, trailing junk, or overflow.
+bool ParseInt(const char* begin, const char* end, int64_t* out) {
+  if (begin == end) {
+    return false;
+  }
+  char* parse_end = nullptr;
+  const long long value = std::strtoll(begin, &parse_end, 10);
+  if (parse_end != end || value < 0) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// "500ms" / "2s" / "750us" / "123456ns" -> Duration. Integer-only.
+bool ParseBudget(const std::string& text, Duration* out) {
+  size_t digits = 0;
+  while (digits < text.size() && text[digits] >= '0' && text[digits] <= '9') {
+    ++digits;
+  }
+  int64_t value = 0;
+  if (!ParseInt(text.c_str(), text.c_str() + digits, &value)) {
+    return false;
+  }
+  const std::string unit = text.substr(digits);
+  if (unit == "ns") {
+    *out = Duration::Nanos(value);
+  } else if (unit == "us") {
+    *out = Duration::Micros(value);
+  } else if (unit == "ms") {
+    *out = Duration::Millis(value);
+  } else if (unit == "s") {
+    *out = Duration::Seconds(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HotnessConfig::Parse(const std::string& spec, HotnessConfig* out, std::string* error) {
+  HotnessConfig config;
+  if (spec.empty() || spec == "off") {
+    *out = config;  // Disabled; knobs stay at defaults.
+    return true;
+  }
+  config.enabled = true;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause == "on") {
+      continue;  // Defaults already enabled.
+    }
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Fail(error, "hotness: bad clause '" + clause +
+                             "' (want on, off, rate:N, score:N, decay:N, budget:Nms)");
+    }
+    const std::string key = clause.substr(0, colon);
+    const std::string value = clause.substr(colon + 1);
+    if (key == "budget") {
+      if (!ParseBudget(value, &config.defer_budget)) {
+        return Fail(error, "hotness: bad budget '" + value + "' (want e.g. 500ms, 2s)");
+      }
+      continue;
+    }
+    int64_t number = 0;
+    if (!ParseInt(value.c_str(), value.c_str() + value.size(), &number)) {
+      return Fail(error, "hotness: bad value '" + value + "' for " + key +
+                             " (want a non-negative integer)");
+    }
+    if (key == "rate") {
+      config.min_rate = number;
+    } else if (key == "score") {
+      config.min_score = number;
+    } else if (key == "decay") {
+      config.decay = number;
+    } else {
+      return Fail(error, "hotness: unknown key '" + key +
+                             "' (want rate, score, decay, budget)");
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+  }
+  if (config.min_rate < 0) {
+    return Fail(error, "hotness: min_rate must be >= 0");
+  }
+  if (config.min_score < 1) {
+    return Fail(error, "hotness: min_score must be >= 1");
+  }
+  if (config.decay < 1) {
+    return Fail(error, "hotness: decay must be >= 1");
+  }
+  if (!(config.defer_budget > Duration::Zero())) {
+    return Fail(error, "hotness: budget must be > 0");
+  }
+  *out = config;
+  return true;
+}
+
+HotnessTracker::HotnessTracker(int64_t frames, const HotnessConfig& config)
+    : config_(config),
+      scores_(static_cast<size_t>(frames), 0),
+      touches_(static_cast<size_t>(frames), 0) {
+  CHECK_GT(frames, 0);
+  CHECK_GE(config_.min_rate, 0);
+  CHECK_GE(config_.min_score, 1);
+  CHECK_GE(config_.decay, 1);
+}
+
+void HotnessTracker::OnGuestWrite(Pfn pfn) {
+  DCHECK_GE(pfn, 0);
+  DCHECK_LT(pfn, static_cast<Pfn>(touches_.size()));
+  ++touches_[static_cast<size_t>(pfn)];
+}
+
+void HotnessTracker::EndRound() {
+  const int64_t shift = config_.decay < 63 ? config_.decay : 63;
+  for (size_t i = 0; i < scores_.size(); ++i) {
+    // Decay first, then boost: the steady-state score of a page accessed
+    // every round is kAccessBoost * 2^decay / (2^decay - 1) truncated
+    // (15 with decay=1), and one accessed round alone already reaches
+    // kAccessBoost -- thresholds in [1, 15] are all meaningful.
+    int64_t score = scores_[i] >> shift;
+    if (touches_[i] >= config_.min_rate && touches_[i] > 0) {
+      score += kAccessBoost;
+      if (score > kScoreCap) {
+        score = kScoreCap;
+      }
+    }
+    scores_[i] = score;
+    touches_[i] = 0;
+  }
+  ++rounds_;
+}
+
+}  // namespace javmm

@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Per-page hotness scoring for pre-copy transfer ordering (DESIGN.md §12).
+//
+// The tracker observes guest stores (it is a WriteObserver on the same
+// choke point the dirty log uses) and maintains one integer score per PFN.
+// Scores follow the xen-tokyo migration engine's register_page_access
+// shape: a page counts as "accessed" in a round when it received at least
+// `min_rate` stores, each accessed round adds a fixed boost, and every
+// round the score decays exponentially by a right shift of `decay` bits.
+// A page is *hot* when its score reaches `min_score`.
+//
+// Determinism contract: this file is integer-only end to end -- scores,
+// decay, and the config parser never touch floating point. javmm-lint
+// enforces this with a whole-file float-export scope on src/mem/hotness*
+// (see src/lint/rules.cc); converting the decay to a float multiplier is
+// a build error, not a review comment.
+
+#ifndef JAVMM_SRC_MEM_HOTNESS_H_
+#define JAVMM_SRC_MEM_HOTNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/mem/physical_memory.h"
+#include "src/mem/types.h"
+
+namespace javmm {
+
+// Knobs for the hotness score and the hot-page deferral policy. Disabled by
+// default: a default-constructed config leaves the engine byte-identical to
+// the pre-hotness behaviour.
+struct HotnessConfig {
+  bool enabled = false;
+
+  // A page must see at least this many stores in one round to count as
+  // accessed that round (xen-tokyo min_rate). 0 = every touched page counts.
+  int64_t min_rate = 2;
+
+  // Score threshold at or above which a page is hot (xen-tokyo min_score).
+  // Must be >= 1 so an untouched page (score 0) is never hot.
+  int64_t min_score = 8;
+
+  // Per-round exponential decay, applied as score >>= decay. Must be >= 1
+  // so every score eventually cools back to zero.
+  int64_t decay = 1;
+
+  // Downtime budget for deferred pages: the engine parks at most as many
+  // hot pages as fit through the link in this much time, so the deferral
+  // can never blow the pause budget.
+  Duration defer_budget = Duration::Millis(500);
+
+  // Parses a compact spec into *out. Grammar (comma-separated clauses):
+  //   "on"                          -- enable with defaults
+  //   "off" / ""                    -- disabled
+  //   "rate:N,score:N,decay:N"      -- enable and override knobs
+  //   "budget:500ms"                -- defer budget (ns/us/ms/s suffix)
+  // Returns false and sets *error on malformed input; out-of-range values
+  // (negative rate, score < 1, decay < 1, budget <= 0) are parse errors so
+  // every front end rejects them identically.
+  static bool Parse(const std::string& spec, HotnessConfig* out, std::string* error);
+};
+
+// Integer per-PFN access-frequency tracker. Attach to GuestPhysicalMemory as
+// a WriteObserver; call EndRound() once per pre-copy iteration to fold the
+// round's touch counts into the decayed scores.
+class HotnessTracker : public WriteObserver {
+ public:
+  HotnessTracker(int64_t frames, const HotnessConfig& config);
+
+  // WriteObserver: one guest store to pfn.
+  void OnGuestWrite(Pfn pfn) override;
+
+  // Folds this round's touch counts into the scores: every score decays by
+  // score >>= decay, then accessed pages (touches >= min_rate, and at least
+  // one store) gain kAccessBoost. Touch counts reset for the next round.
+  void EndRound();
+
+  int64_t score(Pfn pfn) const { return scores_[static_cast<size_t>(pfn)]; }
+  bool IsHot(Pfn pfn) const { return score(pfn) >= config_.min_score; }
+  int64_t rounds() const { return rounds_; }
+
+  // Score added per accessed round, post-decay. One accessed round scores
+  // kAccessBoost; a page accessed every round converges to 15 (decay=1),
+  // and cools toward zero in ~log2(score) idle rounds.
+  static constexpr int64_t kAccessBoost = 8;
+
+  // Scores saturate here so a page hot for thousands of rounds still cools
+  // in at most ~log2(kScoreCap) idle rounds.
+  static constexpr int64_t kScoreCap = 1 << 20;
+
+ private:
+  HotnessConfig config_;
+  std::vector<int64_t> scores_;   // Decayed accumulated score, per PFN.
+  std::vector<int64_t> touches_;  // Stores seen this round, per PFN.
+  int64_t rounds_ = 0;
+};
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_MEM_HOTNESS_H_

@@ -8,6 +8,7 @@
 
 #include "src/base/time.h"
 #include "src/faults/faults.h"
+#include "src/mem/hotness.h"
 #include "src/net/link.h"
 
 namespace javmm {
@@ -60,6 +61,13 @@ struct MigrationConfig {
   // 0 = one worker per channel. Only engaged when channels > 1 -- the
   // single-channel compression model stays the legacy payload-ratio one.
   int compression_workers = 0;
+
+  // ---- Hotness-scored transfer ordering (src/mem/hotness.h, DESIGN.md
+  // §12). Pre-copy only: when enabled, each live round is sent coldest-first
+  // and pages scoring hot are deferred into the stop-and-copy final set
+  // (bounded by hotness.defer_budget). Disabled by default -- a disabled
+  // config is byte-identical to the pre-hotness engine.
+  HotnessConfig hotness;
 
   // Control traffic per live iteration (request the dirty bitmap, sync with
   // the receiver). The engine both meters this on the link and records it in

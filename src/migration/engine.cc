@@ -36,6 +36,12 @@ MigrationEngine::MigrationEngine(GuestKernel* guest, const MigrationConfig& conf
   CHECK_GE(config.max_iterations, 1);
   CHECK(config.channel_faults.empty() ||
         static_cast<int>(config.channel_faults.size()) == config.channels);
+  if (config.hotness.enabled) {
+    CHECK_GE(config.hotness.min_rate, 0);
+    CHECK_GE(config.hotness.min_score, 1);
+    CHECK_GE(config.hotness.decay, 1);
+    CHECK(config.hotness.defer_budget > Duration::Zero());
+  }
 }
 
 void MigrationEngine::AddRequiredPfnSource(const RequiredPfnSource* source) {
@@ -298,7 +304,75 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
   return true;
 }
 
-IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>& pending,
+void MigrationEngine::ApplyHotnessPolicy(int index, std::vector<Pfn>* pending,
+                                         MigrationResult* result) {
+  if (!hotness_) {
+    return;
+  }
+  // Fold the touches accumulated since the previous round into the decayed
+  // scores. Iteration 1 runs before any touch window, so every score is zero
+  // and the policy below leaves the full-sweep order untouched.
+  hotness_->EndRound();
+
+  // Pages parked in an earlier round re-enter via the dirty harvest every
+  // time the guest re-dirties them; each drop here is one page send the
+  // unordered engine would have re-issued.
+  int64_t avoided = 0;
+  std::vector<Pfn> kept;
+  kept.reserve(pending->size());
+  for (const Pfn pfn : *pending) {
+    if (deferred_hot_->Test(pfn)) {
+      ++avoided;
+    } else {
+      kept.push_back(pfn);
+    }
+  }
+
+  // Park newly-hot pages, hottest first (stable, so equal scores tie-break
+  // ascending by PFN), bounded so the total ever parked fits the pause
+  // budget's worth of wire time.
+  int64_t parked = 0;
+  const int64_t room = max_deferred_pages_ - result->pages_deferred_hot;
+  if (room > 0) {
+    std::vector<Pfn> hot;
+    for (const Pfn pfn : kept) {
+      if (hotness_->IsHot(pfn)) {
+        hot.push_back(pfn);
+      }
+    }
+    if (static_cast<int64_t>(hot.size()) > room) {
+      std::stable_sort(hot.begin(), hot.end(), [this](Pfn a, Pfn b) {
+        return hotness_->score(a) > hotness_->score(b);
+      });
+      hot.resize(static_cast<size_t>(room));
+    }
+    for (const Pfn pfn : hot) {
+      deferred_hot_->Set(pfn);
+    }
+    parked = static_cast<int64_t>(hot.size());
+    if (parked > 0) {
+      kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                [this](Pfn pfn) { return deferred_hot_->Test(pfn); }),
+                 kept.end());
+    }
+  }
+
+  // Coldest-first: pages most likely to stay clean ship early; the hottest
+  // survivors ship late, where a mid-round re-dirty can still skip them.
+  std::stable_sort(kept.begin(), kept.end(), [this](Pfn a, Pfn b) {
+    return hotness_->score(a) < hotness_->score(b);
+  });
+
+  result->pages_deferred_hot += parked;
+  result->resend_pages_avoided += avoided;
+  if (parked > 0 || avoided > 0) {
+    trace_.Record(TraceEvent{TraceEventKind::kHotnessDefer, guest_->clock().now(), index, 0,
+                             parked, avoided, result->pages_deferred_hot, Duration::Zero()});
+  }
+  *pending = std::move(kept);
+}
+
+IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn> pending,
                                               DirtyLog* log, DestinationVm* dest,
                                               const PageBitmap* transfer_bitmap,
                                               PageBitmap* ever_skipped,
@@ -308,6 +382,7 @@ IterationRecord MigrationEngine::RunIteration(int index, const std::vector<Pfn>&
   const TimePoint iter_start = guest_->clock().now();
   trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, iter_start, index, 0, 0, 0, 0,
                            Duration::Zero()});
+  ApplyHotnessPolicy(index, &pending, result);
 
   // Per-iteration control round trip (request dirty bitmap, sync with the
   // receiver); keeps even all-skip iterations from taking zero time. When the
@@ -379,6 +454,7 @@ MigrationResult MigrationEngine::Migrate() {
 
   MigrationResult result;
   result.assisted = config_.application_assisted;
+  result.hotness = config_.hotness.enabled;
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
   channels_.ResetMeters();
@@ -394,6 +470,21 @@ MigrationResult MigrationEngine::Migrate() {
     channels_.Anchor(config_.faults, config_.channel_faults, result.started_at);
     fault_rng_.emplace(config_.fault_seed);
   }
+  // Hotness state is per-migration too: fresh scores, an empty parked set,
+  // and the deferral bound from this run's link (how many pages fit through
+  // the nominal goodput in defer_budget -- parked pages land in the paused
+  // final copy, so this caps their downtime contribution).
+  hotness_.reset();
+  deferred_hot_.reset();
+  max_deferred_pages_ = 0;
+  if (config_.hotness.enabled) {
+    hotness_.emplace(frames, config_.hotness);
+    deferred_hot_.emplace(frames);
+    const double budget_bytes = config_.hotness.defer_budget.ToSecondsF() *
+                                config_.link.GoodputBytesPerSec();
+    const double per_page = static_cast<double>(kPageSize + config_.link.per_page_overhead);
+    max_deferred_pages_ = static_cast<int64_t>(budget_bytes / per_page);
+  }
   trace_.set_enabled(config_.record_trace);
   trace_.Clear();
   trace_.Record(TraceEvent{TraceEventKind::kMigrationStart, clock.now(), 0, 0, frames, 0, 0,
@@ -401,6 +492,24 @@ MigrationResult MigrationEngine::Migrate() {
 
   DirtyLog log(frames);
   memory.AttachDirtyLog(&log);
+
+  // The tracker observes the same store choke point as the dirty log; the
+  // guard guarantees the detach on every exit path (complete, abort) so no
+  // dangling observer survives into a later back-to-back migration.
+  struct HotnessObserverGuard {
+    GuestPhysicalMemory* memory = nullptr;
+    WriteObserver* observer = nullptr;
+    ~HotnessObserverGuard() {
+      if (memory != nullptr) {
+        memory->DetachWriteObserver(observer);
+      }
+    }
+  } hotness_guard;
+  if (hotness_) {
+    memory.AttachWriteObserver(&*hotness_);
+    hotness_guard.memory = &memory;
+    hotness_guard.observer = &*hotness_;
+  }
 
   DestinationVm dest(frames);
   PageBitmap ever_skipped(frames);
@@ -453,26 +562,54 @@ MigrationResult MigrationEngine::Migrate() {
   int64_t total_sent = 0;
   int iter = 1;
   for (;;) {
-    IterationRecord rec =
-        RunIteration(iter, pending, &log, &dest, transfer_bitmap, &ever_skipped, &result);
+    IterationRecord rec = RunIteration(iter, std::move(pending), &log, &dest, transfer_bitmap,
+                                       &ever_skipped, &result);
     pending = log.CollectAndClear();
     if (!carryover_.empty()) {
       // An early-terminated round left scanned-but-undelivered pages behind;
       // fold them into the next round's input, deduplicated against the
       // fresh dirty harvest (a carried page re-dirtied meanwhile is sent
-      // once, with its newest content).
-      PageBitmap merged(frames);
-      for (Pfn pfn : pending) {
-        merged.Set(pfn);
+      // once, with its newest content). Both inputs are sorted and unique --
+      // the harvest collects set bits in PFN order, and carryover_ is filled
+      // at most once per round from disjoint ascending slices of the round's
+      // pending set -- so a two-way merge suffices; no frames-sized bitmap.
+      // Hotness reorders the round's pending set, so restore PFN order first
+      // (the invariant holds by construction only when hotness is off).
+      if (hotness_) {
+        std::sort(carryover_.begin(), carryover_.end());
       }
-      for (Pfn pfn : carryover_) {
-        merged.Set(pfn);
+      DCHECK(std::is_sorted(pending.begin(), pending.end()));
+      DCHECK(std::is_sorted(carryover_.begin(), carryover_.end()));
+      std::vector<Pfn> merged;
+      merged.reserve(pending.size() + carryover_.size());
+      size_t a = 0;
+      size_t b = 0;
+      while (a < pending.size() || b < carryover_.size()) {
+        Pfn next;
+        if (b == carryover_.size() || (a < pending.size() && pending[a] <= carryover_[b])) {
+          next = pending[a++];
+        } else {
+          next = carryover_[b++];
+        }
+        if (merged.empty() || merged.back() != next) {
+          merged.push_back(next);
+        }
       }
       carryover_.clear();
-      pending.clear();
-      merged.CollectSetBits(&pending);
+      pending = std::move(merged);
     }
-    rec.dirty_pages_after = static_cast<int64_t>(pending.size());
+    // Pages owed to the next live round. Parked pages re-dirty every round
+    // but transfer during the pause, so they must not keep the loop from
+    // converging (or count as live dirt in the per-iteration records).
+    int64_t live_left = static_cast<int64_t>(pending.size());
+    if (deferred_hot_) {
+      for (const Pfn pfn : pending) {
+        if (deferred_hot_->Test(pfn)) {
+          --live_left;
+        }
+      }
+    }
+    rec.dirty_pages_after = live_left;
     total_sent += rec.pages_sent;
     result.pages_skipped_dirty += rec.pages_skipped_dirty;
     result.pages_skipped_bitmap += rec.pages_skipped_bitmap;
@@ -527,8 +664,7 @@ MigrationResult MigrationEngine::Migrate() {
     }
 
     // xc_domain_save stop conditions.
-    const bool few_left =
-        static_cast<int64_t>(pending.size()) < config_.last_iter_threshold_pages;
+    const bool few_left = live_left < config_.last_iter_threshold_pages;
     const bool max_iters = iter >= config_.max_iterations;
     const bool sent_too_much =
         static_cast<double>(total_sent) >
@@ -588,6 +724,15 @@ MigrationResult MigrationEngine::Migrate() {
       final_set.Set(pfn);
     }
     carryover_.clear();
+    // Hot pages deferred out of the live rounds transfer exactly once: here,
+    // while the guest is paused and cannot re-dirty them.
+    if (deferred_hot_) {
+      std::vector<Pfn> parked;
+      deferred_hot_->CollectSetBits(&parked);
+      for (Pfn pfn : parked) {
+        final_set.Set(pfn);
+      }
+    }
     // Pages whose skip listing the LKM re-enabled *after* the fact (straggler
     // revocation, deferred final-update reconciliation) may have been dirtied
     // while skip-listed and then dropped from the dirty log; re-send them.
@@ -710,6 +855,7 @@ void MigrationEngine::RunAudit(MigrationResult* result) {
   inputs.control_bytes_per_iteration = config_.control_bytes_per_iteration;
   inputs.retry_backoff_base = config_.retry_backoff_base;
   inputs.retry_backoff_cap = config_.retry_backoff_cap;
+  inputs.hotness_enabled = config_.hotness.enabled;
   if (channels_.count() > 1) {
     inputs.channel_wire_bytes = channels_.WireBytesPerChannel();
     inputs.channel_pages_sent = channels_.PagesSentPerChannel();

@@ -20,6 +20,7 @@
 #include "src/base/rng.h"
 #include "src/faults/faults.h"
 #include "src/guest/guest_kernel.h"
+#include "src/mem/hotness.h"
 #include "src/migration/config.h"
 #include "src/migration/destination.h"
 #include "src/migration/stats.h"
@@ -70,10 +71,18 @@ class MigrationEngine {
     std::vector<std::pair<Pfn, uint64_t>> deliveries;
   };
 
-  // Sends one pre-copy iteration over `pending`; returns its record.
-  IterationRecord RunIteration(int index, const std::vector<Pfn>& pending, DirtyLog* log,
+  // Sends one pre-copy iteration over `pending`; returns its record. Takes
+  // the pending set by value: with hotness enabled the round's set is
+  // filtered (parked pages dropped) and reordered coldest-first in place.
+  IterationRecord RunIteration(int index, std::vector<Pfn> pending, DirtyLog* log,
                                DestinationVm* dest, const PageBitmap* transfer_bitmap,
                                PageBitmap* ever_skipped, MigrationResult* result);
+
+  // Hotness policy, start of each live round (no-op unless enabled): folds
+  // the round's touch counts, drops pages already parked in deferred_hot_
+  // (counted as avoided re-sends), parks newly-hot pages hottest-first up to
+  // max_deferred_pages_, and stable-sorts the remainder coldest-first.
+  void ApplyHotnessPolicy(int index, std::vector<Pfn>* pending, MigrationResult* result);
 
   // Stages one page into `burst` and accounts its wire/CPU cost (per-page
   // compression class, delta retransmission).
@@ -147,6 +156,15 @@ class MigrationEngine {
   // control failure, round timeout); merged into the next round's pending
   // set or the stop-and-copy final set, deduplicated against the dirty log.
   std::vector<Pfn> carryover_;
+
+  // ---- Hotness-scored transfer ordering (src/mem/hotness.h, §12). ----
+  // Engaged only when config.hotness.enabled; all empty/zero otherwise so
+  // the disabled path is byte-identical to the pre-hotness engine.
+  std::optional<HotnessTracker> hotness_;   // WriteObserver while migrating.
+  std::optional<PageBitmap> deferred_hot_;  // Pages parked for the final set.
+  // Deferral bound derived from hotness.defer_budget and the link's nominal
+  // goodput: parking more pages than this could blow the pause budget.
+  int64_t max_deferred_pages_ = 0;
 };
 
 }  // namespace javmm

@@ -167,6 +167,14 @@ struct MigrationResult {
   Duration pipeline_wire_busy = Duration::Zero();
   Duration pipeline_stall = Duration::Zero();
 
+  // ---- Hotness-scored transfer ordering (src/mem/hotness.h, §12). ----
+  bool hotness = false;  // Hotness ordering/deferral was enabled for the run.
+  // Unique hot pages deferred out of live rounds into the final set.
+  int64_t pages_deferred_hot = 0;
+  // Re-dirty harvest entries dropped because the page was already parked --
+  // each one is a page send the pre-hotness engine would have re-issued.
+  int64_t resend_pages_avoided = 0;
+
   // Framework memory overhead at pause time (§5.3: "at most 1 MB").
   int64_t lkm_bitmap_bytes = 0;
   int64_t lkm_pfn_cache_bytes = 0;

@@ -95,6 +95,12 @@ void AppendRecordJson(const RunRecord& rec, std::ostream& os) {
        << ",\"pipeline_wire_busy_ns\":" << r.pipeline_wire_busy.nanos()
        << ",\"pipeline_stall_ns\":" << r.pipeline_stall.nanos();
   }
+  // Hotness columns only when the ordering was enabled, so a hotness-off
+  // export stays byte-identical to the pre-hotness format.
+  if (r.hotness) {
+    os << ",\"pages_deferred_hot\":" << r.pages_deferred_hot
+       << ",\"resend_pages_avoided\":" << r.resend_pages_avoided;
+  }
   os << "}\n";
 }
 

@@ -43,6 +43,21 @@ RunOutput RunScenario(const Scenario& scenario) {
     config.migration.faults = shared;
     config.migration.channel_faults = per_channel;
   }
+  {
+    std::string error;
+    HotnessConfig hotness;
+    if (!HotnessConfig::Parse(scenario.options.hotness_spec, &hotness, &error)) {
+      throw std::runtime_error("bad hotness spec '" + scenario.options.hotness_spec +
+                               "': " + error);
+    }
+    if (hotness.enabled && scenario.engine != EngineKind::kXenPrecopy &&
+        scenario.engine != EngineKind::kJavmm) {
+      throw std::runtime_error("hotness ordering is pre-copy only; engine " +
+                               std::string(EngineKindName(scenario.engine)) +
+                               " does not iterate");
+    }
+    config.migration.hotness = hotness;
+  }
 
   MigrationLab lab(scenario.spec, config);
   lab.Run(scenario.options.warmup);

@@ -50,6 +50,12 @@ struct RunOptions {
   // Migration data-plane sub-links (DESIGN.md §11). 1 = the classic single
   // link, bit-identical to the pre-channel code. <= 0 throws.
   int channels = 1;
+  // Hotness-scored transfer ordering (src/mem/hotness.h, DESIGN.md §12), in
+  // HotnessConfig::Parse syntax: "" / "off" = disabled (byte-identical to
+  // the pre-hotness engine), "on" = defaults, "rate:2,score:8,decay:1,
+  // budget:500ms" = explicit knobs. A malformed spec throws, as does
+  // enabling hotness for a baseline engine (pre-copy only).
+  std::string hotness_spec;
 };
 
 struct Scenario {

@@ -102,6 +102,8 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
   // control_wire and are checked against the per-channel meters instead.
   std::map<int32_t, ChannelSums> channel_sums;
   int64_t channel_event_count = 0;
+  // Hotness-deferral events (kHotnessDefer); recorded in round order.
+  std::vector<TraceEvent> hotness_events;
 
   for (const TraceEvent& event : trace.events()) {
     switch (event.kind) {
@@ -208,6 +210,9 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
         sums.wire_bytes += event.wire_bytes;
         break;
       }
+      case TraceEventKind::kHotnessDefer:
+        hotness_events.push_back(event);
+        break;
     }
   }
   const int64_t channel_count = static_cast<int64_t>(inputs.channel_wire_bytes.size());
@@ -403,6 +408,71 @@ TraceAuditReport TraceAuditor::Audit(AuditMode mode, const TraceRecorder& trace,
         result.channel_pages_sent != inputs.channel_pages_sent ||
         result.channel_retry_bytes != inputs.channel_retry_bytes) {
       fail("result per-channel meters do not match the link per-channel meters");
+    }
+  }
+
+  // ---- Hotness-scored deferral (src/mem/hotness.h, DESIGN.md §12). ----
+  if (!inputs.hotness_enabled) {
+    // Deferral off: the engine must behave identically to the pre-hotness
+    // one -- no hotness trace events, no hotness accounting.
+    if (!hotness_events.empty()) {
+      fail("trace has " + N(static_cast<int64_t>(hotness_events.size())) +
+           " hotness_defer events but hotness was disabled");
+    }
+    if (result.hotness) {
+      fail("result reports hotness enabled but the audit expected it off");
+    }
+    if (result.pages_deferred_hot != 0 || result.resend_pages_avoided != 0) {
+      fail("hotness-off run reports " + N(result.pages_deferred_hot) + " deferred / " +
+           N(result.resend_pages_avoided) + " avoided pages");
+    }
+  } else {
+    if (!result.hotness) {
+      fail("result reports hotness disabled but the audit expected it on");
+    }
+    if (mode != AuditMode::kPrecopy) {
+      // Only the pre-copy engine defers; scenario validation rejects the
+      // combination upstream, so reaching here is itself a violation.
+      fail("hotness audit requested for a non-pre-copy engine");
+    }
+    int64_t deferred_sum = 0;
+    int64_t avoided_sum = 0;
+    for (const TraceEvent& event : hotness_events) {
+      if (event.iteration < 1) {
+        fail("hotness_defer event in iteration " + N(event.iteration) + " < 1");
+      }
+      if (event.pages < 0 || event.wire_bytes < 0) {
+        fail("hotness_defer event with negative counts");
+      }
+      if (event.pages == 0 && event.wire_bytes == 0) {
+        fail("hotness_defer event that neither parked nor avoided a page");
+      }
+      deferred_sum += event.pages;
+      avoided_sum += event.wire_bytes;
+      // Each event's cumulative-parked field must equal the running sum: a
+      // page parks at most once (the deferred set is a bitmap), so the
+      // per-round increments partition the total.
+      if (event.scanned != deferred_sum) {
+        fail("hotness_defer cumulative parked (" + N(event.scanned) +
+             ") != running sum of parked pages (" + N(deferred_sum) + ")");
+      }
+    }
+    if (deferred_sum != result.pages_deferred_hot) {
+      fail("sum of hotness_defer parked pages (" + N(deferred_sum) +
+           ") != result.pages_deferred_hot (" + N(result.pages_deferred_hot) + ")");
+    }
+    if (avoided_sum != result.resend_pages_avoided) {
+      fail("sum of hotness_defer avoided re-sends (" + N(avoided_sum) +
+           ") != result.resend_pages_avoided (" + N(result.resend_pages_avoided) + ")");
+    }
+    // Every parked page reaches the stop-and-copy final set exactly once:
+    // the final iteration must have scanned at least the parked total (it
+    // scans each final-set member once; parked pages are members by
+    // construction and the deferred bitmap already guarantees uniqueness).
+    if (result.completed && !spans.empty() && spans.back().closed &&
+        spans.back().scanned < result.pages_deferred_hot) {
+      fail("final iteration scanned " + N(spans.back().scanned) + " pages < " +
+           N(result.pages_deferred_hot) + " deferred-hot pages owed to the final set");
     }
   }
 

@@ -65,6 +65,12 @@ struct AuditInputs {
   Duration retry_backoff_cap = Duration::Zero();
   int64_t expected_demand_faults = -1;
   int64_t expected_fault_stall_ns = -1;
+  // Hotness-scored deferral (src/mem/hotness.h, DESIGN.md §12): when false,
+  // any hotness_defer event (or nonzero hotness counters in the result) is a
+  // violation; when true, the event stream must reproduce the result's
+  // deferred/avoided counters exactly and every parked page must be owed to
+  // (and scanned by) the stop-and-copy final set.
+  bool hotness_enabled = false;
   // Per-channel link meters (src/net/channel_set.h); non-empty only for a
   // multi-channel run, where all three have one entry per channel. The
   // auditor then requires every channel_transfer event to name a live

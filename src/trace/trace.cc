@@ -69,6 +69,8 @@ const char* TraceRecorder::KindName(TraceEventKind kind) {
       return "degrade";
     case TraceEventKind::kChannelTransfer:
       return "channel_transfer";
+    case TraceEventKind::kHotnessDefer:
+      return "hotness_defer";
   }
   return "unknown";
 }
@@ -163,6 +165,13 @@ void TraceRecorder::ExportJsonLines(std::ostream& os) const {
                       ",\"iter\":%d,\"channel\":%d,\"pages\":%" PRId64
                       ",\"wire_bytes\":%" PRId64,
                       event.iteration, event.detail, event.pages, event.wire_bytes);
+        os << buffer;
+        break;
+      case TraceEventKind::kHotnessDefer:
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"iter\":%d,\"deferred\":%" PRId64 ",\"resends_avoided\":%" PRId64
+                      ",\"total_deferred\":%" PRId64,
+                      event.iteration, event.pages, event.wire_bytes, event.scanned);
         os << buffer;
         break;
       case TraceEventKind::kPause:

@@ -52,6 +52,13 @@ enum class TraceEventKind : uint8_t {
                      // the auditor keeps it out of the aggregate sums and
                      // instead checks per-channel sums against the
                      // per-channel meters. Only recorded when channels > 1.
+  // ---- Hotness-scored transfer ordering (src/mem/hotness.h, §12). ----
+  kHotnessDefer,  // iteration, pages = hot pages newly parked this round,
+                  // wire_bytes = harvested re-dirty entries dropped because
+                  // the page was already parked (re-sends avoided, a page
+                  // count despite the field name), scanned = cumulative
+                  // unique parked pages after this round. Only recorded when
+                  // hotness is enabled and the round parked or avoided > 0.
 };
 
 // One trace event. Sparse: each kind populates the fields listed above and

@@ -1,0 +1,41 @@
+# Flag-validation contract for migrate_cli, run as the migrate_cli_flag_validation
+# ctest: every malformed or contradictory flag combination must be rejected with
+# exit code 2 and a pointed stderr message, before any simulation work starts.
+# Invoke with: cmake -DCLI=<path-to-migrate_cli> -P cli_flags_test.cmake
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to migrate_cli>")
+endif()
+
+# Runs ${CLI} with the given flags; fails unless it exits 2 and stderr
+# matches `pattern` (a CMake regex).
+function(expect_reject pattern)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "migrate_cli ${ARGN}: expected exit code 2, got '${rc}'\nstderr: ${err}")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR "migrate_cli ${ARGN}: stderr does not match '${pattern}'\nstderr: ${err}")
+  endif()
+endfunction()
+
+# Malformed --hotness specs surface the parser's message.
+expect_reject("bad --hotness spec 'banana'.*bad clause" --workload=crypto --hotness=banana)
+expect_reject("decay must be >= 1" --workload=crypto --hotness=decay:0)
+expect_reject("min_score must be >= 1" --workload=crypto --hotness=score:0)
+expect_reject("bad value '-1' for rate" --workload=crypto --hotness=rate:-1)
+expect_reject("budget must be > 0" --workload=crypto --hotness=budget:0ms)
+
+# Hotness orders pre-copy rounds; engines without live rounds reject it.
+expect_reject("--hotness orders pre-copy rounds.*stopcopy has none"
+              --workload=crypto --engine=stopcopy --hotness=on)
+expect_reject("--hotness orders pre-copy rounds.*postcopy has none"
+              --workload=crypto --engine=postcopy --hotness=on)
+
+# The pre-existing --channels validation stays intact alongside.
+expect_reject("--channels must be >= 1, got 0" --workload=crypto --channels=0)
+
+message(STATUS "migrate_cli flag validation: all rejections exit 2 with pointed messages")

@@ -1,0 +1,451 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Tests for hotness-scored pre-copy ordering (DESIGN.md §12): the integer
+// per-PFN score tracker, the --hotness spec grammar and its front-end
+// validation, the determinism contract (hotness-off bit-identical to the
+// pre-hotness seed export, hotness-on serial == 4-worker pool), and the
+// auditor's hotness-deferral identities against forged traces/counters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/migration_lab.h"
+#include "src/mem/hotness.h"
+#include "src/migration/engine.h"
+#include "src/runner/runner.h"
+#include "src/trace/auditor.h"
+
+namespace javmm {
+namespace {
+
+LabConfig SmallLab(uint64_t seed = 1) {
+  LabConfig config;
+  config.vm_bytes = 512 * kMiB;
+  config.seed = seed;
+  config.os.resident_bytes = 64 * kMiB;
+  config.os.hot_bytes = 8 * kMiB;
+  return config;
+}
+
+WorkloadSpec SmallDerby() {
+  WorkloadSpec spec = Workloads::Get("derby");
+  spec.alloc_rate_bytes_per_sec = 100 * kMiB;
+  spec.old_baseline_bytes = 32 * kMiB;
+  spec.heap.young_max_bytes = 256 * kMiB;
+  spec.heap.old_max_bytes = 128 * kMiB;
+  return spec;
+}
+
+Scenario FastScenario(EngineKind kind, const std::string& label) {
+  Scenario scenario;
+  scenario.label = label;
+  scenario.spec = Workloads::Get("crypto");
+  scenario.engine = kind;
+  scenario.options.warmup = Duration::Seconds(10);
+  scenario.options.cooldown = Duration::Seconds(5);
+  return scenario;
+}
+
+bool HasViolation(const TraceAuditReport& report, const std::string& needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+HotnessConfig MustParse(const std::string& spec) {
+  HotnessConfig config;
+  std::string error;
+  EXPECT_TRUE(HotnessConfig::Parse(spec, &config, &error)) << error;
+  return config;
+}
+
+std::string ParseError(const std::string& spec) {
+  HotnessConfig config;
+  std::string error;
+  EXPECT_FALSE(HotnessConfig::Parse(spec, &config, &error)) << "spec '" << spec
+                                                            << "' unexpectedly parsed";
+  return error;
+}
+
+// ---- HotnessTracker: the integer score itself. ----
+
+TEST(HotnessTrackerTest, UntouchedPagesStayColdForever) {
+  HotnessTracker tracker(8, MustParse("on"));
+  for (int round = 0; round < 50; ++round) {
+    tracker.EndRound();
+  }
+  for (Pfn pfn = 0; pfn < 8; ++pfn) {
+    EXPECT_EQ(tracker.score(pfn), 0);
+    EXPECT_FALSE(tracker.IsHot(pfn));
+  }
+  EXPECT_EQ(tracker.rounds(), 50);
+}
+
+TEST(HotnessTrackerTest, OneAccessedRoundReachesTheDefaultThreshold) {
+  HotnessTracker tracker(4, MustParse("on"));  // min_rate=2, min_score=8.
+  tracker.OnGuestWrite(1);
+  tracker.OnGuestWrite(1);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(1), HotnessTracker::kAccessBoost);
+  EXPECT_TRUE(tracker.IsHot(1));
+  EXPECT_FALSE(tracker.IsHot(0));
+}
+
+TEST(HotnessTrackerTest, TouchesBelowMinRateDoNotCount) {
+  HotnessTracker tracker(4, MustParse("on,rate:3"));
+  tracker.OnGuestWrite(2);
+  tracker.OnGuestWrite(2);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(2), 0);
+}
+
+TEST(HotnessTrackerTest, MinRateZeroCountsAnyTouchedPageButNotIdleOnes) {
+  HotnessTracker tracker(4, MustParse("on,rate:0"));
+  tracker.OnGuestWrite(3);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(3), HotnessTracker::kAccessBoost);
+  // An untouched page must not gain the boost even though 0 >= min_rate.
+  EXPECT_EQ(tracker.score(0), 0);
+}
+
+TEST(HotnessTrackerTest, IdleRoundsDecayTheScoreExponentially) {
+  HotnessTracker tracker(2, MustParse("on,rate:1"));
+  tracker.OnGuestWrite(0);
+  tracker.EndRound();
+  ASSERT_EQ(tracker.score(0), 8);
+  tracker.EndRound();  // 8 >> 1.
+  EXPECT_EQ(tracker.score(0), 4);
+  EXPECT_FALSE(tracker.IsHot(0));  // Cooled below min_score=8 after 1 idle round.
+  tracker.EndRound();
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(0), 1);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(0), 0);
+}
+
+TEST(HotnessTrackerTest, AlwaysAccessedPageConvergesToFixedPoint) {
+  // decay=1: s -> (s >> 1) + 8 has fixed point 15, reached monotonically.
+  HotnessTracker tracker(1, MustParse("on,rate:1"));
+  for (int round = 0; round < 30; ++round) {
+    tracker.OnGuestWrite(0);
+    tracker.EndRound();
+    EXPECT_LE(tracker.score(0), 15);
+  }
+  EXPECT_EQ(tracker.score(0), 15);
+}
+
+TEST(HotnessTrackerTest, HugeDecayClampsToAFullCooldown) {
+  // decay >= 63 must not be UB: the shift clamps, so the score resets to
+  // exactly the boost each accessed round and to zero each idle round.
+  HotnessTracker tracker(1, MustParse("on,rate:1,decay:100"));
+  tracker.OnGuestWrite(0);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(0), HotnessTracker::kAccessBoost);
+  tracker.EndRound();
+  EXPECT_EQ(tracker.score(0), 0);
+}
+
+TEST(HotnessTrackerTest, BadKnobsDieEvenIfAFrontEndForgotToValidate) {
+  HotnessConfig config = MustParse("on");
+  config.decay = 0;
+  EXPECT_DEATH_IF_SUPPORTED(HotnessTracker(4, config), "decay");
+  config = MustParse("on");
+  config.min_score = 0;
+  EXPECT_DEATH_IF_SUPPORTED(HotnessTracker(4, config), "min_score");
+}
+
+// ---- The --hotness spec grammar. ----
+
+TEST(HotnessParseTest, EmptyAndOffDisable) {
+  EXPECT_FALSE(MustParse("").enabled);
+  EXPECT_FALSE(MustParse("off").enabled);
+}
+
+TEST(HotnessParseTest, OnEnablesTheDocumentedDefaults) {
+  const HotnessConfig config = MustParse("on");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.min_rate, 2);
+  EXPECT_EQ(config.min_score, 8);
+  EXPECT_EQ(config.decay, 1);
+  EXPECT_EQ(config.defer_budget.nanos(), Duration::Millis(500).nanos());
+}
+
+TEST(HotnessParseTest, KnobClausesEnableAndOverride) {
+  const HotnessConfig config = MustParse("rate:3,score:16,decay:2,budget:2s");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.min_rate, 3);
+  EXPECT_EQ(config.min_score, 16);
+  EXPECT_EQ(config.decay, 2);
+  EXPECT_EQ(config.defer_budget.nanos(), Duration::Seconds(2).nanos());
+}
+
+TEST(HotnessParseTest, BudgetAcceptsAllFourUnits) {
+  EXPECT_EQ(MustParse("budget:123456ns").defer_budget.nanos(), 123456);
+  EXPECT_EQ(MustParse("budget:750us").defer_budget.nanos(), 750000);
+  EXPECT_EQ(MustParse("budget:250ms").defer_budget.nanos(), 250000000);
+  EXPECT_EQ(MustParse("budget:3s").defer_budget.nanos(), 3000000000);
+}
+
+TEST(HotnessParseTest, MalformedSpecsFailWithPointedErrors) {
+  EXPECT_NE(ParseError("banana").find("bad clause"), std::string::npos);
+  EXPECT_NE(ParseError("color:7").find("unknown key"), std::string::npos);
+  EXPECT_NE(ParseError("rate:-1").find("bad value"), std::string::npos);
+  EXPECT_NE(ParseError("rate:two").find("bad value"), std::string::npos);
+  EXPECT_NE(ParseError("budget:5m").find("bad budget"), std::string::npos);
+  EXPECT_NE(ParseError("budget:ms").find("bad budget"), std::string::npos);
+}
+
+TEST(HotnessParseTest, OutOfRangeKnobsAreParseErrors) {
+  EXPECT_NE(ParseError("score:0").find("min_score must be >= 1"), std::string::npos);
+  EXPECT_NE(ParseError("decay:0").find("decay must be >= 1"), std::string::npos);
+  EXPECT_NE(ParseError("budget:0ms").find("budget must be > 0"), std::string::npos);
+}
+
+// ---- Front-end validation: the runner rejects what the CLI rejects. ----
+
+TEST(HotnessScenarioTest, BadSpecThrowsWithTheParserMessage) {
+  Scenario scenario = FastScenario(EngineKind::kXenPrecopy, "bad-spec");
+  scenario.options.hotness_spec = "decay:0";
+  try {
+    RunScenario(scenario);
+    FAIL() << "expected bad hotness spec to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad hotness spec 'decay:0'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(HotnessScenarioTest, NonIterativeEnginesRejectHotness) {
+  for (const EngineKind kind : {EngineKind::kStopAndCopy, EngineKind::kPostcopy}) {
+    Scenario scenario = FastScenario(kind, "hotness-on-baseline");
+    scenario.options.hotness_spec = "on";
+    try {
+      RunScenario(scenario);
+      FAIL() << "expected hotness + " << EngineKindName(kind) << " to throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("pre-copy only"), std::string::npos) << e.what();
+    }
+  }
+}
+
+// ---- Auditor: hotness-deferral identities. ----
+
+// A pre-copy run (hotness on or off) whose trace/result pair we can corrupt
+// in controlled ways, with the audit inputs reconstructed from the result.
+struct AuditFixture {
+  MigrationResult result;
+  TraceRecorder trace;
+  AuditInputs inputs;
+};
+
+AuditFixture RunPrecopyFixture(const std::string& hotness_spec) {
+  LabConfig config = SmallLab();
+  MigrationLab lab(SmallDerby(), config);
+  lab.Run(Duration::Seconds(5));
+  MigrationConfig mig = lab.config().migration;
+  std::string error;
+  EXPECT_TRUE(HotnessConfig::Parse(hotness_spec, &mig.hotness, &error)) << error;
+  MigrationEngine engine(&lab.guest(), mig);
+  AuditFixture fx;
+  fx.result = engine.Migrate();
+  fx.trace = engine.trace();
+  fx.inputs.link_wire_bytes = fx.result.total_wire_bytes;
+  fx.inputs.link_pages_sent = fx.result.pages_sent;
+  fx.inputs.link_retry_bytes = fx.result.retry_wire_bytes;
+  fx.inputs.control_bytes_per_iteration = mig.control_bytes_per_iteration;
+  fx.inputs.retry_backoff_base = mig.retry_backoff_base;
+  fx.inputs.retry_backoff_cap = mig.retry_backoff_cap;
+  fx.inputs.hotness_enabled = mig.hotness.enabled;
+  return fx;
+}
+
+TEST(HotnessAuditTest, ReconstructedInputsReproduceAPassingAudit) {
+  const AuditFixture fx = RunPrecopyFixture("on,rate:1");
+  ASSERT_TRUE(fx.result.trace_audit.ran);
+  ASSERT_TRUE(fx.result.trace_audit.ok) << fx.result.trace_audit.ToString();
+  EXPECT_TRUE(fx.result.hotness);
+  EXPECT_GT(fx.result.pages_deferred_hot, 0);
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(HotnessAuditTest, ForgedDeferEventInAHotnessOffTraceIsRejected) {
+  AuditFixture fx = RunPrecopyFixture("off");
+  ASSERT_TRUE(fx.result.trace_audit.ok) << fx.result.trace_audit.ToString();
+  TraceEvent event;
+  event.kind = TraceEventKind::kHotnessDefer;
+  event.at = fx.trace.events().back().at;
+  event.iteration = 1;
+  event.pages = 1;
+  event.scanned = 1;
+  fx.trace.Record(event);
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "hotness was disabled")) << report.ToString();
+}
+
+TEST(HotnessAuditTest, ForgedCountersInAHotnessOffResultAreRejected) {
+  AuditFixture fx = RunPrecopyFixture("off");
+  fx.result.pages_deferred_hot = 5;
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "hotness-off run reports")) << report.ToString();
+}
+
+TEST(HotnessAuditTest, InflatedDeferredCounterBreaksTheEventSumIdentity) {
+  AuditFixture fx = RunPrecopyFixture("on,rate:1");
+  ASSERT_GT(fx.result.pages_deferred_hot, 0);
+  ++fx.result.pages_deferred_hot;
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "parked pages")) << report.ToString();
+}
+
+TEST(HotnessAuditTest, InflatedAvoidedCounterBreaksTheEventSumIdentity) {
+  AuditFixture fx = RunPrecopyFixture("on,rate:1");
+  ASSERT_GT(fx.result.resend_pages_avoided, 0);
+  ++fx.result.resend_pages_avoided;
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "avoided re-sends")) << report.ToString();
+}
+
+TEST(HotnessAuditTest, HotnessOnRunAuditedAsOffIsRejected) {
+  AuditFixture fx = RunPrecopyFixture("on,rate:1");
+  fx.inputs.hotness_enabled = false;
+  const TraceAuditReport report =
+      TraceAuditor::Audit(AuditMode::kPrecopy, fx.trace, fx.result, fx.inputs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, "hotness was disabled")) << report.ToString();
+}
+
+// ---- Determinism: hotness-on, serial vs 4-worker pool. ----
+
+TEST(HotnessRunnerTest, HotnessOnParallelMatchesSerial) {
+  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm};
+  const char* kSpecs[] = {"on", "rate:1,score:4,decay:2,budget:250ms"};
+  std::vector<Scenario> scenarios;
+  for (const char* spec : kSpecs) {
+    for (const EngineKind kind : kEngines) {
+      Scenario scenario = FastScenario(
+          kind, std::string(EngineKindName(kind)) + "/hot[" + spec + "]");
+      scenario.options.hotness_spec = spec;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  ASSERT_EQ(serial.runs.size(), scenarios.size());
+  ASSERT_EQ(parallel.runs.size(), scenarios.size());
+  bool any_deferred = false;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].label);
+    const RunRecord& s = serial.runs[i];
+    const RunRecord& p = parallel.runs[i];
+    ASSERT_TRUE(s.ran) << s.error;
+    ASSERT_TRUE(p.ran) << p.error;
+    const MigrationResult& r = s.output.result;
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.verification.ok);
+    ASSERT_TRUE(r.trace_audit.ran);
+    EXPECT_TRUE(r.trace_audit.ok) << r.trace_audit.ToString();
+    EXPECT_TRUE(r.hotness);
+    any_deferred = any_deferred || r.pages_deferred_hot > 0;
+    // Byte identity between the execution modes.
+    EXPECT_EQ(r.total_time.nanos(), p.output.result.total_time.nanos());
+    EXPECT_EQ(r.downtime.Total().nanos(), p.output.result.downtime.Total().nanos());
+    EXPECT_EQ(r.total_wire_bytes, p.output.result.total_wire_bytes);
+    EXPECT_EQ(r.pages_sent, p.output.result.pages_sent);
+    EXPECT_EQ(r.pages_deferred_hot, p.output.result.pages_deferred_hot);
+    EXPECT_EQ(r.resend_pages_avoided, p.output.result.resend_pages_avoided);
+    EXPECT_EQ(s.output.observed_downtime.nanos(), p.output.observed_downtime.nanos());
+  }
+  // The battery must actually exercise the deferral path, or the identity
+  // checks above are vacuous.
+  EXPECT_TRUE(any_deferred);
+  std::ostringstream serial_json;
+  std::ostringstream parallel_json;
+  serial.ExportJsonLines(serial_json);
+  parallel.ExportJsonLines(parallel_json);
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+// ---- Hotness off: bit-identity against the pre-hotness seed export. ----
+
+// JSON-lines export of the 6-regime x 4-engine battery captured from the
+// seed tree (before hotness scoring existed), crypto workload, warmup 10 s,
+// cooldown 5 s, seed 1, default lab. Re-running the battery with an explicit
+// --hotness=off must reproduce it byte for byte: same bytes on the wire,
+// same timings, and no hotness keys in the export.
+const char kGoldenSeedExport[] = R"gold({"label":"healthy/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":57885589784,"downtime_ns":1972921901,"wire_bytes":6852566216,"pages_sent":1641724,"pages_skipped_dirty":158458,"pages_skipped_bitmap":0,"cpu_ns":6836923300,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":15567336868,"downtime_ns":597796796,"wire_bytes":1755319312,"pages_sent":420536,"pages_skipped_dirty":463,"pages_skipped_bitmap":215444,"cpu_ns":1777610450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"healthy/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":60523624133,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":45090743685,"degradation_window_ns":60318303678}
+{"label":"bw-collapse/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":25,"total_time_ns":99470117713,"downtime_ns":1962798853,"wire_bytes":6803394370,"pages_sent":1629943,"pages_skipped_dirty":339431,"pages_skipped_bitmap":0,"cpu_ns":6815178100,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":4,"total_time_ns":50162326816,"downtime_ns":222121502,"wire_bytes":1776664636,"pages_sent":425650,"pages_skipped_dirty":1237,"pages_skipped_bitmap":241156,"cpu_ns":1802806450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":60598447520,"downtime_ns":60598447520,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":60000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"bw-collapse/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":79038187045,"downtime_ns":287734849,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6000000000,"demand_faults":107596,"fault_stall_ns":61164514716,"degradation_window_ns":78750452196}
+{"label":"lossy-ctl/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":16,"total_time_ns":62420853968,"downtime_ns":3375174963,"wire_bytes":7130113786,"pages_sent":1708219,"pages_skipped_dirty":181651,"pages_skipped_bitmap":0,"cpu_ns":7116356500,"control_losses":7,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":3584,"backoff_ns":450000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":16625647035,"downtime_ns":372904387,"wire_bytes":1756860542,"pages_sent":420905,"pages_skipped_dirty":582,"pages_skipped_bitmap":236004,"cpu_ns":1782243650,"control_losses":3,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1536,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lossy-ctl/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21416435704847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59288,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30355456,"backoff_ns":6534750000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19469000000000,"demand_faults":89553,"fault_stall_ns":21400949678397,"degradation_window_ns":21416230384392}
+{"label":"outage/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":22,"total_time_ns":58082808479,"downtime_ns":1766067254,"wire_bytes":6757094826,"pages_sent":1618851,"pages_skipped_dirty":159938,"pages_skipped_bitmap":0,"cpu_ns":6742222350,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":16982215811,"downtime_ns":415871838,"wire_bytes":1757406312,"pages_sent":421036,"pages_skipped_dirty":506,"pages_skipped_bitmap":234260,"cpu_ns":1782514300,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":19599639305,"downtime_ns":19599639305,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":141619,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"outage/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":61523571184,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":1,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":512,"backoff_ns":749947051,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":46090690736,"degradation_window_ns":61318250729}
+{"label":"lat-spike/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":58594640298,"downtime_ns":1890426089,"wire_bytes":6831078464,"pages_sent":1636576,"pages_skipped_dirty":178180,"pages_skipped_bitmap":0,"cpu_ns":6818517400,"control_losses":2,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1024,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":8,"total_time_ns":15548160588,"downtime_ns":205355381,"wire_bytes":1751130152,"pages_sent":419532,"pages_skipped_dirty":481,"pages_skipped_bitmap":214788,"cpu_ns":1773348150,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"lat-spike/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":7215085764847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":22570,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":11555840,"backoff_ns":1503200000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6511000000000,"demand_faults":89554,"fault_stall_ns":7199599773546,"degradation_window_ns":7214880444392}
+{"label":"combined/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":24,"total_time_ns":94181311713,"downtime_ns":2427545181,"wire_bytes":6934565982,"pages_sent":1661369,"pages_skipped_dirty":665839,"pages_skipped_bitmap":0,"cpu_ns":6994557200,"control_losses":18,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":943293,"backoff_ns":2950000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":32685665303,"downtime_ns":435132962,"wire_bytes":1771686590,"pages_sent":424457,"pages_skipped_dirty":1164,"pages_skipped_bitmap":238756,"cpu_ns":1797484550,"control_losses":3,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":935613,"backoff_ns":1650000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":38537086283,"downtime_ns":38537086283,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":605078,"backoff_ns":1500000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":38000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
+{"label":"combined/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21467845450509,"downtime_ns":240640909,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59427,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30426624,"backoff_ns":6551239771663,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19525000000000,"demand_faults":89809,"fault_stall_ns":21452324103604,"degradation_window_ns":21467604809600}
+)gold";
+
+TEST(HotnessGoldenTest, HotnessOffBatteryMatchesSeedExport) {
+  struct Regime {
+    const char* name;
+    const char* spec;
+  };
+  const Regime kRegimes[] = {
+      {"healthy", ""},
+      {"bw-collapse", "bw:0s-60s@0.3"},
+      {"lossy-ctl", "loss:0.4"},
+      {"outage", "out:1s-2s"},
+      {"lat-spike", "lat:0s-30s+20ms;loss:0.2"},
+      {"combined", "bw:0s-60s@0.5;loss:0.4;out:1s-2500ms"},
+  };
+  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
+                                 EngineKind::kStopAndCopy, EngineKind::kPostcopy};
+  std::vector<Scenario> scenarios;
+  for (const Regime& regime : kRegimes) {
+    for (const EngineKind kind : kEngines) {
+      Scenario scenario =
+          FastScenario(kind, std::string(regime.name) + "/" + EngineKindName(kind));
+      scenario.options.fault_spec = regime.spec;
+      scenario.options.hotness_spec = "off";  // Explicit off == default.
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const RunReport report = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.verification_failures, 0);
+  EXPECT_EQ(report.audit_failures, 0);
+  std::ostringstream os;
+  report.ExportJsonLines(os);
+  EXPECT_EQ(os.str(), std::string(kGoldenSeedExport));
+}
+
+}  // namespace
+}  // namespace javmm

@@ -1,0 +1,26 @@
+// Known-bad fixture: floating-point arithmetic in the hotness score path.
+// The hotness scope is whole-file, so these fire even though nothing here is
+// a JSON export statement. Expected float-export findings: three `double`
+// idents, two float literals, one ToSecondsF call (6 total).
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace javmm_fixture {
+
+// A tempting-but-wrong rewrite of the integer decay: multiplying by 0.5
+// instead of shifting right makes score order depend on rounding.
+int64_t DecayedScore(int64_t score, bool accessed) {
+  const double factor = 0.5;                          // float-export (double, 0.5)
+  double next = static_cast<double>(score) * factor;  // float-export (double x2)
+  if (accessed) {
+    next += 8.0;  // float-export (literal)
+  }
+  return static_cast<int64_t>(next);
+}
+
+int64_t BudgetRounds(javmm::Duration budget) {
+  return static_cast<int64_t>(budget.ToSecondsF());  // float-export (call)
+}
+
+}  // namespace javmm_fixture

@@ -1,0 +1,20 @@
+// Known-good fixture: the hotness score path written the integer-only way.
+// Exponential decay is a right shift and the budget stays in nanoseconds, so
+// the whole-file float-export scope for src/mem/hotness* reports nothing.
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace javmm_fixture {
+
+int64_t DecayedScore(int64_t score, bool accessed) {
+  int64_t next = score >> 1;
+  if (accessed) {
+    next += 8;
+  }
+  return next;
+}
+
+int64_t BudgetNanos(javmm::Duration budget) { return budget.nanos(); }
+
+}  // namespace javmm_fixture

@@ -265,6 +265,28 @@ TEST(FloatExportRule, OnlyExportPathsAreInScope) {
   EXPECT_EQ(CountRule(diags, "float-export"), 0);
 }
 
+TEST(FloatExportRule, HotnessScopeIsWholeFile) {
+  // src/mem/hotness* is integer-only end to end (DESIGN.md §12): floats fire
+  // anywhere in the file, not just inside JSON emit statements.
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/hotness_fixture.cc", Fixture("hotness_float_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 6);
+}
+
+TEST(FloatExportRule, IntegerOnlyHotnessIsClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/hotness_fixture.cc", Fixture("hotness_float_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
+TEST(FloatExportRule, HotnessScopeDoesNotCoverTheRestOfMem) {
+  // The same float-laden code under a different src/mem file is out of scope:
+  // only the hotness score path carries the whole-file contract.
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("hotness_float_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
 TEST(FloatExportRule, DisablingTheRuleSilencesIt) {
   LintOptions options;
   options.disabled_rules.insert("float-export");
