@@ -1,8 +1,14 @@
 // Copyright (c) 2026 The JAVMM Reproduction Authors.
-// Byte-size helpers shared across the project.
+// Byte-size helpers, unit-tagged integer aliases, and checked arithmetic
+// shared across the project.
 //
-// Sizes are plain int64 byte counts; the helpers here only make construction
-// and printing readable (`2 * kGiB`, `FormatBytes(…) == "1.50 GiB"`).
+// Sizes are plain int64 byte counts; the helpers here make construction and
+// printing readable (`2 * kGiB`, `FormatBytes(…) == "1.50 GiB"`), tag the
+// three integer currencies the simulation trades in (nanoseconds, bytes,
+// pages) so javmm-lint's unit dataflow pass can track them (DESIGN.md §13),
+// and provide overflow-checked arithmetic for the wide products the
+// bandwidth math produces (`bytes * ns / rate` overflows int64 long before
+// rack-scale magnitudes).
 
 #ifndef JAVMM_SRC_BASE_UNITS_H_
 #define JAVMM_SRC_BASE_UNITS_H_
@@ -10,7 +16,56 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/macros.h"
+
 namespace javmm {
+
+// Unit-tagged aliases. They are deliberately plain typedefs -- no wrapper
+// type, no codegen cost -- but declaring a variable or member with one of
+// them teaches javmm-lint's `unit-mix` / `overflow-mul` dataflow pass its
+// unit, exactly like an `*_ns` / `*_bytes` / `*_pages` name suffix does.
+// (`Pfn` in src/mem/types.h plays the same role for frame numbers.)
+using Nanos = int64_t;      // A span or instant count in simulated ns.
+using ByteCount = int64_t;  // Payload / wire / control bytes.
+using PageCount = int64_t;  // Whole 4 KiB guest pages.
+
+// Overflow-checked int64 arithmetic. CHECK-fails on overflow instead of
+// wrapping: every caller in the simulation core treats a wrapped counter as
+// silently corrupted results, so dying loudly is strictly better. The lint
+// rule `overflow-mul` points raw `*` between unit-tagged wide operands here.
+constexpr int64_t CheckedAdd(int64_t a, int64_t b) {
+  int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    CheckFailure("CheckedAdd", 0, "a + b overflows int64", std::to_string(a) + " + " + std::to_string(b));
+  }
+  return out;
+}
+
+constexpr int64_t CheckedMul(int64_t a, int64_t b) {
+  int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    CheckFailure("CheckedMul", 0, "a * b overflows int64", std::to_string(a) + " * " + std::to_string(b));
+  }
+  return out;
+}
+
+// value * num / den with a 128-bit intermediate, truncating toward zero like
+// plain int64 division. This is the shape of all exact rate math in the
+// project (`bytes * ns_per_sec / rate`, `wire_bytes * page_hi / pages`):
+// the product routinely exceeds int64 while the quotient fits. CHECK-fails
+// on den == 0 and on a quotient that does not fit in int64.
+constexpr int64_t MulDiv(int64_t value, int64_t num, int64_t den) {
+  if (den == 0) {
+    CheckFailure("MulDiv", 0, "den != 0", "division by zero");
+  }
+  const __int128 product = static_cast<__int128>(value) * num;
+  const __int128 quotient = product / den;
+  if (quotient > INT64_MAX || quotient < INT64_MIN) {
+    CheckFailure("MulDiv", 0, "quotient fits int64",
+                 std::to_string(value) + " * " + std::to_string(num) + " / " + std::to_string(den));
+  }
+  return static_cast<int64_t>(quotient);
+}
 
 inline constexpr int64_t kKiB = 1024;
 inline constexpr int64_t kMiB = 1024 * kKiB;

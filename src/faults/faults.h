@@ -135,7 +135,10 @@ class FaultSchedule {
 inline Duration NominalBackoff(Duration base, Duration cap, int attempt) {
   Duration nominal = base;
   for (int i = 1; i < attempt && nominal < cap; ++i) {
-    nominal = nominal * int64_t{2};
+    // Saturate at cap instead of doubling past it: `nominal * 2` is signed
+    // overflow (UB) once nanos pass 2^62, reachable with a large base and a
+    // deep retry budget. cap/2 rounds down, so equality still doubles.
+    nominal = nominal > cap / int64_t{2} ? cap : nominal * int64_t{2};
   }
   return nominal < cap ? nominal : cap;
 }

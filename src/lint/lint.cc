@@ -140,10 +140,27 @@ std::string Diagnostic::ToJson() const {
   return os.str();
 }
 
+const char* UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kNone:
+      return "untagged";
+    case Unit::kNs:
+      return "ns";
+    case Unit::kBytes:
+      return "bytes";
+    case Unit::kPages:
+      return "pages";
+    case Unit::kPfn:
+      return "pfn";
+  }
+  return "untagged";
+}
+
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "banned-call",   "unordered-iter", "uninit-member", "dcheck-side-effect",
-      "include-guard", "float-export",   "suppression"};
+      "banned-call",   "unordered-iter", "uninit-member",  "dcheck-side-effect",
+      "include-guard", "float-export",   "unit-mix",       "unit-assign",
+      "overflow-mul",  "narrowing-cast", "div-before-mul", "suppression"};
   return kRules;
 }
 
@@ -152,10 +169,53 @@ bool IsKnownRule(const std::string& rule) {
   return std::find(rules.begin(), rules.end(), rule) != rules.end();
 }
 
+namespace {
+
+// The tagged aliases from src/base/units.h (plus Pfn from src/mem/types.h):
+// declaring a name with one of these carries its unit across files.
+Unit UnitOfTaggedAlias(const std::string& type_name) {
+  if (type_name == "Nanos") {
+    return Unit::kNs;
+  }
+  if (type_name == "ByteCount") {
+    return Unit::kBytes;
+  }
+  if (type_name == "PageCount") {
+    return Unit::kPages;
+  }
+  if (type_name == "Pfn") {
+    return Unit::kPfn;
+  }
+  return Unit::kNone;
+}
+
+}  // namespace
+
 void CollectRegistry(const TokenizedSource& src, LintRegistry* registry) {
   const std::vector<Token>& toks = src.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
+    // `Nanos name;` / `ByteCount name = ...` member/global declarations
+    // record name -> unit; conflicting declarations untrust the name.
+    // Parameter positions (`, name` / `name)`) are deliberately excluded,
+    // as are names shorter than 3 characters: a lambda parameter or test
+    // local like `Pfn b` must not tag every `b` in the tree -- the per-file
+    // dataflow pass handles those locally.
+    if (t.kind == TokenKind::kIdentifier && UnitOfTaggedAlias(t.text) != Unit::kNone &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokenKind::kIdentifier &&
+        toks[i + 1].text.size() >= 3 &&
+        (toks[i + 2].IsPunct(";") || toks[i + 2].IsPunct("=") || toks[i + 2].IsPunct("{"))) {
+      const bool alias_is_member_access =
+          i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->") ||
+                    toks[i - 1].IsPunct("::"));
+      if (!alias_is_member_access) {
+        const Unit unit = UnitOfTaggedAlias(t.text);
+        auto [it, inserted] = registry->unit_names.emplace(toks[i + 1].text, unit);
+        if (!inserted && it->second != unit) {
+          it->second = Unit::kNone;
+        }
+      }
+    }
     // `enum [class|struct] Name` -> Name is scalar for the member-init rule.
     if (t.IsIdent("enum") && i + 1 < toks.size()) {
       size_t j = i + 1;
@@ -204,6 +264,9 @@ std::vector<Diagnostic> LintSource(const std::string& path, const TokenizedSourc
   std::vector<Diagnostic> raw;
   const RuleContext ctx{path, src, registry, &raw};
   const auto enabled = [&options](const char* rule) {
+    if (!options.only_rules.empty() && options.only_rules.count(rule) == 0) {
+      return false;
+    }
     return options.disabled_rules.count(rule) == 0;
   };
   if (enabled("banned-call")) {
@@ -224,6 +287,15 @@ std::vector<Diagnostic> LintSource(const std::string& path, const TokenizedSourc
   if (enabled("float-export")) {
     CheckFloatExport(ctx);
   }
+  if (enabled("unit-mix") || enabled("unit-assign") || enabled("overflow-mul") ||
+      enabled("narrowing-cast") || enabled("div-before-mul")) {
+    // One shared dataflow pass emits all five unit rules; disabled ones are
+    // filtered below.
+    CheckUnitDataflow(ctx);
+  }
+  raw.erase(std::remove_if(raw.begin(), raw.end(),
+                           [&enabled](const Diagnostic& d) { return !enabled(d.rule.c_str()); }),
+            raw.end());
 
   const std::vector<Suppression> suppressions = ParseSuppressions(src);
   std::map<int, std::set<std::string>> suppressed_rules_by_line;

@@ -28,12 +28,36 @@
 //   suppression         malformed suppression comments (unknown rule or
 //                       missing reason); keeps the annotation channel honest.
 //
+// v2 adds a per-function, flow-aware unit dataflow layer (DESIGN.md §13)
+// over the simulation core (src/base, src/net, src/faults, src/migration,
+// src/mem, src/core, src/trace). A lightweight symbol table infers unit tags
+// (ns / bytes / pages / pfn) from name suffixes (`*_ns`, `*_bytes`,
+// `*_pages`, `pfn*`), the tagged aliases in src/base/units.h (Nanos,
+// ByteCount, PageCount, Pfn) wherever they are declared with, and
+// initializer dataflow (`int64_t hi = pages * (c + 1) / n` tags `hi` as
+// pages). On top of it:
+//
+//   unit-mix        +/-/comparison between ns and bytes/pages, or bytes and
+//                   pages -- the classic "added a duration to a byte count".
+//   unit-assign     a bytes/pages-valued expression stored into an *_ns
+//                   lvalue (or any other cross-unit store) with no
+//                   converting arithmetic in between.
+//   overflow-mul    raw `*` between two unit-tagged wide operands outside
+//                   the checked helpers (CheckedMul / MulDiv): the PR 6
+//                   TryTransfer bug shape, products past int64.
+//   narrowing-cast  a unit-tagged int64 value cast into a type narrower
+//                   than 64 bits: silently truncates at scale.
+//   div-before-mul  `a / b * c` rate math: the integer division truncates
+//                   before the multiply; MulDiv(a, c, b) keeps the
+//                   precision.
+//
 // Any rule can be suppressed on a specific line (or the line directly above
 // it) with `// lint: <rule>-ok (reason)`; the reason is mandatory.
 
 #ifndef JAVMM_SRC_LINT_LINT_H_
 #define JAVMM_SRC_LINT_LINT_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,6 +66,20 @@
 
 namespace javmm {
 namespace lint {
+
+// Unit tag carried by an integer expression in the simulation core. kPfn is
+// deliberately compatible with kPages in comparisons/additions (a frame
+// number indexes page space; `pfn < frames` is idiomatic) but still counts
+// as wide for overflow-mul and narrowing-cast.
+enum class Unit {
+  kNone = 0,
+  kNs,
+  kBytes,
+  kPages,
+  kPfn,
+};
+
+const char* UnitName(Unit unit);
 
 struct Diagnostic {
   std::string file;
@@ -65,12 +103,20 @@ bool IsKnownRule(const std::string& rule);
 struct LintRegistry {
   std::set<std::string> enum_types;       // `enum [class] Name` declarations.
   std::set<std::string> unordered_names;  // Variables/members of unordered type.
+  // Names declared with a unit-tagged alias (Nanos / ByteCount / PageCount /
+  // Pfn) anywhere in the scanned tree, so a member declared `ByteCount
+  // total;` in a header carries its unit into every .cc that touches it.
+  // Names seen with conflicting units collapse to kNone (untrusted).
+  std::map<std::string, Unit> unit_names;
 };
 
 void CollectRegistry(const TokenizedSource& src, LintRegistry* registry);
 
 struct LintOptions {
   std::set<std::string> disabled_rules;
+  // When non-empty, ONLY these rules run (--only=RULE); disabled_rules still
+  // subtracts from the set.
+  std::set<std::string> only_rules;
 };
 
 // Runs every enabled rule over one tokenized file. `path` decides which rules

@@ -38,6 +38,18 @@ void CheckDcheckSideEffects(const RuleContext& ctx);  // dcheck-side-effect
 void CheckIncludeGuard(const RuleContext& ctx);       // include-guard
 void CheckFloatExport(const RuleContext& ctx);        // float-export
 
+// The flow-aware unit dataflow pass (src/lint/unit_rules.cc): one walk over
+// the token stream maintaining a per-function symbol table of unit-tagged
+// names, emitting unit-mix, unit-assign, overflow-mul, narrowing-cast, and
+// div-before-mul. LintSource filters out whichever of the five are disabled.
+void CheckUnitDataflow(const RuleContext& ctx);
+
+// Unit inferred from an identifier's spelling alone: `*_ns`/`*_nanos` -> ns,
+// `*_bytes`/`*_byte` -> bytes, `*_pages` -> pages, `pfn*`/`*_pfn` -> pfn.
+// Trailing member underscores (`wire_bytes_`) are stripped first. Exposed
+// for the self-tests.
+Unit UnitFromName(const std::string& ident);
+
 }  // namespace lint
 }  // namespace javmm
 

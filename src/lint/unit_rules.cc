@@ -1,0 +1,452 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Flow-aware unit dataflow pass for javmm-lint (DESIGN.md §13).
+//
+// One linear walk over the token stream maintains a flow-ordered symbol
+// table of unit-tagged integer names. A name acquires a unit from (in
+// precedence order):
+//
+//   1. its spelling        -- `*_ns`, `*_bytes`, `*_pages`, `pfn*` suffixes
+//                             (trailing member underscores stripped);
+//   2. its declared type   -- the tagged aliases Nanos / ByteCount /
+//                             PageCount (src/base/units.h) and Pfn
+//                             (src/mem/types.h), locally or via the
+//                             cross-file registry;
+//   3. its initializer     -- `const int64_t hi = pages * (c + 1) / n;`
+//                             tags `hi` as pages: multiplying or dividing by
+//                             untagged scalars preserves the unit, while a
+//                             tagged divisor (bytes / bytes, bytes / rate)
+//                             destroys it and blocks the inference.
+//
+// The table is file-scoped but flow-ordered (a use before any declaration
+// sees only spelling + registry), and a name re-declared with a different
+// unit collapses to untagged, so a stale tag can never cross functions into
+// a false positive. On top of the table, five rules fire (see lint.h):
+// unit-mix, unit-assign, overflow-mul, narrowing-cast, div-before-mul.
+//
+// Like the rest of javmm-lint this is lexical, not semantic: it trades
+// soundness for a sub-second, dependency-free build step, and its contract
+// is "the bug class the tree actually hits is unwritable", not "all unit
+// errors are found".
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/lint/rules.h"
+
+namespace javmm {
+namespace lint {
+
+namespace {
+
+// The simulation core: every path whose integer arithmetic reaches wire /
+// downtime accounting or the trace. bench/ and tests/ stay out of scope --
+// exhibits do ad-hoc presentation math -- but the values they print are all
+// produced inside these directories.
+const char* const kUnitDirs[] = {"src/base/",      "src/net/",  "src/faults/",
+                                 "src/migration/", "src/mem/",  "src/core/",
+                                 "src/trace/"};
+
+bool InUnitScope(const std::string& path) {
+  for (const char* dir : kUnitDirs) {
+    if (PathInDir(path, dir)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Integer type spellings that can open a declaration the pass records.
+const std::set<std::string>& DeclTypeNames() {
+  static const std::set<std::string> kTypes = {
+      "int64_t", "uint64_t", "int32_t", "uint32_t", "int16_t",  "uint16_t", "int8_t",
+      "uint8_t", "int",      "long",    "short",    "unsigned", "size_t",   "auto",
+      "Nanos",   "ByteCount", "PageCount", "Pfn"};
+  return kTypes;
+}
+
+Unit UnitOfAlias(const std::string& type_name) {
+  if (type_name == "Nanos") {
+    return Unit::kNs;
+  }
+  if (type_name == "ByteCount") {
+    return Unit::kBytes;
+  }
+  if (type_name == "PageCount") {
+    return Unit::kPages;
+  }
+  if (type_name == "Pfn") {
+    return Unit::kPfn;
+  }
+  return Unit::kNone;
+}
+
+// Types a unit-tagged int64 must not be narrowed into. `long` is 64-bit on
+// every platform this project targets, so it does not appear.
+const std::set<std::string>& NarrowTypeNames() {
+  static const std::set<std::string> kTypes = {"int",     "int32_t",  "uint32_t", "int16_t",
+                                               "uint16_t", "int8_t",  "uint8_t",  "short",
+                                               "char",    "unsigned"};
+  return kTypes;
+}
+
+const std::set<std::string>& WideTypeNames() {
+  static const std::set<std::string> kTypes = {"int64_t", "uint64_t", "size_t", "long",
+                                               "intptr_t", "uintptr_t", "Nanos", "ByteCount",
+                                               "PageCount", "Pfn"};
+  return kTypes;
+}
+
+// ns vs bytes/pages/pfn and bytes vs pages/pfn are mix errors; pages vs pfn
+// is idiomatic (a frame number indexes page space: `pfn < frames`).
+bool UnitsCompatible(Unit a, Unit b) {
+  if (a == b) {
+    return true;
+  }
+  return (a == Unit::kPages && b == Unit::kPfn) || (a == Unit::kPfn && b == Unit::kPages);
+}
+
+struct Pass {
+  const RuleContext& ctx;
+  const std::vector<Token>& toks;
+  // Flow-ordered symbol table; kNone marks a name seen with conflicting
+  // units (untrusted from then on).
+  std::map<std::string, Unit> symtab;
+
+  explicit Pass(const RuleContext& c) : ctx(c), toks(c.src.tokens) {}
+
+  // Unit of the identifier token at `i` when used as a value. Calls resolve
+  // to untagged (their name tags the result, not the callee).
+  Unit UnitAt(size_t i) const {
+    if (i >= toks.size() || toks[i].kind != TokenKind::kIdentifier) {
+      return Unit::kNone;
+    }
+    if (i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+      return Unit::kNone;
+    }
+    const Unit by_name = UnitFromName(toks[i].text);
+    if (by_name != Unit::kNone) {
+      return by_name;
+    }
+    const auto local = symtab.find(toks[i].text);
+    if (local != symtab.end()) {
+      return local->second;
+    }
+    const auto global = ctx.registry.unit_names.find(toks[i].text);
+    if (global != ctx.registry.unit_names.end()) {
+      return global->second;
+    }
+    return Unit::kNone;
+  }
+
+  void Record(const std::string& name, Unit unit) {
+    if (unit == Unit::kNone) {
+      return;
+    }
+    auto [it, inserted] = symtab.emplace(name, unit);
+    if (!inserted && it->second != unit) {
+      it->second = Unit::kNone;
+    }
+  }
+
+  // Scans the expression starting at `i` until `;`, or `,` / `)` at the
+  // entry nesting level, and infers its unit: the single unit shared by
+  // every tagged identifier in it, or kNone when units differ or a tagged
+  // identifier sits in a divisor position (the division destroyed the
+  // unit: bytes / bytes is a ratio, bytes / rate is time). When `strict`
+  // is set, ANY multiplicative operator blocks the inference -- the caller
+  // is about to compare the unit against an lvalue's and `pages *
+  // ns_per_page` legitimately converts. Returns the index just past the
+  // expression's last token.
+  size_t InferExpr(size_t i, bool strict, Unit* out) const {
+    int depth = 0;
+    bool saw_div = false;
+    bool poisoned = false;
+    Unit unit = Unit::kNone;
+    for (; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokenKind::kPunct) {
+        const std::string& p = t.text;
+        if (p == "(" || p == "[" || p == "{") {
+          ++depth;
+          continue;
+        }
+        if (p == ")" || p == "]" || p == "}") {
+          if (depth == 0) {
+            break;
+          }
+          --depth;
+          continue;
+        }
+        if (p == ";" || (depth == 0 && p == ",")) {
+          break;
+        }
+        if (p == "/" || p == "%") {
+          saw_div = true;
+          if (strict) {
+            poisoned = true;
+          }
+          continue;
+        }
+        if (strict && p == "*") {
+          poisoned = true;
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const Unit u = UnitAt(i);
+      if (u == Unit::kNone) {
+        continue;
+      }
+      if (saw_div) {
+        poisoned = true;  // Tagged divisor: the quotient's unit is not u.
+      }
+      if (unit == Unit::kNone) {
+        unit = u;
+      } else if (!UnitsCompatible(unit, u)) {
+        poisoned = true;
+      }
+    }
+    *out = poisoned ? Unit::kNone : unit;
+    return i;
+  }
+
+  void Run() {
+    for (size_t i = 0; i < toks.size(); ++i) {
+      HandleDeclaration(i);
+      HandleAssignment(i);
+      HandleBinaryMix(i);
+      HandleOverflowMul(i);
+      HandleNarrowingCast(i);
+      HandleDivBeforeMul(i);
+    }
+  }
+
+  // `TYPE name ;|=|,|)|{` -- records the name's unit and, for `=`, checks
+  // the initializer against a spelling-derived unit (declaration form of
+  // unit-assign).
+  void HandleDeclaration(size_t i) {
+    if (toks[i].kind != TokenKind::kIdentifier || DeclTypeNames().count(toks[i].text) == 0) {
+      return;
+    }
+    if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->") ||
+                  toks[i - 1].IsPunct("::") || toks[i - 1].IsPunct("<"))) {
+      return;  // Member access or template argument, not a declaration.
+    }
+    if (i + 2 >= toks.size() || toks[i + 1].kind != TokenKind::kIdentifier) {
+      return;
+    }
+    const Token& name = toks[i + 1];
+    const Token& after = toks[i + 2];
+    if (!after.IsPunct(";") && !after.IsPunct("=") && !after.IsPunct(",") &&
+        !after.IsPunct(")") && !after.IsPunct("{")) {
+      return;
+    }
+    const Unit by_alias = UnitOfAlias(toks[i].text);
+    const Unit by_name = UnitFromName(name.text);
+    Unit unit = by_name != Unit::kNone ? by_name : by_alias;
+    if (after.IsPunct("=")) {
+      Unit rhs_strict = Unit::kNone;
+      InferExpr(i + 3, /*strict=*/true, &rhs_strict);
+      if (unit != Unit::kNone && rhs_strict != Unit::kNone &&
+          !UnitsCompatible(unit, rhs_strict)) {
+        ctx.Report(name.line, "unit-assign",
+                   std::string("initializing ") + UnitName(unit) + "-tagged '" + name.text +
+                       "' from a " + UnitName(rhs_strict) +
+                       "-valued expression with no converting arithmetic: one of the two "
+                       "units is wrong");
+      }
+      if (unit == Unit::kNone) {
+        // Dataflow: the initializer's (permissive) unit flows into the name.
+        InferExpr(i + 3, /*strict=*/false, &unit);
+      }
+    }
+    Record(name.text, unit);
+  }
+
+  // `name = expr ;` (plain assignment, not a declaration) -- the stored
+  // expression's strict unit must match the lvalue's.
+  void HandleAssignment(size_t i) {
+    if (!toks[i].IsPunct("=") || i == 0 || i + 1 >= toks.size()) {
+      return;
+    }
+    const Token& lhs = toks[i - 1];
+    if (lhs.kind != TokenKind::kIdentifier) {
+      return;
+    }
+    // Declarations are handled above; `==` and friends are distinct tokens.
+    if (i >= 2 && toks[i - 2].kind == TokenKind::kIdentifier &&
+        DeclTypeNames().count(toks[i - 2].text) != 0) {
+      return;
+    }
+    const Unit lhs_unit = UnitAt(i - 1);
+    if (lhs_unit == Unit::kNone) {
+      return;
+    }
+    Unit rhs_unit = Unit::kNone;
+    InferExpr(i + 1, /*strict=*/true, &rhs_unit);
+    if (rhs_unit != Unit::kNone && !UnitsCompatible(lhs_unit, rhs_unit)) {
+      ctx.Report(lhs.line, "unit-assign",
+                 std::string("assigning a ") + UnitName(rhs_unit) + "-valued expression to " +
+                     UnitName(lhs_unit) + "-tagged '" + lhs.text +
+                     "' with no converting arithmetic: one of the two units is wrong");
+    }
+  }
+
+  // `a OP b` for OP in + - < <= > >= == != with incompatible units on the
+  // two sides. Operands adjacent to * or / are skipped: the multiplicative
+  // factor may legitimately convert the unit.
+  void HandleBinaryMix(size_t i) {
+    static const std::set<std::string> kMixOps = {"+",  "-",  "<",  "<=",
+                                                  ">",  ">=", "==", "!="};
+    if (toks[i].kind != TokenKind::kPunct || kMixOps.count(toks[i].text) == 0) {
+      return;
+    }
+    if (i == 0 || i + 1 >= toks.size()) {
+      return;
+    }
+    const Unit left = UnitAt(i - 1);
+    const Unit right = UnitAt(i + 1);
+    if (left == Unit::kNone || right == Unit::kNone || UnitsCompatible(left, right)) {
+      return;
+    }
+    const auto multiplicative = [this](size_t k) {
+      return k < toks.size() && (toks[k].IsPunct("*") || toks[k].IsPunct("/"));
+    };
+    if ((i >= 2 && multiplicative(i - 2)) || multiplicative(i + 2)) {
+      return;
+    }
+    ctx.Report(toks[i].line, "unit-mix",
+               std::string("'") + toks[i - 1].text + "' (" + UnitName(left) + ") " +
+                   toks[i].text + " '" + toks[i + 1].text + "' (" + UnitName(right) +
+                   ") mixes units: nanoseconds, bytes, and pages are distinct currencies "
+                   "(convert explicitly, or fix the operand)");
+  }
+
+  // Raw `*` between two unit-tagged operands: the product is a wide unit
+  // cross (bytes * ns, bytes * pages, ...) that overflows int64 at scale.
+  void HandleOverflowMul(size_t i) {
+    if (!toks[i].IsPunct("*") || i == 0 || i + 1 >= toks.size()) {
+      return;
+    }
+    const Unit left = UnitAt(i - 1);
+    const Unit right = UnitAt(i + 1);
+    if (left == Unit::kNone || right == Unit::kNone) {
+      return;
+    }
+    ctx.Report(toks[i].line, "overflow-mul",
+               std::string("raw '*' between unit-tagged operands '") + toks[i - 1].text +
+                   "' (" + UnitName(left) + ") and '" + toks[i + 1].text + "' (" +
+                   UnitName(right) +
+                   "): the product overflows int64 at scale (the PR 6 TryTransfer bug "
+                   "shape); use CheckedMul or MulDiv from src/base/units.h");
+  }
+
+  // `static_cast<NARROW>( ... tagged ... )`.
+  void HandleNarrowingCast(size_t i) {
+    if (!toks[i].IsIdent("static_cast") || i + 1 >= toks.size() || !toks[i + 1].IsPunct("<")) {
+      return;
+    }
+    size_t j = i + 2;
+    bool narrow = false;
+    bool wide = false;
+    while (j < toks.size() && !toks[j].IsPunct(">")) {
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        narrow = narrow || NarrowTypeNames().count(toks[j].text) != 0;
+        wide = wide || WideTypeNames().count(toks[j].text) != 0;
+      }
+      ++j;
+    }
+    if (j + 1 >= toks.size() || !toks[j + 1].IsPunct("(") || !narrow || wide) {
+      return;
+    }
+    int depth = 1;
+    for (size_t k = j + 2; k < toks.size() && depth > 0; ++k) {
+      if (toks[k].IsPunct("(")) {
+        ++depth;
+      } else if (toks[k].IsPunct(")")) {
+        --depth;
+      } else if (toks[k].kind == TokenKind::kIdentifier) {
+        const Unit unit = UnitAt(k);
+        if (unit != Unit::kNone) {
+          ctx.Report(toks[i].line, "narrowing-cast",
+                     std::string("static_cast of ") + UnitName(unit) + "-tagged '" +
+                         toks[k].text +
+                         "' into a type narrower than 64 bits: silently truncates at "
+                         "scale; keep unit-tagged values in int64");
+          return;
+        }
+      }
+    }
+  }
+
+  // `a / b * c` with a unit-tagged dividend: the integer division truncates
+  // before the multiply. MulDiv(a, c, b) keeps the precision (and the
+  // 128-bit intermediate).
+  void HandleDivBeforeMul(size_t i) {
+    if (!toks[i].IsPunct("/") || i == 0 || i + 3 >= toks.size()) {
+      return;
+    }
+    const Unit dividend = UnitAt(i - 1);
+    if (dividend == Unit::kNone) {
+      return;
+    }
+    const Token& divisor = toks[i + 1];
+    if (divisor.kind != TokenKind::kIdentifier && divisor.kind != TokenKind::kNumber) {
+      return;
+    }
+    if (divisor.kind == TokenKind::kIdentifier && i + 2 < toks.size() &&
+        toks[i + 2].IsPunct("(")) {
+      return;  // Divisor is a call; its closing paren ends elsewhere.
+    }
+    if (!toks[i + 2].IsPunct("*")) {
+      return;
+    }
+    ctx.Report(toks[i].line, "div-before-mul",
+               std::string("'") + toks[i - 1].text + " / " + divisor.text +
+                   " * ...' divides before multiplying: the integer division truncates "
+                   "first and the precision is gone; use MulDiv(" + toks[i - 1].text +
+                   ", <factor>, " + divisor.text + ") from src/base/units.h");
+  }
+};
+
+}  // namespace
+
+Unit UnitFromName(const std::string& ident) {
+  std::string name = ident;
+  while (!name.empty() && name.back() == '_') {
+    name.pop_back();
+  }
+  if (EndsWith(name, "_ns") || EndsWith(name, "_nanos") || name == "ns" || name == "nanos") {
+    return Unit::kNs;
+  }
+  if (EndsWith(name, "_bytes") || EndsWith(name, "_byte") || name == "bytes") {
+    return Unit::kBytes;
+  }
+  if (EndsWith(name, "_pages") || name == "pages") {
+    return Unit::kPages;
+  }
+  if (EndsWith(name, "_pfn") || name.rfind("pfn", 0) == 0) {
+    return Unit::kPfn;
+  }
+  return Unit::kNone;
+}
+
+void CheckUnitDataflow(const RuleContext& ctx) {
+  if (!InUnitScope(ctx.path)) {
+    return;
+  }
+  Pass pass(ctx);
+  pass.Run();
+}
+
+}  // namespace lint
+}  // namespace javmm

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/base/macros.h"
+#include "src/base/units.h"
 #include "src/mem/bitmap.h"
 #include "src/trace/auditor.h"
 
@@ -100,7 +101,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
                            Duration::Zero()});
   for (Pfn pfn = 0; pfn < frames; pfn += config_.batch_pages) {
     const int64_t burst = std::min(config_.batch_pages, frames - pfn);
-    const int64_t wire = burst * (page_payload + config_.link.per_page_overhead);
+    const int64_t wire = CheckedMul(burst, page_payload + config_.link.per_page_overhead);
     // An outage cuts a channel's slice: the partial transfer burned time and
     // wire bytes but delivered nothing. The VM is paused and the destination
     // owns nothing yet, so there is no degrade path -- each channel waits the

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/base/macros.h"
+#include "src/base/units.h"
 #include "src/guest/lkm.h"
 #include "src/mem/dirty_log.h"
 #include "src/trace/auditor.h"
@@ -480,10 +481,13 @@ MigrationResult MigrationEngine::Migrate() {
   if (config_.hotness.enabled) {
     hotness_.emplace(frames, config_.hotness);
     deferred_hot_.emplace(frames);
-    const double budget_bytes = config_.hotness.defer_budget.ToSecondsF() *
-                                config_.link.GoodputBytesPerSec();
-    const double per_page = static_cast<double>(kPageSize + config_.link.per_page_overhead);
-    max_deferred_pages_ = static_cast<int64_t>(budget_bytes / per_page);
+    // budget_ns * goodput overflows int64 for multi-second budgets on fast
+    // links; MulDiv keeps the product in 128 bits. Goodput is truncated to
+    // whole bytes/sec, which moves the bound by at most one page.
+    const int64_t goodput = static_cast<int64_t>(config_.link.GoodputBytesPerSec());
+    const int64_t per_page = kPageSize + config_.link.per_page_overhead;
+    max_deferred_pages_ =
+        MulDiv(config_.hotness.defer_budget.nanos(), goodput, 1'000'000'000) / per_page;
   }
   trace_.set_enabled(config_.record_trace);
   trace_.Clear();

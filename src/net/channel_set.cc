@@ -3,6 +3,7 @@
 #include "src/net/channel_set.h"
 
 #include "src/base/macros.h"
+#include "src/base/units.h"
 
 namespace javmm {
 
@@ -55,13 +56,17 @@ std::vector<ChannelShare> ChannelSet::Shard(int64_t pages, int64_t wire_bytes) c
     ChannelShare& share = shares[static_cast<size_t>(c)];
     share.channel = static_cast<int>(c);
     if (pages > 0) {
-      const int64_t page_lo = pages * c / n;
-      const int64_t page_hi = pages * (c + 1) / n;
+      const int64_t page_lo = MulDiv(pages, c, n);
+      const int64_t page_hi = MulDiv(pages, c + 1, n);
       share.pages = page_hi - page_lo;
-      share.wire_bytes = wire_bytes * page_hi / pages - wire_bytes * page_lo / pages;
+      // wire_bytes * page_hi overflows int64 once memories reach ~2^32 pages
+      // (javmm-lint overflow-mul); MulDiv runs the product through 128 bits
+      // and truncates exactly like the old int64 division for in-range values.
+      share.wire_bytes =
+          MulDiv(wire_bytes, page_hi, pages) - MulDiv(wire_bytes, page_lo, pages);
     } else {
       share.pages = 0;
-      share.wire_bytes = wire_bytes * (c + 1) / n - wire_bytes * c / n;
+      share.wire_bytes = MulDiv(wire_bytes, c + 1, n) - MulDiv(wire_bytes, c, n);
     }
   }
   return shares;

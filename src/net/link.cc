@@ -16,7 +16,7 @@ NetworkLink::NetworkLink(const LinkConfig& config) : config_(config) {
 }
 
 int64_t NetworkLink::PageWireBytes(int64_t page_count) const {
-  return page_count * (kPageSize + config_.per_page_overhead);
+  return CheckedMul(page_count, kPageSize + config_.per_page_overhead);
 }
 
 Duration NetworkLink::PageTransferTime(int64_t page_count) const {

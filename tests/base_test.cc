@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <type_traits>
 
 #include "src/base/rng.h"
 #include "src/base/time.h"
@@ -73,6 +75,59 @@ TEST(UnitsTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(2 * kKiB), "2.00 KiB");
   EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MiB");
   EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+TEST(CheckedArithmeticTest, CheckedAddInRange) {
+  EXPECT_EQ(CheckedAdd(0, 0), 0);
+  EXPECT_EQ(CheckedAdd(3, 4), 7);
+  EXPECT_EQ(CheckedAdd(-5, 2), -3);
+  EXPECT_EQ(CheckedAdd(INT64_MAX - 1, 1), INT64_MAX);
+  EXPECT_EQ(CheckedAdd(INT64_MIN + 1, -1), INT64_MIN);
+}
+
+TEST(CheckedArithmeticTest, CheckedAddOverflowDies) {
+  EXPECT_DEATH_IF_SUPPORTED(CheckedAdd(INT64_MAX, 1), "CheckedAdd");
+  EXPECT_DEATH_IF_SUPPORTED(CheckedAdd(INT64_MIN, -1), "CheckedAdd");
+}
+
+TEST(CheckedArithmeticTest, CheckedMulInRange) {
+  EXPECT_EQ(CheckedMul(0, INT64_MAX), 0);
+  EXPECT_EQ(CheckedMul(6, 7), 42);
+  EXPECT_EQ(CheckedMul(-6, 7), -42);
+  EXPECT_EQ(CheckedMul(int64_t{1} << 31, int64_t{1} << 31), int64_t{1} << 62);
+}
+
+TEST(CheckedArithmeticTest, CheckedMulOverflowDies) {
+  EXPECT_DEATH_IF_SUPPORTED(CheckedMul(int64_t{1} << 32, int64_t{1} << 32), "CheckedMul");
+  EXPECT_DEATH_IF_SUPPORTED(CheckedMul(INT64_MAX, 2), "CheckedMul");
+}
+
+TEST(MulDivTest, WideIntermediateSurvives) {
+  // The product exceeds int64 while the quotient fits -- the whole point.
+  const int64_t wire = (int64_t{1} << 32) * 4174;
+  const int64_t pages = int64_t{1} << 32;
+  EXPECT_EQ(MulDiv(wire, pages / 2, pages), wire / 2);
+  EXPECT_EQ(MulDiv(INT64_MAX, INT64_MAX, INT64_MAX), INT64_MAX);
+}
+
+TEST(MulDivTest, TruncatesTowardZeroLikeInt64Division) {
+  // For in-range products MulDiv(a, b, c) must equal a * b / c bit-for-bit;
+  // the Shard() migration relies on this for golden byte-identity.
+  EXPECT_EQ(MulDiv(7, 3, 2), 7 * 3 / 2);
+  EXPECT_EQ(MulDiv(-7, 3, 2), -7 * 3 / 2);  // -10, not -11.
+  EXPECT_EQ(MulDiv(7, -3, 2), -10);
+  EXPECT_EQ(MulDiv(1003, 417, 4), 1003 * 417 / 4);
+}
+
+TEST(MulDivTest, ZeroDenominatorAndOverflowDie) {
+  EXPECT_DEATH_IF_SUPPORTED(MulDiv(1, 1, 0), "MulDiv");
+  EXPECT_DEATH_IF_SUPPORTED(MulDiv(INT64_MAX, 2, 1), "MulDiv");
+}
+
+TEST(UnitAliasTest, AliasesAreInt64) {
+  static_assert(std::is_same_v<Nanos, int64_t>);
+  static_assert(std::is_same_v<ByteCount, int64_t>);
+  static_assert(std::is_same_v<PageCount, int64_t>);
 }
 
 TEST(RngTest, Deterministic) {

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/base/rng.h"
+#include "src/base/units.h"
 #include "src/core/migration_lab.h"
 #include "src/migration/baselines.h"
 #include "src/net/channel_set.h"
@@ -95,6 +99,88 @@ TEST(TryTransferEdgeTest, VanishingRemainderAtOutageBoundaryCompletes) {
   EXPECT_EQ(attempt.wasted_bytes, 0);
 }
 
+// The pinned constants above, re-derived in exact integer arithmetic: at an
+// effective 1/3 byte per second, the payload whose nominal finish lands 1 ns
+// past the window edge is MulDiv(edge + 1, 1, 3e9). Asserting the equality
+// keeps the two magic numbers honest against each other, and places the edge
+// past 2^53 where the regression's double math lost nanosecond resolution.
+TEST(TryTransferEdgeTest, BoundaryConstantsRederiveThroughMulDiv) {
+  const int64_t kBoundaryNs = 9007199999999999;
+  EXPECT_EQ(MulDiv(kBoundaryNs + 1, 1, 3'000'000'000), 3002400);
+  EXPECT_GT(kBoundaryNs, int64_t{1} << 53);
+}
+
+// Generalizes the regression into a seeded sweep across magnitudes where
+// double time math is exact (2^31 ns), at the resolution cliff (2^53 ns), and
+// far past it (near INT64_MAX ns). Each trial rebuilds the clamp-path shape
+// -- a bandwidth window whose edge doubles as an outage start -- with the
+// edge jittered by the seeded Rng. Payloads are derived through MulDiv with
+// margins of at least 10 bytes and 2 ms on either side of the edge, wide
+// enough that double rounding (ulp ~ 2 us at INT64_MAX nanoseconds) cannot
+// flip an outcome: finishing before the edge must complete with nothing
+// wasted; finishing after it must be outage-cut at the edge with consistent
+// delivered-byte accounting.
+TEST(TryTransferEdgeTest, SeededBoundarySweepAcrossMagnitudes) {
+  struct Magnitude {
+    int64_t boundary_ns;
+    double bandwidth_bps;  // GoodputBytesPerSec() == bandwidth_bps / 8.
+    int64_t goodput;       // The same goodput as an exact integer.
+  };
+  const Magnitude kMagnitudes[] = {
+      {int64_t{1} << 31, 8e9, 1'000'000'000},
+      {int64_t{1} << 53, 8.0, 1},
+      {INT64_MAX - (int64_t{1} << 40), 8.0, 1},
+  };
+  Rng rng(0x5eedb0a7d);
+  for (const Magnitude& m : kMagnitudes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const int64_t edge_ns =
+          m.boundary_ns - static_cast<int64_t>(rng.NextBounded(1'000'000));
+      // Bytes delivered by the edge at 1/3 of goodput, and a margin covering
+      // both a 2 ms head start and the 1-byte granularity of slow links.
+      const int64_t at_edge = MulDiv(edge_ns, m.goodput, 3'000'000'000);
+      const int64_t delta =
+          std::max<int64_t>(10, MulDiv(2'000'000, m.goodput, 3'000'000'000));
+      ASSERT_GT(at_edge, delta);
+
+      LinkConfig cfg;
+      cfg.bandwidth_bps = m.bandwidth_bps;
+      cfg.efficiency = 1.0;
+      cfg.per_page_overhead = 0;
+      FaultPlan plan;
+      plan.bandwidth.push_back({Duration::Zero(), Duration::Nanos(edge_ns), 1.0 / 3.0});
+      plan.outages.push_back(
+          {Duration::Nanos(edge_ns), Duration::Nanos(edge_ns) + Duration::Seconds(5)});
+      ASSERT_EQ(plan.Validate(), "");
+      ChannelSet channels(cfg, 1);
+      channels.Anchor(plan, {}, TimePoint::Epoch());
+      const FaultSchedule* schedule = channels.faults(0);
+      ASSERT_NE(schedule, nullptr);
+
+      const TransferAttempt under =
+          channels.channel(0).TryTransfer(at_edge - delta, TimePoint::Epoch(), schedule);
+      EXPECT_TRUE(under.ok) << "edge_ns=" << edge_ns;
+      EXPECT_EQ(under.wasted_bytes, 0);
+      EXPECT_GT(under.duration.nanos(), 0);
+      EXPECT_LT(under.duration.nanos(), edge_ns);
+      const int64_t nominal_ns = MulDiv(at_edge - delta, 3'000'000'000, m.goodput);
+      EXPECT_LT(std::abs(under.duration.nanos() - nominal_ns), 1'000'000)
+          << "edge_ns=" << edge_ns;
+
+      const TransferAttempt over =
+          channels.channel(0).TryTransfer(at_edge + delta, TimePoint::Epoch(), schedule);
+      EXPECT_FALSE(over.ok) << "edge_ns=" << edge_ns;
+      EXPECT_EQ(over.duration.nanos(), edge_ns);
+      EXPECT_EQ(over.blocked_until.nanos(), edge_ns + 5'000'000'000);
+      // Everything that crossed the wire before the cut is wasted (it will be
+      // re-sent); that is the at-edge delivery, give or take llround.
+      EXPECT_GE(over.wasted_bytes, 0);
+      EXPECT_LE(over.wasted_bytes, at_edge + delta);
+      EXPECT_LT(std::abs(over.wasted_bytes - at_edge), 8) << "edge_ns=" << edge_ns;
+    }
+  }
+}
+
 // ---- Deterministic sharder. ----
 
 TEST(ChannelSetTest, ShardPartitionsPagesAndBytesExactly) {
@@ -136,6 +222,30 @@ TEST(ChannelSetTest, SingleChannelShardIsIdentity) {
   EXPECT_EQ(shares[0].channel, 0);
   EXPECT_EQ(shares[0].pages, 77);
   EXPECT_EQ(shares[0].wire_bytes, 321987);
+}
+
+// Regression for the overflow javmm-lint's overflow-mul rule caught in
+// Shard(): `wire_bytes * page_hi` wraps int64 once a guest reaches ~2^32
+// pages with full wire payloads (a 16 TiB memory), handing channels negative
+// byte shares. The MulDiv rewrite keeps the product in 128 bits, so the
+// partition must stay exact, non-negative, and near-even at that scale.
+TEST(ChannelSetTest, ShardSurvivesHugeMemoryWithoutOverflow) {
+  ChannelSet channels(LinkConfig{}, 7);
+  const int64_t pages = int64_t{1} << 32;
+  const int64_t wire = CheckedMul(pages, kPageSize + 78);
+  const std::vector<ChannelShare> shares = channels.Shard(pages, wire);
+  ASSERT_EQ(shares.size(), 7u);
+  int64_t page_sum = 0;
+  int64_t wire_sum = 0;
+  for (const ChannelShare& share : shares) {
+    EXPECT_GE(share.pages, 0);
+    EXPECT_GE(share.wire_bytes, 0);
+    EXPECT_LE(share.wire_bytes, wire / 7 + (kPageSize + 78));
+    page_sum += share.pages;
+    wire_sum += share.wire_bytes;
+  }
+  EXPECT_EQ(page_sum, pages);
+  EXPECT_EQ(wire_sum, wire);
 }
 
 // ---- Per-channel fault grammar. ----

@@ -1,25 +1,30 @@
-# Flag-validation contract for migrate_cli, run as the migrate_cli_flag_validation
-# ctest: every malformed or contradictory flag combination must be rejected with
-# exit code 2 and a pointed stderr message, before any simulation work starts.
-# Invoke with: cmake -DCLI=<path-to-migrate_cli> -P cli_flags_test.cmake
+# Flag-validation contract for migrate_cli and javmm_lint, run as the
+# migrate_cli_flag_validation ctest: every malformed or contradictory flag
+# combination must be rejected with exit code 2 and a pointed stderr message,
+# before any simulation or lint work starts.
+# Invoke with: cmake -DCLI=<migrate_cli> [-DLINT=<javmm_lint>] -P cli_flags_test.cmake
 
 if(NOT DEFINED CLI)
   message(FATAL_ERROR "pass -DCLI=<path to migrate_cli>")
 endif()
 
-# Runs ${CLI} with the given flags; fails unless it exits 2 and stderr
+# Runs ${BIN} with the given flags; fails unless it exits 2 and stderr
 # matches `pattern` (a CMake regex).
-function(expect_reject pattern)
-  execute_process(COMMAND ${CLI} ${ARGN}
+function(expect_reject_bin bin pattern)
+  execute_process(COMMAND ${bin} ${ARGN}
                   RESULT_VARIABLE rc
                   OUTPUT_VARIABLE out
                   ERROR_VARIABLE err)
   if(NOT rc EQUAL 2)
-    message(FATAL_ERROR "migrate_cli ${ARGN}: expected exit code 2, got '${rc}'\nstderr: ${err}")
+    message(FATAL_ERROR "${bin} ${ARGN}: expected exit code 2, got '${rc}'\nstderr: ${err}")
   endif()
   if(NOT err MATCHES "${pattern}")
-    message(FATAL_ERROR "migrate_cli ${ARGN}: stderr does not match '${pattern}'\nstderr: ${err}")
+    message(FATAL_ERROR "${bin} ${ARGN}: stderr does not match '${pattern}'\nstderr: ${err}")
   endif()
+endfunction()
+
+function(expect_reject pattern)
+  expect_reject_bin(${CLI} "${pattern}" ${ARGN})
 endfunction()
 
 # Malformed --hotness specs surface the parser's message.
@@ -38,4 +43,13 @@ expect_reject("--hotness orders pre-copy rounds.*postcopy has none"
 # The pre-existing --channels validation stays intact alongside.
 expect_reject("--channels must be >= 1, got 0" --workload=crypto --channels=0)
 
-message(STATUS "migrate_cli flag validation: all rejections exit 2 with pointed messages")
+# javmm_lint rule-name validation: a typo in --disable=/--only= must be a hard
+# usage error, never a silently widened or narrowed rule set.
+if(DEFINED LINT)
+  expect_reject_bin(${LINT} "unknown rule 'unit-mux'.*--list-rules" --disable=unit-mux src)
+  expect_reject_bin(${LINT} "unknown rule 'overflow-mull'.*--list-rules" --only=overflow-mull src)
+  expect_reject_bin(${LINT} "unknown rule ''.*--list-rules" --only= src)
+  expect_reject_bin(${LINT} "usage: javmm_lint" --only=unit-mix)  # No paths.
+endif()
+
+message(STATUS "cli flag validation: all rejections exit 2 with pointed messages")

@@ -1,0 +1,16 @@
+// Known-bad fixture: div-before-mul must fire whenever a unit-tagged
+// dividend is divided and then multiplied -- the integer division truncates
+// first and the precision is gone for good.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Lossy(int64_t wire_bytes, int64_t elapsed_ns, int64_t rate, int64_t n) {
+  const int64_t throughput = wire_bytes / rate * 1000000000;
+  const int64_t slice = elapsed_ns / n * rate;
+  (void)throughput;
+  (void)slice;
+  return 0;
+}
+
+}  // namespace javmm

@@ -1,0 +1,25 @@
+// Negative twin of div_before_mul_bad.cc: MulDiv is the fix and stays
+// silent, as do a plain ratio with no trailing multiply, multiply-first
+// ordering, and a call in divisor position (its closing paren ends
+// elsewhere, so the pattern cannot apply).
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace javmm {
+
+int64_t Rate();
+
+int64_t Fine(int64_t wire_bytes, int64_t rate, int64_t share) {
+  const int64_t exact = MulDiv(wire_bytes, share, rate);
+  const int64_t ratio = wire_bytes / rate;
+  const int64_t scaled = wire_bytes * share / rate;
+  const int64_t timed = wire_bytes / Rate();
+  (void)exact;
+  (void)ratio;
+  (void)scaled;
+  (void)timed;
+  return 0;
+}
+
+}  // namespace javmm

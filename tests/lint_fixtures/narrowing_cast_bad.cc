@@ -1,0 +1,17 @@
+// Known-bad fixture: narrowing-cast must fire on every static_cast of a
+// unit-tagged value into a type narrower than 64 bits.
+#include <cstdint>
+
+namespace javmm {
+
+int Narrow(int64_t wire_bytes, int64_t elapsed_ns, int64_t dirty_pages) {
+  const int a = static_cast<int>(wire_bytes);
+  const unsigned b = static_cast<unsigned>(elapsed_ns);
+  const short c = static_cast<short>(dirty_pages);
+  (void)a;
+  (void)b;
+  (void)c;
+  return 0;
+}
+
+}  // namespace javmm

@@ -1,0 +1,20 @@
+// Negative twin of narrowing_cast_bad.cc: casts to 64-bit or floating
+// targets, casts of untagged values, and templates naming a wide type
+// (unsigned long) must all stay silent.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Fine(int64_t wire_bytes, int count) {
+  const int64_t w = static_cast<int64_t>(wire_bytes);
+  const double f = static_cast<double>(wire_bytes);
+  const int n = static_cast<int>(count);
+  const size_t z = static_cast<size_t>(wire_bytes);
+  const unsigned long ul = static_cast<unsigned long>(wire_bytes);
+  (void)f;
+  (void)n;
+  (void)ul;
+  return w + static_cast<int64_t>(z);
+}
+
+}  // namespace javmm

@@ -1,0 +1,16 @@
+// Known-bad fixture: overflow-mul must fire on every raw `*` between two
+// unit-tagged wide operands -- the PR 6 TryTransfer bug shape, and the exact
+// shape javmm-lint caught live in ChannelSet::Shard (wire_bytes * page_hi).
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Products(int64_t wire_bytes, int64_t dirty_pages, int64_t elapsed_ns) {
+  const int64_t area = wire_bytes * dirty_pages;
+  const int64_t work = elapsed_ns * wire_bytes;
+  (void)area;
+  (void)work;
+  return 0;
+}
+
+}  // namespace javmm

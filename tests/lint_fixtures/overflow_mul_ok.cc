@@ -1,0 +1,20 @@
+// Negative twin of overflow_mul_bad.cc: the checked-helper call shapes
+// (CheckedMul, MulDiv) and products with an untagged factor must stay
+// silent.
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace javmm {
+
+int64_t Fine(int64_t wire_bytes, int64_t dirty_pages) {
+  const int64_t scaled = CheckedMul(wire_bytes, 2);
+  const int64_t share = MulDiv(wire_bytes, dirty_pages, dirty_pages);
+  const int64_t padded = wire_bytes * 2;
+  const int64_t area = 3 * dirty_pages;
+  (void)share;
+  (void)area;
+  return scaled + padded;
+}
+
+}  // namespace javmm

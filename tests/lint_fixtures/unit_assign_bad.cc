@@ -1,0 +1,20 @@
+// Known-bad fixture: unit-assign must fire on every cross-unit store below
+// -- a plain assignment, a tagged-alias declaration, and a store whose rvalue
+// unit arrived via initializer dataflow.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Store(int64_t wire_bytes, int64_t deadline_ns) {
+  int64_t downtime_ns = 0;
+  downtime_ns = wire_bytes;
+  const ByteCount total = deadline_ns;
+  const int64_t budget = deadline_ns / 2;
+  int64_t parked_pages = 0;
+  parked_pages = budget;
+  (void)total;
+  (void)parked_pages;
+  return downtime_ns;
+}
+
+}  // namespace javmm

@@ -1,0 +1,29 @@
+// Negative twin of unit_assign_bad.cc: converting arithmetic blocks the
+// strict inference (storing pages * per_page into bytes is the legitimate
+// conversion shape), same-unit stores are fine, and a name seen with
+// conflicting units collapses to untrusted so stale tags cannot cross
+// functions.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Convert(int64_t dirty_pages, int64_t header_bytes) {
+  const int64_t per_page = 4096;
+  int64_t wire_bytes = 0;
+  wire_bytes = dirty_pages * per_page;
+  wire_bytes = header_bytes;
+  return wire_bytes;
+}
+
+int64_t First(int64_t dirty_pages) {
+  const int64_t scratch = dirty_pages;
+  return scratch;
+}
+
+int64_t Second(int64_t elapsed_ns, int64_t header_bytes) {
+  int64_t scratch = elapsed_ns;
+  scratch = header_bytes;
+  return scratch;
+}
+
+}  // namespace javmm

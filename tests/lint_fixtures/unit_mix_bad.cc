@@ -1,0 +1,16 @@
+// Known-bad fixture: unit-mix must fire on every cross-unit additive or
+// comparison operator below (ns + bytes, ns < pages, bytes == pages).
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Mix(int64_t elapsed_ns, int64_t wire_bytes, int64_t dirty_pages) {
+  const int64_t total = elapsed_ns + wire_bytes;
+  if (elapsed_ns < dirty_pages) {
+    return total;
+  }
+  const bool eq = wire_bytes == dirty_pages;
+  return eq ? total : 0;
+}
+
+}  // namespace javmm

@@ -1,0 +1,22 @@
+// Negative twin of unit_mix_bad.cc: same-unit arithmetic, the idiomatic
+// pfn-vs-pages comparison, untagged operands, and the multiplicative-neighbor
+// exemption (a factor may legitimately convert the unit) must all stay
+// silent.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t NoMix(int64_t elapsed_ns, int64_t stall_ns, int64_t dirty_pages, int64_t pfn) {
+  int64_t total_ns = elapsed_ns + stall_ns;
+  if (pfn < dirty_pages) {
+    total_ns += 1;
+  }
+  const int64_t per_page_cost = 7;
+  if (stall_ns > dirty_pages * per_page_cost) {
+    return total_ns;
+  }
+  const int64_t copy_time = dirty_pages * per_page_cost + stall_ns;
+  return total_ns + copy_time;
+}
+
+}  // namespace javmm

@@ -1,0 +1,22 @@
+// Every unit-dataflow rule fired once and silenced by a reasoned
+// suppression; the self-test pins that all five annotations are honoured.
+#include <cstdint>
+
+namespace javmm {
+
+int64_t Suppressed(int64_t wire_bytes, int64_t dirty_pages, int64_t elapsed_ns, int64_t rate) {
+  const int64_t mix = elapsed_ns + wire_bytes;  // lint: unit-mix-ok (fixture demonstration)
+  int64_t stall_ns = 0;
+  stall_ns = wire_bytes;  // lint: unit-assign-ok (fixture demonstration)
+  const int64_t product = wire_bytes * dirty_pages;  // lint: overflow-mul-ok (fixture demonstration)
+  const int clipped = static_cast<int>(wire_bytes);  // lint: narrowing-cast-ok (fixture demonstration)
+  const int64_t lossy = wire_bytes / rate * 8;  // lint: div-before-mul-ok (fixture demonstration)
+  (void)mix;
+  (void)stall_ns;
+  (void)product;
+  (void)clipped;
+  (void)lossy;
+  return 0;
+}
+
+}  // namespace javmm

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "src/lint/lint.h"
+#include "src/lint/rules.h"
 
 namespace javmm {
 namespace lint {
@@ -293,6 +294,202 @@ TEST(FloatExportRule, DisablingTheRuleSilencesIt) {
   const std::vector<Diagnostic> diags =
       LintVirtual("src/runner/fixture.cc", Fixture("float_export_bad.cc"), options);
   EXPECT_EQ(CountRule(diags, "float-export"), 0);
+}
+
+// ---- unit dataflow: shared machinery ---------------------------------------
+
+TEST(UnitDataflow, UnitFromNameSuffixes) {
+  EXPECT_EQ(UnitFromName("elapsed_ns"), Unit::kNs);
+  EXPECT_EQ(UnitFromName("pause_nanos"), Unit::kNs);
+  EXPECT_EQ(UnitFromName("wire_bytes_"), Unit::kBytes);  // Member underscore.
+  EXPECT_EQ(UnitFromName("bytes"), Unit::kBytes);
+  EXPECT_EQ(UnitFromName("dirty_pages"), Unit::kPages);
+  EXPECT_EQ(UnitFromName("pfn"), Unit::kPfn);
+  EXPECT_EQ(UnitFromName("pfn_cursor"), Unit::kPfn);
+  EXPECT_EQ(UnitFromName("first_pfn"), Unit::kPfn);
+  EXPECT_EQ(UnitFromName("rate"), Unit::kNone);
+  EXPECT_EQ(UnitFromName("bynsome"), Unit::kNone);  // Suffix, not substring.
+}
+
+TEST(UnitDataflow, TaggedAliasMemberCarriesAcrossFiles) {
+  const std::string header = "struct Meter { ByteCount total_wire = 0; };";
+  const std::string body =
+      "int64_t F(int64_t elapsed_ns, Meter m) { return m.total_wire + elapsed_ns; }";
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/net/meter.cc", body, {}, {header});
+  EXPECT_EQ(CountRule(diags, "unit-mix"), 1);
+}
+
+TEST(UnitDataflow, ShortNamesNeverEnterTheRegistry) {
+  // A test-local `Pfn b` must not tag every `b` in the tree (the exact false
+  // positive the <3-char registry guard exists for).
+  const std::string other = "inline void G() { const Pfn b = 7; (void)b; }";
+  const std::string body =
+      "int64_t H(int64_t elapsed_ns) { const int64_t b = elapsed_ns; return b; }";
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/base/helper.cc", body, {}, {other});
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 0);
+}
+
+TEST(UnitDataflow, OnlyFilterRunsJustTheNamedRules) {
+  LintOptions options;
+  options.only_rules.insert("overflow-mul");
+  const std::vector<Diagnostic> all =
+      LintVirtual("src/net/fixture.cc", Fixture("overflow_mul_bad.cc"), options);
+  EXPECT_EQ(CountRule(all, "overflow-mul"), 2);
+  for (const Diagnostic& diag : all) {
+    EXPECT_EQ(diag.rule, "overflow-mul") << diag.ToString();
+  }
+  // --only combined with --disable subtracts.
+  options.disabled_rules.insert("overflow-mul");
+  EXPECT_TRUE(
+      LintVirtual("src/net/fixture.cc", Fixture("overflow_mul_bad.cc"), options).empty());
+}
+
+TEST(UnitDataflow, AllFiveRulesAreSuppressible) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_rules_suppressed.cc"));
+  EXPECT_TRUE(diags.empty()) << diags.front().ToString();
+}
+
+// ---- unit-mix --------------------------------------------------------------
+
+TEST(UnitMixRule, FiresOnCrossUnitAdditiveAndComparison) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_mix_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-mix"), 3);
+}
+
+TEST(UnitMixRule, CompatibleAndConvertingArithmeticIsClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_mix_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-mix"), 0);
+}
+
+TEST(UnitMixRule, SilentOutsideTheSimulationCore) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("bench/fixture.cc", Fixture("unit_mix_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-mix"), 0);
+}
+
+TEST(UnitMixRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("unit-mix");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_mix_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "unit-mix"), 0);
+}
+
+// ---- unit-assign -----------------------------------------------------------
+
+TEST(UnitAssignRule, FiresOnCrossUnitStores) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_assign_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 3);
+}
+
+TEST(UnitAssignRule, ConvertingArithmeticAndConflictCollapseAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_assign_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 0);
+}
+
+TEST(UnitAssignRule, SilentOutsideTheSimulationCore) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("tests/fixture.cc", Fixture("unit_assign_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 0);
+}
+
+TEST(UnitAssignRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("unit-assign");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/migration/fixture.cc", Fixture("unit_assign_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 0);
+}
+
+// ---- overflow-mul ----------------------------------------------------------
+
+TEST(OverflowMulRule, FiresOnRawProductsOfTaggedOperands) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/net/fixture.cc", Fixture("overflow_mul_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "overflow-mul"), 2);
+}
+
+TEST(OverflowMulRule, CheckedHelpersAndUntaggedFactorsAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/net/fixture.cc", Fixture("overflow_mul_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "overflow-mul"), 0);
+}
+
+TEST(OverflowMulRule, SilentOutsideTheSimulationCore) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("bench/fixture.cc", Fixture("overflow_mul_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "overflow-mul"), 0);
+}
+
+TEST(OverflowMulRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("overflow-mul");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/net/fixture.cc", Fixture("overflow_mul_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "overflow-mul"), 0);
+}
+
+// ---- narrowing-cast --------------------------------------------------------
+
+TEST(NarrowingCastRule, FiresOnTaggedValuesCastNarrow) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("narrowing_cast_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "narrowing-cast"), 3);
+}
+
+TEST(NarrowingCastRule, WideAndUntaggedCastsAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("narrowing_cast_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "narrowing-cast"), 0);
+}
+
+TEST(NarrowingCastRule, SilentOutsideTheSimulationCore) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("bench/fixture.cc", Fixture("narrowing_cast_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "narrowing-cast"), 0);
+}
+
+TEST(NarrowingCastRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("narrowing-cast");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/mem/fixture.cc", Fixture("narrowing_cast_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "narrowing-cast"), 0);
+}
+
+// ---- div-before-mul --------------------------------------------------------
+
+TEST(DivBeforeMulRule, FiresOnTruncatingDivideThenMultiply) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/faults/fixture.cc", Fixture("div_before_mul_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "div-before-mul"), 2);
+}
+
+TEST(DivBeforeMulRule, MulDivAndMulFirstOrderingAreClean) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/faults/fixture.cc", Fixture("div_before_mul_ok.cc"));
+  EXPECT_EQ(CountRule(diags, "div-before-mul"), 0);
+}
+
+TEST(DivBeforeMulRule, SilentOutsideTheSimulationCore) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("bench/fixture.cc", Fixture("div_before_mul_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "div-before-mul"), 0);
+}
+
+TEST(DivBeforeMulRule, DisablingTheRuleSilencesIt) {
+  LintOptions options;
+  options.disabled_rules.insert("div-before-mul");
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/faults/fixture.cc", Fixture("div_before_mul_bad.cc"), options);
+  EXPECT_EQ(CountRule(diags, "div-before-mul"), 0);
 }
 
 // ---- suppression hygiene ---------------------------------------------------

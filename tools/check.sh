@@ -34,6 +34,19 @@ if ! "${repo_root}/tools/javmm_lint" --baseline=tools/lint_baseline.txt src benc
   status=1
 fi
 
+# --- 2b. unit dataflow rules, baseline-free ---------------------------------
+# The unit rules run above too, but this pass is deliberately un-baselined:
+# unit-crossing arithmetic and overflowable products (DESIGN.md §13) must
+# never be grandfathered, only fixed or suppressed with a reason in-line.
+echo "== check.sh: javmm-lint unit rules (no baseline) =="
+if ! "${repo_root}/tools/javmm_lint" \
+       --only=unit-mix --only=unit-assign --only=overflow-mul \
+       --only=narrowing-cast --only=div-before-mul src bench tests; then
+  echo "check.sh: UNIT-RULE FAILURES (use CheckedAdd/CheckedMul/MulDiv from" >&2
+  echo "          src/base/units.h, or convert the units explicitly)" >&2
+  status=1
+fi
+
 # --- 3. Smoke ----------------------------------------------------------------
 echo "== check.sh: smoke suites =="
 cmake --build "${repo_root}/build" --target smoke

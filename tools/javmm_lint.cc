@@ -8,7 +8,12 @@
 //   --baseline=FILE         suppress findings recorded in FILE
 //   --write-baseline=FILE   write all findings to FILE and exit 0
 //   --disable=RULE          turn one rule off (repeatable)
+//   --only=RULE             run only the named rules (repeatable;
+//                           --disable still subtracts)
 //   --list-rules            print the rule catalogue and exit
+//
+// Unknown rule names in --disable=/--only= are hard usage errors (exit 2):
+// a typo must not silently widen or narrow what the CI lint job enforces.
 //
 // Exit codes: 0 = clean (after baseline), 1 = findings, 2 = usage/IO error.
 
@@ -39,7 +44,7 @@ bool ReadFile(const std::string& path, std::string* out, std::string* error) {
 int Usage() {
   std::fprintf(stderr,
                "usage: javmm_lint [--json] [--baseline=FILE] [--write-baseline=FILE]\n"
-               "                  [--disable=RULE]... [--list-rules] PATH...\n");
+               "                  [--disable=RULE]... [--only=RULE]... [--list-rules] PATH...\n");
   return 2;
 }
 
@@ -69,6 +74,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.disabled_rules.insert(rule);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      const std::string rule = arg.substr(7);
+      if (!IsKnownRule(rule)) {
+        std::fprintf(stderr, "javmm_lint: unknown rule '%s' (see --list-rules)\n", rule.c_str());
+        return 2;
+      }
+      options.only_rules.insert(rule);
     } else if (arg == "--list-rules") {
       for (const std::string& rule : AllRules()) {
         std::printf("%s\n", rule.c_str());
