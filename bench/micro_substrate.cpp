@@ -57,11 +57,13 @@ BENCHMARK(BM_BitmapCollectSetBits)->Arg(1000)->Arg(50000)->Arg(500000);
 void BM_DirtyLogMarkHarvest(benchmark::State& state) {
   DirtyLog log(524288);
   Rng rng(3);
+  std::vector<Pfn> harvest;
   for (auto _ : state) {
     for (int i = 0; i < 1000; ++i) {
       log.Mark(static_cast<Pfn>(rng.NextBounded(524288)));
     }
-    benchmark::DoNotOptimize(log.CollectAndClear());
+    log.CollectAndClear(&harvest);
+    benchmark::DoNotOptimize(harvest);
   }
 }
 BENCHMARK(BM_DirtyLogMarkHarvest);

@@ -1,0 +1,423 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// Perf gauntlet: drives the four hottest exhibit shapes (runner scaling,
+// fault matrix, channel sweep, hotness sweep) and reports two kinds of
+// numbers per exhibit:
+//
+//   * deterministic PerfCounters (src/base/perf.h) summed over the
+//     exhibit's runs -- bit-identical across machines and --jobs values,
+//     so CI can diff them against a checked-in baseline and fail on
+//     regressions;
+//   * wall-clock per exhibit -- machine-dependent, reported for trend
+//     watching but never gated on.
+//
+// Flags:
+//   --jobs=N                 worker pool size (0 = hardware threads)
+//   --json=FILE              one JSON line per exhibit (BENCH_perf.json)
+//   --baseline=FILE          diff counters against a baseline; any counter
+//                            more than 10% above baseline fails the run
+//   --write-baseline=FILE    write the current counters as a new baseline
+//
+// Baseline update policy (DESIGN.md §14): regenerate with --write-baseline
+// only in the same change that intentionally alters instrumented-site
+// behaviour, and say why in the commit message.
+//
+// Beyond the baseline diff, the gauntlet enforces the buffer-reuse
+// invariant of the raw-speed refactor: on at least three of the four
+// exhibits, instrumented hot-path operations must land in already-acquired
+// capacity at least 3x as often as they grow a buffer
+// (buffer_reuses >= 3 * allocations). A regression that reintroduces
+// per-round buffer churn trips this even on a fresh baseline.
+
+// lint: banned-call-ok (wall-clock here profiles the host, never simulated results)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/base/perf.h"
+
+using namespace javmm;         // NOLINT
+using namespace javmm::bench;  // NOLINT
+
+namespace {
+
+struct GauntletArgs {
+  int jobs = 1;
+  std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+};
+
+GauntletArgs ParseGauntletArgs(int argc, char** argv) {
+  GauntletArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      args.jobs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      args.baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--write-baseline=", 17) == 0) {
+      args.write_baseline_path = arg + 17;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --jobs=N, --json=FILE, "
+                   "--baseline=FILE, --write-baseline=FILE)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct ExhibitResult {
+  std::string name;
+  int64_t runs = 0;
+  int64_t failures = 0;
+  int64_t wall_ms = 0;  // Host wall-clock; informational only.
+  PerfCounters counters;
+};
+
+// ---- Exhibit scenario builders ---------------------------------------------
+//
+// Each builder reproduces the scenario shape of its namesake exhibit at
+// gauntlet scale: large enough that the counters exercise every hot path
+// (harvest loops, burst SoA, channel sharding, hotness deferral), small
+// enough that the whole gauntlet stays in CI-smoke territory.
+
+Scenario Fast(EngineKind kind, std::string label) {
+  Scenario scenario;
+  scenario.label = std::move(label);
+  scenario.spec = Workloads::Get("crypto");
+  scenario.engine = kind;
+  scenario.options.warmup = Duration::Seconds(10);
+  scenario.options.cooldown = Duration::Seconds(5);
+  return scenario;
+}
+
+// Runner scaling shape: the crypto sweep of micro_runner_scaling, 4 seeds
+// per engine. Stresses the whole-engine path repeatedly with distinct RNG
+// streams.
+std::vector<Scenario> RunnerScalingScenarios() {
+  std::vector<Scenario> scenarios;
+  for (const EngineKind kind : {EngineKind::kXenPrecopy, EngineKind::kJavmm}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      Scenario scenario =
+          Fast(kind, std::string(EngineKindName(kind)) + "/s" + std::to_string(seed));
+      scenario.options.seed = seed;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  return scenarios;
+}
+
+// Fault matrix shape: the 6-regime x 4-engine golden battery from
+// abl_fault_matrix / the channel and hotness golden pins. Stresses the
+// fault/retry/backoff paths of all four engines.
+std::vector<Scenario> FaultMatrixScenarios() {
+  struct Regime {
+    const char* name;
+    const char* spec;
+  };
+  const Regime kRegimes[] = {
+      {"healthy", ""},
+      {"bw-collapse", "bw:0s-60s@0.3"},
+      {"lossy-ctl", "loss:0.4"},
+      {"outage", "out:1s-2s"},
+      {"lat-spike", "lat:0s-30s+20ms;loss:0.2"},
+      {"combined", "bw:0s-60s@0.5;loss:0.4;out:1s-2500ms"},
+  };
+  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
+                                 EngineKind::kStopAndCopy, EngineKind::kPostcopy};
+  std::vector<Scenario> scenarios;
+  for (const Regime& regime : kRegimes) {
+    for (const EngineKind kind : kEngines) {
+      Scenario scenario =
+          Fast(kind, std::string(regime.name) + "/" + EngineKindName(kind));
+      scenario.options.fault_spec = regime.spec;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  return scenarios;
+}
+
+// Channel sweep shape: striped data plane at 1/2/4 sub-links, healthy and
+// with a disturbance pinned to sub-link 1. Stresses ChannelSet::Shard and
+// the per-channel accounting.
+std::vector<Scenario> ChannelSweepScenarios() {
+  struct Regime {
+    const char* name;
+    const char* single_spec;
+    const char* striped_spec;
+  };
+  const Regime kRegimes[] = {
+      {"healthy", "", ""},
+      {"outage", "out:2s-3s", "ch1:out:2s-3s"},
+  };
+  std::vector<Scenario> scenarios;
+  for (const Regime& regime : kRegimes) {
+    for (const int channels : {1, 2, 4}) {
+      for (const EngineKind kind : {EngineKind::kJavmm, EngineKind::kPostcopy}) {
+        Scenario scenario =
+            Fast(kind, std::string(regime.name) + "/" + std::to_string(channels) + "ch/" +
+                           EngineKindName(kind));
+        scenario.options.channels = channels;
+        scenario.options.fault_spec = channels > 1 ? regime.striped_spec : regime.single_spec;
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+  }
+  return scenarios;
+}
+
+// Hotness sweep shape: ordering off vs on across the three category
+// representatives. Stresses the hotness scoring/deferral path and its
+// tracker-reuse across engine iterations.
+std::vector<Scenario> HotnessSweepScenarios() {
+  constexpr char kHotnessSpec[] = "rate:1,score:8,decay:1,budget:500ms";
+  std::vector<Scenario> scenarios;
+  for (const char* workload : {"derby", "crypto", "scimark"}) {
+    for (const char* spec : {"off", kHotnessSpec}) {
+      Scenario scenario;
+      scenario.label = std::string(workload) + "/" +
+                       (std::strcmp(spec, "off") == 0 ? "off" : "hot");
+      scenario.spec = Workloads::Get(workload);
+      scenario.engine = EngineKind::kXenPrecopy;
+      scenario.options.warmup = Duration::Seconds(10);
+      scenario.options.cooldown = Duration::Seconds(5);
+      scenario.options.hotness_spec = spec;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  return scenarios;
+}
+
+// ---- Execution -------------------------------------------------------------
+
+ExhibitResult RunExhibit(const std::string& name, const std::vector<Scenario>& scenarios,
+                         int jobs) {
+  ExhibitResult out;
+  out.name = name;
+  out.runs = static_cast<int64_t>(scenarios.size());
+  // lint: banned-call-ok (wall-clock profiles the host, never simulated results)
+  const auto wall_start = std::chrono::steady_clock::now();
+  const RunReport report = ScenarioRunner(jobs).RunAll(scenarios);
+  // lint: banned-call-ok (wall-clock profiles the host, never simulated results)
+  const auto wall_end = std::chrono::steady_clock::now();
+  out.wall_ms = static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(wall_end - wall_start).count());
+  for (const RunRecord& rec : report.runs) {
+    WarnOnFailure(rec);
+  }
+  out.failures = report.failure_count();
+  out.counters = report.TotalPerf();
+  return out;
+}
+
+std::string ExhibitJsonLine(const ExhibitResult& e) {
+  std::ostringstream os;
+  os << "{\"exhibit\":\"" << e.name << "\",\"runs\":" << e.runs
+     << ",\"failures\":" << e.failures << ",\"wall_ms\":" << e.wall_ms
+     << ",\"counters\":" << e.counters.ToJson() << "}";
+  return os.str();
+}
+
+// ---- Baseline file ---------------------------------------------------------
+//
+// bench/perf_baseline.json: one line per exhibit, deterministic fields only
+// (no wall-clock, which would churn on every machine):
+//
+//   {"exhibit":"fault_matrix","counters":{"allocations":...,...}}
+
+struct BaselineEntry {
+  std::string exhibit;
+  PerfCounters counters;
+};
+
+bool ParseBaselineLine(const std::string& line, BaselineEntry* out, std::string* error) {
+  const std::string kExhibitKey = "\"exhibit\":\"";
+  const size_t name_at = line.find(kExhibitKey);
+  if (name_at == std::string::npos) {
+    *error = "no \"exhibit\" key";
+    return false;
+  }
+  const size_t name_begin = name_at + kExhibitKey.size();
+  const size_t name_end = line.find('"', name_begin);
+  if (name_end == std::string::npos) {
+    *error = "unterminated exhibit name";
+    return false;
+  }
+  out->exhibit = line.substr(name_begin, name_end - name_begin);
+  const std::string kCountersKey = "\"counters\":";
+  const size_t counters_at = line.find(kCountersKey, name_end);
+  if (counters_at == std::string::npos) {
+    *error = "no \"counters\" key";
+    return false;
+  }
+  // The counters object is flat, so the first '}' after its '{' closes it.
+  const size_t obj_begin = line.find('{', counters_at);
+  const size_t obj_end = line.find('}', counters_at);
+  if (obj_begin == std::string::npos || obj_end == std::string::npos || obj_end < obj_begin) {
+    *error = "malformed counters object";
+    return false;
+  }
+  return PerfCounters::FromJson(line.substr(obj_begin, obj_end - obj_begin + 1), &out->counters,
+                                error);
+}
+
+bool LoadBaseline(const std::string& path, std::vector<BaselineEntry>* out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "ERROR: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    BaselineEntry entry;
+    std::string error;
+    if (!ParseBaselineLine(line, &entry, &error)) {
+      std::fprintf(stderr, "ERROR: %s:%d: %s\n", path.c_str(), lineno, error.c_str());
+      return false;
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+// Returns the number of regressed (exhibit, counter) pairs. A counter
+// regresses when it exceeds its baseline by more than 10%, in exact integer
+// arithmetic: cur * 10 > base * 11. Counters that *drop* never fail -- an
+// improvement just means the baseline should be refreshed.
+int DiffAgainstBaseline(const std::vector<BaselineEntry>& baseline,
+                        const std::vector<ExhibitResult>& results) {
+  int regressions = 0;
+  for (const BaselineEntry& base : baseline) {
+    const ExhibitResult* cur = nullptr;
+    for (const ExhibitResult& e : results) {
+      if (e.name == base.exhibit) {
+        cur = &e;
+        break;
+      }
+    }
+    if (cur == nullptr) {
+      std::fprintf(stderr, "REGRESSION: baseline exhibit %s was not run\n",
+                   base.exhibit.c_str());
+      ++regressions;
+      continue;
+    }
+    for (const std::string& name : PerfCounterNames()) {
+      const int64_t was = PerfCounterValue(base.counters, name);
+      const int64_t now = PerfCounterValue(cur->counters, name);
+      if (now * 10 > was * 11) {
+        std::fprintf(stderr, "REGRESSION: %s.%s: %lld -> %lld (>10%% over baseline)\n",
+                     base.exhibit.c_str(), name.c_str(), static_cast<long long>(was),
+                     static_cast<long long>(now));
+        ++regressions;
+      }
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const GauntletArgs args = ParseGauntletArgs(argc, argv);
+  std::printf("=== Perf gauntlet: deterministic counters + wall-clock, jobs=%d ===\n\n",
+              args.jobs);
+
+  std::vector<ExhibitResult> results;
+  results.push_back(RunExhibit("runner_scaling", RunnerScalingScenarios(), args.jobs));
+  results.push_back(RunExhibit("fault_matrix", FaultMatrixScenarios(), args.jobs));
+  results.push_back(RunExhibit("channel_sweep", ChannelSweepScenarios(), args.jobs));
+  results.push_back(RunExhibit("hotness_sweep", HotnessSweepScenarios(), args.jobs));
+
+  Table table({"exhibit", "runs", "fail", "wall(ms)", "allocs", "reuses", "reuse/alloc",
+               "harvests", "peeks"});
+  int64_t run_failures = 0;
+  int reuse_ok = 0;
+  for (const ExhibitResult& e : results) {
+    run_failures += e.failures;
+    const double ratio = e.counters.allocations > 0
+                             ? static_cast<double>(e.counters.buffer_reuses) /
+                                   static_cast<double>(e.counters.allocations)
+                             : 0.0;
+    if (e.counters.buffer_reuses >= 3 * e.counters.allocations) {
+      ++reuse_ok;
+    }
+    table.Row()
+        .Cell(e.name)
+        .Cell(e.runs)
+        .Cell(e.failures)
+        .Cell(e.wall_ms)
+        .Cell(e.counters.allocations)
+        .Cell(e.counters.buffer_reuses)
+        .Cell(ratio, 1)
+        .Cell(e.counters.harvests)
+        .Cell(e.counters.page_peeks);
+  }
+  table.Print(std::cout);
+  std::printf("\nbuffer-reuse gate (reuses >= 3x allocations): %d/4 exhibits (need >= 3)\n",
+              reuse_ok);
+
+  if (!args.json_path.empty()) {
+    std::ofstream os(args.json_path);
+    if (!os) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    for (const ExhibitResult& e : results) {
+      os << ExhibitJsonLine(e) << "\n";
+    }
+  }
+
+  if (!args.write_baseline_path.empty()) {
+    std::ofstream os(args.write_baseline_path);
+    if (!os) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", args.write_baseline_path.c_str());
+      return 1;
+    }
+    for (const ExhibitResult& e : results) {
+      os << "{\"exhibit\":\"" << e.name << "\",\"counters\":" << e.counters.ToJson() << "}\n";
+    }
+    std::printf("baseline written to %s\n", args.write_baseline_path.c_str());
+  }
+
+  int regressions = 0;
+  if (!args.baseline_path.empty()) {
+    std::vector<BaselineEntry> baseline;
+    if (!LoadBaseline(args.baseline_path, &baseline)) {
+      return 1;
+    }
+    regressions = DiffAgainstBaseline(baseline, results);
+    if (regressions == 0) {
+      std::printf("baseline %s: all counters within 10%%\n", args.baseline_path.c_str());
+    }
+  }
+
+  if (run_failures > 0) {
+    std::fprintf(stderr, "FAILED: %lld run(s) failed\n", static_cast<long long>(run_failures));
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "FAILED: %d counter regression(s) against baseline\n", regressions);
+    return 1;
+  }
+  if (reuse_ok < 3) {
+    std::fprintf(stderr, "FAILED: buffer-reuse gate held on only %d/4 exhibits\n", reuse_ok);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+
+#include "src/base/perf.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/base/units.h"
+
+namespace javmm {
+namespace {
+
+// Minimal scanner for the flat {"name":int,...} objects ToJson emits. No
+// nesting, no strings-with-escapes, no floats: anything else is malformed.
+struct Scanner {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipSpace() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool ReadKey(std::string* out) {
+    SkipSpace();
+    if (i >= s.size() || s[i] != '"') {
+      return false;
+    }
+    ++i;
+    const size_t start = i;
+    while (i < s.size() && s[i] != '"') {
+      ++i;
+    }
+    if (i >= s.size()) {
+      return false;
+    }
+    out->assign(s, start, i - start);
+    ++i;
+    return true;
+  }
+
+  bool ReadInt(int64_t* out) {
+    SkipSpace();
+    const size_t start = i;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+    }
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+    if (i == start || (s[start] == '-' && i == start + 1)) {
+      return false;
+    }
+    *out = std::stoll(s.substr(start, i - start));
+    return true;
+  }
+};
+
+}  // namespace
+
+void PerfCounters::Add(const PerfCounters& other) {
+#define JAVMM_PERF_ADD(name) name = CheckedAdd(name, other.name);
+  JAVMM_PERF_FIELDS(JAVMM_PERF_ADD)
+#undef JAVMM_PERF_ADD
+}
+
+std::string PerfCounters::ToJson() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+#define JAVMM_PERF_EMIT(field)                       \
+  if (!first) {                                      \
+    os << ',';                                       \
+  }                                                  \
+  first = false;                                     \
+  os << '"' << #field << "\":" << (field);
+  JAVMM_PERF_FIELDS(JAVMM_PERF_EMIT)
+#undef JAVMM_PERF_EMIT
+  os << '}';
+  return os.str();
+}
+
+bool PerfCounters::FromJson(const std::string& json, PerfCounters* out, std::string* error) {
+  *out = PerfCounters{};
+  Scanner sc{json};
+  if (!sc.Consume('{')) {
+    *error = "expected '{'";
+    return false;
+  }
+  sc.SkipSpace();
+  if (sc.Consume('}')) {
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!sc.ReadKey(&key)) {
+      *error = "expected string key";
+      return false;
+    }
+    if (!sc.Consume(':')) {
+      *error = "expected ':' after key \"" + key + "\"";
+      return false;
+    }
+    int64_t value = 0;
+    if (!sc.ReadInt(&value)) {
+      *error = "expected integer value for key \"" + key + "\"";
+      return false;
+    }
+    bool known = false;
+#define JAVMM_PERF_ASSIGN(field) \
+  if (key == #field) {           \
+    out->field = value;          \
+    known = true;                \
+  }
+    JAVMM_PERF_FIELDS(JAVMM_PERF_ASSIGN)
+#undef JAVMM_PERF_ASSIGN
+    if (!known) {
+      *error = "unknown counter \"" + key + "\"";
+      return false;
+    }
+    if (sc.Consume(',')) {
+      continue;
+    }
+    if (sc.Consume('}')) {
+      break;
+    }
+    *error = "expected ',' or '}'";
+    return false;
+  }
+  sc.SkipSpace();
+  if (sc.i != json.size()) {
+    *error = "trailing characters after object";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> PerfCounterNames() {
+  std::vector<std::string> names;
+#define JAVMM_PERF_NAME(field) names.push_back(#field);
+  JAVMM_PERF_FIELDS(JAVMM_PERF_NAME)
+#undef JAVMM_PERF_NAME
+  return names;
+}
+
+int64_t PerfCounterValue(const PerfCounters& c, const std::string& name) {
+#define JAVMM_PERF_GET(field) \
+  if (name == #field) {       \
+    return c.field;           \
+  }
+  JAVMM_PERF_FIELDS(JAVMM_PERF_GET)
+#undef JAVMM_PERF_GET
+  CheckFailure("PerfCounterValue", 0, "known counter name", name);
+}
+
+}  // namespace javmm

@@ -1,0 +1,132 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Deterministic performance counters for the simulation core (DESIGN.md §14).
+//
+// PerfCounters is a flat bag of int64 operation counters metered at a handful
+// of instrumented sites in src/mem, src/trace, and src/migration: vector
+// growth events on the hot harvest/trace paths, dirty-log word scans,
+// per-page peeks, burst flushes, sharded pages. The counters measure *work
+// performed by the simulator itself* (allocator churn, scan effort), not
+// simulated quantities -- simulated time and wire bytes live in
+// MigrationResult. Because every metered site is driven purely by scenario
+// state, the counters are bit-identical across serial and parallel runs and
+// across machines; bench/perf_gauntlet.cpp diffs them against a checked-in
+// baseline in CI, with wall-clock reported alongside as the non-gating,
+// machine-dependent half of the story.
+//
+// Counter semantics (all monotone within one engine run):
+//   allocations      -- vector growth events on instrumented hot-path
+//                       buffers: a push_back/emplace_back that found
+//                       size() == capacity(), or a reserve() that had to
+//                       grow a fresh buffer.
+//   bytes_allocated  -- geometric estimate of heap bytes those growth
+//                       events requested (capacity doubling, in elements
+//                       of the instrumented vector's value type).
+//   buffer_reuses    -- instrumented-site operations that ran entirely
+//                       inside previously-acquired capacity.
+//   harvests         -- DirtyLog::CollectAndClear calls.
+//   pages_harvested  -- dirty PFNs those harvests returned.
+//   bytes_harvested  -- pages_harvested * kPageSize.
+//   dirty_word_scans -- 64-bit bitmap words examined by harvest sweeps and
+//                       the batched pre-copy scan path.
+//   page_peeks       -- single-page dirty-bit tests on the scan path.
+//   trace_events     -- TraceEvent records appended while tracing is on.
+//   bursts_flushed   -- transfer bursts handed to the channel set.
+//   pages_sharded    -- pages placed onto channels by ChannelSet::Shard.
+//
+// The X-macro field table keeps Add/==/export/parse in lockstep: adding a
+// counter is one line.
+
+#ifndef JAVMM_SRC_BASE_PERF_H_
+#define JAVMM_SRC_BASE_PERF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/macros.h"
+
+namespace javmm {
+
+// One line per counter: JAVMM_PERF_FIELD(name). Order is export order.
+#define JAVMM_PERF_FIELDS(X) \
+  X(allocations)             \
+  X(bytes_allocated)         \
+  X(buffer_reuses)           \
+  X(harvests)                \
+  X(pages_harvested)         \
+  X(bytes_harvested)         \
+  X(dirty_word_scans)        \
+  X(page_peeks)              \
+  X(trace_events)            \
+  X(bursts_flushed)          \
+  X(pages_sharded)
+
+struct PerfCounters {
+#define JAVMM_PERF_DECLARE(name) int64_t name = 0;
+  JAVMM_PERF_FIELDS(JAVMM_PERF_DECLARE)
+#undef JAVMM_PERF_DECLARE
+
+  // Field-wise accumulation (used by RunReport::TotalPerf and the gauntlet).
+  void Add(const PerfCounters& other);
+
+  // Flat JSON object, fields in declaration order:
+  //   {"allocations":0,"bytes_allocated":0,...}
+  std::string ToJson() const;
+
+  // Parses the output of ToJson (whitespace-tolerant, order-insensitive,
+  // unknown keys rejected). Returns false and fills *error on malformed
+  // input. Missing keys default to 0 so baselines stay forward-compatible
+  // when a counter is added.
+  static bool FromJson(const std::string& json, PerfCounters* out, std::string* error);
+
+  bool operator==(const PerfCounters& other) const = default;
+};
+
+// Names in declaration order, for table-driven consumers (gauntlet diffs).
+std::vector<std::string> PerfCounterNames();
+
+// Reads a counter by name; CHECK-fails on unknown names.
+int64_t PerfCounterValue(const PerfCounters& c, const std::string& name);
+
+// --- Instrumentation helpers -------------------------------------------------
+//
+// Metering is explicit and local: the hot sites call these around their own
+// vector operations. All helpers accept a null PerfCounters and become
+// no-ops, so library code stays usable without a perf sink attached.
+
+// Meters one push_back/emplace_back about to happen on `v`: a growth event
+// when the vector is full, a reuse when capacity already covers it. Call
+// *before* the push.
+template <typename T>
+inline void NotePush(const std::vector<T>& v, PerfCounters* perf) {
+  if (perf == nullptr) {
+    return;
+  }
+  if (v.size() == v.capacity()) {
+    perf->allocations += 1;
+    const int64_t grown = v.capacity() == 0 ? 1 : static_cast<int64_t>(v.capacity()) * 2;
+    perf->bytes_allocated += grown * static_cast<int64_t>(sizeof(T));
+  } else {
+    perf->buffer_reuses += 1;
+  }
+}
+
+// Meters a reserve(n) about to happen on `v`: a growth event when the
+// request exceeds current capacity, a reuse otherwise. Call *before* the
+// reserve.
+template <typename T>
+inline void NoteReserve(const std::vector<T>& v, int64_t n, PerfCounters* perf) {
+  if (perf == nullptr) {
+    return;
+  }
+  if (n > static_cast<int64_t>(v.capacity())) {
+    perf->allocations += 1;
+    perf->bytes_allocated += n * static_cast<int64_t>(sizeof(T));
+  } else {
+    perf->buffer_reuses += 1;
+  }
+}
+
+}  // namespace javmm
+
+#endif  // JAVMM_SRC_BASE_PERF_H_

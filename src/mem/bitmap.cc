@@ -61,4 +61,19 @@ void PageBitmap::CollectSetBits(std::vector<int64_t>* out) const {
   }
 }
 
+void PageBitmap::CollectSetBitsAndClear(std::vector<int64_t>* out) {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    if (w == 0) {
+      continue;
+    }
+    words_[wi] = 0;
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out->push_back(static_cast<int64_t>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
 }  // namespace javmm

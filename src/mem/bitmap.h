@@ -56,6 +56,19 @@ class PageBitmap {
   // Appends the indices of all set bits in ascending order to `out`.
   void CollectSetBits(std::vector<int64_t>* out) const;
 
+  // Single-pass harvest: appends the indices of all set bits in ascending
+  // order to `out` and zeroes every word it visits, touching each word once
+  // instead of the collect-then-ClearAll double sweep.
+  void CollectSetBitsAndClear(std::vector<int64_t>* out);
+
+  // Word-granular access for batched scans: `Word(wi)` returns the 64-bit
+  // word covering bits [wi*64, wi*64+64); bits past size() are always zero.
+  int64_t WordCount() const { return static_cast<int64_t>(words_.size()); }
+  uint64_t Word(int64_t wi) const {
+    DCHECK(wi >= 0 && wi < WordCount());
+    return words_[static_cast<size_t>(wi)];
+  }
+
   // Memory used by the bit store itself -- reported as framework overhead in
   // the paper (32 KiB per GiB of VM memory with 4 KiB pages).
   int64_t MemoryUsageBytes() const { return static_cast<int64_t>(words_.size() * 8); }

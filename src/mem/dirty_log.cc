@@ -2,13 +2,24 @@
 
 #include "src/mem/dirty_log.h"
 
+#include "src/base/units.h"
+
 namespace javmm {
 
-std::vector<Pfn> DirtyLog::CollectAndClear() {
-  std::vector<Pfn> out;
-  bits_.CollectSetBits(&out);
-  bits_.ClearAll();
-  return out;
+void DirtyLog::CollectAndClear(std::vector<Pfn>* out) {
+  out->clear();
+  const int64_t dirty = bits_.Count();
+  NoteReserve(*out, dirty, perf_);
+  out->reserve(static_cast<size_t>(dirty));
+  bits_.CollectSetBitsAndClear(out);
+  if (perf_ != nullptr) {
+    perf_->harvests += 1;
+    perf_->pages_harvested += dirty;
+    perf_->bytes_harvested += CheckedMul(dirty, kPageSize);
+    // Two word sweeps per harvest: the Count() pre-pass (for the exact
+    // reserve) and the collect-and-clear pass itself.
+    perf_->dirty_word_scans += 2 * bits_.WordCount();
+  }
 }
 
 }  // namespace javmm

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/perf.h"
 #include "src/mem/bitmap.h"
 #include "src/mem/types.h"
 
@@ -38,12 +39,25 @@ class DirtyLog {
   // Peek: has `pfn` been dirtied since the last CollectAndClear?
   bool Test(Pfn pfn) const { return bits_.Test(pfn); }
 
+  // Batched peek: the 64-bit log word covering `pfn` (bit `pfn & 63` is the
+  // page's dirty bit). Scan loops walking ascending PFNs read one word per
+  // 64 pages instead of 64 single-bit tests; the word is a snapshot and goes
+  // stale as soon as the guest dirties more pages.
+  uint64_t PeekWord(Pfn pfn) const { return bits_.Word(pfn >> 6); }
+
   int64_t CountDirty() const { return bits_.Count(); }
 
-  // Harvests all currently-dirty PFNs (ascending) and clears the log.
-  std::vector<Pfn> CollectAndClear();
+  // Harvests all currently-dirty PFNs into `*out` (ascending) and clears the
+  // log. `*out` is cleared first and reused: steady-state harvests run
+  // entirely inside the caller's previously-acquired capacity, which is the
+  // point -- the old return-by-value shape allocated a fresh vector every
+  // live round on the hottest engine path.
+  void CollectAndClear(std::vector<Pfn>* out);
 
   void Clear() { bits_.ClearAll(); }
+
+  // Optional sink for harvest/scan effort counters; may be null.
+  void set_perf(PerfCounters* perf) { perf_ = perf; }
 
   // Total number of Mark calls since construction; proxies the guest's
   // memory-dirtying volume (used for the Fig 1 dirtying-rate series).
@@ -52,6 +66,7 @@ class DirtyLog {
  private:
   PageBitmap bits_;
   int64_t total_marks_ = 0;
+  PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace javmm

@@ -2,6 +2,7 @@
 
 #include "src/mem/hotness.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/base/macros.h"
@@ -130,6 +131,16 @@ HotnessTracker::HotnessTracker(int64_t frames, const HotnessConfig& config)
   CHECK_GE(config_.min_rate, 0);
   CHECK_GE(config_.min_score, 1);
   CHECK_GE(config_.decay, 1);
+}
+
+void HotnessTracker::Reset(const HotnessConfig& config) {
+  config_ = config;
+  CHECK_GE(config_.min_rate, 0);
+  CHECK_GE(config_.min_score, 1);
+  CHECK_GE(config_.decay, 1);
+  std::fill(scores_.begin(), scores_.end(), 0);
+  std::fill(touches_.begin(), touches_.end(), 0);
+  rounds_ = 0;
 }
 
 void HotnessTracker::OnGuestWrite(Pfn pfn) {

@@ -70,6 +70,14 @@ class HotnessTracker : public WriteObserver {
  public:
   HotnessTracker(int64_t frames, const HotnessConfig& config);
 
+  // Rewinds the tracker to its freshly-constructed state (all scores and
+  // touch counts zero, round counter reset) while keeping the SoA score
+  // arrays' storage, so an engine reused for back-to-back migrations does
+  // not reallocate two frames-sized vectors per run.
+  void Reset(const HotnessConfig& config);
+
+  int64_t frames() const { return static_cast<int64_t>(scores_.size()); }
+
   // WriteObserver: one guest store to pfn.
   void OnGuestWrite(Pfn pfn) override;
 

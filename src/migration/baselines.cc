@@ -57,6 +57,7 @@ StopAndCopyEngine::StopAndCopyEngine(GuestKernel* guest, const MigrationConfig& 
   CHECK_GT(config.batch_pages, 0);
   CHECK(config.channel_faults.empty() ||
         static_cast<int>(config.channel_faults.size()) == config.channels);
+  trace_.set_perf(&perf_);
 }
 
 MigrationResult StopAndCopyEngine::Migrate() {
@@ -67,6 +68,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
   MigrationResult result;
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
+  perf_ = PerfCounters{};
   channels_.ResetMeters();
   trace_.set_enabled(config_.record_trace);
   trace_.Clear();
@@ -134,6 +136,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
       if (share.pages == 0) {
         continue;
       }
+      perf_.pages_sharded += share.pages;
       channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
       if (channels_.count() > 1) {
         trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, rec.index,
@@ -141,6 +144,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
                                  Duration::Zero()});
       }
     }
+    perf_.bursts_flushed += 1;
     rec.pages_sent += burst;
     rec.pages_scanned += burst;
     rec.wire_bytes += wire;
@@ -193,6 +197,7 @@ MigrationResult StopAndCopyEngine::Migrate() {
     inputs.retry_backoff_cap = config_.retry_backoff_cap;
     result.trace_audit = TraceAuditor::Audit(AuditMode::kStopAndCopy, trace_, result, inputs);
   }
+  result.perf = perf_;
   return result;
 }
 
@@ -434,6 +439,7 @@ PostcopyEngine::PostcopyEngine(GuestKernel* guest, const Config& config)
   CHECK_GT(config.prepage_batch_pages, 0);
   CHECK(config.base.channel_faults.empty() ||
         static_cast<int>(config.base.channel_faults.size()) == config.base.channels);
+  trace_.set_perf(&perf_);
 }
 
 void PostcopyEngine::WaitBackoff(int attempt, TimePoint min_until, MigrationResult* common) {
@@ -461,6 +467,7 @@ PostcopyResult PostcopyEngine::Migrate() {
   MigrationResult& common = result.common;
   common.vm_bytes = memory.bytes();
   common.started_at = clock.now();
+  perf_ = PerfCounters{};
   channels_.ResetMeters();
   trace_.set_enabled(config_.base.record_trace);
   trace_.Clear();
@@ -611,12 +618,14 @@ PostcopyResult PostcopyEngine::Migrate() {
         continue;
       }
       result.prepage_pages += fetched;
+      perf_.bursts_flushed += 1;
       trace_.Record(TraceEvent{TraceEventKind::kBurst, event_at, 0, 0, fetched, wire, 0,
                                Duration::Zero()});
       for (const ChannelShare& share : outcome.shares) {
         if (share.pages == 0) {
           continue;
         }
+        perf_.pages_sharded += share.pages;
         channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
         if (channels_.count() > 1) {
           trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, 0,
@@ -705,6 +714,7 @@ PostcopyResult PostcopyEngine::Migrate() {
     inputs.expected_fault_stall_ns = result.fault_stall.nanos();
     common.trace_audit = TraceAuditor::Audit(AuditMode::kPostcopy, trace_, common, inputs);
   }
+  common.perf = perf_;
   return result;
 }
 

@@ -68,6 +68,9 @@ class StopAndCopyEngine {
   MigrationConfig config_;
   ChannelSet channels_;
   TraceRecorder trace_;
+  // Deterministic op counters for the run in progress; reset at Migrate()
+  // start and snapshotted into MigrationResult::perf (DESIGN.md §14).
+  PerfCounters perf_;
 };
 
 class PostcopyEngine {
@@ -100,6 +103,9 @@ class PostcopyEngine {
   Config config_;
   ChannelSet channels_;
   TraceRecorder trace_;
+  // Deterministic op counters for the run in progress; reset at Migrate()
+  // start and snapshotted into MigrationResult::perf (DESIGN.md §14).
+  PerfCounters perf_;
   // Present only while Migrate() runs with a non-empty fault plan; the Rng
   // drives the Bernoulli control-loss draws off base.fault_seed. Per-channel
   // schedules live inside channels_.

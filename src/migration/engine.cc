@@ -43,6 +43,7 @@ MigrationEngine::MigrationEngine(GuestKernel* guest, const MigrationConfig& conf
     CHECK_GE(config.hotness.decay, 1);
     CHECK(config.hotness.defer_budget > Duration::Zero());
   }
+  trace_.set_perf(&perf_);
 }
 
 void MigrationEngine::AddRequiredPfnSource(const RequiredPfnSource* source) {
@@ -93,7 +94,9 @@ void MigrationEngine::SendPage(Pfn pfn, DestinationVm* dest, Burst* burst,
   }
   // Delivery is deferred to the successful flush (the version is captured
   // now; the clock does not advance while a burst accumulates).
-  burst->deliveries.emplace_back(pfn, guest_->memory().version(pfn));
+  NotePush(burst->delivery_pfns, &perf_);
+  burst->delivery_pfns.push_back(pfn);
+  burst->delivery_versions.push_back(guest_->memory().version(pfn));
   burst->wire_bytes += payload + config_.link.per_page_overhead;
   burst->send_cpu += cpu;
   burst->compress_cpu += cpu - config_.cpu_per_page_sent;
@@ -108,6 +111,7 @@ void MigrationEngine::RequestDegrade(DegradeReason reason) {
 
 void MigrationEngine::CarryOver(const std::vector<Pfn>& pending, size_t from) {
   for (size_t i = from; i < pending.size(); ++i) {
+    NotePush(carryover_, &perf_);
     carryover_.push_back(pending[i]);
   }
 }
@@ -237,8 +241,8 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
       result->pages_sent_raw -= burst->raw;
       result->pages_compressed -= burst->compressed;
       result->pages_sent_delta -= burst->delta;
-      for (const auto& [pfn, version] : burst->deliveries) {
-        (void)version;
+      for (const Pfn pfn : burst->delivery_pfns) {
+        NotePush(carryover_, &perf_);
         carryover_.push_back(pfn);
       }
       const Duration spent = outcome.completes_at - start;
@@ -250,7 +254,7 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
       // "sum of burst scanned == pages_scanned" audit identity holds.
       trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0, 0,
                                0, burst->scanned, burst->send_cpu + scan_time});
-      *burst = Burst{};
+      burst->Reset();
       return false;
     }
     wire_time = outcome.completes_at - start;
@@ -275,6 +279,7 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
       if (share.pages == 0) {
         continue;
       }
+      perf_.pages_sharded += share.pages;
       channels_.channel(share.channel).RecordPageBytes(share.pages, share.wire_bytes);
       if (channels_.count() > 1) {
         trace_.Record(TraceEvent{TraceEventKind::kChannelTransfer, share.done, rec->index,
@@ -285,8 +290,8 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
     rec->wire_bytes += burst->wire_bytes;
     rec->pages_sent += burst->pages;
     result->cpu_time += burst->send_cpu;
-    for (const auto& [pfn, version] : burst->deliveries) {
-      dest->ReceivePage(pfn, version);
+    for (size_t d = 0; d < burst->delivery_pfns.size(); ++d) {
+      dest->ReceivePage(burst->delivery_pfns[d], burst->delivery_versions[d]);
     }
   }
   // With no failed attempt the scan overlapped the transfer; after failures
@@ -297,11 +302,12 @@ bool MigrationEngine::FlushBurst(Burst* burst, DestinationVm* dest, IterationRec
     guest_->clock().Advance(advance);
   }
   if (burst->pages > 0 || burst->scanned > 0) {
+    perf_.bursts_flushed += 1;
     trace_.Record(TraceEvent{TraceEventKind::kBurst, guest_->clock().now(), rec->index, 0,
                              burst->pages, burst->wire_bytes, burst->scanned,
                              burst->send_cpu + scan_time});
   }
-  *burst = Burst{};
+  burst->Reset();
   return true;
 }
 
@@ -319,13 +325,14 @@ void MigrationEngine::ApplyHotnessPolicy(int index, std::vector<Pfn>* pending,
   // time the guest re-dirties them; each drop here is one page send the
   // unordered engine would have re-issued.
   int64_t avoided = 0;
-  std::vector<Pfn> kept;
-  kept.reserve(pending->size());
+  kept_.clear();
+  NoteReserve(kept_, static_cast<int64_t>(pending->size()), &perf_);
+  kept_.reserve(pending->size());
   for (const Pfn pfn : *pending) {
     if (deferred_hot_->Test(pfn)) {
       ++avoided;
     } else {
-      kept.push_back(pfn);
+      kept_.push_back(pfn);
     }
   }
 
@@ -335,32 +342,33 @@ void MigrationEngine::ApplyHotnessPolicy(int index, std::vector<Pfn>* pending,
   int64_t parked = 0;
   const int64_t room = max_deferred_pages_ - result->pages_deferred_hot;
   if (room > 0) {
-    std::vector<Pfn> hot;
-    for (const Pfn pfn : kept) {
+    hot_.clear();
+    for (const Pfn pfn : kept_) {
       if (hotness_->IsHot(pfn)) {
-        hot.push_back(pfn);
+        NotePush(hot_, &perf_);
+        hot_.push_back(pfn);
       }
     }
-    if (static_cast<int64_t>(hot.size()) > room) {
-      std::stable_sort(hot.begin(), hot.end(), [this](Pfn a, Pfn b) {
+    if (static_cast<int64_t>(hot_.size()) > room) {
+      std::stable_sort(hot_.begin(), hot_.end(), [this](Pfn a, Pfn b) {
         return hotness_->score(a) > hotness_->score(b);
       });
-      hot.resize(static_cast<size_t>(room));
+      hot_.resize(static_cast<size_t>(room));
     }
-    for (const Pfn pfn : hot) {
+    for (const Pfn pfn : hot_) {
       deferred_hot_->Set(pfn);
     }
-    parked = static_cast<int64_t>(hot.size());
+    parked = static_cast<int64_t>(hot_.size());
     if (parked > 0) {
-      kept.erase(std::remove_if(kept.begin(), kept.end(),
-                                [this](Pfn pfn) { return deferred_hot_->Test(pfn); }),
-                 kept.end());
+      kept_.erase(std::remove_if(kept_.begin(), kept_.end(),
+                                 [this](Pfn pfn) { return deferred_hot_->Test(pfn); }),
+                  kept_.end());
     }
   }
 
   // Coldest-first: pages most likely to stay clean ship early; the hottest
   // survivors ship late, where a mid-round re-dirty can still skip them.
-  std::stable_sort(kept.begin(), kept.end(), [this](Pfn a, Pfn b) {
+  std::stable_sort(kept_.begin(), kept_.end(), [this](Pfn a, Pfn b) {
     return hotness_->score(a) < hotness_->score(b);
   });
 
@@ -370,10 +378,12 @@ void MigrationEngine::ApplyHotnessPolicy(int index, std::vector<Pfn>* pending,
     trace_.Record(TraceEvent{TraceEventKind::kHotnessDefer, guest_->clock().now(), index, 0,
                              parked, avoided, result->pages_deferred_hot, Duration::Zero()});
   }
-  *pending = std::move(kept);
+  // Swap, not move: the round buffer and kept_ trade storage, so both
+  // capacities stay live for the next round.
+  pending->swap(kept_);
 }
 
-IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn> pending,
+IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn>* pending,
                                               DirtyLog* log, DestinationVm* dest,
                                               const PageBitmap* transfer_bitmap,
                                               PageBitmap* ever_skipped,
@@ -383,14 +393,14 @@ IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn> pendin
   const TimePoint iter_start = guest_->clock().now();
   trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, iter_start, index, 0, 0, 0, 0,
                            Duration::Zero()});
-  ApplyHotnessPolicy(index, &pending, result);
+  ApplyHotnessPolicy(index, pending, result);
 
   // Per-iteration control round trip (request dirty bitmap, sync with the
   // receiver); keeps even all-skip iterations from taking zero time. When the
   // retry budget for it runs out the whole pending set carries over: none of
   // these pages were examined, and none are in the dirty log.
   if (!ControlRoundTrip(index, result)) {
-    CarryOver(pending, 0);
+    CarryOver(*pending, 0);
     rec.duration = guest_->clock().now() - iter_start;
     trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, guest_->clock().now(), index, 0,
                              rec.pages_sent, rec.wire_bytes, rec.pages_scanned,
@@ -399,12 +409,19 @@ IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn> pendin
   }
 
   size_t i = 0;
-  Burst burst;
-  while (i < pending.size()) {
-    while (i < pending.size() && burst.pages < config_.batch_pages) {
-      const Pfn pfn = pending[i++];
+  burst_.Reset();
+  while (i < pending->size()) {
+    // Batched dirty peek: within one burst-accumulation pass the clock never
+    // advances, so the guest cannot dirty pages and the log is frozen -- one
+    // 64-bit word read covers up to 64 consecutive re-dirty tests. The cache
+    // dies with the pass: FlushBurst/ControlRoundTrip advance the clock, so
+    // each new pass starts cold.
+    int64_t cached_wi = -1;
+    uint64_t cached_word = 0;
+    while (i < pending->size() && burst_.pages < config_.batch_pages) {
+      const Pfn pfn = (*pending)[i++];
       ++rec.pages_scanned;
-      ++burst.scanned;
+      ++burst_.scanned;
       if (transfer_bitmap != nullptr && !transfer_bitmap->Test(pfn)) {
         // Cleared transfer bit: the application vouched the page need not be
         // migrated (§3.3.3). Remember it for the safety fallback.
@@ -412,30 +429,36 @@ IterationRecord MigrationEngine::RunIteration(int index, std::vector<Pfn> pendin
         ever_skipped->Set(pfn);
         continue;
       }
-      if (log->Test(pfn)) {
+      ++perf_.page_peeks;
+      if ((pfn >> 6) != cached_wi) {
+        cached_wi = pfn >> 6;
+        cached_word = log->PeekWord(pfn);
+        ++perf_.dirty_word_scans;
+      }
+      if (((cached_word >> (pfn & 63)) & 1) != 0) {
         // Re-dirtied since the harvest: sending now would be redundant; the
         // next round will carry it (§5.2).
         ++rec.pages_skipped_dirty;
         continue;
       }
-      SendPage(pfn, dest, &burst, result);
+      SendPage(pfn, dest, &burst_, result);
     }
-    if (!FlushBurst(&burst, dest, &rec, result)) {
+    if (!FlushBurst(&burst_, dest, &rec, result)) {
       // Burst retry budget exhausted; its pages are already in carryover_.
       // The unexamined tail joins them.
-      CarryOver(pending, i);
+      CarryOver(*pending, i);
       break;
     }
     if (degrade_ == DegradeReason::kNone && config_.round_timeout != Duration::Max() &&
-        guest_->clock().now() - iter_start > config_.round_timeout && i < pending.size()) {
+        guest_->clock().now() - iter_start > config_.round_timeout && i < pending->size()) {
       // The round blew its wall-clock budget (a degraded link can stretch
       // one iteration indefinitely); hand the rest to the next round so the
       // dirty-log harvest stays fresh.
       ++result->round_timeouts;
       trace_.Record(TraceEvent{TraceEventKind::kRoundTimeout, guest_->clock().now(), index, 0,
-                               static_cast<int64_t>(pending.size() - i), 0, 0,
+                               static_cast<int64_t>(pending->size() - i), 0, 0,
                                Duration::Zero()});
-      CarryOver(pending, i);
+      CarryOver(*pending, i);
       if (result->round_timeouts > config_.max_round_timeouts) {
         RequestDegrade(DegradeReason::kRoundTimeouts);
       }
@@ -458,6 +481,7 @@ MigrationResult MigrationEngine::Migrate() {
   result.hotness = config_.hotness.enabled;
   result.vm_bytes = memory.bytes();
   result.started_at = clock.now();
+  perf_ = PerfCounters{};
   channels_.ResetMeters();
   // Fault-recovery state is per-migration: anchor the plans' relative
   // windows at this start instant and reseed the private loss stream, so
@@ -474,13 +498,19 @@ MigrationResult MigrationEngine::Migrate() {
   // Hotness state is per-migration too: fresh scores, an empty parked set,
   // and the deferral bound from this run's link (how many pages fit through
   // the nominal goodput in defer_budget -- parked pages land in the paused
-  // final copy, so this caps their downtime contribution).
-  hotness_.reset();
-  deferred_hot_.reset();
+  // final copy, so this caps their downtime contribution). The tracker and
+  // parked bitmap keep their storage across back-to-back migrations of one
+  // engine: Reset()/ClearAll() rewind the state without reallocating the
+  // frames-sized arrays.
   max_deferred_pages_ = 0;
   if (config_.hotness.enabled) {
-    hotness_.emplace(frames, config_.hotness);
-    deferred_hot_.emplace(frames);
+    if (hotness_ && hotness_->frames() == frames) {
+      hotness_->Reset(config_.hotness);
+      deferred_hot_->ClearAll();
+    } else {
+      hotness_.emplace(frames, config_.hotness);
+      deferred_hot_.emplace(frames);
+    }
     // budget_ns * goodput overflows int64 for multi-second budgets on fast
     // links; MulDiv keeps the product in 128 bits. Goodput is truncated to
     // whole bytes/sec, which moves the bound by at most one page.
@@ -495,6 +525,7 @@ MigrationResult MigrationEngine::Migrate() {
                            Duration::Zero()});
 
   DirtyLog log(frames);
+  log.set_perf(&perf_);
   memory.AttachDirtyLog(&log);
 
   // The tracker observes the same store choke point as the dirty log; the
@@ -557,18 +588,22 @@ MigrationResult MigrationEngine::Migrate() {
 
   // ---- Live pre-copy iterations. ----
   // Iteration 1 sends every frame of the VM's pseudo-physical memory.
-  std::vector<Pfn> pending;
-  pending.reserve(static_cast<size_t>(frames));
+  // pending_ is the reusable round buffer: the loop below refills it from
+  // the harvest buffer each round by swap, so after the first migration the
+  // whole rotation runs inside previously-acquired capacity.
+  pending_.clear();
+  NoteReserve(pending_, frames, &perf_);
+  pending_.reserve(static_cast<size_t>(frames));
   for (Pfn pfn = 0; pfn < frames; ++pfn) {
-    pending.push_back(pfn);
+    pending_.push_back(pfn);
   }
 
   int64_t total_sent = 0;
   int iter = 1;
   for (;;) {
-    IterationRecord rec = RunIteration(iter, std::move(pending), &log, &dest, transfer_bitmap,
+    IterationRecord rec = RunIteration(iter, &pending_, &log, &dest, transfer_bitmap,
                                        &ever_skipped, &result);
-    pending = log.CollectAndClear();
+    log.CollectAndClear(&harvest_);
     if (!carryover_.empty()) {
       // An early-terminated round left scanned-but-undelivered pages behind;
       // fold them into the next round's input, deduplicated against the
@@ -582,32 +617,34 @@ MigrationResult MigrationEngine::Migrate() {
       if (hotness_) {
         std::sort(carryover_.begin(), carryover_.end());
       }
-      DCHECK(std::is_sorted(pending.begin(), pending.end()));
+      DCHECK(std::is_sorted(harvest_.begin(), harvest_.end()));
       DCHECK(std::is_sorted(carryover_.begin(), carryover_.end()));
-      std::vector<Pfn> merged;
-      merged.reserve(pending.size() + carryover_.size());
+      merged_.clear();
+      NoteReserve(merged_, static_cast<int64_t>(harvest_.size() + carryover_.size()), &perf_);
+      merged_.reserve(harvest_.size() + carryover_.size());
       size_t a = 0;
       size_t b = 0;
-      while (a < pending.size() || b < carryover_.size()) {
+      while (a < harvest_.size() || b < carryover_.size()) {
         Pfn next;
-        if (b == carryover_.size() || (a < pending.size() && pending[a] <= carryover_[b])) {
-          next = pending[a++];
+        if (b == carryover_.size() || (a < harvest_.size() && harvest_[a] <= carryover_[b])) {
+          next = harvest_[a++];
         } else {
           next = carryover_[b++];
         }
-        if (merged.empty() || merged.back() != next) {
-          merged.push_back(next);
+        if (merged_.empty() || merged_.back() != next) {
+          merged_.push_back(next);
         }
       }
       carryover_.clear();
-      pending = std::move(merged);
+      harvest_.swap(merged_);
     }
+    pending_.swap(harvest_);
     // Pages owed to the next live round. Parked pages re-dirty every round
     // but transfer during the pause, so they must not keep the loop from
     // converging (or count as live dirt in the per-iteration records).
-    int64_t live_left = static_cast<int64_t>(pending.size());
+    int64_t live_left = static_cast<int64_t>(pending_.size());
     if (deferred_hot_) {
-      for (const Pfn pfn : pending) {
+      for (const Pfn pfn : pending_) {
         if (deferred_hot_->Test(pfn)) {
           --live_left;
         }
@@ -653,6 +690,7 @@ MigrationResult MigrationEngine::Migrate() {
       hint_source_ = nullptr;
       FillChannelMeters(&result);
       RunAudit(&result);
+      result.perf = perf_;
       return result;
     }
 
@@ -716,10 +754,11 @@ MigrationResult MigrationEngine::Migrate() {
     // Merge everything still dirty (including pages dirtied by the enforced
     // GC's copying) with the carried-over pending set.
     PageBitmap final_set(frames);
-    for (Pfn pfn : pending) {
+    for (Pfn pfn : pending_) {
       final_set.Set(pfn);
     }
-    for (Pfn pfn : log.CollectAndClear()) {
+    log.CollectAndClear(&harvest_);
+    for (Pfn pfn : harvest_) {
       final_set.Set(pfn);
     }
     // Defensive: fault carryover is normally folded into `pending` after
@@ -731,9 +770,9 @@ MigrationResult MigrationEngine::Migrate() {
     // Hot pages deferred out of the live rounds transfer exactly once: here,
     // while the guest is paused and cannot re-dirty them.
     if (deferred_hot_) {
-      std::vector<Pfn> parked;
-      deferred_hot_->CollectSetBits(&parked);
-      for (Pfn pfn : parked) {
+      scratch_.clear();
+      deferred_hot_->CollectSetBits(&scratch_);
+      for (Pfn pfn : scratch_) {
         final_set.Set(pfn);
       }
     }
@@ -745,9 +784,9 @@ MigrationResult MigrationEngine::Migrate() {
     // dirty log catches, and frames still free at pause hold no observable
     // content. On fallback, re-send everything ever skipped.
     if (fallback) {
-      std::vector<Pfn> skipped;
-      ever_skipped.CollectSetBits(&skipped);
-      for (Pfn pfn : skipped) {
+      scratch_.clear();
+      ever_skipped.CollectSetBits(&scratch_);
+      for (Pfn pfn : scratch_) {
         final_set.Set(pfn);
       }
     } else if (assisted) {
@@ -755,18 +794,20 @@ MigrationResult MigrationEngine::Migrate() {
         final_set.Set(pfn);
       }
     }
-    std::vector<Pfn> last_pending;
-    final_set.CollectSetBits(&last_pending);
+    last_pending_.clear();
+    NoteReserve(last_pending_, final_set.Count(), &perf_);
+    last_pending_.reserve(static_cast<size_t>(final_set.Count()));
+    final_set.CollectSetBits(&last_pending_);
 
     IterationRecord rec;
     rec.index = iter + 1;
     const TimePoint last_start = clock.now();
     trace_.Record(TraceEvent{TraceEventKind::kIterationBegin, last_start, rec.index, 0, 0, 0, 0,
                              Duration::Zero()});
-    Burst burst;
-    for (Pfn pfn : last_pending) {
+    burst_.Reset();
+    for (Pfn pfn : last_pending_) {
       ++rec.pages_scanned;
-      ++burst.scanned;
+      ++burst_.scanned;
       if (transfer_bitmap != nullptr && !transfer_bitmap->Test(pfn)) {
         // Final bitmap state: garbage the enforced GC reclaimed (plus any
         // deferred expansion) is skipped even in the last iteration.
@@ -774,12 +815,12 @@ MigrationResult MigrationEngine::Migrate() {
         ++result.last_iter_pages_skipped_bitmap;
         continue;
       }
-      SendPage(pfn, &dest, &burst, &result);
-      if (burst.pages == config_.batch_pages) {
-        FlushBurst(&burst, &dest, &rec, &result);
+      SendPage(pfn, &dest, &burst_, &result);
+      if (burst_.pages == config_.batch_pages) {
+        FlushBurst(&burst_, &dest, &rec, &result);
       }
     }
-    FlushBurst(&burst, &dest, &rec, &result);
+    FlushBurst(&burst_, &dest, &rec, &result);
     rec.duration = clock.now() - last_start;
     trace_.Record(TraceEvent{TraceEventKind::kIterationEnd, clock.now(), rec.index, 0,
                              rec.pages_sent, rec.wire_bytes, rec.pages_scanned,
@@ -825,6 +866,7 @@ MigrationResult MigrationEngine::Migrate() {
   hint_source_ = nullptr;
   FillChannelMeters(&result);
   RunAudit(&result);
+  result.perf = perf_;
   return result;
 }
 

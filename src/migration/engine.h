@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/perf.h"
 #include "src/base/rng.h"
 #include "src/faults/faults.h"
 #include "src/guest/guest_kernel.h"
@@ -67,14 +68,34 @@ class MigrationEngine {
     int64_t raw = 0;
     int64_t compressed = 0;
     int64_t delta = 0;
-    // (pfn, source version at send time) delivered on successful flush.
-    std::vector<std::pair<Pfn, uint64_t>> deliveries;
+    // Deliveries applied on successful flush, SoA: parallel arrays of PFN
+    // and source version at send time. Split so the hot append touches two
+    // flat int64 streams instead of pair nodes, and so Reset() can keep both
+    // capacities -- the burst reaches its high-water batch size once per
+    // engine and stages pages allocation-free thereafter.
+    std::vector<Pfn> delivery_pfns;
+    std::vector<uint64_t> delivery_versions;
+
+    // Back to an empty burst without releasing storage.
+    void Reset() {
+      pages = 0;
+      scanned = 0;
+      wire_bytes = 0;
+      send_cpu = Duration::Zero();
+      compress_cpu = Duration::Zero();
+      raw = 0;
+      compressed = 0;
+      delta = 0;
+      delivery_pfns.clear();
+      delivery_versions.clear();
+    }
   };
 
-  // Sends one pre-copy iteration over `pending`; returns its record. Takes
-  // the pending set by value: with hotness enabled the round's set is
-  // filtered (parked pages dropped) and reordered coldest-first in place.
-  IterationRecord RunIteration(int index, std::vector<Pfn> pending, DirtyLog* log,
+  // Sends one pre-copy iteration over `*pending`; returns its record. The
+  // pending set is the engine's reusable round buffer: with hotness enabled
+  // the round's set is filtered (parked pages dropped) and reordered
+  // coldest-first in place; its contents are consumed either way.
+  IterationRecord RunIteration(int index, std::vector<Pfn>* pending, DirtyLog* log,
                                DestinationVm* dest, const PageBitmap* transfer_bitmap,
                                PageBitmap* ever_skipped, MigrationResult* result);
 
@@ -135,6 +156,10 @@ class MigrationEngine {
   MigrationConfig config_;
   ChannelSet channels_;
   TraceRecorder trace_;
+  // Deterministic op counters for the run in progress (DESIGN.md §14); reset
+  // at each Migrate() start, snapshotted into MigrationResult::perf on every
+  // exit path. The trace recorder and dirty log meter into it directly.
+  PerfCounters perf_;
   std::vector<const RequiredPfnSource*> required_sources_;
   bool suspension_ready_ = false;
   // Set during an assisted migration: per-page compression hints (§6).
@@ -165,6 +190,23 @@ class MigrationEngine {
   // Deferral bound derived from hotness.defer_budget and the link's nominal
   // goodput: parking more pages than this could blow the pause budget.
   int64_t max_deferred_pages_ = 0;
+
+  // ---- Reusable hot-path buffers (capacity persists across rounds and ----
+  // ---- across back-to-back Migrate() calls; contents are per-use).     ----
+  // The live loop rotates pending_/harvest_/merged_ by swap so each round's
+  // harvest and carryover merge run inside previously-acquired capacity
+  // instead of materialising fresh vectors (the old per-round churn).
+  std::vector<Pfn> pending_;
+  std::vector<Pfn> harvest_;
+  std::vector<Pfn> merged_;
+  // ApplyHotnessPolicy working sets.
+  std::vector<Pfn> kept_;
+  std::vector<Pfn> hot_;
+  // Stop-and-copy final send set and bitmap-collect scratch.
+  std::vector<Pfn> last_pending_;
+  std::vector<Pfn> scratch_;
+  // The send burst, reused via Burst::Reset() (keeps delivery capacity).
+  Burst burst_;
 };
 
 }  // namespace javmm

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/perf.h"
 #include "src/base/time.h"
 
 namespace javmm {
@@ -181,6 +182,12 @@ struct MigrationResult {
 
   VerificationReport verification;
   TraceAuditReport trace_audit;
+
+  // Deterministic simulator-effort counters for this run (DESIGN.md §14).
+  // Deliberately absent from the runner's JSON-lines export: the pinned
+  // golden exports must not change when a counter is added or a hot path is
+  // re-instrumented. The perf gauntlet exports them separately.
+  PerfCounters perf;
 
   int iteration_count() const { return static_cast<int>(iterations.size()); }
 };

@@ -112,6 +112,14 @@ void RunReport::ExportJsonLines(std::ostream& os) const {
   }
 }
 
+PerfCounters RunReport::TotalPerf() const {
+  PerfCounters total;
+  for (const RunRecord& rec : runs) {
+    total.Add(rec.output.result.perf);
+  }
+  return total;
+}
+
 ScenarioRunner::ScenarioRunner(int jobs) : jobs_(jobs) {
   if (jobs_ <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -70,7 +70,15 @@ struct RunReport {
   // One JSON object per run, in submission order. All quantities are exact
   // integers (nanoseconds, bytes, pages), so the export is byte-identical
   // across serial and parallel execution of the same scenario list.
+  // Deliberately excludes PerfCounters: the export format is pinned by
+  // golden tests and must not shift when instrumentation changes.
   void ExportJsonLines(std::ostream& os) const;
+
+  // Sum of every run's deterministic PerfCounters, in submission order.
+  // Field-wise addition commutes, but summing in submission order keeps even
+  // the overflow CHECK behaviour identical across --jobs values. Runs that
+  // threw contribute zeroes (their default-constructed result).
+  PerfCounters TotalPerf() const;
 };
 
 class ScenarioRunner {

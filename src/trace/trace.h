@@ -17,6 +17,7 @@
 #include <ostream>
 #include <vector>
 
+#include "src/base/perf.h"
 #include "src/base/time.h"
 
 namespace javmm {
@@ -80,10 +81,20 @@ class TraceRecorder {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Optional sink for recording-effort counters; may be null.
+  void set_perf(PerfCounters* perf) { perf_ = perf; }
+
+  // Drops the events but keeps the backing storage: a recorder reused across
+  // migrations behaves as an event pool, reaching a high-water capacity once
+  // and appending allocation-free thereafter.
   void Clear() { events_.clear(); }
 
   void Record(const TraceEvent& event) {
     if (enabled_) {
+      if (perf_ != nullptr) {
+        perf_->trace_events += 1;
+        NotePush(events_, perf_);
+      }
       events_.push_back(event);
     }
   }
@@ -101,6 +112,7 @@ class TraceRecorder {
 
  private:
   bool enabled_ = true;
+  PerfCounters* perf_ = nullptr;
   std::vector<TraceEvent> events_;
 };
 

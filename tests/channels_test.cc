@@ -21,6 +21,7 @@
 #include "src/net/channel_set.h"
 #include "src/runner/runner.h"
 #include "src/trace/auditor.h"
+#include "tests/golden_seed_export.h"
 
 namespace javmm {
 namespace {
@@ -495,67 +496,17 @@ TEST(AnalyzerProbeFaultsTest, ScenarioFlagRoutesChannelZeroPlanToProbes) {
 
 // ---- channels == 1 bit-identity against the single-link seed export. ----
 
-// JSON-lines export of the 6-regime x 4-engine battery captured from the
-// seed tree (before the multi-channel data plane existed), crypto workload,
-// warmup 10 s, cooldown 5 s, seed 1, default lab. Re-running the battery
-// through the striped code at channels == 1 must reproduce it byte for byte.
-const char kGoldenSeedExport[] = R"gold({"label":"healthy/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":57885589784,"downtime_ns":1972921901,"wire_bytes":6852566216,"pages_sent":1641724,"pages_skipped_dirty":158458,"pages_skipped_bitmap":0,"cpu_ns":6836923300,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"healthy/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":15567336868,"downtime_ns":597796796,"wire_bytes":1755319312,"pages_sent":420536,"pages_skipped_dirty":463,"pages_skipped_bitmap":215444,"cpu_ns":1777610450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"healthy/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"healthy/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":60523624133,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":45090743685,"degradation_window_ns":60318303678}
-{"label":"bw-collapse/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":25,"total_time_ns":99470117713,"downtime_ns":1962798853,"wire_bytes":6803394370,"pages_sent":1629943,"pages_skipped_dirty":339431,"pages_skipped_bitmap":0,"cpu_ns":6815178100,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"bw-collapse/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":4,"total_time_ns":50162326816,"downtime_ns":222121502,"wire_bytes":1776664636,"pages_sent":425650,"pages_skipped_dirty":1237,"pages_skipped_bitmap":241156,"cpu_ns":1802806450,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"bw-collapse/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":60598447520,"downtime_ns":60598447520,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":60000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"bw-collapse/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":79038187045,"downtime_ns":287734849,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6000000000,"demand_faults":107596,"fault_stall_ns":61164514716,"degradation_window_ns":78750452196}
-{"label":"lossy-ctl/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":16,"total_time_ns":62420853968,"downtime_ns":3375174963,"wire_bytes":7130113786,"pages_sent":1708219,"pages_skipped_dirty":181651,"pages_skipped_bitmap":0,"cpu_ns":7116356500,"control_losses":7,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":3584,"backoff_ns":450000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lossy-ctl/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":16625647035,"downtime_ns":372904387,"wire_bytes":1756860542,"pages_sent":420905,"pages_skipped_dirty":582,"pages_skipped_bitmap":236004,"cpu_ns":1782243650,"control_losses":3,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1536,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lossy-ctl/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lossy-ctl/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21416435704847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59288,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30355456,"backoff_ns":6534750000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19469000000000,"demand_faults":89553,"fault_stall_ns":21400949678397,"degradation_window_ns":21416230384392}
-{"label":"outage/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":22,"total_time_ns":58082808479,"downtime_ns":1766067254,"wire_bytes":6757094826,"pages_sent":1618851,"pages_skipped_dirty":159938,"pages_skipped_bitmap":0,"cpu_ns":6742222350,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"outage/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":5,"total_time_ns":16982215811,"downtime_ns":415871838,"wire_bytes":1757406312,"pages_sent":421036,"pages_skipped_dirty":506,"pages_skipped_bitmap":234260,"cpu_ns":1782514300,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":94119,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"outage/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":19599639305,"downtime_ns":19599639305,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":141619,"backoff_ns":1000000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"outage/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":61523571184,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":1,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":512,"backoff_ns":749947051,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":3000000000,"demand_faults":91065,"fault_stall_ns":46090690736,"degradation_window_ns":61318250729}
-{"label":"lat-spike/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":21,"total_time_ns":58594640298,"downtime_ns":1890426089,"wire_bytes":6831078464,"pages_sent":1636576,"pages_skipped_dirty":178180,"pages_skipped_bitmap":0,"cpu_ns":6818517400,"control_losses":2,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":1024,"backoff_ns":150000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":1000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lat-spike/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":8,"total_time_ns":15548160588,"downtime_ns":205355381,"wire_bytes":1751130152,"pages_sent":419532,"pages_skipped_dirty":481,"pages_skipped_bitmap":214788,"cpu_ns":1773348150,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lat-spike/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":18598446720,"downtime_ns":18598446720,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":0,"backoff_ns":0,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":18000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"lat-spike/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":7215085764847,"downtime_ns":205320455,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":22570,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":11555840,"backoff_ns":1503200000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":6511000000000,"demand_faults":89554,"fault_stall_ns":7199599773546,"degradation_window_ns":7214880444392}
-{"label":"combined/Xen","workload":"crypto","engine":"Xen","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":24,"total_time_ns":94181311713,"downtime_ns":2427545181,"wire_bytes":6934565982,"pages_sent":1661369,"pages_skipped_dirty":665839,"pages_skipped_bitmap":0,"cpu_ns":6994557200,"control_losses":18,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":943293,"backoff_ns":2950000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":2000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"combined/JAVMM","workload":"crypto","engine":"JAVMM","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":7,"total_time_ns":32685665303,"downtime_ns":435132962,"wire_bytes":1771686590,"pages_sent":424457,"pages_skipped_dirty":1164,"pages_skipped_bitmap":238756,"cpu_ns":1797484550,"control_losses":3,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":935613,"backoff_ns":1650000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":0,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"combined/stop-and-copy","workload":"crypto","engine":"stop-and-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":1,"total_time_ns":38537086283,"downtime_ns":38537086283,"wire_bytes":2188378112,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":2097152000,"control_losses":0,"burst_faults":1,"round_timeouts":0,"retry_wire_bytes":605078,"backoff_ns":1500000000,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":38000000000,"demand_faults":0,"fault_stall_ns":0,"degradation_window_ns":0}
-{"label":"combined/post-copy","workload":"crypto","engine":"post-copy","seed":1,"ran":true,"completed":true,"fell_back":false,"verified":true,"audit_ran":true,"audit_ok":true,"iterations":0,"total_time_ns":21467845450509,"downtime_ns":240640909,"wire_bytes":2192572416,"pages_sent":524288,"pages_skipped_dirty":0,"pages_skipped_bitmap":0,"cpu_ns":0,"control_losses":59427,"burst_faults":0,"round_timeouts":0,"retry_wire_bytes":30426624,"backoff_ns":6551239771663,"degraded":false,"young_at_migration_bytes":453132288,"old_at_migration_bytes":13041664,"observed_downtime_ns":19525000000000,"demand_faults":89809,"fault_stall_ns":21452324103604,"degradation_window_ns":21467604809600}
-)gold";
-
+// The shared seed battery (tests/golden_seed_export.h) re-run through the
+// striped code at channels == 1 must reproduce the pinned export byte for
+// byte.
 TEST(ChannelGoldenTest, SingleChannelBatteryMatchesSeedExport) {
-  struct Regime {
-    const char* name;
-    const char* spec;
-  };
-  const Regime kRegimes[] = {
-      {"healthy", ""},
-      {"bw-collapse", "bw:0s-60s@0.3"},
-      {"lossy-ctl", "loss:0.4"},
-      {"outage", "out:1s-2s"},
-      {"lat-spike", "lat:0s-30s+20ms;loss:0.2"},
-      {"combined", "bw:0s-60s@0.5;loss:0.4;out:1s-2500ms"},
-  };
-  const EngineKind kEngines[] = {EngineKind::kXenPrecopy, EngineKind::kJavmm,
-                                 EngineKind::kStopAndCopy, EngineKind::kPostcopy};
-  std::vector<Scenario> scenarios;
-  for (const Regime& regime : kRegimes) {
-    for (const EngineKind kind : kEngines) {
-      Scenario scenario =
-          FastScenario(kind, std::string(regime.name) + "/" + EngineKindName(kind));
-      scenario.options.fault_spec = regime.spec;
-      scenarios.push_back(std::move(scenario));
-    }
-  }
-  const RunReport report = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  const RunReport report = ScenarioRunner(/*jobs=*/4).RunAll(golden::SeedBatteryScenarios());
   EXPECT_EQ(report.errors, 0);
   EXPECT_EQ(report.verification_failures, 0);
   EXPECT_EQ(report.audit_failures, 0);
   std::ostringstream os;
   report.ExportJsonLines(os);
-  EXPECT_EQ(os.str(), std::string(kGoldenSeedExport));
+  EXPECT_EQ(os.str(), std::string(golden::kGoldenSeedExport));
 }
 
 }  // namespace

@@ -116,7 +116,8 @@ TEST(DirtyLogTest, MarkTestCollect) {
   EXPECT_FALSE(log.Test(4));
   EXPECT_EQ(log.CountDirty(), 2);
   EXPECT_EQ(log.total_marks(), 3);
-  const std::vector<Pfn> dirty = log.CollectAndClear();
+  std::vector<Pfn> dirty;
+  log.CollectAndClear(&dirty);
   EXPECT_EQ(dirty, (std::vector<Pfn>{3, 7}));
   EXPECT_EQ(log.CountDirty(), 0);
   EXPECT_FALSE(log.Test(3));

@@ -1,0 +1,221 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+//
+// PerfCounters substrate tests (src/base/perf.h, DESIGN.md §14): JSON
+// round-trip and parse errors, field-wise accumulation, the NotePush /
+// NoteReserve growth-vs-reuse classification, dirty-log harvest metering
+// with a reused caller buffer, counter determinism across the worker pool
+// (including fault/retry paths), and the proof that instrumentation changed
+// nothing observable: the shared seed battery still reproduces its pinned
+// export byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/perf.h"
+#include "src/base/units.h"
+#include "src/mem/dirty_log.h"
+#include "src/runner/runner.h"
+#include "tests/golden_seed_export.h"
+
+namespace javmm {
+namespace {
+
+PerfCounters Distinct() {
+  PerfCounters c;
+  int64_t v = 1;
+#define JAVMM_PERF_SET(name) c.name = v++;
+  JAVMM_PERF_FIELDS(JAVMM_PERF_SET)
+#undef JAVMM_PERF_SET
+  return c;
+}
+
+TEST(PerfJsonTest, RoundTripPreservesEveryField) {
+  const PerfCounters c = Distinct();
+  PerfCounters parsed;
+  std::string error;
+  ASSERT_TRUE(PerfCounters::FromJson(c.ToJson(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, c);
+}
+
+TEST(PerfJsonTest, MissingKeysDefaultToZero) {
+  PerfCounters parsed;
+  std::string error;
+  ASSERT_TRUE(PerfCounters::FromJson("{\"harvests\":7}", &parsed, &error)) << error;
+  EXPECT_EQ(parsed.harvests, 7);
+  EXPECT_EQ(parsed.allocations, 0);
+  EXPECT_EQ(parsed.trace_events, 0);
+}
+
+TEST(PerfJsonTest, UnknownKeyIsRejected) {
+  PerfCounters parsed;
+  std::string error;
+  EXPECT_FALSE(PerfCounters::FromJson("{\"bogus_counter\":1}", &parsed, &error));
+  EXPECT_NE(error.find("bogus_counter"), std::string::npos);
+}
+
+TEST(PerfJsonTest, MalformedInputIsRejected) {
+  PerfCounters parsed;
+  std::string error;
+  EXPECT_FALSE(PerfCounters::FromJson("{\"harvests\":}", &parsed, &error));
+  EXPECT_FALSE(PerfCounters::FromJson("not json", &parsed, &error));
+  EXPECT_FALSE(PerfCounters::FromJson("{\"harvests\":1", &parsed, &error));
+}
+
+TEST(PerfAddTest, AccumulatesFieldWise) {
+  PerfCounters total = Distinct();
+  const PerfCounters other = Distinct();
+  total.Add(other);
+  const PerfCounters one = Distinct();
+#define JAVMM_PERF_CHECK(name) EXPECT_EQ(total.name, 2 * one.name);
+  JAVMM_PERF_FIELDS(JAVMM_PERF_CHECK)
+#undef JAVMM_PERF_CHECK
+}
+
+TEST(PerfNamesTest, NamesCoverEveryFieldInOrder) {
+  const std::vector<std::string> names = PerfCounterNames();
+  const PerfCounters c = Distinct();
+  // Distinct() numbers the fields 1..N in declaration order, so the named
+  // accessor must read back exactly 1..N.
+  ASSERT_FALSE(names.empty());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(PerfCounterValue(c, names[i]), static_cast<int64_t>(i + 1)) << names[i];
+  }
+}
+
+TEST(PerfNoteTest, PushClassifiesGrowthVersusReuse) {
+  PerfCounters perf;
+  std::vector<int64_t> v;
+  v.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    NotePush(v, &perf);
+    v.push_back(i);
+  }
+  EXPECT_EQ(perf.allocations, 0);
+  EXPECT_EQ(perf.buffer_reuses, 4);
+  NotePush(v, &perf);  // size == capacity: the next push grows.
+  v.push_back(4);
+  EXPECT_EQ(perf.allocations, 1);
+  EXPECT_GT(perf.bytes_allocated, 0);
+  // Null sink is a no-op, not a crash.
+  NotePush(v, static_cast<PerfCounters*>(nullptr));
+}
+
+TEST(PerfNoteTest, ReserveClassifiesGrowthVersusReuse) {
+  PerfCounters perf;
+  std::vector<int64_t> v;
+  NoteReserve(v, 100, &perf);
+  v.reserve(100);
+  EXPECT_EQ(perf.allocations, 1);
+  NoteReserve(v, 50, &perf);  // Within capacity: a reuse.
+  v.reserve(50);
+  EXPECT_EQ(perf.allocations, 1);
+  EXPECT_EQ(perf.buffer_reuses, 1);
+}
+
+TEST(DirtyLogPerfTest, RepeatHarvestIntoTheSameBufferReusesItsCapacity) {
+  DirtyLog log(4096);
+  PerfCounters perf;
+  log.set_perf(&perf);
+  std::vector<Pfn> harvest;
+
+  for (Pfn pfn = 0; pfn < 600; ++pfn) {
+    log.Mark(pfn * 3 % 4096);
+  }
+  log.CollectAndClear(&harvest);
+  const int64_t first_pages = static_cast<int64_t>(harvest.size());
+  EXPECT_EQ(perf.harvests, 1);
+  EXPECT_EQ(perf.pages_harvested, first_pages);
+  EXPECT_EQ(perf.bytes_harvested, first_pages * kPageSize);
+  EXPECT_GT(perf.dirty_word_scans, 0);
+  const int64_t allocations_after_first = perf.allocations;
+  EXPECT_GE(allocations_after_first, 1);  // Fresh buffer had to grow once.
+
+  // Same marks, same buffer: the second harvest must run entirely inside
+  // the capacity the first one acquired.
+  for (Pfn pfn = 0; pfn < 600; ++pfn) {
+    log.Mark(pfn * 3 % 4096);
+  }
+  log.CollectAndClear(&harvest);
+  EXPECT_EQ(perf.harvests, 2);
+  EXPECT_EQ(perf.pages_harvested, 2 * first_pages);
+  EXPECT_EQ(perf.allocations, allocations_after_first);
+  EXPECT_GT(perf.buffer_reuses, 0);
+}
+
+// ---- Determinism across the worker pool, fault paths included. ----
+
+std::vector<Scenario> SmallBattery() {
+  // Two engines x healthy + the combined fault regime: covers the harvest
+  // loop, burst retry/backoff, and the stop-and-copy finale.
+  std::vector<Scenario> scenarios;
+  for (const EngineKind kind : {EngineKind::kXenPrecopy, EngineKind::kJavmm}) {
+    for (const char* spec : {"", "bw:0s-60s@0.5;loss:0.4;out:1s-2500ms"}) {
+      Scenario scenario;
+      scenario.label = std::string(EngineKindName(kind)) + (spec[0] == '\0' ? "" : "/faulted");
+      scenario.spec = Workloads::Get("crypto");
+      scenario.engine = kind;
+      scenario.options.warmup = Duration::Seconds(10);
+      scenario.options.cooldown = Duration::Seconds(5);
+      scenario.options.fault_spec = spec;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  return scenarios;
+}
+
+TEST(PerfRunnerTest, SerialAndParallelCountersAreIdentical) {
+  const std::vector<Scenario> scenarios = SmallBattery();
+  const RunReport serial = ScenarioRunner(/*jobs=*/1).RunAll(scenarios);
+  const RunReport parallel = ScenarioRunner(/*jobs=*/4).RunAll(scenarios);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].output.result.perf, parallel.runs[i].output.result.perf)
+        << scenarios[i].label;
+  }
+  EXPECT_EQ(serial.TotalPerf(), parallel.TotalPerf());
+  EXPECT_EQ(serial.TotalPerf().ToJson(), parallel.TotalPerf().ToJson());
+}
+
+TEST(PerfRunnerTest, FaultedRunsStillMeterEveryHotPath) {
+  const RunReport report = ScenarioRunner(/*jobs=*/2).RunAll(SmallBattery());
+  ASSERT_EQ(report.errors, 0);
+  for (const RunRecord& rec : report.runs) {
+    const PerfCounters& perf = rec.output.result.perf;
+    // Counters are monotone within a run, so every field must come out
+    // non-negative even on the fault/retry/backoff paths.
+#define JAVMM_PERF_NONNEG(name) EXPECT_GE(perf.name, 0) << rec.scenario.label;
+    JAVMM_PERF_FIELDS(JAVMM_PERF_NONNEG)
+#undef JAVMM_PERF_NONNEG
+    // Pre-copy engines drive every instrumented site.
+    EXPECT_GT(perf.harvests, 0) << rec.scenario.label;
+    EXPECT_GT(perf.pages_harvested, 0) << rec.scenario.label;
+    EXPECT_GT(perf.trace_events, 0) << rec.scenario.label;
+    EXPECT_GT(perf.bursts_flushed, 0) << rec.scenario.label;
+    EXPECT_GT(perf.buffer_reuses, 0) << rec.scenario.label;
+    EXPECT_EQ(perf.bytes_harvested, perf.pages_harvested * kPageSize) << rec.scenario.label;
+  }
+}
+
+// ---- Instrumentation must not move a single exported byte. ----
+
+TEST(PerfGoldenTest, InstrumentedBatteryMatchesSeedExport) {
+  const RunReport report = ScenarioRunner(/*jobs=*/4).RunAll(golden::SeedBatteryScenarios());
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.verification_failures, 0);
+  EXPECT_EQ(report.audit_failures, 0);
+  std::ostringstream os;
+  report.ExportJsonLines(os);
+  EXPECT_EQ(os.str(), std::string(golden::kGoldenSeedExport));
+  // And the counters behind that unchanged export are busy: the refactor
+  // kept the bytes while replacing the allocator churn underneath.
+  const PerfCounters total = report.TotalPerf();
+  EXPECT_GT(total.harvests, 0);
+  EXPECT_GT(total.page_peeks, 0);
+  EXPECT_GE(total.buffer_reuses, 3 * total.allocations);
+}
+
+}  // namespace
+}  // namespace javmm
