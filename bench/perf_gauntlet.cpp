@@ -22,12 +22,20 @@
 // only in the same change that intentionally alters instrumented-site
 // behaviour, and say why in the commit message.
 //
-// Beyond the baseline diff, the gauntlet enforces the buffer-reuse
-// invariant of the raw-speed refactor: on at least three of the four
-// exhibits, instrumented hot-path operations must land in already-acquired
-// capacity at least 3x as often as they grow a buffer
-// (buffer_reuses >= 3 * allocations). A regression that reintroduces
-// per-round buffer churn trips this even on a fresh baseline.
+// Beyond the baseline diff, the gauntlet enforces two structural
+// invariants that hold even on a fresh baseline:
+//
+//   * buffer reuse: on at least three of the four exhibits, instrumented
+//     hot-path operations must land in already-acquired capacity at least
+//     3x as often as they grow a buffer (buffer_reuses >= 3 * allocations).
+//     A regression that reintroduces per-round buffer churn trips this.
+//   * run coalescing: on the sweep-heavy exhibits (runner_scaling,
+//     hotness_sweep -- dominated by boot populates and cyclic old-gen
+//     sweeps), the guest store path must write at least 8 pages per
+//     page-table probe (pte_lookups * 8 <= pages_written). A regression
+//     that reverts WriteRange to per-page Lookup trips this (DESIGN.md
+//     §15); the fault-heavy exhibits stay ungated because random
+//     single-page touches legitimately probe once per page.
 
 // lint: banned-call-ok (wall-clock here profiles the host, never simulated results)
 #include <chrono>
@@ -35,6 +43,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -344,10 +353,15 @@ int main(int argc, char** argv) {
   results.push_back(RunExhibit("channel_sweep", ChannelSweepScenarios(), args.jobs));
   results.push_back(RunExhibit("hotness_sweep", HotnessSweepScenarios(), args.jobs));
 
+  // Sweep-heavy exhibits carry the run-coalescing gate; see the header
+  // comment for why the fault-heavy two are exempt.
+  const std::set<std::string> kSweepHeavy = {"runner_scaling", "hotness_sweep"};
+
   Table table({"exhibit", "runs", "fail", "wall(ms)", "allocs", "reuses", "reuse/alloc",
-               "harvests", "peeks"});
+               "harvests", "peeks", "pg/pte"});
   int64_t run_failures = 0;
   int reuse_ok = 0;
+  int coalesce_failures = 0;
   for (const ExhibitResult& e : results) {
     run_failures += e.failures;
     const double ratio = e.counters.allocations > 0
@@ -356,6 +370,16 @@ int main(int argc, char** argv) {
                              : 0.0;
     if (e.counters.buffer_reuses >= 3 * e.counters.allocations) {
       ++reuse_ok;
+    }
+    const double pages_per_probe =
+        e.counters.pte_lookups > 0 ? static_cast<double>(e.counters.pages_written) /
+                                         static_cast<double>(e.counters.pte_lookups)
+                                   : 0.0;
+    if (kSweepHeavy.count(e.name) != 0 &&
+        e.counters.pte_lookups * 8 > e.counters.pages_written) {
+      std::fprintf(stderr, "REGRESSION: %s: pte_lookups*8 > pages_written (%.2f pages/probe)\n",
+                   e.name.c_str(), pages_per_probe);
+      ++coalesce_failures;
     }
     table.Row()
         .Cell(e.name)
@@ -366,11 +390,16 @@ int main(int argc, char** argv) {
         .Cell(e.counters.buffer_reuses)
         .Cell(ratio, 1)
         .Cell(e.counters.harvests)
-        .Cell(e.counters.page_peeks);
+        .Cell(e.counters.page_peeks)
+        .Cell(pages_per_probe, 1);
   }
   table.Print(std::cout);
   std::printf("\nbuffer-reuse gate (reuses >= 3x allocations): %d/4 exhibits (need >= 3)\n",
               reuse_ok);
+  std::printf("run-coalescing gate (pages_written >= 8x pte_lookups): %d/%d sweep-heavy "
+              "exhibits\n",
+              static_cast<int>(kSweepHeavy.size()) - coalesce_failures,
+              static_cast<int>(kSweepHeavy.size()));
 
   if (!args.json_path.empty()) {
     std::ofstream os(args.json_path);
@@ -417,6 +446,11 @@ int main(int argc, char** argv) {
   }
   if (reuse_ok < 3) {
     std::fprintf(stderr, "FAILED: buffer-reuse gate held on only %d/4 exhibits\n", reuse_ok);
+    return 1;
+  }
+  if (coalesce_failures > 0) {
+    std::fprintf(stderr, "FAILED: run-coalescing gate failed on %d sweep-heavy exhibit(s)\n",
+                 coalesce_failures);
     return 1;
   }
   return 0;

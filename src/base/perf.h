@@ -32,6 +32,15 @@
 //   trace_events     -- TraceEvent records appended while tracing is on.
 //   bursts_flushed   -- transfer bursts handed to the channel set.
 //   pages_sharded    -- pages placed onto channels by ChannelSet::Shard.
+//   write_runs       -- GuestPhysicalMemory::WriteRun calls on the guest
+//                       store path (a legacy per-page Write counts as a
+//                       run of one).
+//   pages_written    -- guest pages those runs covered; equals the delta
+//                       of GuestPhysicalMemory::total_writes().
+//   pte_lookups      -- page-table probes (Lookup/LookupRun) issued by the
+//                       AddressSpace store path. The run fast path's whole
+//                       point is pages_written / pte_lookups >> 1 on
+//                       sweep-shaped workloads (DESIGN.md §15).
 //
 // The X-macro field table keeps Add/==/export/parse in lockstep: adding a
 // counter is one line.
@@ -59,7 +68,10 @@ namespace javmm {
   X(page_peeks)              \
   X(trace_events)            \
   X(bursts_flushed)          \
-  X(pages_sharded)
+  X(pages_sharded)           \
+  X(write_runs)              \
+  X(pages_written)           \
+  X(pte_lookups)
 
 struct PerfCounters {
 #define JAVMM_PERF_DECLARE(name) int64_t name = 0;

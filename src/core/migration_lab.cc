@@ -18,6 +18,7 @@ MigrationLab::MigrationLab(const WorkloadSpec& spec, const LabConfig& config)
   spec_.heap.old_max_bytes = std::min(spec_.heap.old_max_bytes, old_budget);
 
   memory_ = std::make_unique<GuestPhysicalMemory>(config_.vm_bytes);
+  memory_->set_perf(&guest_perf_);
   kernel_ = std::make_unique<GuestKernel>(memory_.get(), &clock_);
   if (config_.load_lkm) {
     kernel_->LoadLkm(config_.lkm);

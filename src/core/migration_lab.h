@@ -19,6 +19,7 @@
 
 #include <memory>
 
+#include "src/base/perf.h"
 #include "src/core/liveness.h"
 #include "src/guest/guest_kernel.h"
 #include "src/guest/lkm.h"
@@ -69,6 +70,12 @@ class MigrationLab {
 
   SimClock& clock() { return clock_; }
   GuestKernel& guest() { return *kernel_; }
+
+  // Guest-side store-path counters (write_runs / pages_written / pte_lookups),
+  // accumulated since construction: the memory's perf sink is attached before
+  // any process populates, so boot writes are metered too. Runners fold this
+  // into the scenario's engine counters after the cooldown phase.
+  const PerfCounters& guest_perf() const { return guest_perf_; }
   JavaApplication& app() { return *app_; }
   const ThroughputAnalyzer& analyzer() const { return *analyzer_; }
   ThroughputAnalyzer& mutable_analyzer() { return *analyzer_; }
@@ -79,6 +86,7 @@ class MigrationLab {
   LabConfig config_;
   WorkloadSpec spec_;
   SimClock clock_;
+  PerfCounters guest_perf_;
   std::unique_ptr<GuestPhysicalMemory> memory_;
   std::unique_ptr<GuestKernel> kernel_;
   std::unique_ptr<OsBackgroundProcess> os_;

@@ -43,10 +43,11 @@ namespace {
 // The simulation core: every path whose integer arithmetic reaches wire /
 // downtime accounting or the trace. bench/ and tests/ stay out of scope --
 // exhibits do ad-hoc presentation math -- but the values they print are all
-// produced inside these directories.
+// produced inside these directories. src/workload/ is in scope because its
+// page-cursor VA math (`cursor * kPageSize`) feeds the same store path.
 const char* const kUnitDirs[] = {"src/base/",      "src/net/",  "src/faults/",
                                  "src/migration/", "src/mem/",  "src/core/",
-                                 "src/trace/"};
+                                 "src/trace/",     "src/workload/"};
 
 bool InUnitScope(const std::string& path) {
   for (const char* dir : kUnitDirs) {
@@ -101,6 +102,17 @@ const std::set<std::string>& WideTypeNames() {
                                                "intptr_t", "uintptr_t", "Nanos", "ByteCount",
                                                "PageCount", "Pfn"};
   return kTypes;
+}
+
+// Unit-converting helpers (src/base/units.h): the call's result has a fixed
+// unit, and its arguments are deliberately a *different* currency, so the
+// argument list must not leak into the surrounding expression's inference --
+// `PageCount n = PagesForBytes(x_bytes)` is the conversion idiom, not a mix.
+Unit ConverterResultUnit(const std::string& name) {
+  if (name == "PagesForBytes") {
+    return Unit::kPages;
+  }
+  return Unit::kNone;
 }
 
 // ns vs bytes/pages/pfn and bytes vs pages/pfn are mix errors; pages vs pfn
@@ -202,7 +214,26 @@ struct Pass {
       if (t.kind != TokenKind::kIdentifier) {
         continue;
       }
-      const Unit u = UnitAt(i);
+      Unit u = UnitAt(i);
+      if (u == Unit::kNone && i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+        const Unit converted = ConverterResultUnit(t.text);
+        if (converted != Unit::kNone) {
+          // Known converter: contribute its result unit and skip the
+          // argument list so the argument's currency stays out of scope.
+          size_t j = i + 1;
+          int call_depth = 0;
+          do {
+            if (toks[j].IsPunct("(")) {
+              ++call_depth;
+            } else if (toks[j].IsPunct(")")) {
+              --call_depth;
+            }
+            ++j;
+          } while (j < toks.size() && call_depth > 0);
+          i = j - 1;
+          u = converted;
+        }
+      }
       if (u == Unit::kNone) {
         continue;
       }

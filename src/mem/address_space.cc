@@ -41,8 +41,12 @@ bool AddressSpace::CommitRange(VirtAddr start, int64_t bytes) {
   for (Vpn i = 0; i < count; ++i) {
     const Pfn pfn = memory_->AllocateFrame();
     if (pfn == kInvalidPfn) {
-      for (Pfn f : frames) {
-        memory_->FreeFrame(f);
+      // Roll back in reverse allocation order: the free list is LIFO, so
+      // only a reverse walk re-stacks it exactly as it stood before the
+      // attempt -- a failed commit must be state-neutral, handing later
+      // allocations the same PFNs they would have gotten without it.
+      for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+        memory_->FreeFrame(*it);
       }
       return false;
     }
@@ -50,10 +54,20 @@ bool AddressSpace::CommitRange(VirtAddr start, int64_t bytes) {
   }
   for (Vpn i = 0; i < count; ++i) {
     page_table_.Map(first + i, frames[static_cast<size_t>(i)]);
-    // The kernel zeroes pages before handing them to a process; this write
-    // is what makes a recycled frame's stale content unobservable -- and it
-    // marks the dirty log, so migration re-ships reused frames naturally.
-    memory_->Write(frames[static_cast<size_t>(i)]);
+  }
+  // The kernel zeroes pages before handing them to a process; this write is
+  // what makes a recycled frame's stale content unobservable -- and it marks
+  // the dirty log, so migration re-ships reused frames naturally. Frames are
+  // ascending-PFN on a fresh memory, so the zeroing sweep usually collapses
+  // to one WriteRun; after frees it chunks at each PFN discontinuity.
+  size_t run_begin = 0;
+  while (run_begin < frames.size()) {
+    size_t run_end = run_begin + 1;
+    while (run_end < frames.size() && frames[run_end] == frames[run_end - 1] + 1) {
+      ++run_end;
+    }
+    memory_->WriteRun(frames[run_begin], static_cast<int64_t>(run_end - run_begin));
+    run_begin = run_end;
   }
   return true;
 }
@@ -89,14 +103,20 @@ Pfn AddressSpace::RemapPage(VirtAddr va) {
   return new_pfn;
 }
 
-void AddressSpace::Write(VirtAddr va, int64_t bytes) {
+void AddressSpace::WriteRange(VirtAddr va, int64_t bytes) {
   DCHECK_GT(bytes, 0);
-  const Vpn first = VpnOf(va);
   const Vpn last = VpnOf(va + static_cast<uint64_t>(bytes) - 1);
-  for (Vpn vpn = first; vpn <= last; ++vpn) {
-    const Pfn pfn = page_table_.Lookup(vpn);
+  PerfCounters* perf = memory_->perf();
+  Vpn vpn = VpnOf(va);
+  while (vpn <= last) {
+    int64_t run = 0;
+    const Pfn pfn = page_table_.LookupRun(vpn, static_cast<int64_t>(last - vpn) + 1, &run);
     CHECK_NE(pfn, kInvalidPfn);
-    memory_->Write(pfn);
+    if (perf != nullptr) {
+      perf->pte_lookups += 1;
+    }
+    memory_->WriteRun(pfn, run);
+    vpn += static_cast<Vpn>(run);
   }
 }
 

@@ -51,10 +51,17 @@ class AddressSpace {
 
   // Stores `bytes` bytes starting at `va`: bumps the version of (and dirties)
   // every page the span touches. The range must be committed.
-  void Write(VirtAddr va, int64_t bytes);
+  //
+  // Run fast path (DESIGN.md §15): the span is coalesced into maximal
+  // contiguous-PFN runs via PageTable::LookupRun -- one table probe per run
+  // instead of one per page -- and each run flows through
+  // GuestPhysicalMemory::WriteRun. Dirty semantics are byte-identical to a
+  // per-page loop in ascending VPN order.
+  void WriteRange(VirtAddr va, int64_t bytes);
+  void Write(VirtAddr va, int64_t bytes) { WriteRange(va, bytes); }
 
   // Single-page store, e.g. a field update.
-  void Touch(VirtAddr va) { Write(va, 1); }
+  void Touch(VirtAddr va) { WriteRange(va, 1); }
 
   const PageTable& page_table() const { return page_table_; }
   PageTable& page_table() { return page_table_; }

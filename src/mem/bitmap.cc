@@ -27,6 +27,30 @@ bool PageBitmap::TestAndClear(int64_t i) {
   return prev;
 }
 
+void PageBitmap::SetRange(int64_t begin, int64_t end) {
+  DCHECK_LE(begin, end);
+  if (begin >= end) {
+    return;
+  }
+  DCHECK(InRange(begin));
+  DCHECK(InRange(end - 1));
+  const size_t first_word = static_cast<size_t>(begin >> 6);
+  const size_t last_word = static_cast<size_t>((end - 1) >> 6);
+  // Mask of bits >= (begin & 63) in the first word, and <= ((end - 1) & 63)
+  // in the last; a single-word range intersects both masks.
+  const uint64_t head = ~uint64_t{0} << (begin & 63);
+  const uint64_t tail = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    words_[first_word] |= head & tail;
+    return;
+  }
+  words_[first_word] |= head;
+  for (size_t wi = first_word + 1; wi < last_word; ++wi) {
+    words_[wi] = ~uint64_t{0};
+  }
+  words_[last_word] |= tail;
+}
+
 void PageBitmap::SetAll() {
   for (auto& w : words_) {
     w = ~uint64_t{0};

@@ -47,6 +47,11 @@ class PageBitmap {
   bool TestAndSet(int64_t i);
   bool TestAndClear(int64_t i);
 
+  // Sets every bit in [begin, end): masked edge words, whole-word fills for
+  // the interior, so a run of N bits costs O(N/64) word stores instead of N
+  // single-bit RMWs. Equivalent to Set(i) for each i in the range.
+  void SetRange(int64_t begin, int64_t end);
+
   void SetAll();
   void ClearAll();
 

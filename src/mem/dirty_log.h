@@ -36,6 +36,15 @@ class DirtyLog {
     ++total_marks_;
   }
 
+  // Run form: identical to `pages` Mark calls over [first_pfn,
+  // first_pfn+pages) -- same bits, total_marks advances by `pages` whether
+  // or not bits were already set -- but the bitmap fill is word-parallel
+  // (whole-word stores for interior words) instead of one Set per page.
+  void MarkRun(Pfn first_pfn, int64_t pages) {
+    bits_.SetRange(first_pfn, first_pfn + pages);
+    total_marks_ += pages;
+  }
+
   // Peek: has `pfn` been dirtied since the last CollectAndClear?
   bool Test(Pfn pfn) const { return bits_.Test(pfn); }
 

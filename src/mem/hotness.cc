@@ -149,6 +149,16 @@ void HotnessTracker::OnGuestWrite(Pfn pfn) {
   ++touches_[static_cast<size_t>(pfn)];
 }
 
+void HotnessTracker::OnGuestWriteRun(Pfn first_pfn, int64_t pages) {
+  DCHECK_GE(first_pfn, 0);
+  DCHECK_LE(first_pfn + pages, static_cast<Pfn>(touches_.size()));
+  // A run carries exactly one store per page (runs are spans, not repeats),
+  // so this is equivalent to the default per-page loop.
+  for (int64_t i = 0; i < pages; ++i) {
+    ++touches_[static_cast<size_t>(first_pfn + i)];
+  }
+}
+
 void HotnessTracker::EndRound() {
   const int64_t shift = config_.decay < 63 ? config_.decay : 63;
   for (size_t i = 0; i < scores_.size(); ++i) {

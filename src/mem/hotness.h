@@ -81,6 +81,10 @@ class HotnessTracker : public WriteObserver {
   // WriteObserver: one guest store to pfn.
   void OnGuestWrite(Pfn pfn) override;
 
+  // WriteObserver run form: same touch counts as `pages` OnGuestWrite calls
+  // over [first_pfn, first_pfn+pages), without the per-page virtual dispatch.
+  void OnGuestWriteRun(Pfn first_pfn, int64_t pages) override;
+
   // Folds this round's touch counts into the scores: every score decays by
   // score >>= decay, then accessed pages (touches >= min_rate, and at least
   // one store) gain kAccessBoost. Touch counts reset for the next round.

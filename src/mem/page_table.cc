@@ -6,20 +6,91 @@
 
 namespace javmm {
 
+PageTable::ExtentMap::const_iterator PageTable::FindExtent(Vpn vpn) const {
+  auto it = extents_.upper_bound(vpn);
+  if (it == extents_.begin()) {
+    return extents_.end();
+  }
+  --it;
+  if (vpn < it->first + static_cast<Vpn>(it->second.pages)) {
+    return it;
+  }
+  return extents_.end();
+}
+
 void PageTable::Map(Vpn vpn, Pfn pfn) {
   CHECK_NE(pfn, kInvalidPfn);
-  const bool inserted = table_.emplace(vpn, pfn).second;
-  CHECK(inserted);  // Double-mapping a VPN is a guest-kernel bug.
+  CHECK(FindExtent(vpn) == extents_.end());  // Double-mapping a VPN is a guest-kernel bug.
+  // Try to grow the predecessor extent: it must end exactly at `vpn` with
+  // its PFN run continuing into `pfn`.
+  auto prev = extents_.upper_bound(vpn);
+  bool merged_prev = false;
+  if (prev != extents_.begin()) {
+    --prev;
+    if (prev->first + static_cast<Vpn>(prev->second.pages) == vpn &&
+        prev->second.first_pfn + prev->second.pages == pfn) {
+      prev->second.pages += 1;
+      merged_prev = true;
+    }
+  }
+  // Try to absorb the successor extent starting at vpn + 1 with pfn + 1.
+  auto next = extents_.find(vpn + 1);
+  if (next != extents_.end() && next->second.first_pfn == pfn + 1) {
+    if (merged_prev) {
+      prev->second.pages += next->second.pages;
+      extents_.erase(next);
+    } else {
+      const Extent absorbed = next->second;
+      extents_.erase(next);
+      extents_.emplace(vpn, Extent{pfn, absorbed.pages + 1});
+    }
+  } else if (!merged_prev) {
+    extents_.emplace(vpn, Extent{pfn, 1});
+  }
+  ++mapped_;
 }
 
 void PageTable::Unmap(Vpn vpn) {
-  const size_t erased = table_.erase(vpn);
-  CHECK_EQ(erased, size_t{1});
+  auto it = extents_.upper_bound(vpn);
+  CHECK(it != extents_.begin());  // Unmapping a never-mapped VPN is a bug.
+  --it;
+  const Vpn start = it->first;
+  const Extent ext = it->second;
+  CHECK(vpn < start + static_cast<Vpn>(ext.pages));
+  const int64_t offset = static_cast<int64_t>(vpn - start);
+  extents_.erase(it);
+  if (offset > 0) {
+    // Head survives: [start, vpn).
+    extents_.emplace(start, Extent{ext.first_pfn, offset});
+  }
+  if (offset + 1 < ext.pages) {
+    // Tail survives: [vpn + 1, start + pages).
+    extents_.emplace(vpn + 1, Extent{ext.first_pfn + offset + 1, ext.pages - offset - 1});
+  }
+  --mapped_;
 }
 
+bool PageTable::IsMapped(Vpn vpn) const { return FindExtent(vpn) != extents_.end(); }
+
 Pfn PageTable::Lookup(Vpn vpn) const {
-  auto it = table_.find(vpn);
-  return it == table_.end() ? kInvalidPfn : it->second;
+  const auto it = FindExtent(vpn);
+  if (it == extents_.end()) {
+    return kInvalidPfn;
+  }
+  return it->second.first_pfn + static_cast<int64_t>(vpn - it->first);
+}
+
+Pfn PageTable::LookupRun(Vpn vpn, int64_t max_pages, int64_t* run_pages) const {
+  DCHECK_GT(max_pages, 0);
+  const auto it = FindExtent(vpn);
+  if (it == extents_.end()) {
+    *run_pages = 0;
+    return kInvalidPfn;
+  }
+  const int64_t offset = static_cast<int64_t>(vpn - it->first);
+  const int64_t left = it->second.pages - offset;
+  *run_pages = left < max_pages ? left : max_pages;
+  return it->second.first_pfn + offset;
 }
 
 std::vector<Pfn> PageTable::WalkRange(const VaRange& range, int64_t* walk_cost) const {
@@ -35,6 +106,8 @@ std::vector<Pfn> PageTable::WalkRange(const VaRange& range, int64_t* walk_cost) 
     pfns.push_back(Lookup(vpn));
   }
   if (walk_cost != nullptr) {
+    // The walk's modeled latency stays per-PTE: extents compress the *store*,
+    // not the architectural cost of a real page-table walk.
     *walk_cost += static_cast<int64_t>(last - first);
   }
   return pfns;

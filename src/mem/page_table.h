@@ -4,7 +4,7 @@
 #define JAVMM_SRC_MEM_PAGE_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/mem/types.h"
@@ -18,16 +18,34 @@ namespace javmm {
 // understands (§3.3.2). A walk over an unmapped page yields kInvalidPfn in the
 // corresponding slot -- mirroring a real walk hitting a non-present PTE (e.g.
 // a page freed by heap shrinkage, whose frame can no longer be found).
+//
+// Internally the table stores coalesced *extents* -- maximal [vpn, vpn+pages)
+// spans whose PFNs ascend in lockstep with the VPNs -- rather than one entry
+// per page. Committed ranges are ascending-PFN by construction (the frame
+// allocator hands frames out in ascending order on a fresh memory), so a
+// whole heap commit collapses to a single extent, and `LookupRun` resolves
+// an entire contiguous-PFN run with one tree probe where the old
+// per-page-hash-map shape needed one `Lookup` per page. Remaps, decommits,
+// and recommits split and re-form extents, exactly tracking where PFN
+// contiguity actually breaks.
 class PageTable {
  public:
   PageTable() = default;
 
   void Map(Vpn vpn, Pfn pfn);
   void Unmap(Vpn vpn);
-  bool IsMapped(Vpn vpn) const { return table_.count(vpn) != 0; }
+  bool IsMapped(Vpn vpn) const;
 
   // Returns kInvalidPfn when unmapped.
   Pfn Lookup(Vpn vpn) const;
+
+  // Run lookup: resolves `vpn` and reports through `*run_pages` how many
+  // pages starting at `vpn` (capped at `max_pages`) are mapped to
+  // *contiguous ascending* PFNs -- i.e. `Lookup(vpn + i) == result + i` for
+  // all i in [0, *run_pages). One probe regardless of the run's length; the
+  // run-granular write pipeline is built on this. Returns kInvalidPfn (and
+  // sets `*run_pages` to 0) when `vpn` is unmapped. `max_pages` must be > 0.
+  Pfn LookupRun(Vpn vpn, int64_t max_pages, int64_t* run_pages) const;
 
   // Page-table walk over the *page-aligned interior* of `range` (the LKM's
   // alignment rule, §3.3.2): one entry per interior page, kInvalidPfn for
@@ -35,14 +53,29 @@ class PageTable {
   // `walk_cost` when non-null, to let callers model walk latency.
   std::vector<Pfn> WalkRange(const VaRange& range, int64_t* walk_cost = nullptr) const;
 
-  size_t mapped_count() const { return table_.size(); }
+  size_t mapped_count() const { return static_cast<size_t>(mapped_); }
+
+  // Number of coalesced extents currently backing the table; exposed so
+  // tests can pin when contiguity breaks (remap, decommit-then-recommit).
+  int64_t extent_count() const { return static_cast<int64_t>(extents_.size()); }
 
  private:
-  // Unordered is safe here: the table is only ever probed point-wise (Map /
-  // Unmap / Lookup / WalkRange resolve individual VPNs) and never iterated,
-  // so hash order cannot reach results or traces (javmm-lint would flag any
-  // future iteration in this result-affecting directory).
-  std::unordered_map<Vpn, Pfn> table_;
+  // One maximal contiguous run: VPNs [start, start + pages) map to PFNs
+  // [first_pfn, first_pfn + pages). Keyed by start VPN in `extents_`.
+  struct Extent {
+    Pfn first_pfn = kInvalidPfn;
+    int64_t pages = 0;
+  };
+
+  using ExtentMap = std::map<Vpn, Extent>;
+
+  // The extent containing `vpn`, or extents_.end(). Ordered-map probes only:
+  // iteration order is the VPN order, never hash order, so results cannot
+  // depend on pointer or hash state.
+  ExtentMap::const_iterator FindExtent(Vpn vpn) const;
+
+  ExtentMap extents_;
+  int64_t mapped_ = 0;  // Total mapped pages across all extents.
 };
 
 }  // namespace javmm

@@ -44,15 +44,25 @@ bool GuestPhysicalMemory::IsAllocated(Pfn pfn) const {
   return allocated_[static_cast<size_t>(pfn)];
 }
 
-void GuestPhysicalMemory::Write(Pfn pfn) {
-  DCHECK(InRange(pfn));
-  ++versions_[static_cast<size_t>(pfn)];
-  ++total_writes_;
+void GuestPhysicalMemory::Write(Pfn pfn) { WriteRun(pfn, 1); }
+
+void GuestPhysicalMemory::WriteRun(Pfn first_pfn, int64_t pages) {
+  DCHECK_GT(pages, 0);
+  DCHECK(InRange(first_pfn));
+  DCHECK(InRange(first_pfn + pages - 1));
+  for (int64_t i = 0; i < pages; ++i) {
+    ++versions_[static_cast<size_t>(first_pfn + i)];
+  }
+  total_writes_ += pages;
+  if (perf_ != nullptr) {
+    perf_->write_runs += 1;
+    perf_->pages_written += pages;
+  }
   for (DirtyLog* log : dirty_logs_) {
-    log->Mark(pfn);
+    log->MarkRun(first_pfn, pages);
   }
   for (WriteObserver* observer : write_observers_) {
-    observer->OnGuestWrite(pfn);
+    observer->OnGuestWriteRun(first_pfn, pages);
   }
 }
 

@@ -6,19 +6,32 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/perf.h"
 #include "src/base/units.h"
 #include "src/mem/dirty_log.h"
 #include "src/mem/types.h"
 
 namespace javmm {
 
-// Observer of guest stores, invoked synchronously from Write(). The dirty
-// log is the canonical observer; the post-copy engine uses another to detect
-// accesses to pages that have not been fetched yet.
+// Observer of guest stores, invoked synchronously from Write()/WriteRun().
+// The dirty log is the canonical observer; the post-copy engine uses another
+// to detect accesses to pages that have not been fetched yet.
+//
+// Run contract (DESIGN.md §15): a run callback OnGuestWriteRun(pfn, n) is
+// semantically exactly n single-page callbacks OnGuestWrite(pfn), ...,
+// OnGuestWrite(pfn + n - 1), in ascending order. The base implementation is
+// that loop, so per-page observers stay correct unmodified; an observer
+// overrides the run form only as an optimization and must preserve the
+// per-page meaning bit for bit.
 class WriteObserver {
  public:
   virtual ~WriteObserver() = default;
   virtual void OnGuestWrite(Pfn pfn) = 0;
+  virtual void OnGuestWriteRun(Pfn first_pfn, int64_t pages) {
+    for (int64_t i = 0; i < pages; ++i) {
+      OnGuestWrite(first_pfn + i);
+    }
+  }
 };
 
 // The guest VM's pseudo-physical memory.
@@ -49,9 +62,18 @@ class GuestPhysicalMemory {
   int64_t free_frames() const { return frame_count_ - allocated_frames_; }
   bool IsAllocated(Pfn pfn) const;
 
-  // Write to a frame: bumps its version and marks attached dirty logs. This is
-  // the single choke point through which all guest stores flow.
+  // Write to a frame: bumps its version and marks attached dirty logs. This
+  // (with WriteRun below) is the single choke point through which all guest
+  // stores flow. Equivalent to WriteRun(pfn, 1).
   void Write(Pfn pfn);
+
+  // Batched store over the contiguous PFN run [first_pfn, first_pfn+pages):
+  // byte-identical dirty semantics to `pages` single-page Write calls in
+  // ascending order -- each version bumps by one, total_writes advances by
+  // `pages`, every attached dirty log marks the whole run (word-parallel),
+  // and each write observer gets one OnGuestWriteRun -- but computed in
+  // O(words) for the log marking instead of one virtual dispatch per page.
+  void WriteRun(Pfn first_pfn, int64_t pages);
 
   uint64_t version(Pfn pfn) const;
 
@@ -76,6 +98,12 @@ class GuestPhysicalMemory {
   // Total writes ever issued; used to derive average dirtying rates.
   int64_t total_writes() const { return total_writes_; }
 
+  // Optional sink for the guest-store pipeline counters (write_runs,
+  // pages_written; AddressSpace meters pte_lookups through perf()). May be
+  // null; the lab attaches its own sink before any process exists.
+  void set_perf(PerfCounters* perf) { perf_ = perf; }
+  PerfCounters* perf() const { return perf_; }
+
  private:
   bool InRange(Pfn pfn) const { return pfn >= 0 && pfn < frame_count_; }
 
@@ -87,6 +115,7 @@ class GuestPhysicalMemory {
   int64_t total_writes_ = 0;
   std::vector<DirtyLog*> dirty_logs_;
   std::vector<WriteObserver*> write_observers_;
+  PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace javmm

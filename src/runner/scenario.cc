@@ -109,6 +109,10 @@ RunOutput RunScenario(const Scenario& scenario) {
   lab.Run(scenario.options.cooldown);
   out.throughput = lab.analyzer().series();
   out.observed_downtime = lab.analyzer().ObservedDowntime(migration_start, lab.clock().now());
+  // Fold the guest store-path counters (metered on the lab's memory from boot
+  // through cooldown) into the engine's counters: one PerfCounters per run.
+  // Deterministic because the guest's write sequence is seed-driven.
+  out.result.perf.Add(lab.guest_perf());
   return out;
 }
 

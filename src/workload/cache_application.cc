@@ -44,11 +44,11 @@ void CacheApplication::RunFor(TimePoint start, Duration dt) {
   // writes land only in the retained prefix (§3.3.5's requirement that the
   // skip-over contents remain recoverable/unneeded until suspension).
   const VaRange target = prepared_ ? retained_range() : cache_;
-  const int64_t target_pages = PagesForBytes(target.bytes());
+  const PageCount target_pages = PagesForBytes(target.bytes());
   while (write_carry_ >= static_cast<double>(kPageSize)) {
-    const int64_t page =
-        static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(target_pages)));
-    space.Touch(target.begin + static_cast<uint64_t>(page * kPageSize));
+    const PageCount page =
+        static_cast<PageCount>(rng_.NextBounded(static_cast<uint64_t>(target_pages)));
+    space.Touch(target.begin + static_cast<uint64_t>(CheckedMul(page, kPageSize)));
     write_carry_ -= static_cast<double>(kPageSize);
   }
   ops_completed_ += config_.ops_per_sec * dt.ToSecondsF();

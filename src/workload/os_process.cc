@@ -10,6 +10,8 @@ OsBackgroundProcess::OsBackgroundProcess(GuestKernel* kernel, const OsProcessCon
                                          Rng rng)
     : kernel_(kernel), config_(config), rng_(rng), pid_(kernel->CreateProcess("guest-os")) {
   CHECK_GE(config.resident_bytes, config.hot_bytes);
+  CHECK_GE(config.hot_bytes, 0);
+  hot_pages_ = PagesForBytes(config_.hot_bytes);
   AddressSpace& space = kernel_->address_space(pid_);
   resident_ = space.ReserveVa(config_.resident_bytes);
   CHECK(space.CommitRange(resident_.begin, resident_.bytes()));
@@ -25,12 +27,14 @@ void OsBackgroundProcess::RunFor(TimePoint start, Duration dt) {
   if (kernel_->vm_paused()) {
     return;
   }
+  if (hot_pages_ == 0) {
+    return;  // No hot set configured: nothing to dirty, and NextBounded(0) dies.
+  }
   carry_bytes_ += static_cast<double>(config_.dirty_rate_bytes_per_sec) * dt.ToSecondsF();
   AddressSpace& space = kernel_->address_space(pid_);
-  const int64_t hot_pages = PagesForBytes(config_.hot_bytes);
   while (carry_bytes_ >= static_cast<double>(kPageSize)) {
-    const int64_t page = static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(hot_pages)));
-    space.Touch(resident_.begin + static_cast<uint64_t>(page * kPageSize));
+    const PageCount page = static_cast<PageCount>(rng_.NextBounded(static_cast<uint64_t>(hot_pages_)));
+    space.Touch(resident_.begin + static_cast<uint64_t>(CheckedMul(page, kPageSize)));
     carry_bytes_ -= static_cast<double>(kPageSize);
   }
 }

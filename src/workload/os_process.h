@@ -41,6 +41,10 @@ class OsBackgroundProcess : public Process {
   Rng rng_;
   AppId pid_;
   VaRange resident_;
+  // Hot-set size in pages, fixed at construction. hot_pages_ == 0 is a
+  // valid "no background dirtying" configuration: RunFor becomes a no-op
+  // instead of feeding Rng::NextBounded a zero bound (which CHECK-fails).
+  PageCount hot_pages_ = 0;
   double carry_bytes_ = 0;
 };
 

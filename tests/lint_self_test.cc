@@ -408,6 +408,25 @@ TEST(UnitAssignRule, DisablingTheRuleSilencesIt) {
   EXPECT_EQ(CountRule(diags, "unit-assign"), 0);
 }
 
+TEST(UnitAssignRule, ConverterCallResultIsPagesAndArgumentDoesNotLeak) {
+  // PagesForBytes is the bytes->pages conversion idiom: storing its result
+  // into a pages-tagged name is clean even though its argument is bytes.
+  const std::string ok =
+      "void F(int64_t hot_bytes) { const PageCount n = PagesForBytes(hot_bytes); (void)n; }";
+  EXPECT_EQ(CountRule(LintVirtual("src/workload/fixture.cc", ok), "unit-assign"), 0);
+  // ...and the call's fixed result unit still participates: storing pages
+  // into a bytes-tagged name is the usual cross-unit error.
+  const std::string bad =
+      "void G(int64_t hot_bytes) { const ByteCount b = PagesForBytes(hot_bytes); (void)b; }";
+  EXPECT_EQ(CountRule(LintVirtual("src/workload/fixture.cc", bad), "unit-assign"), 1);
+}
+
+TEST(UnitAssignRule, WorkloadDirectoryIsInScope) {
+  const std::vector<Diagnostic> diags =
+      LintVirtual("src/workload/fixture.cc", Fixture("unit_assign_bad.cc"));
+  EXPECT_EQ(CountRule(diags, "unit-assign"), 3);
+}
+
 // ---- overflow-mul ----------------------------------------------------------
 
 TEST(OverflowMulRule, FiresOnRawProductsOfTaggedOperands) {

@@ -1,0 +1,393 @@
+// Copyright (c) 2026 The JAVMM Reproduction Authors.
+// Run-write equivalence suite (DESIGN.md §15): the batched store pipeline
+// (AddressSpace::WriteRange -> PageTable::LookupRun -> GuestPhysicalMemory::
+// WriteRun -> DirtyLog::MarkRun / WriteObserver::OnGuestWriteRun) must carry
+// byte-identical dirty semantics to the legacy per-page Touch loop. The twin
+// harness drives two identically-seeded substrates -- one through WriteRange,
+// one through per-page Touch -- across fragmented layouts (decommit/recommit,
+// RemapPage) and asserts every observable is equal: frame versions, the
+// allocation map, total_writes, dirty bits and total_marks, hotness scores.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/perf.h"
+#include "src/base/rng.h"
+#include "src/guest/guest_kernel.h"
+#include "src/mem/address_space.h"
+#include "src/mem/bitmap.h"
+#include "src/mem/dirty_log.h"
+#include "src/mem/hotness.h"
+#include "src/mem/page_table.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/clock.h"
+#include "src/workload/os_process.h"
+
+namespace javmm {
+namespace {
+
+// ---- PageBitmap::SetRange. ----
+
+TEST(SetRangeTest, MatchesPerBitLoopAcrossWordBoundaries) {
+  // Every (begin, length) shape around the 64-bit word seams.
+  for (int64_t begin : {0, 1, 62, 63, 64, 65, 127, 128, 190}) {
+    for (int64_t len : {1, 2, 63, 64, 65, 128, 130}) {
+      const int64_t size = 320;
+      if (begin + len > size) {
+        continue;
+      }
+      PageBitmap batched(size);
+      PageBitmap looped(size);
+      batched.SetRange(begin, begin + len);
+      for (int64_t i = begin; i < begin + len; ++i) {
+        looped.Set(i);
+      }
+      std::vector<int64_t> got;
+      std::vector<int64_t> want;
+      batched.CollectSetBits(&got);
+      looped.CollectSetBits(&want);
+      EXPECT_EQ(got, want) << "begin=" << begin << " len=" << len;
+    }
+  }
+}
+
+TEST(SetRangeTest, EmptyRangeIsANoOp) {
+  PageBitmap bm(64);
+  bm.SetRange(10, 10);
+  EXPECT_EQ(bm.Count(), 0);
+}
+
+TEST(SetRangeTest, OrsIntoExistingBits) {
+  PageBitmap bm(200);
+  bm.Set(5);
+  bm.Set(199);
+  bm.SetRange(60, 70);
+  EXPECT_EQ(bm.Count(), 12);
+  EXPECT_TRUE(bm.Test(5));
+  EXPECT_TRUE(bm.Test(60));
+  EXPECT_TRUE(bm.Test(69));
+  EXPECT_FALSE(bm.Test(70));
+}
+
+// ---- PageTable::LookupRun. ----
+
+TEST(LookupRunTest, ContiguousMappingsCoalesceToOneExtent) {
+  PageTable pt;
+  for (Vpn v = 100; v < 116; ++v) {
+    pt.Map(v, static_cast<Pfn>(v - 100 + 40));
+  }
+  EXPECT_EQ(pt.extent_count(), 1);
+  int64_t run = 0;
+  EXPECT_EQ(pt.LookupRun(100, 1000, &run), 40);
+  EXPECT_EQ(run, 16);
+  // Mid-extent probe: the run is the extent's tail from that offset.
+  EXPECT_EQ(pt.LookupRun(110, 1000, &run), 50);
+  EXPECT_EQ(run, 6);
+}
+
+TEST(LookupRunTest, MaxPagesClampsTheRun) {
+  PageTable pt;
+  for (Vpn v = 0; v < 32; ++v) {
+    pt.Map(v, static_cast<Pfn>(v));
+  }
+  int64_t run = 0;
+  EXPECT_EQ(pt.LookupRun(4, 8, &run), 4);
+  EXPECT_EQ(run, 8);
+}
+
+TEST(LookupRunTest, UnmappedVpnReturnsInvalidAndZeroRun) {
+  PageTable pt;
+  pt.Map(5, 9);
+  int64_t run = 7;
+  EXPECT_EQ(pt.LookupRun(6, 4, &run), kInvalidPfn);
+  EXPECT_EQ(run, 0);
+  EXPECT_EQ(pt.LookupRun(0, 4, &run), kInvalidPfn);
+  EXPECT_EQ(run, 0);
+}
+
+TEST(LookupRunTest, UnmapSplitsAnExtent) {
+  PageTable pt;
+  for (Vpn v = 0; v < 10; ++v) {
+    pt.Map(v, static_cast<Pfn>(v + 20));
+  }
+  pt.Unmap(4);
+  EXPECT_EQ(pt.extent_count(), 2);
+  int64_t run = 0;
+  EXPECT_EQ(pt.LookupRun(0, 100, &run), 20);
+  EXPECT_EQ(run, 4);  // Stops at the hole.
+  EXPECT_EQ(pt.LookupRun(5, 100, &run), 25);
+  EXPECT_EQ(run, 5);
+  EXPECT_EQ(pt.LookupRun(4, 100, &run), kInvalidPfn);
+}
+
+TEST(LookupRunTest, DiscontiguousPfnsDoNotCoalesce) {
+  PageTable pt;
+  pt.Map(0, 10);
+  pt.Map(1, 12);  // PFN gap: adjacent VPNs, non-adjacent frames.
+  EXPECT_EQ(pt.extent_count(), 2);
+  int64_t run = 0;
+  EXPECT_EQ(pt.LookupRun(0, 100, &run), 10);
+  EXPECT_EQ(run, 1);
+}
+
+TEST(LookupRunTest, LookupAndWalkAgreeWithRunView) {
+  PageTable pt;
+  Rng rng(7);
+  for (Vpn v = 0; v < 200; ++v) {
+    if (rng.NextDouble() < 0.7) {
+      pt.Map(v, static_cast<Pfn>(rng.NextBounded(500)));
+    }
+  }
+  for (Vpn v = 0; v < 200; ++v) {
+    int64_t run = 0;
+    const Pfn first = pt.LookupRun(v, 200, &run);
+    EXPECT_EQ(first, pt.Lookup(v));
+    for (int64_t i = 0; i < run; ++i) {
+      EXPECT_EQ(pt.Lookup(v + static_cast<Vpn>(i)), first + i);
+    }
+  }
+}
+
+// ---- Twin-substrate equivalence harness. ----
+
+// One guest memory with the full observer complement attached. The hotness
+// tracker uses min_rate=1 so every touched page scores, making the score
+// vector a sensitive detector of any lost or duplicated per-page callback.
+struct Substrate {
+  GuestPhysicalMemory memory;
+  AddressSpace space;
+  DirtyLog log;
+  HotnessTracker hotness;
+  VaRange heap{};
+
+  explicit Substrate(int64_t heap_pages)
+      : memory(64 * kMiB),
+        space(&memory),
+        log(memory.frame_count()),
+        hotness(memory.frame_count(), HotCfg()) {
+    memory.AttachDirtyLog(&log);
+    memory.AttachWriteObserver(&hotness);
+    heap = space.ReserveVa(heap_pages * kPageSize);
+    CHECK(space.CommitRange(heap.begin, heap.bytes()));
+  }
+
+  static HotnessConfig HotCfg() {
+    HotnessConfig config;
+    config.enabled = true;
+    config.min_rate = 1;
+    return config;
+  }
+
+  VirtAddr PageVa(int64_t page) const {
+    return heap.begin + static_cast<uint64_t>(page) * static_cast<uint64_t>(kPageSize);
+  }
+
+  // Breaks VPN->PFN contiguity the same deterministic way on both twins:
+  // decommit-and-recommit a middle stripe (recycled frames arrive in a
+  // different order) and remap scattered single pages.
+  void Fragment(int64_t heap_pages) {
+    const int64_t stripe = heap_pages / 4;
+    space.DecommitRange(PageVa(stripe), stripe * kPageSize);
+    CHECK(space.CommitRange(PageVa(stripe), stripe * kPageSize));
+    for (int64_t page = 2; page < heap_pages; page += 17) {
+      CHECK_NE(space.RemapPage(PageVa(page)), kInvalidPfn);
+    }
+  }
+};
+
+void ExpectSubstratesIdentical(Substrate& a, Substrate& b) {
+  EXPECT_EQ(a.memory.versions(), b.memory.versions());
+  EXPECT_EQ(a.memory.allocation_map(), b.memory.allocation_map());
+  EXPECT_EQ(a.memory.total_writes(), b.memory.total_writes());
+  EXPECT_EQ(a.log.total_marks(), b.log.total_marks());
+  std::vector<Pfn> dirty_a;
+  std::vector<Pfn> dirty_b;
+  a.log.CollectAndClear(&dirty_a);
+  b.log.CollectAndClear(&dirty_b);
+  EXPECT_EQ(dirty_a, dirty_b);
+  a.hotness.EndRound();
+  b.hotness.EndRound();
+  for (Pfn pfn = 0; pfn < a.memory.frame_count(); ++pfn) {
+    ASSERT_EQ(a.hotness.score(pfn), b.hotness.score(pfn)) << "pfn=" << pfn;
+  }
+}
+
+TEST(RunWriteEquivalenceTest, ContiguousSpanMatchesPerPageLoop) {
+  constexpr int64_t kHeapPages = 512;
+  Substrate run(kHeapPages);
+  Substrate loop(kHeapPages);
+  run.space.WriteRange(run.PageVa(3), 100 * kPageSize);
+  for (int64_t page = 3; page < 103; ++page) {
+    loop.space.Touch(loop.PageVa(page));
+  }
+  ExpectSubstratesIdentical(run, loop);
+}
+
+TEST(RunWriteEquivalenceTest, UnalignedSpanCoversEveryTouchedPage) {
+  constexpr int64_t kHeapPages = 64;
+  Substrate run(kHeapPages);
+  Substrate loop(kHeapPages);
+  // Starts mid-page, ends mid-page: pages 5..9 inclusive.
+  run.space.WriteRange(run.PageVa(5) + 100, 4 * kPageSize + 5);
+  for (int64_t page = 5; page <= 9; ++page) {
+    loop.space.Touch(loop.PageVa(page));
+  }
+  ExpectSubstratesIdentical(run, loop);
+}
+
+TEST(RunWriteEquivalenceTest, FragmentedLayoutMatchesPerPageLoop) {
+  constexpr int64_t kHeapPages = 512;
+  Substrate run(kHeapPages);
+  Substrate loop(kHeapPages);
+  run.Fragment(kHeapPages);
+  loop.Fragment(kHeapPages);
+  // Spans deliberately cross the recommitted stripe's edges and the remap
+  // scars, where PFN contiguity is broken and runs must chunk.
+  run.space.WriteRange(run.PageVa(0), kHeapPages * kPageSize);
+  for (int64_t page = 0; page < kHeapPages; ++page) {
+    loop.space.Touch(loop.PageVa(page));
+  }
+  ExpectSubstratesIdentical(run, loop);
+}
+
+TEST(RunWriteEquivalenceTest, RandomizedSpansOverFragmentedLayout) {
+  constexpr int64_t kHeapPages = 256;
+  Substrate run(kHeapPages);
+  Substrate loop(kHeapPages);
+  run.Fragment(kHeapPages);
+  loop.Fragment(kHeapPages);
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t first = static_cast<int64_t>(rng.NextBounded(kHeapPages));
+    const int64_t pages = 1 + static_cast<int64_t>(rng.NextBounded(
+                                  static_cast<uint64_t>(kHeapPages - first)));
+    const int64_t offset = static_cast<int64_t>(rng.NextBounded(kPageSize));
+    const int64_t bytes =
+        std::max<int64_t>(1, pages * kPageSize - offset - static_cast<int64_t>(
+                                                              rng.NextBounded(kPageSize)));
+    run.space.WriteRange(run.PageVa(first) + static_cast<uint64_t>(offset), bytes);
+    const int64_t last_page = first + (offset + bytes - 1) / kPageSize;
+    for (int64_t page = first; page <= last_page; ++page) {
+      loop.space.Touch(loop.PageVa(page));
+    }
+  }
+  ExpectSubstratesIdentical(run, loop);
+}
+
+TEST(RunWriteEquivalenceTest, WriteRunObserverOrderIsAscendingPerPage) {
+  // The run contract promises ascending per-page callbacks; an observer that
+  // records the exact sequence must see 1:1 what single-page writes produce.
+  struct Recorder : WriteObserver {
+    std::vector<Pfn> seen;
+    void OnGuestWrite(Pfn pfn) override { seen.push_back(pfn); }
+  };
+  GuestPhysicalMemory memory(kPageSize * 64);
+  Recorder recorder;
+  memory.AttachWriteObserver(&recorder);
+  memory.WriteRun(10, 5);
+  memory.Write(3);
+  const std::vector<Pfn> want = {10, 11, 12, 13, 14, 3};
+  EXPECT_EQ(recorder.seen, want);
+}
+
+// ---- Store-path counters. ----
+
+TEST(StorePerfTest, RunWriteMetersOneLookupPerRun) {
+  GuestPhysicalMemory memory(16 * kMiB);
+  PerfCounters perf;
+  memory.set_perf(&perf);
+  AddressSpace space(&memory);
+  const VaRange heap = space.ReserveVa(100 * kPageSize);
+  CHECK(space.CommitRange(heap.begin, heap.bytes()));
+  // Fresh commit: ascending frames coalesce, so the zeroing sweep is one run
+  // of 100 pages and zero store-path table probes.
+  EXPECT_EQ(perf.write_runs, 1);
+  EXPECT_EQ(perf.pages_written, 100);
+  EXPECT_EQ(perf.pte_lookups, 0);
+
+  const PerfCounters after_commit = perf;
+  space.WriteRange(heap.begin, 64 * kPageSize);
+  EXPECT_EQ(perf.pte_lookups - after_commit.pte_lookups, 1);
+  EXPECT_EQ(perf.write_runs - after_commit.write_runs, 1);
+  EXPECT_EQ(perf.pages_written - after_commit.pages_written, 64);
+  EXPECT_EQ(perf.pages_written + after_commit.pages_written > 0, true);
+
+  const PerfCounters after_range = perf;
+  space.Touch(heap.begin);
+  EXPECT_EQ(perf.pte_lookups - after_range.pte_lookups, 1);
+  EXPECT_EQ(perf.write_runs - after_range.write_runs, 1);
+  EXPECT_EQ(perf.pages_written - after_range.pages_written, 1);
+}
+
+TEST(StorePerfTest, PagesWrittenTracksTotalWrites) {
+  GuestPhysicalMemory memory(16 * kMiB);
+  PerfCounters perf;
+  memory.set_perf(&perf);
+  AddressSpace space(&memory);
+  const VaRange heap = space.ReserveVa(64 * kPageSize);
+  CHECK(space.CommitRange(heap.begin, heap.bytes()));
+  space.WriteRange(heap.begin, heap.bytes());
+  space.Touch(heap.begin + 5 * kPageSize);
+  EXPECT_EQ(perf.pages_written, memory.total_writes());
+}
+
+TEST(StorePerfTest, NullSinkIsSupported) {
+  GuestPhysicalMemory memory(kPageSize * 8);
+  AddressSpace space(&memory);
+  const VaRange heap = space.ReserveVa(4 * kPageSize);
+  CHECK(space.CommitRange(heap.begin, heap.bytes()));
+  space.WriteRange(heap.begin, heap.bytes());  // Must not crash.
+  EXPECT_EQ(memory.total_writes(), 8);         // 4 zeroing + 4 range.
+}
+
+// ---- CommitRange exhaustion rollback (state-neutrality). ----
+
+TEST(CommitRollbackTest, FailedCommitLeavesAllocationOrderUntouched) {
+  constexpr int64_t kFrames = 32;
+  GuestPhysicalMemory attempted(kFrames * kPageSize);
+  GuestPhysicalMemory pristine(kFrames * kPageSize);
+
+  AddressSpace space_a(&attempted);
+  AddressSpace space_p(&pristine);
+  // Same prefix on both: commit, decommit a slice to shuffle the free list.
+  for (AddressSpace* space : {&space_a, &space_p}) {
+    const VaRange r = space->ReserveVa(16 * kPageSize);
+    CHECK(space->CommitRange(r.begin, r.bytes()));
+    space->DecommitRange(r.begin + 4 * kPageSize, 8 * kPageSize);
+  }
+
+  // Only the first substrate suffers a failed oversized commit.
+  const VaRange big = space_a.ReserveVa(kFrames * kPageSize);
+  EXPECT_FALSE(space_a.CommitRange(big.begin, big.bytes()));
+
+  // From here on, both must hand out the exact same PFN sequence: the failed
+  // attempt popped the whole free list and must have re-stacked it exactly.
+  for (;;) {
+    const Pfn a = attempted.AllocateFrame();
+    const Pfn p = pristine.AllocateFrame();
+    ASSERT_EQ(a, p);
+    if (a == kInvalidPfn) {
+      break;
+    }
+  }
+}
+
+// ---- OsBackgroundProcess hot_bytes == 0 regression. ----
+
+TEST(OsProcessTest, ZeroHotBytesRunsWithoutDirtying) {
+  SimClock clock;
+  GuestPhysicalMemory memory(256 * kMiB);
+  GuestKernel kernel(&memory, &clock);
+  OsProcessConfig config;
+  config.resident_bytes = 64 * kMiB;
+  config.hot_bytes = 0;  // Previously fed Rng::NextBounded(0) and died.
+  config.dirty_rate_bytes_per_sec = 4 * kMiB;
+  OsBackgroundProcess os(&kernel, config, Rng(1));
+  const int64_t writes_after_boot = memory.total_writes();
+  clock.Advance(Duration::Seconds(10));
+  EXPECT_EQ(memory.total_writes(), writes_after_boot);
+}
+
+}  // namespace
+}  // namespace javmm
